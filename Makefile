@@ -1,0 +1,34 @@
+# Convenience targets for the CBMA reproduction.
+
+PY ?= python
+
+.PHONY: install test bench bench-quick examples report clean
+
+install:
+	pip install -e .
+	pip install pytest pytest-benchmark hypothesis
+
+test:
+	$(PY) -m pytest tests/ -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_SCALE=0.25 $(PY) -m pytest benchmarks/ --benchmark-only -q
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/smart_home.py
+	$(PY) examples/power_control_study.py
+	$(PY) examples/coexistence.py
+	$(PY) examples/reliable_sensor_net.py
+	$(PY) examples/building_deployment.py
+	$(PY) examples/code_family_tour.py
+
+report:
+	$(PY) -m repro report --output report.md --scale 0.5
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache benchmarks/results.txt report.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,55 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and
+prints the rows/series it reports (run pytest with ``-s`` to see them;
+they are also appended to ``benchmarks/results.txt``).
+
+Scale the workload with the environment variable ``REPRO_BENCH_SCALE``
+(default 1.0): 0.2 gives a fast smoke run, 5.0 approaches the paper's
+1000-packets-per-point fidelity.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+_RESULTS_PATH = Path(__file__).with_name("results.txt")
+
+
+def bench_scale() -> float:
+    """Workload multiplier from REPRO_BENCH_SCALE."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 5) -> int:
+    """Scale a round count, keeping at least *minimum*."""
+    return max(int(n * bench_scale()), minimum)
+
+
+@pytest.fixture
+def report():
+    """Print a result block and append it to benchmarks/results.txt."""
+
+    def _report(text: str) -> None:
+        block = "\n" + text + "\n"
+        print(block)
+        with open(_RESULTS_PATH, "a") as fh:
+            fh.write(block)
+
+    return _report
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing.
+
+    Paper experiments are deterministic given their seed; repeating
+    them only to improve timing statistics would multiply a multi-
+    minute workload, so each benchmark is a single timed run.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return _run

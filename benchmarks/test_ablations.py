@@ -1,0 +1,220 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not paper figures -- these quantify the simulator's own knobs so a
+downstream user knows what each fidelity/design decision buys:
+
+- oversampling factor (samples per chip) vs decode error;
+- spreading-code length vs error and effective per-tag rate;
+- impedance-codebook size (2 vs 4 states) vs power-control benefit;
+- node-selection acceptance rule (greedy vs annealing) vs final FER.
+"""
+
+import numpy as np
+from conftest import scaled
+
+from repro.analysis import render_series, render_table
+from repro.channel.geometry import Deployment, Room
+from repro.mac.node_selection import NodeSelector
+from repro.mac.power_control import PowerController
+from repro.phy.impedance import ImpedanceCodebook, PAPER_TERMINATIONS
+from repro.sim.network import CbmaConfig, CbmaNetwork
+from repro.tag.tag import Tag
+
+
+def test_ablation_oversampling(run_once, report):
+    """Higher samples-per-chip resolves fractional asynchrony better."""
+
+    def sweep():
+        out = {}
+        for spc in (1, 2, 4):
+            cfg = CbmaConfig(n_tags=4, seed=17, samples_per_chip=spc)
+            net = CbmaNetwork(cfg, Deployment.linear(4, tag_to_rx=1.5))
+            out[spc] = net.run_rounds(scaled(60)).fer
+        return out
+
+    fers = run_once(sweep)
+    report(
+        render_table(
+            ["samples per chip", "FER"],
+            [[k, f"{v:.4f}"] for k, v in fers.items()],
+            title="Ablation: oversampling factor (4 tags, 1.5 m)",
+        )
+    )
+    assert fers[4] <= fers[1] + 0.05, "more oversampling should not hurt"
+
+
+def test_ablation_code_length(run_once, report):
+    """Longer codes trade rate for MAI robustness."""
+
+    def sweep():
+        out = {}
+        for length in (32, 64, 128):
+            cfg = CbmaConfig(n_tags=5, seed=23, code_length=length)
+            net = CbmaNetwork(cfg, Deployment.linear(5, tag_to_rx=1.0))
+            m = net.run_rounds(scaled(50))
+            out[length] = (m.fer, m.goodput_bps)
+        return out
+
+    results = run_once(sweep)
+    report(
+        render_table(
+            ["code length (chips)", "FER", "aggregate goodput"],
+            [
+                [k, f"{fer:.4f}", f"{gp / 1e3:.1f} kbps"]
+                for k, (fer, gp) in results.items()
+            ],
+            title="Ablation: spreading-code length (5 tags, 1 m)",
+        )
+        + "\nLonger codes suppress multi-access interference at the cost of"
+        "\nper-bit air time; the goodput optimum sits where the FER knee ends."
+    )
+    assert results[128][0] <= results[32][0] + 0.03, "longer codes should reduce FER"
+
+
+def test_ablation_codebook_size(run_once, report):
+    """A 2-state impedance ladder gives power control less authority."""
+
+    def sweep():
+        room = Room(width=1.6, depth=1.2)
+        full = ImpedanceCodebook(PAPER_TERMINATIONS)
+        two_state = ImpedanceCodebook(PAPER_TERMINATIONS[1:3])
+        out = {}
+        for label, codebook in (("4 states", full), ("2 states", two_state)):
+            fers = []
+            for s in range(4):
+                dep = Deployment.random(4, rng=300 + s, room=room, min_spacing=0.15)
+                cfg = CbmaConfig(n_tags=4, seed=300 + s)
+                net = CbmaNetwork(cfg, dep)
+                for i, tag in enumerate(net.tags):
+                    net.tags[i] = Tag(
+                        tag.tag_id, tag.code, fmt=tag.fmt, codebook=codebook
+                    )
+                net.run_power_control(PowerController(packets_per_epoch=6))
+                fers.append(net.run_rounds(scaled(25)).fer)
+            out[label] = float(np.mean(fers))
+        return out
+
+    results = run_once(sweep)
+    report(
+        render_table(
+            ["impedance codebook", "post-control FER"],
+            [[k, f"{v:.4f}"] for k, v in results.items()],
+            title="Ablation: impedance codebook size (4 tags, random bench)",
+        )
+    )
+    assert results["4 states"] <= results["2 states"] + 0.08
+
+
+def test_ablation_selection_schedule(run_once, report):
+    """Greedy-only vs annealing acceptance in node selection."""
+
+    def sweep():
+        room = Room(width=1.6, depth=1.2)
+        out = {}
+        for label, temp in (("greedy (T=0)", 1e-6), ("annealing (T=6)", 6.0)):
+            fers = []
+            for s in range(4):
+                dep = Deployment.random(8, rng=400 + s, room=room, min_spacing=0.12)
+                cfg = CbmaConfig(n_tags=4, seed=400 + s)
+                net = CbmaNetwork(cfg, dep)
+                selector = NodeSelector(
+                    deployment=dep, budget=cfg.budget, initial_temperature=temp
+                )
+                controller = PowerController(packets_per_epoch=6)
+                net.run_power_control(controller)
+                for _ in range(2):
+                    probe = net.run_rounds(scaled(12))
+                    ratios = [probe.per_tag_ack_ratio(t.tag_id) for t in net.tags]
+                    outcome = selector.select_round(
+                        net.positions, ratios, rng=np.random.default_rng(s)
+                    )
+                    net.positions = list(outcome.group)
+                    net.run_power_control(controller)
+                fers.append(net.run_rounds(scaled(25)).fer)
+            out[label] = float(np.mean(fers))
+        return out
+
+    results = run_once(sweep)
+    report(
+        render_table(
+            ["acceptance schedule", "final FER"],
+            [[k, f"{v:.4f}"] for k, v in results.items()],
+            title="Ablation: node-selection acceptance rule (4 of 8 positions)",
+        )
+        + "\nBoth schedules fix hopeless placements; annealing explores more"
+        "\nearly, greedy converges faster when good positions are plentiful."
+    )
+    # Both must produce workable deployments.
+    assert max(results.values()) < 0.5
+
+
+def test_ablation_sideband(run_once, report):
+    """Double- vs single-sideband backscatter link budget (footnote 1)."""
+    import math
+
+    from repro.phy.sideband import image_rejection_db, sideband_efficiency
+
+    def sweep():
+        rows = []
+        rows.append(("DSB (paper's square wave)", sideband_efficiency(False), "-"))
+        for err_deg in (0.0, 2.0, 10.0):
+            eff = sideband_efficiency(True, phase_error_rad=math.radians(err_deg))
+            irr = image_rejection_db(math.radians(err_deg)) if err_deg else float("inf")
+            rows.append((f"SSB, {err_deg:.0f} deg quadrature error", eff, f"{irr:.0f} dB" if irr != float("inf") else "inf"))
+        return rows
+
+    rows = run_once(sweep)
+    report(
+        render_table(
+            ["modulator", "fraction of power in wanted band", "image rejection"],
+            [[n, f"{e:.3f}", i] for n, e, i in rows],
+            title="Ablation: double- vs single-sideband backscatter",
+        )
+        + "\nThe paper's plain square-wave tag wastes half its reflected power"
+        "\nin the unwatched image band; the ref. [10] quadrature trick"
+        "\nrecovers it (+3 dB link budget) up to hardware matching error."
+    )
+    dsb = rows[0][1]
+    ssb_perfect = rows[1][1]
+    assert dsb == 0.5
+    assert ssb_perfect > 0.99
+
+
+def test_ablation_clock_imperfection(run_once, report):
+    """Oscillator drift and jitter (the 'real imperfectness' of Sec. VIII-C).
+
+    White per-chip jitter averages out across the 64-chip correlator;
+    *drift* accumulates -- once the slip over a frame approaches one
+    chip, the block-aligned decoder loses the frame entirely.  This is
+    the quantitative case for crystal (not RC) tag clocks.
+    """
+
+    def sweep():
+        out = {}
+        cases = [
+            ("ideal clock", dict()),
+            ("jitter 0.1 chips RMS", dict(jitter_chips_rms=0.1)),
+            ("drift 20 ppm (crystal)", dict(drift_ppm_sigma=20.0)),
+            ("drift 100 ppm", dict(drift_ppm_sigma=100.0)),
+            ("drift 1000 ppm (RC)", dict(drift_ppm_sigma=1000.0)),
+        ]
+        for label, knobs in cases:
+            cfg = CbmaConfig(n_tags=3, seed=37, **knobs)
+            net = CbmaNetwork(cfg, Deployment.linear(3, tag_to_rx=1.0))
+            out[label] = net.run_rounds(scaled(50)).fer
+        return out
+
+    fers = run_once(sweep)
+    report(
+        render_table(
+            ["clock model", "FER (3 tags, 1 m)"],
+            [[k, f"{v:.4f}"] for k, v in fers.items()],
+            title="Ablation: tag clock imperfection",
+        )
+        + "\nWhite jitter is nearly free (it averages over the correlator);"
+        "\ndrift past ~1 chip of cumulative slip per frame is fatal --"
+        "\nCBMA tags need crystal-grade clocks, as the prototype used."
+    )
+    assert fers["drift 20 ppm (crystal)"] < 0.2
+    assert fers["drift 1000 ppm (RC)"] > 0.8
+    assert fers["jitter 0.1 chips RMS"] < fers["drift 1000 ppm (RC)"]

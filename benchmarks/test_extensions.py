@@ -1,0 +1,402 @@
+"""Benchmarks for the library's beyond-the-paper extensions.
+
+Quantifies what each optional subsystem buys, so DESIGN.md's extension
+claims are backed by numbers:
+
+- SIC receiver vs the paper's plain receiver under near-far collisions
+  (how much of tag-side power control a smarter receiver replaces);
+- 2-antenna MRC vs one antenna under fading;
+- Hamming FEC at the FER knee;
+- ARQ latency/delivery under Poisson load;
+- rotating group scheduling vs greedy selection fairness.
+"""
+
+import numpy as np
+from conftest import scaled
+
+from repro.analysis import format_percent, render_table
+from repro.channel.fading import FadingModel
+from repro.channel.geometry import Deployment
+from repro.channel.noise import NoiseModel
+from repro.codes import twonc_codes
+from repro.codes.fec import BlockInterleaver, FecPipeline, HammingCode
+from repro.mac.arq import ArqSimulator
+from repro.mac.fairness import RotatingGroupScheduler, ServiceLog
+from repro.receiver import CbmaReceiver, DiversityReceiver
+from repro.receiver.sic import SicReceiver
+from repro.sim.collision import CollisionScenario, simulate_diversity_round, simulate_round
+from repro.sim.network import CbmaConfig, CbmaNetwork
+from repro.sim.traffic import PoissonArrivals
+from repro.tag import Tag, TagOscillator
+from repro.utils.bits import bytes_to_bits, bits_to_bytes
+
+
+def test_extension_sic_near_far(run_once, report):
+    """SIC recovers near-far victims the plain receiver loses."""
+
+    def sweep():
+        codes = twonc_codes(2, 64)
+        plain = CbmaReceiver({i: codes[i] for i in range(2)}, samples_per_chip=2)
+        sic = SicReceiver({i: codes[i] for i in range(2)}, samples_per_chip=2)
+        rng = np.random.default_rng(3)
+        noise = NoiseModel()
+        out = {}
+        for gap_db in (6, 12, 18):
+            ok = {"plain": 0, "SIC": 0}
+            n_trials = scaled(30)
+            for _ in range(n_trials):
+                tags = [
+                    Tag(i, codes[i], oscillator=TagOscillator(offset_chips=float(rng.uniform(0, 8))))
+                    for i in range(2)
+                ]
+                strong = np.sqrt(noise.power_w * 10 ** (18 / 10)) / 0.432
+                weak = strong * 10 ** (-gap_db / 20)
+                amps = [strong * np.exp(1j * rng.uniform(0, 6.28)), weak * np.exp(1j * rng.uniform(0, 6.28))]
+                scen = CollisionScenario(tags=tags, amplitudes=amps, noise=noise, samples_per_chip=2)
+                payloads = {i: bytes(rng.integers(0, 256, 16, dtype=np.uint8)) for i in range(2)}
+                iq, _ = simulate_round(scen, payloads, rng)
+                ok["plain"] += plain.process(iq).decoded_payloads().get(1) == payloads[1]
+                ok["SIC"] += sic.process(iq).decoded_payloads().get(1) == payloads[1]
+            out[gap_db] = {k: v / n_trials for k, v in ok.items()}
+        return out
+
+    results = run_once(sweep)
+    rows = [
+        [f"{gap} dB", format_percent(r["plain"]), format_percent(r["SIC"])]
+        for gap, r in results.items()
+    ]
+    report(
+        render_table(
+            ["power gap", "plain receiver (weak-tag delivery)", "SIC receiver"],
+            rows,
+            title="Extension: successive interference cancellation vs near-far",
+        )
+        + "\nSIC is the receiver-side alternative to the paper's tag-side power"
+        "\ncontrol; it needs no tag hardware but only works when the strong"
+        "\nframe itself decodes."
+    )
+    assert results[18]["SIC"] > results[18]["plain"] + 0.3
+
+
+def test_extension_mrc_diversity(run_once, report):
+    """2-antenna MRC under fading vs a single antenna."""
+
+    def sweep():
+        codes = twonc_codes(3, 64)
+        rx1 = CbmaReceiver({i: codes[i] for i in range(3)}, samples_per_chip=2)
+        rx2 = DiversityReceiver({i: codes[i] for i in range(3)}, samples_per_chip=2, n_antennas=2)
+        rng = np.random.default_rng(8)
+        noise = NoiseModel()
+        fad = FadingModel(k_factor=3.0, shadowing_sigma_db=0.0)
+        amp = np.sqrt(noise.power_w * 10 ** (-8 / 10)) / 0.432
+        ok1 = ok2 = tot = 0
+        for _ in range(scaled(40)):
+            tags = [
+                Tag(i, codes[i], oscillator=TagOscillator(offset_chips=float(rng.uniform(0, 8))))
+                for i in range(3)
+            ]
+            scen = CollisionScenario(tags=tags, amplitudes=[amp] * 3, noise=noise, samples_per_chip=2)
+            payloads = {i: bytes(rng.integers(0, 256, 16, dtype=np.uint8)) for i in range(3)}
+            gains = np.array([[fad.sample_gain(rng) for _ in range(3)] for _ in range(2)])
+            branches, _ = simulate_diversity_round(scen, payloads, gains, rng)
+            d1 = rx1.process(branches[0]).decoded_payloads()
+            d2 = rx2.process_branches(branches).decoded_payloads()
+            for i in range(3):
+                tot += 1
+                ok1 += d1.get(i) == payloads[i]
+                ok2 += d2.get(i) == payloads[i]
+        return 1 - ok1 / tot, 1 - ok2 / tot
+
+    fer1, fer2 = run_once(sweep)
+    report(
+        render_table(
+            ["receiver", "FER (3 tags, Rician K=3, knee SNR)"],
+            [["1 antenna", f"{fer1:.4f}"], ["2-antenna MRC", f"{fer2:.4f}"]],
+            title="Extension: receive diversity",
+        )
+    )
+    assert fer2 < fer1
+
+
+def test_extension_fec_at_knee(run_once, report):
+    """Hamming(7,4)+interleaving on payload bits near the FER knee."""
+
+    def sweep():
+        pipe = FecPipeline(HammingCode(), BlockInterleaver(depth=8))
+        coded_bits = pipe.encoded_length(56)  # 7 data bytes -> 104 bits
+        cfg = CbmaConfig(n_tags=3, seed=19, payload_bytes=coded_bits // 8)
+        net = CbmaNetwork(cfg, Deployment.linear(3, tag_to_rx=4.0))
+        rng = np.random.default_rng(4)
+        raw_ok = fec_ok = tot = 0
+        for _ in range(scaled(60)):
+            net._draw_oscillators()
+            amps = net._base_amplitudes()
+            scen = CollisionScenario(
+                tags=net.tags, amplitudes=amps, noise=cfg.noise,
+                samples_per_chip=cfg.samples_per_chip, chip_rate_hz=cfg.chip_rate_hz,
+            )
+            # 7 data bytes, FEC-expanded to coded_bits on the air.
+            data = {i: bytes(rng.integers(0, 256, 7, dtype=np.uint8)) for i in range(3)}
+            payloads = {
+                i: bits_to_bytes(pipe.encode(bytes_to_bits(d))) for i, d in data.items()
+            }
+            iq, _ = simulate_round(scen, payloads, rng)
+            rep = net.receiver.process(iq)
+            for i in range(3):
+                tot += 1
+                frame = rep.frame_for(i)
+                if frame is None:
+                    continue
+                raw_ok += bool(frame.success and frame.payload == payloads[i])
+                if frame.raw_bits is not None and frame.reason in ("ok", "crc"):
+                    # FEC decodes even CRC-failed frames: correct the
+                    # payload region and compare to the data bits.
+                    body = frame.raw_bits[8:]  # skip length field
+                    coded = body[:coded_bits]
+                    if coded.size == coded_bits:
+                        decoded, _ = pipe.decode(coded, 56)
+                        fec_ok += bits_to_bytes(decoded) == data[i]
+        return 1 - raw_ok / tot, 1 - fec_ok / tot
+
+    raw_fer, fec_fer = run_once(sweep)
+    report(
+        render_table(
+            ["scheme", "frame loss (3 tags at 4.0 m)"],
+            [
+                ["CRC only (paper)", f"{raw_fer:.4f}"],
+                ["Hamming(7,4) + interleaving", f"{fec_fer:.4f}"],
+            ],
+            title="Extension: payload FEC at the knee (rate-4/7 overhead)",
+        )
+        + "\nFEC repairs frames the CRC would discard; the tag-side cost is"
+        "\na few XORs per nibble."
+    )
+    # FEC can only help: every CRC-only success is also an FEC success,
+    # and scattered 1-2 bit CRC failures get repaired.
+    assert fec_fer <= raw_fer + 1e-9
+
+
+def test_extension_arq_latency(run_once, report):
+    """Delivery and latency under Poisson load with stop-and-wait ARQ."""
+
+    def sweep():
+        out = {}
+        for label, load in (("20% load", 0.2), ("60% load", 0.6), ("120% load", 1.2)):
+            cfg = CbmaConfig(n_tags=4, seed=23, payload_bytes=12)
+            net = CbmaNetwork(cfg, Deployment.linear(4, tag_to_rx=1.0))
+            rate = load / cfg.frame_duration_s()
+            sim = ArqSimulator(net, PoissonArrivals(rate))
+            stats = sim.run(scaled(100), rng=np.random.default_rng(6))
+            out[label] = stats
+        return out
+
+    results = run_once(sweep)
+    rows = []
+    for label, stats in results.items():
+        rows.append(
+            [
+                label,
+                stats.offered,
+                format_percent(stats.delivery_ratio),
+                f"{stats.mean_latency_s * 1e3:.1f} ms",
+                f"{stats.p95_latency_s * 1e3:.1f} ms",
+                f"{stats.mean_attempts:.2f}",
+            ]
+        )
+    report(
+        render_table(
+            ["offered load", "messages", "delivered", "mean latency", "p95 latency", "attempts/msg"],
+            rows,
+            title="Extension: stop-and-wait ARQ over CBMA (4 tags)",
+        )
+    )
+    assert results["20% load"].delivery_ratio > 0.9
+    assert results["120% load"].mean_latency_s >= results["20% load"].mean_latency_s
+
+
+def test_extension_fairness(run_once, report):
+    """Rotating group scheduling removes selection starvation."""
+
+    def sweep():
+        dep = Deployment.random(10, rng=31)
+        sched = RotatingGroupScheduler(dep, group_size=4)
+        log = ServiceLog(n_tags=10)
+        rng = np.random.default_rng(31)
+        for _ in range(scaled(150)):
+            log.record_epoch(sched.next_group(rng), {})
+        # Greedy alternative: always schedule the 4 strongest positions.
+        from repro.channel.pathloss import LinkBudget
+        from repro.mac.node_selection import NodeSelector
+
+        selector = NodeSelector(deployment=dep, budget=LinkBudget())
+        strongest = sorted(range(10), key=selector.strength_dbm, reverse=True)[:4]
+        greedy = ServiceLog(n_tags=10)
+        for _ in range(scaled(150)):
+            greedy.record_epoch(strongest, {})
+        return log, greedy
+
+    rotating, greedy = run_once(sweep)
+    report(
+        render_table(
+            ["scheduler", "Jain fairness", "starved tags (<5% share)"],
+            [
+                ["strongest-4 (greedy)", f"{greedy.fairness():.3f}", len(greedy.starved())],
+                ["rotating (aged weights)", f"{rotating.fairness():.3f}", len(rotating.starved())],
+            ],
+            title="Extension: starvation (paper Sec. VIII-D) under two schedulers",
+        )
+    )
+    assert rotating.fairness() > greedy.fairness()
+    assert rotating.starved() == []
+
+
+def test_extension_mobility_alleviates_bad_positions(run_once, report):
+    """Sec. VIII-D: 'if the tag is moving, the starvation problem can be
+    alleviated' -- a tag stuck at a hopeless position recovers once it
+    wanders, without any scheduling intervention."""
+
+    def sweep():
+        from repro.channel.geometry import Point, Room
+        from repro.channel.mobility import RandomWaypoint
+
+        out = {}
+        for label, mobility in (
+            ("static", None),
+            ("random waypoint", RandomWaypoint(speed_range_mps=(0.4, 0.8), pause_s=0.0)),
+        ):
+            room = Room(width=5.0, depth=3.0)
+            dep = Deployment(room=room)
+            dep.tags = [Point(2.2, 1.2), Point(0.0, 0.3), Point(0.3, -0.3)]
+            cfg = CbmaConfig(n_tags=3, seed=43)
+            net = CbmaNetwork(cfg, dep)
+            rng = np.random.default_rng(43)
+            from repro.sim.metrics import MetricsAccumulator
+
+            halves = []
+            for half in range(2):
+                acc = MetricsAccumulator()
+                for _ in range(scaled(30)):
+                    net.run_round(metrics=acc)
+                    if mobility is not None:
+                        mobility.update(dep, dt_s=2.0, rng=rng)
+                halves.append(
+                    acc.per_tag_correct.get(0, 0) / max(acc.per_tag_sent.get(0, 0), 1)
+                )
+            out[label] = halves
+        return out
+
+    results = run_once(sweep)
+    rows = [
+        [label, format_percent(h[0]), format_percent(h[1])]
+        for label, h in results.items()
+    ]
+    report(
+        render_table(
+            ["scenario", "bad tag delivery (first half)", "(second half)"],
+            rows,
+            title="Extension: mobility vs a hopeless tag position (Sec. VIII-D)",
+        )
+        + "\nThe static tag stays dead; the moving tag's delivery recovers as"
+        "\nit wanders into workable geometry."
+    )
+    static = results["static"]
+    moving = results["random waypoint"]
+    assert static[1] < 0.5, "static far tag should stay bad"
+    assert moving[1] > static[1], "mobility should help the bad tag"
+
+
+def test_extension_unslotted_operation(run_once, report):
+    """Fully round-free CBMA: the 'distributed manner' requirement taken
+    to its logical end.  Frames start whenever each tag's own traffic
+    says to; overlaps are partial and arbitrary.  Code-domain capture
+    keeps delivery graceful where pure ALOHA would collapse."""
+
+    def sweep():
+        from repro.receiver.streaming import StreamingReceiver
+        from repro.sim.unslotted import UnslottedScenario, simulate_unslotted
+        from repro.tag import FrameFormat, Tag
+        from repro.codes import twonc_codes
+
+        n = 3
+        codes = twonc_codes(n, 64)
+        fmt = FrameFormat()
+        noise = NoiseModel()
+        amp = np.sqrt(noise.power_w * 10 ** (10 / 10)) / 0.432
+        rx = CbmaReceiver({i: codes[i] for i in range(n)}, fmt=fmt, samples_per_chip=2)
+        stream = StreamingReceiver(rx, max_frame_bits=fmt.frame_bits(12))
+        frame_s = fmt.frame_bits(12) * 64 / 1e6
+        out = {}
+        for load in (0.1, 0.4, 0.8):  # per-tag offered load in frame airtimes
+            tags = [Tag(i, codes[i], fmt=fmt) for i in range(n)]
+            scn = UnslottedScenario(
+                tags=tags, amplitudes=[amp] * n, rate_hz=load / frame_s,
+                duration_s=max(0.2, 0.5 * __import__("conftest").bench_scale()),
+                noise=noise,
+            )
+            res = simulate_unslotted(scn, stream, np.random.default_rng(11))
+            out[load] = res
+        return out
+
+    results = run_once(sweep)
+    rows = [
+        [
+            f"{load:.1f} frames/airtime/tag",
+            res.offered,
+            format_percent(res.delivery_ratio),
+            f"{res.goodput_bps / 1e3:.1f} kbps",
+        ]
+        for load, res in results.items()
+    ]
+    report(
+        render_table(
+            ["offered load", "frames", "delivered", "goodput"],
+            rows,
+            title="Extension: fully unslotted CBMA (3 tags, no shared timing)",
+        )
+        + "\nSlotted ALOHA peaks at 37% channel use and collapses beyond;"
+        "\nCBMA's code-domain capture keeps unslotted delivery graceful."
+    )
+    light = results[0.1]
+    heavy = results[0.8]
+    assert light.delivery_ratio > 0.7
+    assert heavy.delivery_ratio > 0.4, "capture should prevent ALOHA-style collapse"
+
+
+def test_extension_phase_tracking_cfo(run_once, report):
+    """Carrier-frequency-offset tolerance: a static channel estimate
+    dies within one constellation turn; decision-directed tracking
+    follows the rotation (why real receivers do carrier recovery)."""
+
+    def sweep():
+        from repro.receiver import PhaseTrackingReceiver
+
+        out = {}
+        for cfo_sigma in (0.0, 100.0, 400.0):
+            cfg = CbmaConfig(n_tags=2, seed=3, cfo_hz_sigma=cfo_sigma)
+            net = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0))
+            plain_fer = net.run_rounds(scaled(40)).fer
+            net2 = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0))
+            net2.receiver = PhaseTrackingReceiver(
+                net2.receiver.codes, fmt=net2.fmt, samples_per_chip=2
+            )
+            track_fer = net2.run_rounds(scaled(40)).fer
+            out[cfo_sigma] = (plain_fer, track_fer)
+        return out
+
+    results = run_once(sweep)
+    rows = [
+        [f"{s:.0f} Hz ({s / 20:.0f} ppm of 20 MHz)", f"{p:.4f}", f"{t:.4f}"]
+        for s, (p, t) in results.items()
+    ]
+    report(
+        render_table(
+            ["CFO sigma", "static-estimate FER", "phase-tracking FER"],
+            rows,
+            title="Extension: carrier frequency offset and phase tracking",
+        )
+        + "\nEven crystal-grade ppm error rotates the constellation several"
+        "\nturns per frame; the tracking loop makes it nearly free."
+    )
+    assert results[400.0][0] > 0.5, "CFO should defeat the static estimate"
+    assert results[400.0][1] < 0.2, "tracking should survive crystal-grade CFO"
+    assert results[0.0][1] <= results[0.0][0] + 0.05

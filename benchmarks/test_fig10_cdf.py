@@ -1,0 +1,50 @@
+"""Benchmark: Fig. 10 -- CDFs of error rate for three control strategies.
+
+Random 5-tag deployments (with idle spare positions) are run with no
+control, with power control, and with power control + tag selection.
+Paper shape: the selection+control CDF dominates control alone, which
+dominates no control; with control alone roughly 60% of deployments
+reach error below 5% (we assert the ordering and that selection raises
+the fraction of good deployments).
+"""
+
+import numpy as np
+from conftest import scaled
+
+from repro.analysis import cdf_at, empirical_cdf, render_series
+from repro.sim.experiments import fig10_deployment_cdfs
+
+
+def test_fig10_deployment_cdfs(run_once, report):
+    result = run_once(
+        fig10_deployment_cdfs,
+        n_tags=5,
+        n_groups=max(int(10 * __import__("conftest").bench_scale()), 6),
+        rounds=scaled(30),
+    )
+
+    thresholds = (0.02, 0.05, 0.1, 0.2, 0.4)
+    series = {
+        label: [cdf_at(fers, t) for t in thresholds]
+        for label, fers in result.series.items()
+    }
+    report(
+        render_series(
+            "P(FER <= x)", [f"x={t}" for t in thresholds], series,
+            title="Fig. 10 reproduction: CDF of deployment error rate (5 tags)",
+        )
+        + "\nPaper shape: selection+control curve dominates control alone,"
+        "\nwhich dominates no control; P(FER<5%) ~ 0.6 with control alone."
+    )
+
+    none_med = float(np.median(result.series["no control"]))
+    pc_med = float(np.median(result.series["power control"]))
+    sel_med = float(np.median(result.series["power control + tag selection"]))
+
+    assert pc_med <= none_med + 0.02, "power control should improve the median deployment"
+    assert sel_med <= pc_med + 0.02, "tag selection should further improve it"
+
+    # Stochastic dominance at the paper's 5% operating point (with slack).
+    p_none = cdf_at(result.series["no control"], 0.10)
+    p_sel = cdf_at(result.series["power control + tag selection"], 0.10)
+    assert p_sel >= p_none

@@ -1,0 +1,40 @@
+"""Benchmark: Fig. 12 -- packet reception under four working conditions.
+
+Fixed 3-tag placement under: clean channel, coexisting WiFi (CSMA/CA
+bursts), coexisting Bluetooth (FHSS), and an OFDM excitation source.
+Paper shape: WiFi/Bluetooth cost only a little PRR (their occupancy of
+the narrow backscatter band is sparse); the intermittent OFDM
+excitation costs a lot because the tags often have nothing to reflect.
+"""
+
+from conftest import scaled
+
+from repro.analysis import format_percent, render_table
+from repro.sim.experiments import fig12_working_conditions
+
+
+def test_fig12_working_conditions(run_once, report):
+    result = run_once(fig12_working_conditions, n_tags=3, rounds=scaled(150))
+
+    prr = dict(zip(result.x, result.series["PRR"]))
+    report(
+        render_table(
+            ["condition", "packet reception rate"],
+            [[name, format_percent(v)] for name, v in prr.items()],
+            title="Fig. 12 reproduction: PRR under working conditions (3 tags)",
+        )
+        + "\nPaper shape: clean >= WiFi ~ Bluetooth >> OFDM excitation."
+    )
+
+    clean = prr["no interference"]
+    wifi = prr["WiFi interference"]
+    bt = prr["Bluetooth interference"]
+    ofdm = prr["OFDM excitation"]
+
+    assert clean > 0.85, f"clean baseline unexpectedly lossy: {clean:.2f}"
+    # WiFi/Bluetooth: slight degradation only.
+    assert wifi >= clean - 0.15
+    assert bt >= clean - 0.15
+    # OFDM excitation: large drop.
+    assert ofdm < clean - 0.3
+    assert ofdm < min(wifi, bt)

@@ -1,0 +1,47 @@
+"""Benchmark: Fig. 8(a) -- frame error rate vs tag-to-RX distance.
+
+ES-to-tag fixed at 50 cm, receiver swept from 0.5 m to 4 m, for 2/3/4
+concurrent tags.  Paper shape: FER approximately flat below ~2 m (level
+set by the tag count), rising beyond.
+"""
+
+import numpy as np
+from conftest import scaled
+
+from repro.analysis import render_series
+from repro.sim.experiments import fig8a_distance
+
+
+def test_fig8a_distance(run_once, report):
+    distances = tuple(np.arange(0.5, 4.01, 0.5))
+    result = run_once(
+        fig8a_distance,
+        distances_m=distances,
+        tag_counts=(2, 3, 4),
+        rounds=scaled(80),
+    )
+
+    report(
+        render_series(
+            result.x_label, [f"{d:.1f}" for d in result.x], result.series,
+            title="Fig. 8(a) reproduction: FER vs tag-to-RX distance",
+        )
+        + "\nPaper shape: flat below ~2 m at a level set by the tag count"
+        "\n(2 < 3 < 4 tags), slowly rising beyond 2 m."
+    )
+
+    for label, fers in result.series.items():
+        fers = np.array(fers)
+        near = fers[np.array(result.x) <= 2.0]
+        far = fers[np.array(result.x) >= 3.5]
+        # Rising tail past the knee.
+        assert far.mean() > near.mean(), f"{label}: no distance degradation"
+        # Near region roughly flat (no catastrophic cliff before 2 m).
+        assert near.max() - near.min() < 0.25, f"{label}: near region not flat"
+
+    # More tags -> higher floor in the flat region.
+    near_means = {
+        label: np.array(fers)[np.array(result.x) <= 2.0].mean()
+        for label, fers in result.series.items()
+    }
+    assert near_means["2 tags"] <= near_means["4 tags"] + 0.02

@@ -1,0 +1,37 @@
+"""Benchmark: Fig. 8(b) -- frame error rate vs ES transmit power.
+
+Excitation power swept from -5 dBm to 20 dBm in 5 dB steps for 2/3/4
+tags.  Paper shape: error falls monotonically with power; at -5 dBm
+the backscatter is buried in noise and the error rate is near 1.
+"""
+
+import numpy as np
+from conftest import scaled
+
+from repro.analysis import render_series
+from repro.sim.experiments import fig8b_power
+
+
+def test_fig8b_power(run_once, report):
+    result = run_once(
+        fig8b_power,
+        tx_powers_dbm=(-5.0, 0.0, 5.0, 10.0, 15.0, 20.0),
+        tag_counts=(2, 3, 4),
+        rounds=scaled(80),
+    )
+
+    report(
+        render_series(
+            result.x_label, result.x, result.series,
+            title="Fig. 8(b) reproduction: FER vs excitation power",
+        )
+        + "\nPaper shape: monotone decrease with power; near-total loss at -5 dBm."
+    )
+
+    for label, fers in result.series.items():
+        fers = np.array(fers)
+        assert fers[0] > 0.9, f"{label}: -5 dBm should be nearly dead (got {fers[0]:.2f})"
+        assert fers[-1] < 0.25, f"{label}: 20 dBm should work (got {fers[-1]:.2f})"
+        # Broad monotonicity: each point no worse than 0.15 above its
+        # lower-power neighbour (Monte-Carlo slack).
+        assert np.all(np.diff(fers) < 0.15), f"{label}: error should fall with power"

@@ -1,0 +1,37 @@
+"""Benchmark: Fig. 9(a) -- frame error rate vs tag bit rate.
+
+Bit (chip) rate swept 250 kbps .. 5 Mbps for 2/3/4 tags against a
+receiver with a bounded sampling rate (10 MS/s): faster keying means
+fewer samples per chip and a wider noise bandwidth.  Paper shape: FER
+grows with bit rate yet stays usable ("fairly decent") at 5 Mbps.
+"""
+
+import numpy as np
+from conftest import scaled
+
+from repro.analysis import render_series
+from repro.sim.experiments import fig9a_bitrate
+
+
+def test_fig9a_bitrate(run_once, report):
+    result = run_once(
+        fig9a_bitrate,
+        bitrates_hz=(250e3, 500e3, 1e6, 2.5e6, 5e6),
+        tag_counts=(2, 3, 4),
+        rounds=scaled(80),
+    )
+
+    xs = [f"{int(b/1e3)}k" for b in result.x]
+    report(
+        render_series(
+            "bit rate", xs, result.series,
+            title="Fig. 9(a) reproduction: FER vs bit rate (RX sampling capped at 10 MS/s)",
+        )
+        + "\nPaper shape: error grows with keying rate (fewer samples per chip,"
+        "\nwider noise bandwidth) but 5 Mbps is still usable."
+    )
+
+    for label, fers in result.series.items():
+        fers = np.array(fers)
+        assert fers[-1] >= fers[0] - 0.03, f"{label}: faster keying should not be cheaper"
+        assert fers[-1] < 0.6, f"{label}: 5 Mbps should remain usable ({fers[-1]:.2f})"

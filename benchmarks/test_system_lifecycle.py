@@ -1,0 +1,98 @@
+"""Benchmark: the full deployment life cycle (CbmaSystem).
+
+Not a paper figure -- the integration the paper's conclusion gestures
+at: a population larger than the concurrent-decode capacity, served by
+rotating groups with cached power control, under mild mobility.  The
+benchmark asserts the end-to-end health conditions a deployment would
+be judged on: no starved tags, high fairness, bounded network-wide FER,
+and that link adaptation picks a sensible spreading factor for the
+conditions.
+"""
+
+import numpy as np
+from conftest import scaled
+
+from repro.analysis import format_percent, render_table
+from repro.channel.geometry import Deployment, Room
+from repro.channel.mobility import RandomWalk
+from repro.mac.link_adaptation import SpreadingFactorController
+from repro.sim.network import CbmaConfig, CbmaNetwork
+from repro.system import CbmaSystem
+
+
+def test_system_lifecycle(run_once, report):
+    def lifecycle():
+        dep = Deployment.random(
+            12, rng=17, room=Room(width=1.8, depth=1.4), min_spacing=0.12
+        )
+        system = CbmaSystem(
+            CbmaConfig(n_tags=4, seed=17),
+            dep,
+            mobility=RandomWalk(step_sigma_m=0.02),
+        )
+        # Starvation is only assessable once every tag has had a fair
+        # chance: keep at least ~3 full population rotations.
+        epochs = max(scaled(15), 10)
+        reports = system.run(epochs, rounds_per_epoch=scaled(12))
+        return system, reports
+
+    system, reports = run_once(lifecycle)
+
+    fers = [r.fer for r in reports]
+    report(
+        render_table(
+            ["metric", "value"],
+            [
+                ["population / group size", f"{system.population} / {system.config.n_tags}"],
+                ["epochs", len(reports)],
+                ["network-wide FER", format_percent(system.metrics.fer)],
+                ["aggregate goodput", f"{system.metrics.goodput_bps / 1e3:.1f} kbps"],
+                ["Jain fairness of air time", f"{system.fairness():.3f}"],
+                ["starved tags", len(system.service_log.starved())],
+                ["median epoch FER", f"{float(np.median(fers)):.3f}"],
+            ],
+            title="System life cycle: 12 tags, 4 concurrent, rotation + power control + mobility",
+        )
+    )
+
+    assert system.service_log.starved() == [], "rotation must prevent starvation"
+    assert system.fairness() > 0.8
+    assert system.metrics.fer < 0.35
+    assert system.metrics.goodput_bps > 0
+
+
+def test_system_link_adaptation(run_once, report):
+    """The adaptive spreading controller finds the goodput knee."""
+
+    def adapt():
+        results = {}
+        for label, distance in (("benign (1 m)", 1.0), ("harsh (3.5 m)", 3.5)):
+            def measure(length, rounds, _d=distance):
+                cfg = CbmaConfig(n_tags=3, seed=29, code_length=int(length))
+                net = CbmaNetwork(cfg, Deployment.linear(3, tag_to_rx=_d))
+                return net.run_rounds(rounds).fer
+
+            ctrl = SpreadingFactorController(lengths=(16, 32, 64, 128))
+            results[label] = ctrl.run(
+                measure,
+                n_epochs=scaled(10),
+                rounds_per_epoch=scaled(12),
+                rng=np.random.default_rng(9),
+            )
+        return results
+
+    results = run_once(adapt)
+    rows = [
+        [label, res.chosen_length, str(res.lengths_tried())]
+        for label, res in results.items()
+    ]
+    report(
+        render_table(
+            ["channel", "chosen code length", "lengths measured"],
+            rows,
+            title="Link adaptation: spreading factor vs channel harshness",
+        )
+        + "\nShorter codes win where the channel allows (higher rate);"
+        "\nharsher channels push the controller to longer codes."
+    )
+    assert results["harsh (3.5 m)"].chosen_length >= results["benign (1 m)"].chosen_length

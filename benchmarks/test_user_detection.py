@@ -1,0 +1,77 @@
+"""Benchmark: Sec. VII-B2 -- user-detection accuracy.
+
+A 10-tag pool; each trial activates a random subset, and the receiver
+(holding all 10 PN codes) must flag exactly the transmitting tags.
+Paper result: 99.9% correct identification with the best frame
+parameters.
+"""
+
+from conftest import scaled
+
+from repro.analysis import format_percent, render_table
+from repro.sim.experiments import user_detection_accuracy
+
+
+def test_user_detection_accuracy(run_once, report):
+    result = run_once(
+        user_detection_accuracy,
+        pool_size=10,
+        n_trials=scaled(150),
+    )
+
+    values = dict(zip(result.x, result.series["value"]))
+    report(
+        render_table(
+            ["metric", "value"],
+            [
+                ["trial accuracy (exact active set)", format_percent(values["trial accuracy"])],
+                ["per-tag detection rate", format_percent(values["per-tag detection rate"])],
+                ["false decodes (silent tags ACKed)", int(values["false decodes"])],
+            ],
+            title="User detection reproduction (10-tag pool, random subsets)",
+        )
+        + "\nPaper: 99.9% correct identification of the transmitting set."
+    )
+
+    assert values["per-tag detection rate"] > 0.97
+    assert values["trial accuracy"] > 0.9
+    assert values["false decodes"] == 0
+
+
+def test_user_detection_threshold_sweep(run_once, report):
+    """Sweep the 'predetermined threshold' of paper Sec. III-B.
+
+    Low thresholds admit correlation leakage from other tags (cheap --
+    the CRC kills impostors); high thresholds start missing genuinely
+    transmitting tags.  The shipped default (0.12) sits on the flat
+    left shoulder of the miss curve.
+    """
+    import numpy as np
+
+    from repro.channel.geometry import Deployment
+    from repro.sim.network import CbmaConfig, CbmaNetwork
+
+    def sweep():
+        out = {}
+        for threshold in (0.05, 0.12, 0.2, 0.3, 0.45):
+            cfg = CbmaConfig(n_tags=6, seed=83, user_threshold=threshold)
+            net = CbmaNetwork(cfg, Deployment.linear(6, tag_to_rx=1.0))
+            metrics = net.run_rounds(scaled(60))
+            out[threshold] = (metrics.detection_rate, metrics.fer)
+        return out
+
+    results = run_once(sweep)
+    rows = [
+        [t, f"{det:.4f}", f"{fer:.4f}"] for t, (det, fer) in results.items()
+    ]
+    report(
+        render_table(
+            ["threshold", "per-tag detection rate", "FER"],
+            rows,
+            title="User-detection threshold sweep (6 concurrent tags)",
+        )
+        + "\nThe default 0.12 sits left of the miss knee; pushing toward 0.45"
+        "\nstarts dropping real tags (scores scale as ~0.7/sqrt(n_tags))."
+    )
+    assert results[0.12][0] > 0.97, "default threshold should detect nearly all"
+    assert results[0.45][0] < results[0.12][0], "over-tight threshold must miss tags"

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Coexistence study: CBMA alongside WiFi, Bluetooth and OFDM excitation.
+
+The backscatter band is shared real estate.  This example reproduces
+the paper's working-condition analysis (Fig. 12) interactively: three
+tags run under four channel conditions and the script explains *why*
+each condition costs what it costs -- WiFi's CSMA/CA bursts and
+Bluetooth's frequency hopping leave most of the air quiet, while an
+intermittent OFDM excitation starves the tags of energy to reflect.
+
+Run:  python examples/coexistence.py
+"""
+
+from repro import CbmaConfig, CbmaNetwork, Deployment
+from repro.analysis import format_percent, render_table
+from repro.channel.interference import (
+    BluetoothInterference,
+    OfdmExcitationGate,
+    WiFiInterference,
+)
+
+ROUNDS = 80
+
+
+def run_condition(name, seed=71, **overrides) -> float:
+    """PRR of a 3-tag network under one channel condition."""
+    config = CbmaConfig(n_tags=3, seed=seed, **overrides)
+    deployment = Deployment.linear(3, tag_to_rx=1.0)
+    network = CbmaNetwork(config, deployment)
+    return network.run_rounds(ROUNDS).prr
+
+
+def main() -> None:
+    wifi = WiFiInterference(power_dbm=-50.0)
+    bluetooth = BluetoothInterference(power_dbm=-45.0)
+    ofdm = OfdmExcitationGate(mean_on_s=25e-3, mean_off_s=10e-3)
+
+    conditions = [
+        (
+            "clean channel",
+            {},
+            "baseline: only thermal noise and the receiver's own floor",
+        ),
+        (
+            "WiFi traffic",
+            {"interference": wifi},
+            f"CSMA/CA bursts, ~{wifi.duty_cycle():.0%} duty cycle in-band",
+        ),
+        (
+            "Bluetooth traffic",
+            {"interference": bluetooth},
+            f"FHSS: hits our 1 MHz band ~1 slot in {int(1 / bluetooth.hit_probability)}",
+        ),
+        (
+            "OFDM excitation",
+            {"excitation_gate": ofdm},
+            f"excitation present only ~{ofdm.duty_cycle():.0%} of the time",
+        ),
+    ]
+
+    rows = []
+    for name, overrides, why in conditions:
+        prr = run_condition(name, **overrides)
+        rows.append([name, format_percent(prr), why])
+
+    print(
+        render_table(
+            ["condition", "packet reception rate", "mechanism"],
+            rows,
+            title="CBMA coexistence (3 concurrent tags, 80 packets each)",
+        )
+    )
+    print()
+    print(
+        "Reading: WiFi/Bluetooth share the air politely (random backoff,\n"
+        "frequency hopping) so CBMA loses only a little; an intermittent\n"
+        "OFDM excitation leaves the tags nothing to reflect during gaps,\n"
+        "which is why the paper recommends a dedicated tone excitation."
+    )
+
+
+if __name__ == "__main__":
+    main()

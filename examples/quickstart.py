@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: five concurrent backscatter tags through a full CBMA link.
+
+Builds the paper's benchmark scene -- an excitation source and receiver
+1 m apart, five passive tags on the bench -- runs 50 collision rounds
+through the sample-level simulator, and prints the link metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CbmaConfig, CbmaNetwork, Deployment
+from repro.analysis import format_percent, render_table
+
+
+def main() -> None:
+    config = CbmaConfig(
+        n_tags=5,          # five tags transmit simultaneously
+        code_family="2nc",  # the paper's preferred spreading codes
+        code_length=64,
+        payload_bytes=16,
+        seed=7,            # full run is reproducible from this seed
+    )
+    deployment = Deployment.linear(config.n_tags, tag_to_rx=1.0)
+    network = CbmaNetwork(config, deployment)
+
+    metrics = network.run_rounds(50)
+
+    print("CBMA quickstart -- 5 concurrent tags, 50 rounds")
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["frames sent", metrics.frames_sent],
+                ["frames decoded correctly", metrics.frames_correct],
+                ["frame error rate", format_percent(metrics.fer)],
+                ["packet reception rate", format_percent(metrics.prr)],
+                ["user detection rate", format_percent(metrics.detection_rate)],
+                ["aggregate goodput", f"{metrics.goodput_bps / 1e3:.1f} kbps"],
+            ],
+        )
+    )
+    print()
+    print("Per-tag ACK ratios:")
+    for tag in network.tags:
+        ratio = metrics.per_tag_ack_ratio(tag.tag_id)
+        state = tag.codebook[tag.impedance_index].termination.name
+        print(f"  tag {tag.tag_id}: {format_percent(ratio)}  (impedance state: {state})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Reliable sensor network: ARQ + real traffic over concurrent backscatter.
+
+The paper's evaluation saturates the channel; a deployed IoT network
+looks different -- sensors report sporadically and every reading must
+arrive.  This example runs four battery-free sensors with Poisson
+traffic through the full CBMA stack plus the stop-and-wait ARQ layer,
+sweeping the offered load, and reports delivery ratio, latency and
+retransmission cost -- plus an energy check that the duty cycle each
+load implies is harvestable at the sensors' distance.
+
+Run:  python examples/reliable_sensor_net.py
+"""
+
+import numpy as np
+
+from repro import CbmaConfig, CbmaNetwork, Deployment
+from repro.analysis import format_percent, render_table
+from repro.mac.arq import ArqSimulator
+from repro.sim.traffic import PoissonArrivals
+from repro.tag.energy import TagEnergyModel
+
+N_TAGS = 4
+ROUNDS = 150
+ES_TO_TAG_M = 0.5
+
+
+def run_load(load_fraction: float, seed: int = 23):
+    """ARQ simulation at *load_fraction* of one message/round/tag."""
+    config = CbmaConfig(n_tags=N_TAGS, seed=seed, payload_bytes=12)
+    network = CbmaNetwork(config, Deployment.linear(N_TAGS, tag_to_rx=1.0))
+    rate_hz = load_fraction / config.frame_duration_s()
+    sim = ArqSimulator(network, PoissonArrivals(rate_hz))
+    stats = sim.run(ROUNDS, rng=np.random.default_rng(seed))
+    return config, stats
+
+
+def main() -> None:
+    rows = []
+    energy = TagEnergyModel()
+    sustainable = energy.sustainable_duty_cycle(ES_TO_TAG_M)
+
+    for load in (0.1, 0.3, 0.6, 1.0, 1.5):
+        config, stats = run_load(load)
+        # Each transmission keeps the tag active for one frame; the
+        # long-run duty cycle is transmissions / rounds / tags.
+        duty = stats.transmissions / (ROUNDS * N_TAGS)
+        rows.append(
+            [
+                f"{load:.1f} msg/round",
+                stats.offered,
+                format_percent(stats.delivery_ratio),
+                f"{stats.mean_latency_s * 1e3:.1f} ms",
+                f"{stats.p95_latency_s * 1e3:.1f} ms",
+                f"{stats.mean_attempts:.2f}",
+                f"{duty:.2f} ({'ok' if duty <= sustainable else 'EXCEEDS harvest'})",
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "offered load",
+                "messages",
+                "delivered",
+                "mean latency",
+                "p95 latency",
+                "attempts/msg",
+                "tag duty cycle",
+            ],
+            rows,
+            title=f"Reliable sensor network: {N_TAGS} tags, stop-and-wait ARQ, {ROUNDS} rounds",
+        )
+    )
+    print()
+    print(
+        f"Energy check: at {ES_TO_TAG_M} m from the excitation source a tag can\n"
+        f"sustain a duty cycle of {sustainable:.2f} "
+        f"(harvested {energy.harvester.harvested_power_w(ES_TO_TAG_M) * 1e6:.1f} uW"
+        f" vs {energy.active_power_w * 1e6:.1f} uW active draw)."
+    )
+
+
+if __name__ == "__main__":
+    main()

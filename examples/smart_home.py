@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Smart-home deployment: the paper's Fig. 1 motivating scenario.
+
+A living room hosts a WiFi access point (the excitation source), a
+receiver, and a handful of battery-free sensor tags -- thermostat,
+door, window, plant-moisture, motion -- scattered at realistic
+positions.  Each sensor periodically reports a small reading.  The
+script runs the full CBMA stack including Algorithm 1 power control,
+then prints a per-sensor delivery report and shows what power control
+changed.
+
+Run:  python examples/smart_home.py
+"""
+
+from repro import CbmaConfig, CbmaNetwork, Deployment, PowerController
+from repro.analysis import format_percent, render_table
+from repro.channel.geometry import Point, Room
+
+SENSORS = [
+    ("thermostat", Point(0.8, 0.3)),
+    ("door", Point(-1.6, 1.2)),
+    ("window", Point(1.9, -1.0)),
+    ("plant", Point(-0.4, -1.3)),
+    ("motion", Point(0.1, 1.5)),
+]
+
+
+def build_network(seed: int = 2026) -> CbmaNetwork:
+    """A 6 x 4 m living room with the AP and receiver near the centre."""
+    room = Room(width=6.0, depth=4.0)
+    deployment = Deployment(
+        excitation=Point(-0.5, 0.0),
+        receiver=Point(0.5, 0.0),
+        room=room,
+    )
+    for _name, position in SENSORS:
+        deployment.add_tag(position)
+    config = CbmaConfig(
+        n_tags=len(SENSORS),
+        payload_bytes=8,   # a sensor reading is small
+        seed=seed,
+    )
+    return CbmaNetwork(config, deployment)
+
+
+def report(network: CbmaNetwork, rounds: int) -> dict:
+    """Run *rounds* reporting periods; return per-sensor delivery."""
+    metrics = network.run_rounds(rounds)
+    return {
+        name: metrics.per_tag_ack_ratio(i) for i, (name, _pos) in enumerate(SENSORS)
+    }, metrics
+
+
+def main() -> None:
+    network = build_network()
+
+    print("Phase 1: sensors just powered up (default impedance state)")
+    before, metrics_before = report(network, 40)
+
+    print("Phase 2: running Algorithm 1 power control...")
+    result = network.run_power_control(PowerController(packets_per_epoch=8))
+    print(
+        f"  converged={result.converged} after {result.epochs} epochs, "
+        f"loop FER {format_percent(result.final_fer)}"
+    )
+
+    after, metrics_after = report(network, 40)
+
+    rows = []
+    for i, (name, pos) in enumerate(SENSORS):
+        tag = network.tags[i]
+        rows.append(
+            [
+                name,
+                f"({pos.x:+.1f}, {pos.y:+.1f})",
+                format_percent(before[name]),
+                format_percent(after[name]),
+                tag.codebook[tag.impedance_index].termination.name,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["sensor", "position (m)", "delivery before", "delivery after", "impedance"],
+            rows,
+            title="Smart-home sensor delivery (before vs after power control)",
+        )
+    )
+    print()
+    print(
+        f"Room-wide FER: {format_percent(metrics_before.fer)} -> "
+        f"{format_percent(metrics_after.fer)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose pip lacks the ``wheel`` package (legacy
+``setup.py develop`` path). All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""CBMA: Coded-Backscatter Multiple Access -- full-system reproduction.
+
+A production-quality Python reproduction of *CBMA: Coded-Backscatter
+Multiple Access* (Mi et al., ICDCS 2019): concurrent multi-tag WiFi
+backscatter with per-tag PN spreading, correlation-based multi-user
+detection, impedance-ladder power control at the passive tag, and
+annealing-based node selection.
+
+Quickstart::
+
+    from repro import CbmaConfig, CbmaNetwork, Deployment
+
+    config = CbmaConfig(n_tags=5, seed=7)
+    net = CbmaNetwork(config, Deployment.random(5, rng=7))
+    metrics = net.run_rounds(100)
+    print(f"FER {metrics.fer:.3f}, goodput {metrics.goodput_bps/1e3:.0f} kbps")
+
+Subpackages
+-----------
+``repro.codes``     spreading-code families (Gold, 2NC, Walsh)
+``repro.phy``       waveforms, OOK modulation, impedance model
+``repro.channel``   geometry, Friis eq. (1), fading, interference
+``repro.tag``       framing, clocks, the Tag state machine
+``repro.receiver``  frame sync, user detection, decoding, ACK
+``repro.mac``       Algorithm 1 power control, node selection, baselines
+``repro.sim``       collision/network simulators, paper experiments
+``repro.system``    the full deployment life cycle (CbmaSystem)
+``repro.analysis``  CDFs, confidence intervals, report rendering
+"""
+
+from repro.channel.geometry import Deployment, Point, Room
+from repro.channel.pathloss import LinkBudget
+from repro.mac.node_selection import NodeSelector
+from repro.mac.power_control import PowerController
+from repro.receiver.receiver import CbmaReceiver, ReceptionReport
+from repro.sim.metrics import MetricsAccumulator
+from repro.sim.network import CbmaConfig, CbmaNetwork
+from repro.system import CbmaSystem, EpochReport
+from repro.tag.framing import Frame, FrameFormat
+from repro.tag.tag import Tag
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Deployment",
+    "Point",
+    "Room",
+    "LinkBudget",
+    "NodeSelector",
+    "PowerController",
+    "CbmaReceiver",
+    "ReceptionReport",
+    "MetricsAccumulator",
+    "CbmaConfig",
+    "CbmaNetwork",
+    "CbmaSystem",
+    "EpochReport",
+    "Frame",
+    "FrameFormat",
+    "Tag",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Result analysis: statistics and plain-text report rendering.
+
+- :mod:`repro.analysis.stats` -- CDFs, confidence intervals, summaries.
+- :mod:`repro.analysis.tables` -- ASCII tables/series for benchmarks.
+- :mod:`repro.analysis.ascii_plots` -- sparklines, bars, heatmaps.
+- :mod:`repro.analysis.shapes` -- qualitative shape assertions.
+- :mod:`repro.analysis.report` -- one-shot markdown experiment report.
+"""
+
+from repro.analysis.ascii_plots import bar_chart, heatmap, line_plot, sparkline
+from repro.analysis.shapes import (
+    dominates,
+    is_roughly_monotone,
+    knee_index,
+    ordering_holds,
+    plateau_stats,
+)
+from repro.analysis.stats import Summary, cdf_at, empirical_cdf, summarize, wilson_interval
+from repro.analysis.tables import format_percent, render_series, render_table
+
+__all__ = [
+    "bar_chart",
+    "heatmap",
+    "line_plot",
+    "sparkline",
+    "dominates",
+    "is_roughly_monotone",
+    "knee_index",
+    "ordering_holds",
+    "plateau_stats",
+    "Summary",
+    "cdf_at",
+    "empirical_cdf",
+    "summarize",
+    "wilson_interval",
+    "format_percent",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,95 @@
+"""Terminal plotting: sparklines, bar charts and heatmaps.
+
+The benchmark harness runs headless; these helpers turn experiment
+series into compact unicode plots so the printed reports read like the
+paper's figures without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "bar_chart", "heatmap", "line_plot"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_HEAT_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], lo: float = None, hi: float = None) -> str:
+    """A one-line unicode sparkline of *values*."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    span = max(hi - lo, 1e-12)
+    idx = np.clip(((arr - lo) / span) * (len(_SPARK_LEVELS) - 1), 0, len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(i)] for i in idx)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float], width: int = 40, unit: str = "") -> str:
+    """Horizontal bar chart with right-aligned labels."""
+    if len(labels) != len(values):
+        raise ValueError("one label per value required")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    peak = max(float(arr.max()), 1e-12)
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, v in zip(labels, arr):
+        bar = "█" * max(int(round(width * v / peak)), 1 if v > 0 else 0)
+        lines.append(f"{str(label).rjust(label_w)} | {bar} {v:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def heatmap(matrix: np.ndarray, flip_rows: bool = True) -> str:
+    """Dense ASCII rendering of a 2-D array (rows top-down by default
+    flipped so increasing y points up, like a figure)."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("heatmap needs a 2-D array")
+    lo, hi = float(arr.min()), float(arr.max())
+    span = max(hi - lo, 1e-12)
+    idx = ((arr - lo) / span * (len(_HEAT_LEVELS) - 1)).astype(int)
+    rows = idx[::-1] if flip_rows else idx
+    return "\n".join("".join(_HEAT_LEVELS[v] for v in row) for row in rows)
+
+
+def line_plot(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    Each series gets a marker (``*+ox#``...).  Axis ranges adapt to the
+    pooled data; y grows upward.
+    """
+    markers = "*+ox#@&%"
+    xs = np.asarray(xs, dtype=np.float64)
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    if xs.size == 0 or all_y.size == 0:
+        return ""
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, ys) in enumerate(series.items()):
+        marker = markers[k % len(markers)]
+        for x, y in zip(xs, np.asarray(ys, dtype=np.float64)):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = ["".join(row) for row in grid]
+    legend = "   ".join(
+        f"{markers[k % len(markers)]} {name}" for k, name in enumerate(series)
+    )
+    header = f"y: {y_lo:.3g} .. {y_hi:.3g}    x: {x_lo:.3g} .. {x_hi:.3g}"
+    return "\n".join([header] + lines + [legend])

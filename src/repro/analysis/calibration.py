@@ -1,0 +1,98 @@
+"""Automatic recalibration of the simulator's one fitted constant.
+
+The simulator pins its operating regime with a single number --
+``CALIBRATED_EXTRA_NOISE_DB`` (see ``docs/physics.md`` §3).  Any change
+to the receiver, codes or impedance model shifts where the FER
+waterfall sits, and the constant must follow.  Rather than re-deriving
+it by hand, :func:`calibrate_noise_floor` searches for the noise level
+that places a chosen reference condition at a chosen FER, and
+:func:`waterfall` maps the FER-vs-noise curve so the margin around the
+chosen point is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.channel.geometry import Deployment
+from repro.channel.noise import NoiseModel
+from repro.sim.network import CbmaConfig, CbmaNetwork
+
+__all__ = ["ReferenceCondition", "calibrate_noise_floor", "waterfall"]
+
+
+@dataclass(frozen=True)
+class ReferenceCondition:
+    """The scenario whose FER anchors the calibration.
+
+    Defaults reproduce the paper's benchmark: 2 tags on the bench row,
+    ES-tag 0.5 m, tag-RX 1 m, defaults elsewhere.
+    """
+
+    n_tags: int = 2
+    tag_to_rx_m: float = 1.0
+    rounds: int = 60
+    seed: int = 7
+
+    def measure_fer(self, extra_noise_db: float) -> float:
+        """FER of the reference condition at a given noise floor."""
+        cfg = CbmaConfig(
+            n_tags=self.n_tags,
+            seed=self.seed,
+            noise=NoiseModel(extra_noise_db=extra_noise_db),
+        )
+        net = CbmaNetwork(cfg, Deployment.linear(self.n_tags, tag_to_rx=self.tag_to_rx_m))
+        return net.run_rounds(self.rounds).fer
+
+
+def calibrate_noise_floor(
+    target_fer: float = 0.02,
+    condition: Optional[ReferenceCondition] = None,
+    lo_db: float = 30.0,
+    hi_db: float = 70.0,
+    tolerance_db: float = 0.5,
+    max_iterations: int = 12,
+) -> Tuple[float, float]:
+    """Bisection search for the extra-noise level hitting *target_fer*.
+
+    FER is monotone (noisily) in the noise floor, so bisection on the
+    measured FER converges to the dB level where the reference
+    condition crosses the target.  Returns ``(extra_noise_db, fer)``
+    at the solution.
+    """
+    if not 0.0 < target_fer < 1.0:
+        raise ValueError("target_fer must be in (0, 1)")
+    if lo_db >= hi_db:
+        raise ValueError("lo_db must be below hi_db")
+    condition = condition or ReferenceCondition()
+
+    fer_lo = condition.measure_fer(lo_db)
+    fer_hi = condition.measure_fer(hi_db)
+    if fer_lo > target_fer:
+        return lo_db, fer_lo  # even the quiet end is above target
+    if fer_hi < target_fer:
+        return hi_db, fer_hi  # even the loud end is below target
+
+    lo, hi = lo_db, hi_db
+    fer_mid = fer_hi
+    for _ in range(max_iterations):
+        if hi - lo <= tolerance_db:
+            break
+        mid = (lo + hi) / 2.0
+        fer_mid = condition.measure_fer(mid)
+        if fer_mid < target_fer:
+            lo = mid
+        else:
+            hi = mid
+    mid = (lo + hi) / 2.0
+    return mid, condition.measure_fer(mid)
+
+
+def waterfall(
+    noise_levels_db: Sequence[float],
+    condition: Optional[ReferenceCondition] = None,
+) -> List[Tuple[float, float]]:
+    """(noise_db, fer) samples of the reference condition's waterfall."""
+    condition = condition or ReferenceCondition()
+    return [(float(db), condition.measure_fer(float(db))) for db in noise_levels_db]

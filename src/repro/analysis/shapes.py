@@ -1,0 +1,110 @@
+"""Shape assertions for noisy experiment series.
+
+Benchmarks must assert the paper's *qualitative* findings -- who wins,
+where the knee falls, what grows with what -- against Monte-Carlo-noisy
+series.  Raw ``assert a < b`` comparisons either flake (too tight) or
+stop meaning anything (too loose).  This module gives the benchmark
+suite a shared, tested vocabulary:
+
+- :func:`is_roughly_monotone` -- trend with bounded local violations;
+- :func:`dominates` -- one series at-or-below another everywhere;
+- :func:`knee_index` -- where a flat-then-rising series takes off;
+- :func:`plateau_stats` -- level and spread of a fluctuating plateau;
+- :func:`ordering_holds` -- multi-series ordering with slack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "is_roughly_monotone",
+    "dominates",
+    "knee_index",
+    "plateau_stats",
+    "ordering_holds",
+]
+
+
+def is_roughly_monotone(
+    values: Sequence[float],
+    increasing: bool = True,
+    slack: float = 0.05,
+) -> bool:
+    """True when the series trends in one direction.
+
+    Requires (a) every local counter-move to be within *slack* and
+    (b) the endpoints to respect the direction (with the same slack).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size < 2:
+        return True
+    diffs = np.diff(arr if increasing else -arr)
+    if np.any(diffs < -slack):
+        return False
+    span = (arr[-1] - arr[0]) if increasing else (arr[0] - arr[-1])
+    return span >= -slack
+
+
+def dominates(
+    better: Sequence[float],
+    worse: Sequence[float],
+    slack: float = 0.02,
+) -> bool:
+    """True when *better* <= *worse* pointwise (lower-is-better), with slack."""
+    a = np.asarray(better, dtype=np.float64)
+    b = np.asarray(worse, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return bool(np.all(a <= b + slack))
+
+
+def knee_index(
+    xs: Sequence[float],
+    values: Sequence[float],
+    rise_fraction: float = 0.5,
+) -> int:
+    """Index where a flat-then-rising series takes off.
+
+    Defined as the first index whose value exceeds
+    ``flat_level + rise_fraction * (max - flat_level)`` where the flat
+    level is the median of the first third.  Returns ``len(values)``
+    when the series never rises (no knee within range).
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.size < 3:
+        raise ValueError("need at least 3 points to locate a knee")
+    flat = float(np.median(v[: max(v.size // 3, 1)]))
+    peak = float(v.max())
+    if peak <= flat:
+        return int(v.size)
+    threshold = flat + rise_fraction * (peak - flat)
+    above = np.flatnonzero(v > threshold)
+    return int(above[0]) if above.size else int(v.size)
+
+
+def plateau_stats(values: Sequence[float]) -> Tuple[float, float]:
+    """(mean, peak-to-peak) of a fluctuating plateau."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("empty plateau")
+    return float(v.mean()), float(v.max() - v.min())
+
+
+def ordering_holds(
+    series_in_order: Sequence[Sequence[float]],
+    slack: float = 0.02,
+    on: str = "mean",
+) -> bool:
+    """True when the given series are ordered best-to-worst.
+
+    ``on`` selects the statistic compared: "mean" or "median".
+    Lower is better (error-rate convention).
+    """
+    if on not in ("mean", "median"):
+        raise ValueError("on must be 'mean' or 'median'")
+    stat = np.mean if on == "mean" else np.median
+    levels = [float(stat(np.asarray(s, dtype=np.float64))) for s in series_in_order]
+    return all(a <= b + slack for a, b in zip(levels, levels[1:]))

@@ -1,0 +1,79 @@
+"""Statistical helpers for experiment reporting.
+
+Empirical CDFs (the paper's Fig. 10), binomial confidence intervals on
+error rates, and simple summaries used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["empirical_cdf", "cdf_at", "wilson_interval", "summarize"]
+
+
+def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of *samples*: returns (sorted_values, probabilities).
+
+    ``probabilities[i]`` is the fraction of samples <= ``sorted_values[i]``.
+    """
+    arr = np.sort(np.asarray(samples, dtype=np.float64))
+    if arr.size == 0:
+        return arr, arr
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+def cdf_at(samples: Sequence[float], x: float) -> float:
+    """P(sample <= x) under the empirical distribution."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.count_nonzero(arr <= x) / arr.size)
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation for the small error counts
+    typical of low-FER experiments.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError("invalid binomial counts")
+    if trials == 0:
+        return 0.0, 1.0
+    p = successes / trials
+    denom = 1.0 + z**2 / trials
+    centre = (p + z**2 / (2 * trials)) / denom
+    half = z * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2)) / denom
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Summary statistics of *samples*."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers format them consistently (fixed-width ASCII tables and
+labelled series) so ``pytest benchmarks/ --benchmark-only`` output can
+be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "format_percent"]
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string ("12.34%")."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Cells are stringified with ``str``; column widths adapt to content.
+    """
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def render_series(x_label: str, xs: Sequence, series: Mapping[str, Sequence[float]], title: str = "") -> str:
+    """Render one or more y-series against a shared x-axis as a table."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x]
+        for name in series:
+            ys = series[name]
+            row.append(f"{ys[i]:.4f}" if i < len(ys) else "")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

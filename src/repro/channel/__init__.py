@@ -1,0 +1,49 @@
+"""Propagation substrate: geometry, path loss, fading, noise, interference.
+
+- :mod:`repro.channel.geometry` -- rooms, deployments, distances.
+- :mod:`repro.channel.pathloss` -- Friis backscatter eq. (1) and the
+  Fig. 5 signal-strength field.
+- :mod:`repro.channel.fading` -- Rician/Rayleigh fading, shadowing,
+  inter-tag mutual coupling.
+- :mod:`repro.channel.noise` -- thermal noise / AWGN.
+- :mod:`repro.channel.interference` -- WiFi CSMA/CA, Bluetooth FHSS,
+  OFDM excitation intermittency (Fig. 12 conditions).
+- :mod:`repro.channel.link` -- composite per-tag complex gains.
+"""
+
+from repro.channel.fading import FadingModel, mutual_coupling_penalty, rayleigh_gain, rician_gain
+from repro.channel.geometry import DEFAULT_ROOM, Deployment, PAPER_D_METERS, Point, Room
+from repro.channel.interference import (
+    BluetoothInterference,
+    NoInterference,
+    OfdmExcitationGate,
+    WiFiInterference,
+)
+from repro.channel.link import ChannelRealization, TagLink, realize_channel
+from repro.channel.noise import BOLTZMANN, NoiseModel, thermal_noise_power_w
+from repro.channel.pathloss import LinkBudget, SPEED_OF_LIGHT, signal_strength_field
+
+__all__ = [
+    "FadingModel",
+    "mutual_coupling_penalty",
+    "rayleigh_gain",
+    "rician_gain",
+    "DEFAULT_ROOM",
+    "Deployment",
+    "PAPER_D_METERS",
+    "Point",
+    "Room",
+    "BluetoothInterference",
+    "NoInterference",
+    "OfdmExcitationGate",
+    "WiFiInterference",
+    "ChannelRealization",
+    "TagLink",
+    "realize_channel",
+    "BOLTZMANN",
+    "NoiseModel",
+    "thermal_noise_power_w",
+    "LinkBudget",
+    "SPEED_OF_LIGHT",
+    "signal_strength_field",
+]

@@ -1,0 +1,158 @@
+"""Deployment geometry.
+
+The paper's benchmark coordinate system (Sec. IV, Fig. 3): the
+excitation source sits at ``(-D, 0)`` and the receiver at ``(+D, 0)``
+with ``D = 50 cm``; tags are placed at arbitrary ``(x, y)`` within a
+4 m x 6 m office.  This module provides the room model, placement
+helpers and distance computations shared by every experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["Point", "Room", "Deployment", "DEFAULT_ROOM", "PAPER_D_METERS"]
+
+#: Half-separation between excitation source and receiver (Fig. 3).
+PAPER_D_METERS = 0.5
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D position in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.x, self.y])
+
+
+@dataclass(frozen=True)
+class Room:
+    """An axis-aligned rectangular room centred on the origin.
+
+    The paper's office is 4 m x 6 m (Sec. VII-A).
+    """
+
+    width: float = 6.0
+    depth: float = 4.0
+
+    def contains(self, p: Point) -> bool:
+        """True when *p* lies inside the room."""
+        return abs(p.x) <= self.width / 2 and abs(p.y) <= self.depth / 2
+
+    def random_point(self, rng=None, margin: float = 0.1) -> Point:
+        """Uniformly random point inside the room, away from the walls."""
+        rng = make_rng(rng)
+        half_w = self.width / 2 - margin
+        half_d = self.depth / 2 - margin
+        if half_w <= 0 or half_d <= 0:
+            raise ValueError("margin larger than the room")
+        return Point(float(rng.uniform(-half_w, half_w)), float(rng.uniform(-half_d, half_d)))
+
+
+DEFAULT_ROOM = Room()
+
+
+@dataclass
+class Deployment:
+    """Positions of the excitation source, receiver and tags.
+
+    Defaults follow the paper's Fig. 3 benchmark layout.
+    """
+
+    excitation: Point = field(default_factory=lambda: Point(-PAPER_D_METERS, 0.0))
+    receiver: Point = field(default_factory=lambda: Point(PAPER_D_METERS, 0.0))
+    tags: List[Point] = field(default_factory=list)
+    room: Room = field(default_factory=Room)
+
+    def add_tag(self, p: Point) -> int:
+        """Register a tag position; returns its index."""
+        if not self.room.contains(p):
+            raise ValueError(f"tag position {p} outside room {self.room}")
+        self.tags.append(p)
+        return len(self.tags) - 1
+
+    def tag_distances(self, index: int) -> Tuple[float, float]:
+        """(d1, d2): ES-to-tag and tag-to-RX distances for tag *index*."""
+        tag = self.tags[index]
+        return self.excitation.distance_to(tag), tag.distance_to(self.receiver)
+
+    def inter_tag_distance(self, i: int, j: int) -> float:
+        """Distance between two tags."""
+        return self.tags[i].distance_to(self.tags[j])
+
+    def min_inter_tag_distance(self) -> float:
+        """Smallest pairwise distance among tags (inf when < 2 tags)."""
+        best = math.inf
+        for i in range(len(self.tags)):
+            for j in range(i + 1, len(self.tags)):
+                best = min(best, self.inter_tag_distance(i, j))
+        return best
+
+    @classmethod
+    def random(
+        cls,
+        n_tags: int,
+        rng=None,
+        room: Optional[Room] = None,
+        min_spacing: float = 0.0,
+        max_attempts: int = 1000,
+    ) -> "Deployment":
+        """Random deployment of *n_tags* with optional minimum spacing.
+
+        Used for the paper's macro-benchmark "50 groups of random
+        positions" (Sec. VII-B3).  Raises :class:`RuntimeError` when
+        the spacing constraint cannot be met.
+        """
+        rng = make_rng(rng)
+        dep = cls(room=room or Room())
+        for _ in range(n_tags):
+            for _ in range(max_attempts):
+                cand = dep.room.random_point(rng)
+                if all(cand.distance_to(t) >= min_spacing for t in dep.tags):
+                    dep.tags.append(cand)
+                    break
+            else:
+                raise RuntimeError(
+                    f"could not place {n_tags} tags with spacing {min_spacing} m"
+                )
+        return dep
+
+    @classmethod
+    def linear(
+        cls,
+        n_tags: int,
+        tag_to_rx: float,
+        es_to_tag: float = PAPER_D_METERS,
+        spacing: float = 0.15,
+    ) -> "Deployment":
+        """The micro-benchmark layout (Sec. VII-B1).
+
+        "We fix the ES-to-tag distance as 50cm and change the
+        tag-to-RX distance": the tag cluster sits at the origin (a
+        short row along y, *spacing* apart), the excitation source at
+        ``(-es_to_tag, 0)`` and the receiver at ``(+tag_to_rx, 0)`` --
+        the receiver moves, the tags stay put relative to the ES.
+        """
+        room = Room(width=max(12.0, 2 * (tag_to_rx + es_to_tag) + 2), depth=4.0)
+        dep = cls(
+            excitation=Point(-es_to_tag, 0.0),
+            receiver=Point(tag_to_rx, 0.0),
+            room=room,
+        )
+        start = -(n_tags - 1) / 2.0
+        for k in range(n_tags):
+            dep.tags.append(Point(0.0, (start + k) * spacing))
+        return dep

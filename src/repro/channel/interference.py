@@ -1,0 +1,144 @@
+"""Interference and excitation-intermittency models (paper Fig. 12).
+
+The paper evaluates four working conditions: clean, coexisting WiFi,
+coexisting Bluetooth, and an OFDM excitation source.  Its explanation
+of the results is statistical: WiFi occupies the channel in CSMA/CA
+bursts with random backoff, Bluetooth hops across 79 x 1 MHz channels
+1600 times per second (hitting the backscatter band rarely), and an
+OFDM excitation is *intermittent* so the tag often has nothing to
+reflect.  These models reproduce exactly those occupancy statistics:
+
+- additive interferers produce a complex sample stream to add at the
+  receiver;
+- the OFDM excitation produces a multiplicative 0/1 gate on every
+  tag's backscatter amplitude (no excitation -> nothing to reflect).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.db import dbm_to_watts
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "WiFiInterference",
+    "BluetoothInterference",
+    "OfdmExcitationGate",
+    "NoInterference",
+]
+
+
+class NoInterference:
+    """The clean condition: contributes nothing."""
+
+    def sample(self, n: int, sample_rate_hz: float, rng=None) -> np.ndarray:
+        """Zero samples (kept as an explicit null object)."""
+        return np.zeros(n, dtype=np.complex128)
+
+
+@dataclass
+class WiFiInterference:
+    """CSMA/CA burst interference.
+
+    A renewal process alternates idle gaps (DIFS + random backoff +
+    inter-arrival of traffic) and busy bursts (frame airtime).  During
+    a burst the interferer contributes band-limited Gaussian power at
+    *power_dbm* scaled by *overlap* (the fraction of the wideband WiFi
+    emission that lands in the narrow backscatter band).
+
+    Defaults give ~30% duty cycle of moderately strong interference --
+    enough to measurably, but only slightly, reduce PRR, matching the
+    paper's observation.
+    """
+
+    power_dbm: float = -65.0
+    overlap: float = 0.3
+    mean_burst_s: float = 1.0e-3
+    mean_idle_s: float = 2.3e-3
+
+    def duty_cycle(self) -> float:
+        """Long-run fraction of time the interferer is on."""
+        return self.mean_burst_s / (self.mean_burst_s + self.mean_idle_s)
+
+    def sample(self, n: int, sample_rate_hz: float, rng=None) -> np.ndarray:
+        """*n* complex interference samples at *sample_rate_hz*."""
+        rng = make_rng(rng)
+        mask = _renewal_mask(n, sample_rate_hz, self.mean_burst_s, self.mean_idle_s, rng)
+        power = dbm_to_watts(self.power_dbm) * self.overlap
+        std = math.sqrt(power / 2.0)
+        noise = rng.normal(0.0, std, n) + 1j * rng.normal(0.0, std, n)
+        return noise * mask
+
+
+@dataclass
+class BluetoothInterference:
+    """Frequency-hopping interference.
+
+    Bluetooth classic hops over 79 x 1 MHz channels at 1600 hops/s
+    (625 us slots).  Each slot independently lands on the backscatter
+    band with probability ``hit_probability``; a hit contributes strong
+    narrowband power for that slot.
+    """
+
+    power_dbm: float = -60.0
+    slot_s: float = 625e-6
+    hit_probability: float = 1.0 / 79.0
+    activity: float = 0.7  # fraction of slots that carry traffic at all
+
+    def sample(self, n: int, sample_rate_hz: float, rng=None) -> np.ndarray:
+        """*n* complex interference samples at *sample_rate_hz*."""
+        rng = make_rng(rng)
+        samples_per_slot = max(int(round(self.slot_s * sample_rate_hz)), 1)
+        n_slots = n // samples_per_slot + 2
+        hits = (rng.random(n_slots) < self.hit_probability * self.activity).astype(np.float64)
+        mask = np.repeat(hits, samples_per_slot)[:n]
+        power = dbm_to_watts(self.power_dbm)
+        std = math.sqrt(power / 2.0)
+        noise = rng.normal(0.0, std, n) + 1j * rng.normal(0.0, std, n)
+        return noise * mask
+
+
+@dataclass
+class OfdmExcitationGate:
+    """Intermittent OFDM excitation (paper Fig. 12, case iv).
+
+    When the excitation source transmits real OFDM traffic instead of a
+    continuous tone, the tag can only reflect while a packet is on the
+    air; the paper attributes the large PRR drop to this intermittency.
+    The gate is a 0/1 envelope built from the same renewal process as
+    the WiFi model; it multiplies every tag's backscatter amplitude.
+    """
+
+    mean_on_s: float = 1.2e-3
+    mean_off_s: float = 1.0e-3
+
+    def duty_cycle(self) -> float:
+        """Long-run fraction of time excitation is present."""
+        return self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+
+    def gate(self, n: int, sample_rate_hz: float, rng=None) -> np.ndarray:
+        """0/1 excitation envelope of length *n*."""
+        rng = make_rng(rng)
+        return _renewal_mask(n, sample_rate_hz, self.mean_on_s, self.mean_off_s, rng)
+
+
+def _renewal_mask(n: int, sample_rate_hz: float, mean_on_s: float, mean_off_s: float, rng) -> np.ndarray:
+    """Alternating exponential on/off 0/1 mask of length *n*."""
+    if mean_on_s <= 0 or mean_off_s <= 0:
+        raise ValueError("renewal means must be positive")
+    mask = np.zeros(n, dtype=np.float64)
+    pos = 0
+    # Random initial phase: start on with the steady-state probability.
+    on = bool(rng.random() < mean_on_s / (mean_on_s + mean_off_s))
+    while pos < n:
+        duration_s = rng.exponential(mean_on_s if on else mean_off_s)
+        length = max(int(round(duration_s * sample_rate_hz)), 1)
+        if on:
+            mask[pos : pos + length] = 1.0
+        pos += length
+        on = not on
+    return mask

@@ -1,0 +1,114 @@
+"""Composite per-tag link: path loss x impedance state x fading.
+
+Bridges the geometry/propagation models to the simulator: given a
+deployment, a link budget, a fading model and each tag's impedance
+state, produce the complex baseband amplitude with which each tag's
+chips arrive at the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.fading import FadingModel, mutual_coupling_penalty
+from repro.channel.geometry import Deployment
+from repro.channel.pathloss import LinkBudget
+from repro.utils.rng import make_rng
+
+__all__ = ["TagLink", "ChannelRealization", "realize_channel"]
+
+
+@dataclass(frozen=True)
+class TagLink:
+    """The channel of one tag, frozen for one coherence interval.
+
+    Attributes
+    ----------
+    amplitude:
+        Complex baseband gain applied to the tag's unit chip stream
+        (includes path loss, |delta Gamma|/2, fading and coupling).
+    d1_m, d2_m:
+        Link geometry, kept for reporting.
+    """
+
+    amplitude: complex
+    d1_m: float
+    d2_m: float
+
+    @property
+    def power_w(self) -> float:
+        """Received power of this tag's backscatter (unit impedance)."""
+        return float(abs(self.amplitude) ** 2)
+
+
+@dataclass
+class ChannelRealization:
+    """All tag links for one coherence interval plus shared context."""
+
+    links: List[TagLink]
+    budget: LinkBudget
+    deployment: Deployment
+
+    def amplitudes(self) -> np.ndarray:
+        """Complex amplitude per tag."""
+        return np.array([l.amplitude for l in self.links])
+
+    def powers_w(self) -> np.ndarray:
+        """Received power per tag in watts."""
+        return np.array([l.power_w for l in self.links])
+
+
+def realize_channel(
+    deployment: Deployment,
+    budget: LinkBudget,
+    delta_gammas: Sequence[float],
+    fading: Optional[FadingModel] = None,
+    rng=None,
+    coupling_floor_db: float = 6.0,
+) -> ChannelRealization:
+    """Draw one channel realization for every tag in *deployment*.
+
+    Parameters
+    ----------
+    delta_gammas:
+        ``|delta Gamma|`` per tag -- the knob the power-control loop
+        turns (see :class:`repro.phy.impedance.ImpedanceCodebook`).
+    fading:
+        Small-scale fading model; ``None`` gives a deterministic
+        (pure path loss) channel, used by unit tests and theory plots.
+    coupling_floor_db:
+        Worst-case mutual-coupling penalty for co-located tags.
+    """
+    n = len(deployment.tags)
+    if len(delta_gammas) != n:
+        raise ValueError(f"need one delta_gamma per tag: {len(delta_gammas)} != {n}")
+    rng = make_rng(rng)
+    lam = budget.wavelength_m
+
+    # Mutual coupling: each tag is penalised by its nearest neighbour.
+    coupling_db = np.zeros(n)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            d = deployment.inter_tag_distance(i, j)
+            coupling_db[i] = max(
+                coupling_db[i], mutual_coupling_penalty(d, lam, coupling_floor_db)
+            )
+
+    links = []
+    for i in range(n):
+        d1, d2 = deployment.tag_distances(i)
+        amp = budget.received_amplitude(d1, d2, delta_gammas[i])
+        amp *= 10.0 ** (-coupling_db[i] / 20.0)
+        if fading is not None:
+            gain = fading.sample_gain(rng)
+        else:
+            # Deterministic phase from the round-trip path length.
+            phase = -2.0 * np.pi * (d1 + d2) / lam
+            gain = np.exp(1j * phase)
+        links.append(TagLink(amplitude=complex(amp * gain), d1_m=d1, d2_m=d2))
+    return ChannelRealization(links=links, budget=budget, deployment=deployment)

@@ -1,0 +1,114 @@
+"""Tag mobility (paper Sec. VIII-D).
+
+The paper notes that "if the tag is moving, the starvation problem can
+be alleviated" -- a moving tag samples new positions, so a spot with
+destructive geometry is temporary.  This module provides the two
+standard mobility models at the scale of a room, updating a
+:class:`~repro.channel.geometry.Deployment` in place between rounds:
+
+- :class:`RandomWaypoint` -- each tag picks a waypoint and speed, walks
+  there, pauses, repeats (people carrying wearables);
+- :class:`RandomWalk` -- small Brownian steps (appliances being nudged,
+  swaying objects).
+
+Both respect the room boundary and expose a deterministic update so
+experiments stay reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.channel.geometry import Deployment, Point
+from repro.utils.rng import make_rng
+
+__all__ = ["RandomWaypoint", "RandomWalk"]
+
+
+@dataclass
+class RandomWalk:
+    """Brownian motion with reflective walls.
+
+    Attributes
+    ----------
+    step_sigma_m:
+        Standard deviation of each coordinate step per update.
+    """
+
+    step_sigma_m: float = 0.05
+
+    def update(self, deployment: Deployment, dt_s: float = 1.0, rng=None) -> None:
+        """Move every tag one step (scaled by ``sqrt(dt)``)."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        rng = make_rng(rng)
+        scale = self.step_sigma_m * math.sqrt(dt_s)
+        half_w = deployment.room.width / 2
+        half_d = deployment.room.depth / 2
+        for i, p in enumerate(deployment.tags):
+            x = p.x + float(rng.normal(0.0, scale))
+            y = p.y + float(rng.normal(0.0, scale))
+            # Reflective boundaries.
+            x = _reflect(x, -half_w, half_w)
+            y = _reflect(y, -half_d, half_d)
+            deployment.tags[i] = Point(x, y)
+
+
+@dataclass
+class RandomWaypoint:
+    """The classic random-waypoint model.
+
+    Attributes
+    ----------
+    speed_range_mps:
+        (min, max) walking speed drawn per leg.
+    pause_s:
+        Pause duration at each waypoint.
+    """
+
+    speed_range_mps: tuple = (0.3, 1.2)
+    pause_s: float = 2.0
+    _state: Dict[int, dict] = field(default_factory=dict, init=False)
+
+    def _new_leg(self, deployment: Deployment, i: int, rng) -> dict:
+        target = deployment.room.random_point(rng)
+        speed = float(rng.uniform(*self.speed_range_mps))
+        return {"target": target, "speed": speed, "pause_left": 0.0}
+
+    def update(self, deployment: Deployment, dt_s: float = 1.0, rng=None) -> None:
+        """Advance every tag by *dt_s* seconds."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        rng = make_rng(rng)
+        for i, p in enumerate(deployment.tags):
+            state = self._state.get(i)
+            if state is None:
+                state = self._new_leg(deployment, i, rng)
+                self._state[i] = state
+            if state["pause_left"] > 0:
+                state["pause_left"] = max(0.0, state["pause_left"] - dt_s)
+                continue
+            target: Point = state["target"]
+            dist = p.distance_to(target)
+            step = state["speed"] * dt_s
+            if step >= dist:
+                deployment.tags[i] = target
+                state["pause_left"] = self.pause_s
+                self._state[i] = self._new_leg(deployment, i, rng)
+                self._state[i]["pause_left"] = self.pause_s
+                continue
+            frac = step / dist
+            deployment.tags[i] = Point(
+                p.x + (target.x - p.x) * frac, p.y + (target.y - p.y) * frac
+            )
+
+
+def _reflect(value: float, lo: float, hi: float) -> float:
+    """Reflect *value* back into [lo, hi]."""
+    if value < lo:
+        return min(2 * lo - value, hi)
+    if value > hi:
+        return max(2 * hi - value, lo)
+    return value

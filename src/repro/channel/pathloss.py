@@ -1,0 +1,123 @@
+"""Friis backscatter path loss -- paper eq. (1) -- and the Fig. 5 field.
+
+The received backscatter power is the product of three factors:
+
+- excitation-source-to-tag propagation ``P_t G_t / (4 pi d1^2)``;
+- the tag's re-radiation ``lambda^2 G_tag^2 / (4 pi) * |dGamma|^2/4 * alpha``;
+- tag-to-receiver propagation ``1 / (4 pi d2^2) * lambda^2 G_r / (4 pi)``.
+
+This module evaluates the equation for single links and on a grid (the
+paper's Fig. 5 theoretical signal-strength field), and converts powers
+to complex baseband amplitudes for the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.geometry import Deployment, Point
+from repro.utils.db import dbm_to_watts, watts_to_dbm
+
+__all__ = ["LinkBudget", "signal_strength_field", "SPEED_OF_LIGHT"]
+
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Parameters of the backscatter link (paper eq. (1)).
+
+    Attributes
+    ----------
+    tx_power_dbm:
+        Excitation source transmit power ``P_t`` (default 20 dBm, the
+        top of the paper's Fig. 8(b) sweep).
+    carrier_hz:
+        Excitation carrier frequency (2 GHz in the prototype).
+    gain_tx / gain_rx / gain_tag:
+        Linear antenna gains ``G_t``, ``G_r``, ``G_tag``.
+    alpha:
+        The scattering efficiency factor ``alpha`` in eq. (1),
+        absorbing conversion losses of the tag front end.
+    """
+
+    tx_power_dbm: float = 20.0
+    carrier_hz: float = 2.0e9
+    gain_tx: float = 2.0
+    gain_rx: float = 2.0
+    gain_tag: float = 1.6
+    alpha: float = 0.5
+
+    @property
+    def wavelength_m(self) -> float:
+        """Carrier wavelength ``lambda``."""
+        return SPEED_OF_LIGHT / self.carrier_hz
+
+    @property
+    def tx_power_w(self) -> float:
+        return dbm_to_watts(self.tx_power_dbm)
+
+    def received_power_w(self, d1_m: float, d2_m: float, delta_gamma: float = 1.0) -> float:
+        """Received backscatter power in watts -- eq. (1) verbatim.
+
+        Parameters
+        ----------
+        d1_m, d2_m:
+            ES-to-tag and tag-to-RX distances.  Distances are floored
+            at 5 cm (antenna near-field) to keep the far-field formula
+            finite for degenerate placements.
+        delta_gamma:
+            ``|delta Gamma|`` of the tag's current impedance state
+            (see :mod:`repro.phy.impedance`).
+        """
+        d1 = max(d1_m, 0.05)
+        d2 = max(d2_m, 0.05)
+        lam = self.wavelength_m
+        term_forward = self.tx_power_w * self.gain_tx / (4.0 * math.pi * d1**2)
+        term_tag = (lam**2 * self.gain_tag**2 / (4.0 * math.pi)) * (delta_gamma**2 / 4.0) * self.alpha
+        term_back = (1.0 / (4.0 * math.pi * d2**2)) * (lam**2 * self.gain_rx / (4.0 * math.pi))
+        return term_forward * term_tag * term_back
+
+    def received_power_dbm(self, d1_m: float, d2_m: float, delta_gamma: float = 1.0) -> float:
+        """Received backscatter power in dBm."""
+        return watts_to_dbm(self.received_power_w(d1_m, d2_m, delta_gamma))
+
+    def received_amplitude(self, d1_m: float, d2_m: float, delta_gamma: float = 1.0) -> float:
+        """Baseband amplitude (sqrt of received power, unit-impedance)."""
+        return math.sqrt(self.received_power_w(d1_m, d2_m, delta_gamma))
+
+    def tag_power_for_deployment(self, deployment: Deployment, index: int, delta_gamma: float = 1.0) -> float:
+        """Received power (W) of tag *index* in a deployment."""
+        d1, d2 = deployment.tag_distances(index)
+        return self.received_power_w(d1, d2, delta_gamma)
+
+
+def signal_strength_field(
+    budget: LinkBudget,
+    excitation: Point,
+    receiver: Point,
+    x_range=(-3.0, 3.0),
+    y_range=(-2.0, 2.0),
+    resolution: int = 61,
+    delta_gamma: float = 1.0,
+):
+    """Theoretical received signal strength over a grid of tag positions.
+
+    Reproduces the paper's Fig. 5: for each candidate tag position the
+    received power of a tag placed there, in dBm.  Returns
+    ``(xs, ys, field_dbm)`` where ``field_dbm`` has shape
+    ``(len(ys), len(xs))``.
+    """
+    xs = np.linspace(x_range[0], x_range[1], resolution)
+    ys = np.linspace(y_range[0], y_range[1], resolution)
+    field = np.empty((ys.size, xs.size))
+    for iy, y in enumerate(ys):
+        for ix, x in enumerate(xs):
+            tag = Point(float(x), float(y))
+            d1 = excitation.distance_to(tag)
+            d2 = tag.distance_to(receiver)
+            field[iy, ix] = budget.received_power_dbm(d1, d2, delta_gamma)
+    return xs, ys, field

@@ -1,0 +1,290 @@
+"""Command-line interface for the CBMA reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro run --tags 5 --rounds 100
+    python -m repro run --tags 5 --power-control
+    python -m repro experiment fig8a --rounds 40
+    python -m repro field --resolution 41
+    python -m repro trace record out.json --tags 3 --rounds 50
+    python -m repro trace replay out.json --seed 9
+
+``experiment`` accepts any paper artefact id: table1, table2, fig8a,
+fig8b, fig8c, fig9a, fig9b, fig9c, fig10, fig11, fig12, userdetect,
+headline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.ascii_plots import heatmap, line_plot
+from repro.analysis.tables import format_percent, render_series, render_table
+from repro.channel.geometry import Deployment
+from repro.mac.power_control import PowerController
+from repro.sim.experiments import (
+    fig5_signal_field,
+    fig8a_distance,
+    fig8b_power,
+    fig8c_preamble,
+    fig9a_bitrate,
+    fig9b_pn_codes,
+    fig9c_power_control,
+    fig10_deployment_cdfs,
+    fig11_asynchrony,
+    fig12_working_conditions,
+    table1_system_comparison,
+    table2_power_difference,
+    user_detection_accuracy,
+)
+from repro.sim.network import CbmaConfig, CbmaNetwork
+from repro.sim.trace import ChannelTrace, record_trace, replay_trace
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "table1": lambda rounds: table1_system_comparison(rounds=rounds),
+    "table2": lambda rounds: table2_power_difference(rounds=rounds),
+    "fig8a": lambda rounds: fig8a_distance(
+        distances_m=tuple(d / 2 for d in range(1, 9)), rounds=rounds
+    ),
+    "fig8b": lambda rounds: fig8b_power(rounds=rounds),
+    "fig8c": lambda rounds: fig8c_preamble(rounds=rounds),
+    "fig9a": lambda rounds: fig9a_bitrate(rounds=rounds),
+    "fig9b": lambda rounds: fig9b_pn_codes(rounds=rounds, n_groups=3),
+    "fig9c": lambda rounds: fig9c_power_control(rounds=rounds, n_groups=5),
+    "fig10": lambda rounds: fig10_deployment_cdfs(rounds=rounds, n_groups=8),
+    "fig11": lambda rounds: fig11_asynchrony(rounds=rounds),
+    "fig12": lambda rounds: fig12_working_conditions(rounds=rounds),
+    "userdetect": lambda rounds: user_detection_accuracy(n_trials=rounds),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CBMA (ICDCS 2019) reproduction -- simulate, measure, replay.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a quick multi-tag simulation")
+    run.add_argument("--tags", type=int, default=5)
+    run.add_argument("--rounds", type=int, default=100)
+    run.add_argument("--distance", type=float, default=1.0, help="tag-to-RX metres")
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--code-family", default="2nc", help="2nc | gold | kasami | walsh")
+    run.add_argument("--code-length", type=int, default=64)
+    run.add_argument("--power-control", action="store_true", help="run Algorithm 1 first")
+
+    exp = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    exp.add_argument("artefact", choices=sorted([*_EXPERIMENTS, "headline"]))
+    exp.add_argument("--rounds", type=int, default=60)
+
+    field = sub.add_parser("field", help="print the Fig. 5 signal-strength field")
+    field.add_argument("--resolution", type=int, default=41)
+
+    adapt = sub.add_parser("adapt", help="auto-select the spreading factor for a channel")
+    adapt.add_argument("--tags", type=int, default=3)
+    adapt.add_argument("--distance", type=float, default=2.0)
+    adapt.add_argument("--epochs", type=int, default=10)
+    adapt.add_argument("--seed", type=int, default=7)
+
+    system = sub.add_parser("system", help="run the full deployment life cycle")
+    system.add_argument("--population", type=int, default=12)
+    system.add_argument("--group", type=int, default=4)
+    system.add_argument("--epochs", type=int, default=12)
+    system.add_argument("--rounds", type=int, default=12)
+    system.add_argument("--seed", type=int, default=17)
+    system.add_argument("--mobility", action="store_true", help="tags drift between epochs")
+
+    rep_p = sub.add_parser("report", help="run all experiments, write a markdown report")
+    rep_p.add_argument("--output", default="report.md")
+    rep_p.add_argument("--scale", type=float, default=0.25, help="round-count multiplier")
+
+    trace = sub.add_parser("trace", help="record or replay a channel trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    rec = trace_sub.add_parser("record", help="record a trace to JSON")
+    rec.add_argument("path")
+    rec.add_argument("--tags", type=int, default=3)
+    rec.add_argument("--rounds", type=int, default=50)
+    rec.add_argument("--seed", type=int, default=7)
+    rep = trace_sub.add_parser("replay", help="replay a JSON trace")
+    rep.add_argument("path")
+    rep.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = CbmaConfig(
+        n_tags=args.tags,
+        seed=args.seed,
+        code_family=args.code_family,
+        code_length=args.code_length,
+    )
+    network = CbmaNetwork(config, Deployment.linear(args.tags, tag_to_rx=args.distance))
+    if args.power_control:
+        result = network.run_power_control(PowerController())
+        print(f"power control: {result.epochs} epochs, converged={result.converged}")
+    metrics = network.run_rounds(args.rounds)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["tags", args.tags],
+                ["rounds", args.rounds],
+                ["FER", format_percent(metrics.fer)],
+                ["PRR", format_percent(metrics.prr)],
+                ["detection rate", format_percent(metrics.detection_rate)],
+                ["goodput", f"{metrics.goodput_bps / 1e3:.1f} kbps"],
+            ],
+            title=f"CBMA simulation ({args.code_family}-{args.code_length} codes, {args.distance} m)",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.artefact == "headline":
+        from repro.sim.experiments import headline_throughput
+
+        tc = headline_throughput(rounds=args.rounds)
+        print(
+            render_table(
+                ["scheme", "aggregate goodput"],
+                [
+                    ["CBMA, 10 concurrent tags", f"{tc.cbma_bps / 1e3:.1f} kbps"],
+                    ["single-tag TDMA (genie)", f"{tc.single_tag_bps / 1e3:.1f} kbps"],
+                    ["single-tag FSA", f"{tc.fsa_bps / 1e3:.1f} kbps"],
+                    ["FDMA (4 channels)", f"{tc.fdma_bps / 1e3:.1f} kbps"],
+                ],
+                title=f"Headline: {tc.aggregate_raw_bps / 1e6:.0f} Mbps on-air, FER {tc.cbma_fer:.3f}",
+            )
+        )
+        print(f"speedup vs genie TDMA {tc.speedup_vs_single:.1f}x, vs FSA {tc.speedup_vs_fsa:.1f}x")
+        return 0
+    result = _EXPERIMENTS[args.artefact](args.rounds)
+    numeric_x = all(isinstance(x, (int, float)) for x in result.x)
+    print(render_series(result.x_label, result.x, result.series, title=result.experiment_id))
+    if numeric_x and len(result.x) > 1:
+        print()
+        print(line_plot(result.x, result.series))
+    if result.notes:
+        print(f"\nnotes: {result.notes}")
+    return 0
+
+
+def _cmd_field(args: argparse.Namespace) -> int:
+    xs, ys, field = fig5_signal_field(resolution=args.resolution)
+    print("Fig. 5 theoretical signal strength (dBm); ES at (-0.5,0), RX at (+0.5,0)")
+    print(heatmap(field))
+    print(f"range: {field.min():.1f} .. {field.max():.1f} dBm")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        config = CbmaConfig(n_tags=args.tags, seed=args.seed)
+        network = CbmaNetwork(config, Deployment.linear(args.tags, tag_to_rx=1.0))
+        trace, metrics = record_trace(network, args.rounds, description="CLI recording")
+        trace.save(args.path)
+        print(f"recorded {len(trace)} rounds to {args.path} (FER {format_percent(metrics.fer)})")
+        return 0
+    trace = ChannelTrace.load(args.path)
+    config = CbmaConfig(n_tags=trace.n_tags, seed=args.seed)
+    network = CbmaNetwork(config, Deployment.linear(trace.n_tags, tag_to_rx=1.0))
+    metrics = replay_trace(network, trace)
+    print(
+        f"replayed {len(trace)} rounds: FER {format_percent(metrics.fer)}, "
+        f"mean power difference {format_percent(trace.mean_power_difference())}"
+    )
+    return 0
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.mac.link_adaptation import SpreadingFactorController
+
+    def measure(length: int, rounds: int) -> float:
+        cfg = CbmaConfig(n_tags=args.tags, seed=args.seed, code_length=int(length))
+        net = CbmaNetwork(cfg, Deployment.linear(args.tags, tag_to_rx=args.distance))
+        return net.run_rounds(rounds).fer
+
+    controller = SpreadingFactorController(lengths=(16, 32, 64, 128))
+    result = controller.run(
+        measure, n_epochs=args.epochs, rng=np.random.default_rng(args.seed)
+    )
+    print(
+        render_table(
+            ["epoch", "code length", "FER", "goodput score"],
+            [[e, l, f"{f:.3f}", f"{g:.5f}"] for e, l, f, g in result.history],
+            title=f"Spreading-factor adaptation ({args.tags} tags at {args.distance} m)",
+        )
+    )
+    print(f"chosen code length: {result.chosen_length} chips/bit")
+    return 0
+
+
+def _cmd_system(args: argparse.Namespace) -> int:
+    from repro.channel.geometry import Room
+    from repro.channel.mobility import RandomWalk
+    from repro.system import CbmaSystem
+
+    deployment = Deployment.random(
+        args.population, rng=args.seed, room=Room(width=1.8, depth=1.4), min_spacing=0.12
+    )
+    system = CbmaSystem(
+        CbmaConfig(n_tags=args.group, seed=args.seed),
+        deployment,
+        mobility=RandomWalk(step_sigma_m=0.02) if args.mobility else None,
+    )
+    for report_ in system.run(args.epochs, rounds_per_epoch=args.rounds):
+        pc = " +PC" if report_.power_control_ran else ""
+        print(
+            f"epoch {report_.epoch:3d}: group {report_.group}  "
+            f"FER {report_.fer:.3f}{pc}"
+        )
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["population / group", f"{system.population} / {args.group}"],
+                ["network FER", format_percent(system.metrics.fer)],
+                ["fairness (Jain)", f"{system.fairness():.3f}"],
+                ["starved tags", str(system.service_log.starved() or "none")],
+                ["goodput", f"{system.metrics.goodput_bps / 1e3:.1f} kbps"],
+            ],
+            title="Deployment summary",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "field":
+        return _cmd_field(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "report":
+        from repro.analysis.report import generate_report
+
+        generate_report(args.output, scale=args.scale)
+        print(f"report written to {args.output}")
+        return 0
+    if args.command == "adapt":
+        return _cmd_adapt(args)
+    if args.command == "system":
+        return _cmd_system(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

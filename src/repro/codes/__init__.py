@@ -1,0 +1,52 @@
+"""Spreading-code families for coded backscatter multiple access.
+
+CBMA separates concurrent tags in the *code domain*: each tag spreads
+its bits with a per-tag PN sequence (paper Sec. II-B/II-C).  This
+subpackage implements every family the paper uses or contrasts with:
+
+- :mod:`repro.codes.lfsr` -- LFSRs and maximal-length sequences.
+- :mod:`repro.codes.gold` -- Gold codes (ref. [8]).
+- :mod:`repro.codes.twonc` -- 2NC codes as modified by CBMA (ref. [9]).
+- :mod:`repro.codes.walsh` -- Walsh-Hadamard synchronous baseline.
+- :mod:`repro.codes.kasami` -- small Kasami set (Welch-bound optimal).
+- :mod:`repro.codes.properties` -- correlation analytics and invariants.
+- :mod:`repro.codes.registry` -- name-based family factory.
+"""
+
+from repro.codes.gold import GoldFamily, gold_codes
+from repro.codes.kasami import KasamiFamily, kasami_codes
+from repro.codes.lfsr import Lfsr, m_sequence, PRIMITIVE_POLYNOMIALS, PREFERRED_PAIRS
+from repro.codes.properties import (
+    CodeFamilyReport,
+    analyze_family,
+    balance,
+    periodic_autocorrelation,
+    periodic_crosscorrelation,
+)
+from repro.codes.registry import available_families, make_codes, register_family
+from repro.codes.twonc import TwoNCFamily, twonc_codes
+from repro.codes.walsh import WalshFamily, hadamard_matrix, walsh_codes
+
+__all__ = [
+    "GoldFamily",
+    "gold_codes",
+    "KasamiFamily",
+    "kasami_codes",
+    "Lfsr",
+    "m_sequence",
+    "PRIMITIVE_POLYNOMIALS",
+    "PREFERRED_PAIRS",
+    "CodeFamilyReport",
+    "analyze_family",
+    "balance",
+    "periodic_autocorrelation",
+    "periodic_crosscorrelation",
+    "available_families",
+    "make_codes",
+    "register_family",
+    "TwoNCFamily",
+    "twonc_codes",
+    "WalshFamily",
+    "hadamard_matrix",
+    "walsh_codes",
+]

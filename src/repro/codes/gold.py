@@ -1,0 +1,91 @@
+"""Gold code construction (paper ref. [8], R. Gold 1967).
+
+A Gold family of length ``N = 2^n - 1`` is built from a preferred pair
+of m-sequences ``u`` and ``v``: the family contains ``u``, ``v`` and the
+N sequences ``u XOR shift(v, k)``, giving ``N + 2`` codes whose pairwise
+cross-correlation takes only three values — the property that lets CBMA
+assign one code per tag and separate concurrent transmissions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.codes.lfsr import PREFERRED_PAIRS, m_sequence
+
+__all__ = ["GoldFamily", "gold_codes"]
+
+
+class GoldFamily:
+    """The full Gold code family for register degree *degree*.
+
+    Parameters
+    ----------
+    degree:
+        LFSR degree ``n``; code length is ``2^n - 1``.  Supported
+        degrees are those with a catalogued preferred pair
+        (5, 6, 7, 9, 10, 11).  Degree 8 has no preferred pair (a known
+        number-theoretic fact), so it is rejected.
+    """
+
+    def __init__(self, degree: int):
+        if degree not in PREFERRED_PAIRS:
+            raise ValueError(
+                f"no preferred pair catalogued for degree {degree}; "
+                f"available: {sorted(PREFERRED_PAIRS)}"
+            )
+        self.degree = degree
+        self.length = (1 << degree) - 1
+        taps_u, taps_v = PREFERRED_PAIRS[degree]
+        self._u = m_sequence(taps_u)
+        self._v = m_sequence(taps_v)
+
+    @property
+    def size(self) -> int:
+        """Number of codes in the family (2^n + 1)."""
+        return self.length + 2
+
+    def code(self, index: int) -> np.ndarray:
+        """The *index*-th code of the family as a 0/1 uint8 array.
+
+        Index 0 is the first m-sequence, index 1 the second, and index
+        ``k + 2`` is ``u XOR roll(v, k)``.
+        """
+        if not 0 <= index < self.size:
+            raise ValueError(f"index {index} outside family of size {self.size}")
+        if index == 0:
+            return self._u.copy()
+        if index == 1:
+            return self._v.copy()
+        shift = index - 2
+        return np.bitwise_xor(self._u, np.roll(self._v, shift)).astype(np.uint8)
+
+    def codes(self, count: int) -> List[np.ndarray]:
+        """The first *count* codes of the family."""
+        if count > self.size:
+            raise ValueError(f"requested {count} codes but family has {self.size}")
+        return [self.code(i) for i in range(count)]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GoldFamily(degree={self.degree}, length={self.length}, size={self.size})"
+
+
+def gold_codes(count: int, length: int = 31, offset: int = 0) -> List[np.ndarray]:
+    """Convenience constructor: *count* Gold codes of chip length *length*.
+
+    *length* must be ``2^n - 1`` for a supported degree.  *offset* skips
+    the first codes of the family, useful for assigning disjoint code
+    sets to different cells.
+    """
+    degree = int(np.log2(length + 1))
+    if (1 << degree) - 1 != length:
+        raise ValueError(f"length {length} is not 2^n - 1")
+    family = GoldFamily(degree)
+    if offset + count > family.size:
+        raise ValueError(f"offset {offset} + count {count} exceeds family size {family.size}")
+    return [family.code(offset + i) for i in range(count)]

@@ -1,0 +1,92 @@
+"""Kasami (small set) spreading codes.
+
+An extension beyond the paper's two families: the *small Kasami set*
+achieves the Welch lower bound on maximum cross-correlation --
+``(2^(n/2) + 1) / (2^n - 1)`` for even degree ``n`` -- which is roughly
+half the Gold bound.  The set is small (``2^(n/2)`` codes), so it fits
+CBMA's 10-tag regime perfectly and serves as the "how much better could
+the codes be?" ablation in the benchmarks.
+
+Construction: take an m-sequence ``u`` of even degree ``n`` and its
+decimation ``w`` by ``2^(n/2) + 1`` (an m-sequence of degree ``n/2``
+repeated); the set is ``{u} U {u XOR shift(w, k)}`` for all shifts of
+``w``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.codes.lfsr import PRIMITIVE_POLYNOMIALS, m_sequence
+
+__all__ = ["KasamiFamily", "kasami_codes"]
+
+
+class KasamiFamily:
+    """The small Kasami set for even *degree*.
+
+    Parameters
+    ----------
+    degree:
+        Even LFSR degree ``n``; code length ``2^n - 1``, family size
+        ``2^(n/2)``.  Supported degrees: 4, 6, 8, 10.
+    """
+
+    def __init__(self, degree: int):
+        if degree % 2 != 0:
+            raise ValueError(f"Kasami small set needs even degree, got {degree}")
+        if degree not in PRIMITIVE_POLYNOMIALS:
+            raise ValueError(f"no primitive polynomial catalogued for degree {degree}")
+        self.degree = degree
+        self.length = (1 << degree) - 1
+        self.size = 1 << (degree // 2)
+        taps = PRIMITIVE_POLYNOMIALS[degree][0]
+        self._u = m_sequence(taps)
+        decimation = (1 << (degree // 2)) + 1
+        # w: decimate u by 2^(n/2)+1; its period divides 2^(n/2)-1.
+        idx = (np.arange(self.length) * decimation) % self.length
+        self._w = self._u[idx]
+
+    def code(self, index: int) -> np.ndarray:
+        """The *index*-th Kasami code as a 0/1 uint8 array.
+
+        Index 0 is the base m-sequence; index ``k + 1`` is
+        ``u XOR roll(w, k)``.
+        """
+        if not 0 <= index < self.size:
+            raise ValueError(f"index {index} outside family of size {self.size}")
+        if index == 0:
+            return self._u.copy()
+        return np.bitwise_xor(self._u, np.roll(self._w, index - 1)).astype(np.uint8)
+
+    def codes(self, count: int = None) -> List[np.ndarray]:
+        """The first *count* codes (all by default)."""
+        count = self.size if count is None else count
+        if count > self.size:
+            raise ValueError(f"requested {count} codes but family has {self.size}")
+        return [self.code(i) for i in range(count)]
+
+    @property
+    def welch_bound(self) -> float:
+        """The theoretical max-cross-correlation of the small set."""
+        return ((1 << (self.degree // 2)) + 1) / self.length
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KasamiFamily(degree={self.degree}, length={self.length}, size={self.size})"
+
+
+def kasami_codes(count: int, length: int = 63) -> List[np.ndarray]:
+    """Convenience constructor: *count* Kasami codes of chip length *length*.
+
+    *length* must be ``2^n - 1`` for an even supported degree.
+    """
+    degree = int(np.log2(length + 1))
+    if (1 << degree) - 1 != length:
+        raise ValueError(f"length {length} is not 2^n - 1")
+    family = KasamiFamily(degree)
+    return family.codes(count)

@@ -1,0 +1,127 @@
+"""Linear-feedback shift registers and maximal-length sequences.
+
+Gold codes (paper Sec. III-A, ref. [8]) are built from *preferred pairs*
+of m-sequences, which in turn come from LFSRs with primitive feedback
+polynomials.  This module provides a Fibonacci LFSR and a catalogue of
+primitive polynomials for the register lengths used in spread-spectrum
+practice (5..12 bits, i.e. code lengths 31..4095).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Lfsr", "m_sequence", "PRIMITIVE_POLYNOMIALS", "PREFERRED_PAIRS"]
+
+# Primitive polynomial taps (exponents with non-zero coefficients,
+# excluding x^0) for GF(2), indexed by register degree.  Standard tables.
+PRIMITIVE_POLYNOMIALS = {
+    3: [(3, 1)],
+    4: [(4, 1)],
+    5: [(5, 2), (5, 4, 3, 2), (5, 4, 2, 1)],
+    6: [(6, 1), (6, 5, 2, 1), (6, 5, 3, 2)],
+    7: [(7, 3), (7, 3, 2, 1), (7, 4, 3, 2), (7, 6, 4, 2), (7, 6, 3, 1), (7, 6, 5, 2)],
+    8: [(8, 4, 3, 2), (8, 6, 5, 3), (8, 6, 5, 2), (8, 5, 3, 1)],
+    9: [(9, 4), (9, 6, 4, 3), (9, 8, 5, 4)],
+    10: [(10, 3), (10, 8, 3, 2), (10, 4, 3, 1)],
+    11: [(11, 2), (11, 8, 5, 2)],
+    12: [(12, 6, 4, 1)],
+}
+
+# Preferred pairs of polynomials for Gold code construction: for each
+# degree, a pair of primitive polynomials whose m-sequences have
+# three-valued cross-correlation.  These are classic published pairs.
+PREFERRED_PAIRS = {
+    5: ((5, 2), (5, 4, 3, 2)),
+    6: ((6, 1), (6, 5, 2, 1)),
+    7: ((7, 3), (7, 3, 2, 1)),
+    9: ((9, 4), (9, 6, 4, 3)),
+    10: ((10, 3), (10, 8, 3, 2)),
+    11: ((11, 2), (11, 8, 5, 2)),
+}
+
+
+class Lfsr:
+    """A Fibonacci linear-feedback shift register over GF(2).
+
+    Parameters
+    ----------
+    taps:
+        Exponents of the feedback polynomial with non-zero coefficients,
+        e.g. ``(5, 2)`` for x^5 + x^2 + 1.  The largest exponent sets the
+        register degree.
+    state:
+        Initial register contents as an iterable of bits (length equal
+        to the degree).  Defaults to all ones, the conventional non-zero
+        seed.
+    """
+
+    def __init__(self, taps: Sequence[int], state: Optional[Sequence[int]] = None):
+        taps = tuple(sorted(set(int(t) for t in taps), reverse=True))
+        if not taps or taps[-1] < 1:
+            raise ValueError(f"invalid taps {taps!r}: exponents must be >= 1")
+        self.taps = taps
+        self.degree = taps[0]
+        if state is None:
+            state = [1] * self.degree
+        state = [int(b) & 1 for b in state]
+        if len(state) != self.degree:
+            raise ValueError(f"state length {len(state)} != degree {self.degree}")
+        if not any(state):
+            raise ValueError("LFSR state must be non-zero")
+        self._state = list(state)
+        # Fibonacci recurrence for p(x) = x^n + ... + 1 is
+        #   s[k+n] = s[k] XOR (XOR of s[k+e] for lower exponents e).
+        # With state[i] holding s[k+i], the feedback therefore reads
+        # cell 0 (the constant term) plus each tap exponent below n.
+        self._tap_idx = [0] + [t for t in self.taps if t != self.degree]
+
+    @property
+    def state(self) -> List[int]:
+        """Current register contents (a copy)."""
+        return list(self._state)
+
+    @property
+    def period(self) -> int:
+        """Maximal period for this degree: 2^degree - 1."""
+        return (1 << self.degree) - 1
+
+    def step(self) -> int:
+        """Advance one clock; return the output bit."""
+        out = self._state[0]
+        feedback = 0
+        for idx in self._tap_idx:
+            feedback ^= self._state[idx]
+        self._state = self._state[1:] + [feedback]
+        return out
+
+    def run(self, n: int) -> np.ndarray:
+        """Generate *n* output bits as a uint8 array."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        out = np.empty(n, dtype=np.uint8)
+        for i in range(n):
+            out[i] = self.step()
+        return out
+
+
+def m_sequence(taps: Sequence[int], state: Optional[Sequence[int]] = None) -> np.ndarray:
+    """One full period (2^degree - 1 bits) of the m-sequence for *taps*.
+
+    Raises :class:`ValueError` if the polynomial is not primitive (the
+    produced sequence would repeat early); this is verified by checking
+    that the register does not return to its initial state before the
+    full period.
+    """
+    reg = Lfsr(taps, state)
+    initial = reg.state
+    out = np.empty(reg.period, dtype=np.uint8)
+    for i in range(reg.period):
+        out[i] = reg.step()
+        if i + 1 < reg.period and reg.state == initial:
+            raise ValueError(f"taps {taps!r} are not primitive: period {i + 1} < {reg.period}")
+    if reg.state != initial:
+        raise ValueError(f"taps {taps!r} are not primitive: register did not cycle")
+    return out

@@ -1,0 +1,56 @@
+"""Factory for spreading-code families.
+
+Experiment configuration names a code family by string ("gold", "2nc",
+"walsh"); this registry turns that name plus (size, length) into the
+actual code set, and is the single place new families plug in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.codes.gold import gold_codes
+from repro.codes.kasami import kasami_codes
+from repro.codes.twonc import twonc_codes
+from repro.codes.walsh import walsh_codes
+
+__all__ = ["available_families", "make_codes", "register_family"]
+
+_FAMILIES: Dict[str, Callable[[int, int], List[np.ndarray]]] = {}
+
+
+def register_family(name: str, builder: Callable[[int, int], List[np.ndarray]]) -> None:
+    """Register *builder(count, length)* under *name* (case-insensitive)."""
+    key = name.lower()
+    if key in _FAMILIES:
+        raise ValueError(f"code family {name!r} already registered")
+    _FAMILIES[key] = builder
+
+
+def available_families() -> List[str]:
+    """Sorted list of registered family names."""
+    return sorted(_FAMILIES)
+
+
+def make_codes(family: str, count: int, length: int) -> List[np.ndarray]:
+    """Build *count* spreading codes of chip length *length*.
+
+    Parameters
+    ----------
+    family:
+        One of :func:`available_families` ("gold", "2nc", "walsh",
+        "kasami").  Gold/Kasami lengths must be ``2^n - 1`` (Kasami:
+        even degree); Walsh lengths a power of two; 2NC lengths even.
+    """
+    key = family.lower()
+    if key not in _FAMILIES:
+        raise ValueError(f"unknown code family {family!r}; available: {available_families()}")
+    return _FAMILIES[key](count, length)
+
+
+register_family("gold", lambda count, length: gold_codes(count, length))
+register_family("2nc", lambda count, length: twonc_codes(count, length))
+register_family("walsh", lambda count, length: walsh_codes(count, length))
+register_family("kasami", lambda count, length: kasami_codes(count, length))

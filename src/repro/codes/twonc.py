@@ -1,0 +1,243 @@
+"""2NC spreading codes (paper ref. [9], as modified by CBMA).
+
+The paper adopts "2NC codes" -- length-2N chip sequences, one per tag --
+and modifies them so that *the chip sequence representing bit 0 is the
+bitwise negation of the one representing bit 1* (footnote 2).  The paper
+reports that 2NC codes exhibit better orthogonality than Gold codes for
+its small tag populations (2..10 tags), which is what Fig. 9(b)
+measures.
+
+The original reference gives a construction only for specific
+parameters, so this reproduction *reconstructs* the family as a
+deterministic numerically-optimised code set: starting from LFSR-seeded
+balanced candidates, a greedy minimax search selects codes that minimise
+the worst pairwise periodic cross-correlation.  For small families this
+beats the Gold three-valued bound, reproducing the paper's observed
+ordering (2NC < Gold error rate, with Gold degrading sharply at 5 tags).
+The search is seeded and cached, so the family is a pure function of
+``(size, length)`` -- tags and receiver independently derive identical
+codes, as required for a distributed system.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.bits import bits_to_bipolar
+
+__all__ = ["TwoNCFamily", "twonc_codes"]
+
+_SEARCH_SEED = 0x27C3  # fixed seed so tags and receiver derive identical codes
+_CANDIDATE_POOL = 768
+_REFINE_ROUNDS = 4
+
+
+def _max_periodic_crosscorr(a: np.ndarray, b: np.ndarray) -> float:
+    """Worst absolute periodic cross-correlation over all cyclic shifts.
+
+    Codes are compared in bipolar form and the value is normalised by
+    the code length, so 0 is perfectly orthogonal and 1 identical.
+    Periodic (cyclic) correlation is the right metric for CBMA because
+    tags are *asynchronous*: a receiver may align anywhere within a
+    neighbour's repeating chip stream.
+    """
+    fa = np.fft.fft(a)
+    fb = np.fft.fft(b)
+    corr = np.fft.ifft(fa * np.conj(fb)).real
+    return float(np.max(np.abs(corr)) / a.size)
+
+
+def _max_offpeak_autocorr(a: np.ndarray) -> float:
+    """Worst absolute periodic autocorrelation away from zero shift."""
+    fa = np.fft.fft(a)
+    corr = np.fft.ifft(fa * np.conj(fa)).real
+    corr[0] = 0.0
+    return float(np.max(np.abs(corr)) / a.size)
+
+
+def _balanced_candidates(length: int, pool: int, rng: np.random.Generator) -> List[np.ndarray]:
+    """Generate *pool* distinct balanced 0/1 candidate codes."""
+    seen = set()
+    out: List[np.ndarray] = []
+    half = length // 2
+    base = np.array([1] * half + [0] * (length - half), dtype=np.uint8)
+    while len(out) < pool:
+        cand = rng.permutation(base)
+        key = cand.tobytes()
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(cand)
+    return out
+
+
+def _family_score(indices: List[int], cross: np.ndarray, auto: np.ndarray) -> float:
+    """Minimax family score: worst pairwise cross + small auto penalty."""
+    worst_cross = 0.0
+    for a in range(len(indices)):
+        for b in range(a + 1, len(indices)):
+            worst_cross = max(worst_cross, cross[indices[a], indices[b]])
+    worst_auto = max(auto[i] for i in indices)
+    return worst_cross + 0.25 * worst_auto
+
+
+@lru_cache(maxsize=32)
+def _search_family(size: int, length: int) -> Tuple[Tuple[int, ...], ...]:
+    """Greedy-plus-refinement minimax search for *size* codes.
+
+    Returns tuples (hashable, for the cache); callers convert back to
+    arrays.  Phase 1 greedily grows the family, always adding the
+    candidate whose worst correlation against the chosen set is
+    smallest.  Phase 2 repeatedly tries to swap each member for a pool
+    candidate that lowers the family's minimax score, stopping when a
+    full round makes no improvement.
+    """
+    rng = np.random.default_rng(_SEARCH_SEED + 1000 * size + length)
+    # Keep the O(pool^2) pairwise matrix tractable for long codes.
+    pool = _CANDIDATE_POOL if length <= 64 else _CANDIDATE_POOL // 2
+    candidates = _balanced_candidates(length, pool, rng)
+    bipolar = np.array([bits_to_bipolar(c) for c in candidates])
+    auto = np.array([_max_offpeak_autocorr(b) for b in bipolar])
+
+    # Full pairwise worst-cyclic-cross matrix via batched FFTs.
+    spec = np.fft.fft(bipolar, axis=1)
+    cross = np.zeros((pool, pool))
+    for i in range(pool):
+        corr = np.fft.ifft(spec * np.conj(spec[i]), axis=1).real
+        cross[i] = np.max(np.abs(corr), axis=1) / length
+    np.fill_diagonal(cross, np.inf)
+
+    selected: List[int] = [int(np.argmin(auto))]
+    worst = cross[selected[0]].copy()
+    while len(selected) < size:
+        score = worst + 0.25 * auto
+        score[selected] = np.inf
+        nxt = int(np.argmin(score))
+        if not np.isfinite(score[nxt]):
+            raise ValueError(f"candidate pool exhausted at {len(selected)} codes")
+        selected.append(nxt)
+        worst = np.maximum(worst, cross[nxt])
+
+    family = [candidates[i].copy() for i in selected]
+    family = _anneal(family, rng)
+    return tuple(tuple(int(x) for x in code) for code in family)
+
+
+def _score_matrix(bipolar: np.ndarray) -> float:
+    """Minimax objective over a concrete family (bipolar rows).
+
+    Three terms: the worst cyclic cross-correlation over all shifts
+    (asynchronous interference), the worst *zero-shift* cross
+    (synchronised tags should be the best case -- the property the
+    paper's Fig. 11 measures), and the worst off-peak autocorrelation
+    (false synchronisation).
+    """
+    length = bipolar.shape[1]
+    spec = np.fft.fft(bipolar, axis=1)
+    worst_cross = 0.0
+    worst_zero = 0.0
+    worst_auto = 0.0
+    for i in range(bipolar.shape[0]):
+        corr = np.fft.ifft(spec * np.conj(spec[i]), axis=1).real / length
+        mags = np.abs(corr)
+        ac = mags[i].copy()
+        ac[0] = 0.0
+        worst_auto = max(worst_auto, float(ac.max()))
+        mags[i] = 0.0
+        if bipolar.shape[0] > 1:
+            worst_cross = max(worst_cross, float(mags.max()))
+            zero = mags[:, 0].copy()
+            worst_zero = max(worst_zero, float(zero.max()))
+    return worst_cross + 0.5 * worst_zero + 0.25 * worst_auto
+
+
+def _anneal(family: List[np.ndarray], rng: np.random.Generator, iterations: int = 6000) -> List[np.ndarray]:
+    """Balance-preserving simulated annealing on the whole family.
+
+    Each move swaps one '1' chip with one '0' chip inside a single code
+    (keeping the code balanced) and is accepted when it lowers the
+    minimax correlation objective, or with a temperature-decayed
+    probability otherwise.  For families of <= 16 codes this reliably
+    pushes the worst cyclic cross-correlation below the Gold bound,
+    which is exactly the advantage the paper attributes to 2NC codes.
+    """
+    codes = [c.copy() for c in family]
+    bipolar = np.array([bits_to_bipolar(c) for c in codes])
+    best_codes = [c.copy() for c in codes]
+    current = _score_matrix(bipolar)
+    best = current
+    t0, t1 = 0.05, 0.001
+    for it in range(iterations):
+        temp = t0 * (t1 / t0) ** (it / max(iterations - 1, 1))
+        k = int(rng.integers(len(codes)))
+        ones = np.flatnonzero(codes[k] == 1)
+        zeros = np.flatnonzero(codes[k] == 0)
+        i1 = int(ones[rng.integers(ones.size)])
+        i0 = int(zeros[rng.integers(zeros.size)])
+        codes[k][i1], codes[k][i0] = 0, 1
+        bipolar[k, i1], bipolar[k, i0] = -1.0, 1.0
+        trial = _score_matrix(bipolar)
+        if trial < current or rng.random() < np.exp((current - trial) / max(temp, 1e-9)):
+            current = trial
+            if trial < best:
+                best = trial
+                best_codes = [c.copy() for c in codes]
+        else:
+            codes[k][i1], codes[k][i0] = 1, 0
+            bipolar[k, i1], bipolar[k, i0] = 1.0, -1.0
+    return best_codes
+
+
+class TwoNCFamily:
+    """A deterministic family of 2NC codes.
+
+    Parameters
+    ----------
+    size:
+        Number of codes (tags) the family must support.
+    length:
+        Chip length of each code.  The "2N" naming reflects the even
+        length; by default the family uses ``2 * max(size, 16)`` chips,
+        matching the Gold-31 regime used in the paper's evaluation when
+        ``size <= 16``.
+    """
+
+    def __init__(self, size: int, length: int = None):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        if length is None:
+            length = 2 * max(size, 16)
+        if length % 2 != 0:
+            raise ValueError(f"2NC length must be even, got {length}")
+        if length < 2 * size // 1 and length < 8:
+            raise ValueError(f"length {length} too short for {size} codes")
+        self.size = size
+        self.length = length
+        self._codes = [np.array(c, dtype=np.uint8) for c in _search_family(size, length)]
+
+    def code(self, index: int) -> np.ndarray:
+        """The *index*-th code as a 0/1 uint8 array (a copy)."""
+        if not 0 <= index < self.size:
+            raise ValueError(f"index {index} outside family of size {self.size}")
+        return self._codes[index].copy()
+
+    def codes(self, count: int = None) -> List[np.ndarray]:
+        """The first *count* codes (all of them by default)."""
+        count = self.size if count is None else count
+        if count > self.size:
+            raise ValueError(f"requested {count} codes but family has {self.size}")
+        return [self.code(i) for i in range(count)]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TwoNCFamily(size={self.size}, length={self.length})"
+
+
+def twonc_codes(count: int, length: int = 32) -> List[np.ndarray]:
+    """Convenience constructor: *count* 2NC codes of chip length *length*."""
+    return TwoNCFamily(count, length).codes()

@@ -1,0 +1,63 @@
+"""Walsh-Hadamard codes.
+
+Walsh codes are *perfectly* orthogonal under synchronous alignment and
+are the textbook contrast to PN families: CBMA cannot use them directly
+because its tags are asynchronous (Sec. II-C), but they serve as the
+synchronous upper-bound baseline in our ablation benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["hadamard_matrix", "walsh_codes", "WalshFamily"]
+
+
+def hadamard_matrix(order: int) -> np.ndarray:
+    """Sylvester-construction Hadamard matrix of the given *order*.
+
+    *order* must be a power of two.  Entries are +/-1 (int8).
+    """
+    if order < 1 or order & (order - 1):
+        raise ValueError(f"order must be a power of two, got {order}")
+    h = np.array([[1]], dtype=np.int8)
+    while h.shape[0] < order:
+        h = np.block([[h, h], [h, -h]]).astype(np.int8)
+    return h
+
+
+def walsh_codes(count: int, length: int) -> List[np.ndarray]:
+    """The first *count* Walsh codes of chip length *length* as 0/1 arrays.
+
+    Row 0 (all ones) is skipped because an all-ones spreading code is a
+    plain unmodulated carrier and carries no code-domain separation.
+    """
+    if count + 1 > length:
+        raise ValueError(f"at most {length - 1} usable Walsh codes of length {length}")
+    h = hadamard_matrix(length)
+    return [((h[i + 1] + 1) // 2).astype(np.uint8) for i in range(count)]
+
+
+class WalshFamily:
+    """Family wrapper matching the Gold/2NC interface."""
+
+    def __init__(self, size: int, length: int = 32):
+        self.size = size
+        self.length = length
+        self._codes = walsh_codes(size, length)
+
+    def code(self, index: int) -> np.ndarray:
+        if not 0 <= index < self.size:
+            raise ValueError(f"index {index} outside family of size {self.size}")
+        return self._codes[index].copy()
+
+    def codes(self, count: int = None) -> List[np.ndarray]:
+        count = self.size if count is None else count
+        if count > self.size:
+            raise ValueError(f"requested {count} codes but family has {self.size}")
+        return [self.code(i) for i in range(count)]
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,47 @@
+"""Medium-access layer: power control, node selection, baselines.
+
+- :mod:`repro.mac.power_control` -- the paper's Algorithm 1.
+- :mod:`repro.mac.node_selection` -- greedy/annealing tag-group
+  optimisation (Sec. V-C).
+- :mod:`repro.mac.baselines` -- single-tag TDMA, FSA, FDMA.
+- :mod:`repro.mac.fairness` -- starvation analysis and rotating group
+  scheduling (Sec. VIII-D).
+- :mod:`repro.mac.arq` -- stop-and-wait reliability over the ACK loop.
+- :mod:`repro.mac.link_adaptation` -- goodput-seeking spreading-factor
+  control (the paper's "adaptive multiplexing" thread).
+"""
+
+from repro.mac.baselines import (
+    Fdma,
+    FdmaResult,
+    FramedSlottedAloha,
+    FsaResult,
+    SingleTagTdma,
+    TdmaResult,
+)
+from repro.mac.arq import ArqSimulator, ArqStats, Message
+from repro.mac.fairness import RotatingGroupScheduler, ServiceLog, jain_index
+from repro.mac.link_adaptation import AdaptationResult, SpreadingFactorController
+from repro.mac.node_selection import NodeSelector, SelectionResult
+from repro.mac.power_control import PowerController, PowerControlResult
+
+__all__ = [
+    "ArqSimulator",
+    "ArqStats",
+    "Message",
+    "AdaptationResult",
+    "SpreadingFactorController",
+    "Fdma",
+    "FdmaResult",
+    "FramedSlottedAloha",
+    "FsaResult",
+    "SingleTagTdma",
+    "TdmaResult",
+    "RotatingGroupScheduler",
+    "ServiceLog",
+    "jain_index",
+    "NodeSelector",
+    "SelectionResult",
+    "PowerController",
+    "PowerControlResult",
+]

@@ -1,0 +1,208 @@
+"""Stop-and-wait ARQ on top of CBMA rounds.
+
+The paper's ACK broadcast (Sec. III-B) is used only to drive power
+control; a real deployment also needs *reliability*: unacknowledged
+frames must be retransmitted.  This layer adds exactly that, in the
+simplest form a passive tag can implement -- stop-and-wait with a
+1-byte sequence number prefixed to the payload:
+
+- each tag keeps a FIFO of pending messages;
+- every round, each backlogged tag transmits its head-of-line message;
+- an ACK naming the tag pops the message (the receiver dedupes on the
+  sequence number, so a lost ACK only costs a duplicate, never data);
+- after ``max_retries`` unacknowledged attempts the message is dropped
+  and counted.
+
+The simulation advances in CBMA round units; a traffic model
+(:mod:`repro.sim.traffic`) injects arrivals between rounds, giving
+latency/throughput curves under offered load -- the network-facing view
+the paper's evaluation stops short of.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.network import CbmaNetwork
+from repro.utils.rng import make_rng
+
+__all__ = ["Message", "ArqStats", "ArqSimulator"]
+
+
+@dataclass
+class Message:
+    """One application message queued at a tag."""
+
+    tag_id: int
+    seq: int
+    payload: bytes
+    arrival_time_s: float
+    attempts: int = 0
+    delivered_time_s: Optional[float] = None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.delivered_time_s is None:
+            return None
+        return self.delivered_time_s - self.arrival_time_s
+
+
+@dataclass
+class ArqStats:
+    """Aggregate outcome of an ARQ simulation."""
+
+    offered: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicates: int = 0
+    transmissions: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+    backlog_samples: List[int] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.offered if self.offered else 1.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(np.mean(self.latencies_s)) if self.latencies_s else 0.0
+
+    @property
+    def p95_latency_s(self) -> float:
+        return float(np.percentile(self.latencies_s, 95)) if self.latencies_s else 0.0
+
+    @property
+    def mean_attempts(self) -> float:
+        return self.transmissions / self.delivered if self.delivered else 0.0
+
+    def goodput_bps(self, payload_bits: int) -> float:
+        """Delivered application bits per second."""
+        return self.delivered * payload_bits / self.elapsed_s if self.elapsed_s else 0.0
+
+
+class ArqSimulator:
+    """Reliability layer driving a :class:`CbmaNetwork` round by round.
+
+    Parameters
+    ----------
+    network:
+        The PHY/MAC substrate.  Its configured ``payload_bytes`` must
+        leave one byte for the sequence number.
+    traffic:
+        Arrival model with a ``draw(n_tags, duration_s, rng)`` method.
+    max_retries:
+        Transmission attempts per message before it is dropped.
+    max_queue:
+        Per-tag queue capacity; arrivals beyond it are dropped at the
+        tail (counted as offered + dropped).
+    """
+
+    def __init__(self, network: CbmaNetwork, traffic, max_retries: int = 8, max_queue: int = 32):
+        if network.config.payload_bytes < 2:
+            raise ValueError("payload must fit a sequence byte plus data")
+        if max_retries < 1 or max_queue < 1:
+            raise ValueError("max_retries and max_queue must be >= 1")
+        self.network = network
+        self.traffic = traffic
+        self.max_retries = max_retries
+        self.max_queue = max_queue
+        self.queues: Dict[int, Deque[Message]] = {
+            i: deque() for i in range(network.config.n_tags)
+        }
+        self._next_seq: Dict[int, int] = {i: 0 for i in self.queues}
+        self._last_delivered_seq: Dict[int, int] = {i: -1 for i in self.queues}
+        self._time_s = 0.0
+
+    def _inject_arrivals(self, stats: ArqStats, duration_s: float, rng) -> None:
+        counts = self.traffic.draw(len(self.queues), duration_s, rng)
+        data_bytes = self.network.config.payload_bytes - 1
+        for tag_id, count in enumerate(counts):
+            for _ in range(int(count)):
+                stats.offered += 1
+                if len(self.queues[tag_id]) >= self.max_queue:
+                    stats.dropped += 1
+                    continue
+                seq = self._next_seq[tag_id]
+                self._next_seq[tag_id] = (seq + 1) % 256
+                payload = bytes([seq]) + bytes(
+                    rng.integers(0, 256, data_bytes, dtype=np.uint8)
+                )
+                self.queues[tag_id].append(
+                    Message(tag_id=tag_id, seq=seq, payload=payload, arrival_time_s=self._time_s)
+                )
+
+    def run(self, n_rounds: int, rng=None) -> ArqStats:
+        """Simulate *n_rounds* rounds of traffic + ARQ."""
+        if n_rounds < 0:
+            raise ValueError("n_rounds must be non-negative")
+        rng = make_rng(rng)
+        stats = ArqStats()
+        round_s = self.network.config.frame_duration_s()
+        for _ in range(n_rounds):
+            self._inject_arrivals(stats, round_s, rng)
+            active = [tid for tid, q in self.queues.items() if q]
+            stats.backlog_samples.append(sum(len(q) for q in self.queues.values()))
+            if active:
+                # Pin each active tag's payload to its head-of-line
+                # message by running the round with explicit payloads.
+                metrics = self._run_arq_round(active, stats)
+            self._time_s += round_s
+            stats.elapsed_s += round_s
+        return stats
+
+    def _run_arq_round(self, active: List[int], stats: ArqStats):
+        """One collision round carrying head-of-line messages."""
+        network = self.network
+        cfg = network.config
+
+        # The network draws random payloads internally; for ARQ the
+        # payload must be the queued message, so this bypasses
+        # run_round's payload draw by substituting the RNG-facing
+        # pieces directly (same code path otherwise).
+        from repro.sim.collision import CollisionScenario, simulate_round
+
+        if network.fixed_offsets_chips is None:
+            network._draw_oscillators()
+        amplitudes = network._base_amplitudes()
+        scenario = CollisionScenario(
+            tags=network.tags,
+            amplitudes=amplitudes,
+            noise=cfg.noise,
+            interference=cfg.interference,
+            excitation_gate=cfg.excitation_gate,
+            samples_per_chip=cfg.samples_per_chip,
+            chip_rate_hz=cfg.chip_rate_hz,
+        )
+        payloads = {tid: self.queues[tid][0].payload for tid in active}
+        for tid in active:
+            self.queues[tid][0].attempts += 1
+            stats.transmissions += 1
+        iq, _truth = simulate_round(scenario, payloads, network.rng)
+        report = network.receiver.process(iq)
+
+        for tid in active:
+            message = self.queues[tid][0]
+            frame = report.frame_for(tid)
+            ok = (
+                frame is not None
+                and frame.success
+                and frame.payload == message.payload
+            )
+            if ok:
+                self.queues[tid].popleft()
+                if message.seq == self._last_delivered_seq[tid]:
+                    stats.duplicates += 1
+                else:
+                    self._last_delivered_seq[tid] = message.seq
+                    message.delivered_time_s = self._time_s
+                    stats.delivered += 1
+                    stats.latencies_s.append(message.latency_s)
+            elif message.attempts >= self.max_retries:
+                self.queues[tid].popleft()
+                stats.dropped += 1
+        return report

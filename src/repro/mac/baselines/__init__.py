@@ -1,0 +1,28 @@
+"""Multiple-access baselines the paper contrasts CBMA against.
+
+- :mod:`repro.mac.baselines.single_tag` -- one tag at a time (TDMA
+  round-robin), the single-tag-solution reference for the >10x claim.
+- :mod:`repro.mac.baselines.fsa` -- framed slotted ALOHA, the
+  receiver-coordinated probabilistic TDMA of RFID systems.
+- :mod:`repro.mac.baselines.fdma` -- static frequency-division
+  assignment.
+- :mod:`repro.mac.baselines.netscatter` -- chirp-spread-spectrum
+  concurrent access (NetScatter-style, Table I's closest neighbour).
+"""
+
+from repro.mac.baselines.fdma import Fdma, FdmaResult
+from repro.mac.baselines.fsa import FramedSlottedAloha, FsaResult
+from repro.mac.baselines.netscatter import ChirpPhy, NetscatterResult, NetscatterSimulator
+from repro.mac.baselines.single_tag import SingleTagTdma, TdmaResult
+
+__all__ = [
+    "Fdma",
+    "FdmaResult",
+    "FramedSlottedAloha",
+    "FsaResult",
+    "ChirpPhy",
+    "NetscatterResult",
+    "NetscatterSimulator",
+    "SingleTagTdma",
+    "TdmaResult",
+]

@@ -1,0 +1,70 @@
+"""Single-tag (TDMA round-robin) baseline.
+
+The scheme every prior WiFi-backscatter system in the paper's Table I
+effectively uses: only one tag occupies the channel at a time, rotating
+in round-robin order.  Per-slot success depends only on that tag's own
+link (no MAI), so with N tags the aggregate goodput is one tag's
+goodput -- the reference against which CBMA's ">10x" claim is measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.utils.rng import make_rng
+
+__all__ = ["SingleTagTdma", "TdmaResult"]
+
+
+@dataclass
+class TdmaResult:
+    """Outcome of a TDMA simulation."""
+
+    slots: int
+    successes: int
+    per_tag_successes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.slots if self.slots else 0.0
+
+    def goodput_bps(self, payload_bits: int, slot_duration_s: float) -> float:
+        """Aggregate delivered payload bits per second."""
+        if slot_duration_s <= 0:
+            raise ValueError("slot duration must be positive")
+        return self.successes * payload_bits / (self.slots * slot_duration_s)
+
+
+@dataclass
+class SingleTagTdma:
+    """Round-robin single-tag access.
+
+    Parameters
+    ----------
+    tag_ids:
+        The tags sharing the channel.
+    success_probability:
+        Callable ``tag_id -> p_success`` for a solo transmission
+        (produced by the PHY simulator; no MAI in this scheme).
+    """
+
+    tag_ids: Sequence[int]
+    success_probability: Callable[[int], float]
+
+    def run(self, n_slots: int, rng=None) -> TdmaResult:
+        """Simulate *n_slots* slots of round-robin access."""
+        if n_slots < 0:
+            raise ValueError("n_slots must be non-negative")
+        rng = make_rng(rng)
+        result = TdmaResult(slots=n_slots, successes=0)
+        ids: List[int] = list(self.tag_ids)
+        if not ids:
+            return result
+        probs = {tid: float(self.success_probability(tid)) for tid in ids}
+        for slot in range(n_slots):
+            tid = ids[slot % len(ids)]
+            if rng.random() < probs[tid]:
+                result.successes += 1
+                result.per_tag_successes[tid] = result.per_tag_successes.get(tid, 0) + 1
+        return result

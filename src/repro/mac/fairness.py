@@ -1,0 +1,138 @@
+"""Fairness and starvation analysis of tag selection (paper Sec. VIII-D).
+
+The paper discusses the *starvation problem* of its selection
+algorithm: tags at weak positions could be excluded forever.  Its
+answer is group rotation -- "the starvation problem can be probably
+solved by selecting different groups of tags" -- plus mobility.  This
+module implements both the measurement and the remedy:
+
+- :func:`jain_index` quantifies service fairness;
+- :class:`ServiceLog` tracks how often each tag is scheduled and
+  delivers;
+- :class:`RotatingGroupScheduler` rotates which tags form the active
+  group across epochs, weighted so recently starved tags are scheduled
+  sooner, while still honouring the spatial exclusion rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.channel.geometry import Deployment
+from repro.utils.rng import make_rng
+
+__all__ = ["jain_index", "ServiceLog", "RotatingGroupScheduler"]
+
+
+def jain_index(shares: Sequence[float]) -> float:
+    """Jain's fairness index: 1 means perfectly even, 1/n maximally unfair.
+
+    ``J = (sum x)^2 / (n * sum x^2)`` over non-negative service shares.
+    An all-zero allocation is defined as perfectly fair (no one was
+    served, no one was favoured).
+    """
+    x = np.asarray(shares, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("shares must be non-empty")
+    if (x < 0).any():
+        raise ValueError("shares must be non-negative")
+    total_sq = float(np.sum(x**2))
+    if total_sq == 0:
+        return 1.0
+    return float(np.sum(x)) ** 2 / (x.size * total_sq)
+
+
+@dataclass
+class ServiceLog:
+    """Per-tag scheduling and delivery bookkeeping."""
+
+    n_tags: int
+    scheduled: Dict[int, int] = field(default_factory=dict)
+    delivered: Dict[int, int] = field(default_factory=dict)
+    epochs: int = 0
+
+    def record_epoch(self, group: Sequence[int], delivered_counts: Dict[int, int]) -> None:
+        """Record one epoch's active group and its deliveries."""
+        self.epochs += 1
+        for idx in group:
+            self.scheduled[idx] = self.scheduled.get(idx, 0) + 1
+        for idx, count in delivered_counts.items():
+            self.delivered[idx] = self.delivered.get(idx, 0) + int(count)
+
+    def schedule_shares(self) -> np.ndarray:
+        """Fraction of epochs each tag was scheduled."""
+        if self.epochs == 0:
+            return np.zeros(self.n_tags)
+        return np.array(
+            [self.scheduled.get(i, 0) / self.epochs for i in range(self.n_tags)]
+        )
+
+    def starved(self, min_share: float = 0.05) -> List[int]:
+        """Tags scheduled less than *min_share* of epochs."""
+        shares = self.schedule_shares()
+        return [i for i in range(self.n_tags) if shares[i] < min_share]
+
+    def fairness(self) -> float:
+        """Jain index of the scheduling shares."""
+        return jain_index(self.schedule_shares())
+
+
+@dataclass
+class RotatingGroupScheduler:
+    """Group scheduler that prevents starvation by rotation.
+
+    Each epoch it picks ``group_size`` tags from the deployment.  Tags
+    are weighted by how long they have waited since last being
+    scheduled (aged weighting), so every tag is served infinitely often
+    regardless of position -- the paper's group-rotation remedy.  The
+    spatial exclusion rule (no two scheduled tags within
+    *exclusion_radius_m*) is still enforced where possible.
+    """
+
+    deployment: Deployment
+    group_size: int
+    exclusion_radius_m: float = 0.075
+    _age: Dict[int, int] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.deployment.tags)
+        if not 0 < self.group_size <= n:
+            raise ValueError(f"group_size must be in 1..{n}")
+        for i in range(n):
+            self._age[i] = 1
+
+    def _too_close(self, candidate: int, chosen: Sequence[int]) -> bool:
+        p = self.deployment.tags[candidate]
+        return any(
+            p.distance_to(self.deployment.tags[c]) < self.exclusion_radius_m for c in chosen
+        )
+
+    def next_group(self, rng=None) -> List[int]:
+        """Select the next epoch's active group (aged-weighted sampling)."""
+        rng = make_rng(rng)
+        n = len(self.deployment.tags)
+        chosen: List[int] = []
+        remaining: Set[int] = set(range(n))
+        while len(chosen) < self.group_size and remaining:
+            pool = sorted(remaining)
+            weights = np.array([self._age[i] for i in pool], dtype=np.float64)
+            weights /= weights.sum()
+            pick = int(rng.choice(pool, p=weights))
+            remaining.discard(pick)
+            if self._too_close(pick, chosen):
+                continue
+            chosen.append(pick)
+        # Relax the exclusion rule if it starved the group of members.
+        if len(chosen) < self.group_size:
+            leftovers = [i for i in sorted(set(range(n)) - set(chosen))]
+            leftovers.sort(key=lambda i: -self._age[i])
+            chosen.extend(leftovers[: self.group_size - len(chosen)])
+        for i in range(n):
+            if i in chosen:
+                self._age[i] = 1
+            else:
+                self._age[i] += 1
+        return chosen

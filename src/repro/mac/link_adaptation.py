@@ -1,0 +1,152 @@
+"""Adaptive spreading-factor control (the paper's "adaptive multiplexing").
+
+The paper's contribution list promises "realizing the adaptive
+multiplexing scheme" on top of node selection but never specifies it.
+The natural knob is the spreading factor: longer codes buy MAI/noise
+margin at proportional cost in per-tag rate, so the goodput-optimal
+length sits exactly where the FER knee ends -- a moving target as tags
+join, move, or the channel changes.
+
+:class:`SpreadingFactorController` is a measurement-driven ladder
+climber in the spirit of WiFi rate adaptation (Minstrel-lite):
+
+- it maintains smoothed FER estimates per candidate code length;
+- each epoch it *exploits* the length with the best estimated goodput
+  (``rate x (1 - FER)``) and occasionally *probes* a neighbour;
+- switching is hysteretic, so measurement noise does not thrash the
+  network (every switch costs a control broadcast to all tags).
+
+The controller is transport-agnostic like
+:class:`~repro.mac.power_control.PowerController`: it drives any
+``measure(code_length, rounds) -> fer`` callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.utils.rng import make_rng
+
+__all__ = ["SpreadingFactorController", "AdaptationResult"]
+
+#: Signature: measure(code_length, rounds) -> observed FER in [0, 1].
+Measure = Callable[[int, int], float]
+
+
+@dataclass
+class AdaptationResult:
+    """Outcome of an adaptation run."""
+
+    chosen_length: int
+    history: List[tuple] = field(default_factory=list)
+    """(epoch, code_length, fer, goodput_score) per measurement."""
+
+    def lengths_tried(self) -> List[int]:
+        return sorted({h[1] for h in self.history})
+
+
+@dataclass
+class SpreadingFactorController:
+    """Goodput-seeking spreading-factor ladder.
+
+    Parameters
+    ----------
+    lengths:
+        The candidate code lengths, ascending (must be valid for the
+        code family in use -- e.g. even for 2NC).
+    ewma_alpha:
+        Smoothing for per-length FER estimates.
+    probe_period:
+        A neighbouring length is probed every this many epochs.
+    hysteresis:
+        A switch requires the challenger's goodput score to beat the
+        incumbent's by this relative margin.
+    """
+
+    lengths: Sequence[int] = (32, 64, 128, 256)
+    ewma_alpha: float = 0.4
+    probe_period: int = 3
+    hysteresis: float = 0.05
+    _fer: Dict[int, float] = field(default_factory=dict, init=False)
+    _seen: Dict[int, bool] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.lengths or list(self.lengths) != sorted(set(self.lengths)):
+            raise ValueError("lengths must be a non-empty ascending unique sequence")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+
+    def _update(self, length: int, fer: float) -> None:
+        fer = min(max(fer, 0.0), 1.0)
+        if length in self._fer:
+            self._fer[length] += self.ewma_alpha * (fer - self._fer[length])
+        else:
+            self._fer[length] = fer
+        self._seen[length] = True
+
+    def goodput_score(self, length: int) -> float:
+        """Estimated goodput, normalised: ``(1 - FER) / length``.
+
+        Unmeasured lengths score optimistically at their rate ceiling;
+        that optimism steers *probing*, never switching (a switch
+        requires a measurement).
+        """
+        fer = self._fer.get(length, 0.0)
+        return (1.0 - fer) / length
+
+    def best_length(self, seen_only: bool = False) -> int:
+        """The length with the best current goodput score."""
+        pool = [l for l in self.lengths if not seen_only or self._seen.get(l)]
+        if not pool:
+            pool = list(self.lengths)
+        return max(pool, key=self.goodput_score)
+
+    def _neighbour(self, length: int, rng) -> int:
+        """A neighbouring length to probe, preferring unmeasured ones."""
+        idx = list(self.lengths).index(length)
+        options = []
+        if idx > 0:
+            options.append(self.lengths[idx - 1])
+        if idx < len(self.lengths) - 1:
+            options.append(self.lengths[idx + 1])
+        if not options:
+            return length
+        unseen = [o for o in options if not self._seen.get(o)]
+        pool = unseen or options
+        return int(rng.choice(pool))
+
+    def run(
+        self,
+        measure: Measure,
+        n_epochs: int = 12,
+        rounds_per_epoch: int = 20,
+        start_length: Optional[int] = None,
+        rng=None,
+    ) -> AdaptationResult:
+        """Adapt for *n_epochs*; returns the chosen length and history."""
+        if n_epochs < 1:
+            raise ValueError("n_epochs must be >= 1")
+        rng = make_rng(rng)
+        current = int(start_length) if start_length is not None else self.lengths[len(self.lengths) // 2]
+        if current not in self.lengths:
+            raise ValueError(f"start_length {current} not among candidates {self.lengths}")
+        result = AdaptationResult(chosen_length=current)
+
+        for epoch in range(n_epochs):
+            probing = epoch % self.probe_period == self.probe_period - 1
+            target = self._neighbour(current, rng) if probing else current
+            fer = float(measure(int(target), rounds_per_epoch))
+            self._update(target, fer)
+            result.history.append((epoch, int(target), fer, self.goodput_score(target)))
+
+            challenger = self.best_length(seen_only=True)
+            if challenger != current:
+                incumbent_score = self.goodput_score(current)
+                if self.goodput_score(challenger) > incumbent_score * (1.0 + self.hysteresis):
+                    current = challenger
+
+        result.chosen_length = current
+        return result

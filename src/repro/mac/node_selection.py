@@ -1,0 +1,149 @@
+"""Node (tag) selection -- paper Sec. V-C.
+
+When power control alone cannot equalise the group (a tag is too far,
+or two tags sit within half a wavelength of each other), CBMA swaps
+"bad" tags -- those whose ACK ratio stays below 70% -- for idle tags at
+better positions.  The paper's procedure is a greedy walk with a
+simulated-annealing acceptance rule:
+
+- candidate idle tags are drawn at random, excluding those too close
+  to already-selected tags;
+- a candidate with higher *theoretical* received signal strength
+  (Friis eq. (1), which both sides can compute from geometry) is
+  always accepted;
+- a worse candidate is accepted with probability that decays as the
+  round counter ``T`` grows -- exploration early, exploitation late.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from repro.channel.geometry import Deployment
+from repro.channel.pathloss import LinkBudget
+from repro.utils.rng import make_rng
+
+__all__ = ["NodeSelector", "SelectionResult"]
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one selection round."""
+
+    replaced: List[int] = field(default_factory=list)
+    """Indices (into the deployment) of tags that were swapped out."""
+    accepted_worse: int = 0
+    """How many swaps were annealing-accepted despite lower strength."""
+    group: List[int] = field(default_factory=list)
+    """Deployment indices of the active group after selection."""
+
+
+@dataclass
+class NodeSelector:
+    """Greedy/annealing tag-group optimiser.
+
+    Attributes
+    ----------
+    deployment:
+        All tag positions (active + idle candidates).
+    budget:
+        Link budget for the theoretical strength comparisons.
+    ack_ratio_floor:
+        Tags below this after power control are "bad" (paper: 70%).
+    exclusion_radius_m:
+        Candidates closer than this to any selected tag are skipped
+        (default: half the carrier wavelength, the paper's coupling
+        limit).
+    initial_temperature / cooling:
+        Annealing schedule; acceptance of a worse candidate is
+        ``exp(delta / temperature(T))`` with ``temperature(T) =
+        initial_temperature * cooling^T`` and ``delta < 0`` in dB.
+    """
+
+    deployment: Deployment
+    budget: LinkBudget
+    ack_ratio_floor: float = 0.7
+    exclusion_radius_m: Optional[float] = None
+    initial_temperature: float = 6.0
+    cooling: float = 0.7
+    _round: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.exclusion_radius_m is None:
+            self.exclusion_radius_m = self.budget.wavelength_m / 2.0
+
+    def strength_dbm(self, index: int) -> float:
+        """Theoretical received strength of deployment tag *index*."""
+        d1, d2 = self.deployment.tag_distances(index)
+        return self.budget.received_power_dbm(d1, d2)
+
+    def _temperature(self) -> float:
+        return self.initial_temperature * (self.cooling**self._round)
+
+    def _too_close(self, candidate: int, group: Sequence[int]) -> bool:
+        cand_point = self.deployment.tags[candidate]
+        for idx in group:
+            if idx == candidate:
+                continue
+            if cand_point.distance_to(self.deployment.tags[idx]) < self.exclusion_radius_m:
+                return True
+        return False
+
+    def select_round(
+        self,
+        group: Sequence[int],
+        ack_ratios: Sequence[float],
+        rng=None,
+        candidates_per_bad_tag: int = 8,
+    ) -> SelectionResult:
+        """Swap out the group's bad tags for better-placed idle tags.
+
+        Parameters
+        ----------
+        group:
+            Deployment indices of the currently active tags.
+        ack_ratios:
+            Post-power-control ACK ratio per group member (same order).
+        candidates_per_bad_tag:
+            Random idle candidates examined per bad tag before giving
+            up (the paper notes there may not be enough tags; then the
+            bad tag simply stays).
+        """
+        if len(group) != len(ack_ratios):
+            raise ValueError("one ack ratio per group member required")
+        rng = make_rng(rng)
+        group = list(group)
+        idle: Set[int] = set(range(len(self.deployment.tags))) - set(group)
+        result = SelectionResult(group=group)
+
+        for pos, (idx, ratio) in enumerate(zip(list(group), ack_ratios)):
+            if ratio >= self.ack_ratio_floor:
+                continue
+            if not idle:
+                break
+            old_strength = self.strength_dbm(idx)
+            for _ in range(candidates_per_bad_tag):
+                candidate = int(rng.choice(sorted(idle)))
+                if self._too_close(candidate, group):
+                    continue
+                new_strength = self.strength_dbm(candidate)
+                delta = new_strength - old_strength
+                if delta >= 0:
+                    accept, worse = True, False
+                else:
+                    accept = bool(rng.random() < math.exp(delta / max(self._temperature(), 1e-9)))
+                    worse = accept
+                if accept:
+                    idle.discard(candidate)
+                    idle.add(idx)
+                    group[pos] = candidate
+                    result.replaced.append(idx)
+                    if worse:
+                        result.accepted_worse += 1
+                    break
+
+        self._round += 1
+        result.group = group
+        return result

@@ -1,0 +1,149 @@
+"""Tag-side power control -- paper Algorithm 1.
+
+The loop the paper runs on its testbed:
+
+1. every tag transmits ``m`` packets; the receiver ACKs the decoded
+   ones (the tag only ever learns its own ACK count);
+2. the epoch's frame error rate is computed; if it exceeds a
+   threshold, every tag whose ACK ratio is below 50% advances its
+   impedance state ``Z`` cyclically (more/other power);
+3. repeat, bounded by ``3 x n_tags`` cycles to avoid an infinite loop
+   (the paper's own safeguard).
+
+The controller is transport-agnostic: it drives any ``epoch_runner``
+callable -- the simulator in this library, a radio in a real system --
+that transmits one epoch and reports per-tag ACK counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.tag.tag import Tag
+
+__all__ = ["PowerController", "PowerControlResult", "EpochRunner"]
+
+#: Signature: epoch_runner(tags, packets_per_epoch) -> {tag_id: acked_count}
+EpochRunner = Callable[[Sequence[Tag], int], Dict[int, int]]
+
+
+@dataclass
+class PowerControlResult:
+    """Outcome of a power-control run."""
+
+    epochs: int
+    final_fer: float
+    fer_history: List[float] = field(default_factory=list)
+    impedance_history: List[List[int]] = field(default_factory=list)
+    converged: bool = False
+    """True when the FER threshold was met before the cycle limit."""
+
+
+@dataclass
+class PowerController:
+    """Algorithm 1 driver.
+
+    Attributes
+    ----------
+    fer_threshold:
+        The FER above which adjustment continues (line 15).
+    ack_ratio_floor:
+        Tags below this ACK ratio adjust their impedance (line 17,
+        the paper's 50%).
+    packets_per_epoch:
+        ``m``: packets each tag sends per measurement epoch.
+    max_cycles_per_tag:
+        The paper bounds execution to 3x the number of tags.
+    """
+
+    fer_threshold: float = 0.05
+    ack_ratio_floor: float = 0.5
+    packets_per_epoch: int = 10
+    max_cycles_per_tag: int = 3
+
+    def run(self, tags: Sequence[Tag], epoch_runner: EpochRunner) -> PowerControlResult:
+        """Run the control loop until convergence or the cycle bound."""
+        if not tags:
+            raise ValueError("power control needs at least one tag")
+        max_epochs = self.max_cycles_per_tag * len(tags)
+        result = PowerControlResult(epochs=0, final_fer=1.0)
+        best_fer = float("inf")
+        best_impedances = [t.impedance_index for t in tags]
+        # Per-tag evidence: ack counts and trials per impedance state.
+        n_states = {t.tag_id: len(t.codebook) for t in tags}
+        acked_at: Dict[int, List[int]] = {t.tag_id: [0] * len(t.codebook) for t in tags}
+        tried_at: Dict[int, List[int]] = {t.tag_id: [0] * len(t.codebook) for t in tags}
+
+        for _ in range(max_epochs):
+            for tag in tags:
+                tag.reset_epoch()
+            acks = epoch_runner(tags, self.packets_per_epoch)
+            for tag in tags:
+                tag.stats.sent = self.packets_per_epoch
+                tag.stats.acked = int(acks.get(tag.tag_id, 0))
+                acked_at[tag.tag_id][tag.impedance_index] += tag.stats.acked
+                tried_at[tag.tag_id][tag.impedance_index] += self.packets_per_epoch
+
+            ratios = [t.stats.ack_ratio for t in tags]
+            fer = 1.0 - sum(ratios) / len(ratios)
+            result.epochs += 1
+            result.fer_history.append(fer)
+            result.impedance_history.append([t.impedance_index for t in tags])
+
+            if fer < best_fer:
+                best_fer = fer
+                best_impedances = [t.impedance_index for t in tags]
+
+            if fer <= self.fer_threshold:
+                result.converged = True
+                break
+
+            for tag in tags:
+                if tag.stats.ack_ratio < self.ack_ratio_floor:
+                    tag.step_impedance()
+
+        if result.converged:
+            for tag, z in zip(tags, best_impedances):
+                tag.set_impedance(z)
+            result.final_fer = best_fer
+            return result
+
+        # The cyclic search tried every power level (the paper runs it
+        # "circularly to try every possible power level").  Two natural
+        # final configurations exist: the best *joint* configuration
+        # observed, and each tag's individually best-evidence state.
+        # One verification epoch per candidate picks the winner.
+        per_tag: List[int] = []
+        for tag, z_best in zip(tags, best_impedances):
+            tid = tag.tag_id
+            scores = [
+                acked_at[tid][z] / tried_at[tid][z] if tried_at[tid][z] else -1.0
+                for z in range(n_states[tid])
+            ]
+            z_star = int(max(range(len(scores)), key=scores.__getitem__))
+            per_tag.append(z_star if scores[z_star] >= 0 else z_best)
+
+        candidates = [best_impedances]
+        if per_tag != best_impedances:
+            candidates.append(per_tag)
+        final_fer = best_fer if best_fer != float("inf") else 1.0
+        winner = candidates[0]
+        for config in candidates:
+            for tag, z in zip(tags, config):
+                tag.set_impedance(z)
+            acks = epoch_runner(tags, self.packets_per_epoch)
+            fer = 1.0 - sum(
+                acks.get(t.tag_id, 0) / self.packets_per_epoch for t in tags
+            ) / len(tags)
+            result.epochs += 1
+            result.fer_history.append(fer)
+            result.impedance_history.append(list(config))
+            if fer < final_fer:
+                final_fer = fer
+                winner = config
+
+        for tag, z in zip(tags, winner):
+            tag.set_impedance(z)
+        result.final_fer = final_fer
+        return result

@@ -1,0 +1,77 @@
+"""Physical-layer substrate: waveforms, modulation, impedance, sampling.
+
+Everything between "the tag has bits to send" and "the receiver has
+complex samples" lives here:
+
+- :mod:`repro.phy.waveform` -- square waves and the harmonic model.
+- :mod:`repro.phy.modulation` -- PN spreading, OOK, fractional delay.
+- :mod:`repro.phy.impedance` -- the SPDT/termination reflection model
+  behind tag-side power control.
+- :mod:`repro.phy.sampling` -- receiver sampling operators.
+- :mod:`repro.phy.snr` -- signal-quality estimators.
+"""
+
+from repro.phy.impedance import (
+    CARRIER_HZ,
+    DEFAULT_ANTENNA_IMPEDANCE,
+    SHIFT_HZ,
+    ImpedanceCodebook,
+    ImpedanceState,
+    Termination,
+    default_codebook,
+    reflection_coefficient,
+)
+from repro.phy.modulation import (
+    chips_per_frame,
+    despread_reference,
+    fractional_delay,
+    ook_baseband,
+    spread_bits,
+    upsample_chips,
+)
+from repro.phy.sampling import (
+    chip_matched_filter,
+    decimate,
+    instantaneous_power,
+    integrate_and_dump,
+    moving_average,
+)
+from repro.phy.snr import estimate_snr_db, evm, relative_power_difference, snr_from_amplitudes
+from repro.phy.waveform import (
+    FIRST_HARMONIC_AMPLITUDE,
+    harmonic_power_db,
+    square_wave,
+    square_wave_harmonics,
+    tone,
+)
+
+__all__ = [
+    "CARRIER_HZ",
+    "DEFAULT_ANTENNA_IMPEDANCE",
+    "SHIFT_HZ",
+    "ImpedanceCodebook",
+    "ImpedanceState",
+    "Termination",
+    "default_codebook",
+    "reflection_coefficient",
+    "chips_per_frame",
+    "despread_reference",
+    "fractional_delay",
+    "ook_baseband",
+    "spread_bits",
+    "upsample_chips",
+    "chip_matched_filter",
+    "decimate",
+    "instantaneous_power",
+    "integrate_and_dump",
+    "moving_average",
+    "estimate_snr_db",
+    "evm",
+    "relative_power_difference",
+    "snr_from_amplitudes",
+    "FIRST_HARMONIC_AMPLITUDE",
+    "harmonic_power_db",
+    "square_wave",
+    "square_wave_harmonics",
+    "tone",
+]

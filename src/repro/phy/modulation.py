@@ -1,0 +1,174 @@
+"""Spreading, OOK modulation and the tag's baseband chip pipeline.
+
+The tag-side transmit chain (paper Sec. III-A, V-A, Fig. 4) is:
+
+1. *Encoding*: each frame bit is replaced by the tag's PN code (bit 1)
+   or its bitwise negation (bit 0) -- the paper's modified 2NC rule,
+   illustrated by its own example ``data "10" + PN "01001" ->
+   "0100110110"``.
+2. *Upsampling*: each chip is held for an integer number of samples.
+3. *On/Off keying*: a chip value of 1 enables the 20 MHz square wave
+   driving the antenna switch, 0 leaves the antenna in the reference
+   state.  In complex baseband at the shifted frequency this is an
+   amplitude of ``(4/pi) * |delta Gamma|/2`` with the channel's phase,
+   versus zero.
+
+Asynchrony (the paper's first challenge) appears here as a per-tag
+fractional-sample delay applied to the chip waveform.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.phy.waveform import FIRST_HARMONIC_AMPLITUDE
+from repro.utils.bits import as_bit_array
+
+__all__ = [
+    "spread_bits",
+    "despread_reference",
+    "upsample_chips",
+    "ook_baseband",
+    "fractional_delay",
+    "chips_per_frame",
+]
+
+
+def spread_bits(bits, code: np.ndarray) -> np.ndarray:
+    """Encode *bits* with PN *code*: 1 -> code, 0 -> negation of code.
+
+    Reproduces the paper's example: data ``10`` with PN ``01001``
+    yields ``0100110110``.  Returns a 0/1 uint8 chip array of length
+    ``len(bits) * len(code)``.
+    """
+    b = as_bit_array(bits)
+    c = as_bit_array(code)
+    if c.size == 0:
+        raise ValueError("code must be non-empty")
+    # Outer XNOR: chip = code when bit==1, 1-code when bit==0.
+    out = np.bitwise_xor(c[None, :], 1 - b[:, None].astype(np.uint8))
+    return out.reshape(-1).astype(np.uint8)
+
+
+def despread_reference(code: np.ndarray) -> np.ndarray:
+    """Bipolar template for one bit: +1 where the code is 1, -1 where 0.
+
+    Correlating a received chip block against this template yields a
+    positive statistic for bit 1 and a negative one for bit 0 (because
+    the bit-0 chips are the exact negation), which is what the
+    receiver's chip decoder thresholds.
+    """
+    c = as_bit_array(code).astype(np.float64)
+    return c * 2.0 - 1.0
+
+
+def upsample_chips(chips, samples_per_chip: int) -> np.ndarray:
+    """Hold each chip for *samples_per_chip* samples (rectangular pulse)."""
+    if samples_per_chip < 1:
+        raise ValueError("samples_per_chip must be >= 1")
+    arr = np.asarray(chips)
+    return np.repeat(arr, samples_per_chip)
+
+
+def ook_baseband(
+    chip_samples: np.ndarray,
+    amplitude: Union[float, complex] = 1.0,
+    include_harmonic_gain: bool = True,
+) -> np.ndarray:
+    """Complex-baseband OOK signal from an upsampled 0/1 chip stream.
+
+    The receiver tunes to ``f_c - delta_f``; in its baseband the tag's
+    square-wave fundamental appears as a complex gain.  *amplitude*
+    carries the composite channel (path loss x delta-Gamma x phase).
+    When *include_harmonic_gain* is set the square-wave fundamental
+    factor 4/pi (paper eq. 2) is applied; disable it when the caller
+    already folded that into *amplitude*.
+    """
+    samples = np.asarray(chip_samples, dtype=np.float64)
+    gain = FIRST_HARMONIC_AMPLITUDE if include_harmonic_gain else 1.0
+    return samples * (complex(amplitude) * gain)
+
+
+def fractional_delay(signal: np.ndarray, delay_samples: float, total_length: int = None) -> np.ndarray:
+    """Delay *signal* by a possibly fractional number of samples.
+
+    Integer part shifts; fractional part linearly interpolates between
+    neighbouring samples (adequate for rectangular chip pulses and
+    cheap enough for thousand-packet sweeps).  Output is zero-padded to
+    *total_length* (default: ``len(signal) + ceil(delay)``).
+    """
+    if delay_samples < 0:
+        raise ValueError("delay must be non-negative")
+    sig = np.asarray(signal)
+    n_int = int(np.floor(delay_samples))
+    frac = float(delay_samples - n_int)
+    if total_length is None:
+        total_length = sig.size + n_int + (1 if frac > 0 else 0)
+    out = np.zeros(total_length, dtype=np.result_type(sig.dtype, np.float64))
+    if frac == 0.0:
+        end = min(n_int + sig.size, total_length)
+        out[n_int:end] = sig[: end - n_int]
+        return out
+    # Linear interpolation: y[k] = (1-frac)*x[k - n_int] + frac*x[k - n_int - 1]
+    shifted = np.zeros(sig.size + 1, dtype=out.dtype)
+    shifted[: sig.size] += (1.0 - frac) * sig
+    shifted[1:] += frac * sig
+    end = min(n_int + shifted.size, total_length)
+    out[n_int:end] = shifted[: end - n_int]
+    return out
+
+
+def chips_per_frame(n_bits: int, code_length: int) -> int:
+    """Total chips occupied by a frame of *n_bits* spread by a code."""
+    if n_bits < 0 or code_length < 1:
+        raise ValueError("invalid frame geometry")
+    return n_bits * code_length
+
+
+def waveform_from_edges(chips, edges_chips: np.ndarray, samples_per_chip: int, total_length: int = None) -> np.ndarray:
+    """Synthesise a 0/1 chip waveform with *arbitrary* chip edges.
+
+    The ideal pipeline (:func:`upsample_chips` + :func:`fractional_delay`)
+    assumes a perfectly regular chip clock; a drifting or jittering tag
+    oscillator places every edge differently.  Here chip *k* occupies
+    the fractional-sample interval ``[edges[k], edges[k+1]) * spc`` and
+    each output sample integrates the chips overlapping it -- exact for
+    rectangular pulses, fully vectorised (difference-array + cumsum).
+
+    Parameters
+    ----------
+    chips:
+        0/1 chip values (length ``n``).
+    edges_chips:
+        ``n + 1`` monotonically non-decreasing edge positions in *chip*
+        units (e.g. from :meth:`TagOscillator.chip_edges`).
+    samples_per_chip:
+        Sample grid density.
+    """
+    values = np.asarray(chips, dtype=np.float64)
+    edges = np.asarray(edges_chips, dtype=np.float64) * samples_per_chip
+    if edges.size != values.size + 1:
+        raise ValueError(
+            f"need {values.size + 1} edges for {values.size} chips, got {edges.size}"
+        )
+    if np.any(np.diff(edges) < 0):
+        raise ValueError("edges must be non-decreasing")
+    if np.any(edges < 0):
+        raise ValueError("edges must be non-negative")
+    n_out = int(np.ceil(edges[-1])) + 1 if total_length is None else int(total_length)
+    # Accumulate d(step)/dn impulses with linear fractional splitting,
+    # then integrate: a unit step rising at fractional position p adds
+    # (1-frac) at floor(p) and frac at floor(p)+1 of the *difference*
+    # of the sample-integrated waveform.
+    grad = np.zeros(n_out + 2, dtype=np.float64)
+    starts = edges[:-1]
+    ends = edges[1:]
+    for sign, positions in ((+1.0, starts), (-1.0, ends)):
+        pos = np.clip(positions, 0.0, n_out)
+        idx = np.floor(pos).astype(np.int64)
+        frac = pos - idx
+        np.add.at(grad, idx, sign * values * (1.0 - frac))
+        np.add.at(grad, idx + 1, sign * values * frac)
+    return np.cumsum(grad)[:n_out]

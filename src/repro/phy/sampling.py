@@ -1,0 +1,81 @@
+"""Receiver-side sampling primitives.
+
+The CBMA receiver samples the shifted band at ``f_s`` and runs simple,
+FPGA-friendly operators: moving-average filtering for the energy
+detector, integrate-and-dump downsampling to chip rate, and signal
+power estimation (paper Sec. III-B, V-B: ``P = sqrt(I^2 + Q^2)`` then
+downsample).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "moving_average",
+    "integrate_and_dump",
+    "instantaneous_power",
+    "decimate",
+    "chip_matched_filter",
+]
+
+
+def moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Causal moving average with *window* taps (same length as input).
+
+    The first ``window - 1`` outputs average over the partial history,
+    matching a streaming hardware implementation that starts cold.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    arr = np.asarray(x, dtype=np.float64)
+    csum = np.concatenate(([0.0], np.cumsum(arr)))
+    idx = np.arange(1, arr.size + 1)
+    lo = np.maximum(idx - window, 0)
+    return (csum[idx] - csum[lo]) / (idx - lo)
+
+
+def instantaneous_power(iq: np.ndarray) -> np.ndarray:
+    """Per-sample magnitude ``sqrt(I^2 + Q^2)`` of a complex signal.
+
+    This is the paper's ``P(t)`` (Sec. V-B); note it is an amplitude,
+    kept under the paper's name for fidelity.
+    """
+    return np.abs(np.asarray(iq))
+
+
+def integrate_and_dump(samples: np.ndarray, samples_per_chip: int, offset: int = 0) -> np.ndarray:
+    """Average consecutive groups of *samples_per_chip* samples.
+
+    The optimal receiver for rectangular chips: integrate over each
+    chip interval, starting at *offset* samples, dropping any trailing
+    partial chip.
+    """
+    if samples_per_chip < 1:
+        raise ValueError("samples_per_chip must be >= 1")
+    arr = np.asarray(samples)[offset:]
+    n_chips = arr.size // samples_per_chip
+    if n_chips == 0:
+        return arr[:0]
+    trimmed = arr[: n_chips * samples_per_chip]
+    return trimmed.reshape(n_chips, samples_per_chip).mean(axis=1)
+
+
+def decimate(samples: np.ndarray, factor: int, offset: int = 0) -> np.ndarray:
+    """Keep every *factor*-th sample starting at *offset* (no filtering)."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    return np.asarray(samples)[offset::factor]
+
+
+def chip_matched_filter(samples: np.ndarray, samples_per_chip: int) -> np.ndarray:
+    """Sliding rectangular matched filter of one chip duration.
+
+    Unlike :func:`integrate_and_dump` the output keeps sample rate, so
+    a synchroniser can search for the best chip timing.
+    """
+    if samples_per_chip < 1:
+        raise ValueError("samples_per_chip must be >= 1")
+    arr = np.asarray(samples)
+    kernel = np.ones(samples_per_chip) / samples_per_chip
+    return np.convolve(arr, kernel, mode="valid")

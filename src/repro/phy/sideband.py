@@ -1,0 +1,106 @@
+"""Double- vs single-sideband backscatter (paper footnote 1, ref. [10]).
+
+A square-wave-driven switch multiplies the excitation tone by a real
+waveform, so the backscatter appears at *both* ``f_c - delta_f`` and
+``f_c + delta_f``: half the reflected power lands in an image band the
+receiver never looks at, and -- worse -- anything already occupying the
+image band folds onto the wanted band in a real-mixer receiver.  The
+paper sidesteps the analysis ("we can use the method proposed in [10]
+to generate single sideband backscatter") -- ref. [10] drives *two*
+switches in quadrature so the two sidebands cancel on one side.
+
+This module provides both models:
+
+- :func:`dsb_components` -- the two sideband amplitudes of a
+  square-wave modulator (each carries 1/2 of the fundamental's
+  amplitude, i.e. -6 dB per sideband relative to the total);
+- :func:`ssb_components` -- the quadrature (Hartley) modulator with a
+  configurable phase error: perfect quadrature puts everything in one
+  sideband; phase/amplitude error leaks back into the image;
+- :func:`image_rejection_db` -- the classic IRR formula, so hardware
+  tolerances translate into residual image level;
+- :func:`sideband_efficiency` -- fraction of backscattered power in
+  the wanted band, the number that multiplies the link budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+__all__ = [
+    "dsb_components",
+    "ssb_components",
+    "image_rejection_db",
+    "sideband_efficiency",
+]
+
+
+def dsb_components(amplitude: float = 1.0) -> Tuple[complex, complex]:
+    """(wanted, image) sideband amplitudes of a plain square-wave mixer.
+
+    A real modulating waveform ``m(t) = A cos(2 pi df t)`` splits as
+    ``A/2 e^{+j 2 pi df t} + A/2 e^{-j 2 pi df t}``: each sideband
+    carries half the amplitude (a quarter of the power).
+    """
+    half = amplitude / 2.0
+    return complex(half), complex(half)
+
+
+def ssb_components(
+    amplitude: float = 1.0,
+    phase_error_rad: float = 0.0,
+    amplitude_imbalance_db: float = 0.0,
+) -> Tuple[complex, complex]:
+    """(wanted, image) amplitudes of a quadrature (Hartley) modulator.
+
+    Two switch networks driven by ``cos`` and ``sin`` square waves
+    synthesise ``m(t) = A e^{j 2 pi df t}`` -- all power in one
+    sideband -- when the branches are perfectly matched.  A phase error
+    ``phi`` between the branches and an amplitude imbalance ``g``
+    (linear, from dB) leave a residual image:
+
+    ``wanted = A (1 + g e^{j phi}) / 2``,
+    ``image  = A (1 - g e^{-j phi}) / 2``.
+    """
+    g = 10.0 ** (amplitude_imbalance_db / 20.0)
+    rot = complex(math.cos(phase_error_rad), math.sin(phase_error_rad))
+    wanted = amplitude * (1.0 + g * rot) / 2.0
+    image = amplitude * (1.0 - g * rot.conjugate()) / 2.0
+    return wanted, image
+
+
+def image_rejection_db(phase_error_rad: float, amplitude_imbalance_db: float = 0.0) -> float:
+    """Image rejection ratio of a quadrature modulator, in dB.
+
+    ``IRR = |wanted|^2 / |image|^2``; with small errors this follows
+    the classic ``(4 / (phi^2 + (dg)^2))`` approximation, but the exact
+    expression is used here.
+    """
+    wanted, image = ssb_components(1.0, phase_error_rad, amplitude_imbalance_db)
+    p_wanted = abs(wanted) ** 2
+    p_image = abs(image) ** 2
+    if p_image == 0:
+        return float("inf")
+    return 10.0 * math.log10(p_wanted / p_image)
+
+
+def sideband_efficiency(
+    single_sideband: bool,
+    phase_error_rad: float = 0.0,
+    amplitude_imbalance_db: float = 0.0,
+) -> float:
+    """Fraction of backscattered power landing in the wanted band.
+
+    Multiplies the ``|delta Gamma|^2 / 4`` factor in the link budget:
+    0.5 for the paper's plain square-wave (DSB) tag, approaching 1.0
+    for an ideal quadrature (SSB) tag, in between for an imperfect one.
+    """
+    if single_sideband:
+        wanted, image = ssb_components(1.0, phase_error_rad, amplitude_imbalance_db)
+    else:
+        wanted, image = dsb_components(1.0)
+    p_wanted = abs(wanted) ** 2
+    p_image = abs(image) ** 2
+    total = p_wanted + p_image
+    return p_wanted / total if total else 0.0

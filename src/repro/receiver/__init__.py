@@ -1,0 +1,41 @@
+"""The CBMA receiver: frame sync, user detection, decoding, ACK.
+
+- :mod:`repro.receiver.frame_sync` -- sliding-window energy detection.
+- :mod:`repro.receiver.user_detection` -- per-PN-code preamble
+  correlation with timing and channel estimation.
+- :mod:`repro.receiver.decoder` -- coherent chip-correlation decoding.
+- :mod:`repro.receiver.ack` -- acknowledgement broadcast.
+- :mod:`repro.receiver.receiver` -- the composed pipeline.
+- :mod:`repro.receiver.sic` -- successive interference cancellation
+  extension (receiver-side near-far mitigation).
+- :mod:`repro.receiver.diversity` -- multi-antenna MRC extension.
+- :mod:`repro.receiver.streaming` -- continuous-stream reception.
+- :mod:`repro.receiver.phase_tracking` -- CFO-tolerant decoding.
+"""
+
+from repro.receiver.ack import AckMessage
+from repro.receiver.decoder import ChipDecoder, DecodedFrame
+from repro.receiver.frame_sync import EnergyDetector, FrameSyncResult
+from repro.receiver.diversity import DiversityReceiver
+from repro.receiver.receiver import CbmaReceiver, ReceptionReport
+from repro.receiver.phase_tracking import PhaseTrackingReceiver
+from repro.receiver.sic import SicReceiver
+from repro.receiver.streaming import StreamFrame, StreamingReceiver
+from repro.receiver.user_detection import UserDetection, UserDetector
+
+__all__ = [
+    "AckMessage",
+    "ChipDecoder",
+    "DecodedFrame",
+    "EnergyDetector",
+    "FrameSyncResult",
+    "CbmaReceiver",
+    "ReceptionReport",
+    "SicReceiver",
+    "PhaseTrackingReceiver",
+    "DiversityReceiver",
+    "StreamFrame",
+    "StreamingReceiver",
+    "UserDetection",
+    "UserDetector",
+]

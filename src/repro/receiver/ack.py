@@ -1,0 +1,33 @@
+"""Acknowledgement messages (paper Sec. III-B).
+
+"The receiver broadcasts the acknowledgement message to the backscatter
+tags to indicate the ID of the successfully decoded tags."  The ACK is
+the only feedback a tag ever receives and is what drives Algorithm 1's
+power control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+__all__ = ["AckMessage"]
+
+
+@dataclass(frozen=True)
+class AckMessage:
+    """One broadcast ACK: the set of tag ids decoded this round."""
+
+    decoded_ids: FrozenSet[int] = field(default_factory=frozenset)
+    round_index: int = 0
+
+    @classmethod
+    def for_ids(cls, ids: Iterable[int], round_index: int = 0) -> "AckMessage":
+        return cls(decoded_ids=frozenset(int(i) for i in ids), round_index=round_index)
+
+    def acknowledges(self, tag_id: int) -> bool:
+        """True when *tag_id* was decoded this round."""
+        return int(tag_id) in self.decoded_ids
+
+    def __len__(self) -> int:
+        return len(self.decoded_ids)

@@ -1,0 +1,173 @@
+"""User detection: which tags are inside a detected frame collision.
+
+Paper Sec. III-B: "we use each of the PN sequences to cross-correlate
+with the preamble of the received frame.  If the correlation value of a
+PN sequence is larger than a predetermined threshold, the user with
+this PN sequence is determined to be in the frame with high
+probability."
+
+For each registered tag the detector builds the *spread preamble
+template* (preamble bits encoded with that tag's PN code, upsampled),
+slides it over a search window around the energy detection, and
+declares the user present when the normalised correlation peak clears
+the threshold.  The peak position doubles as the tag's timing estimate
+and the complex projection at the peak as its channel estimate -- both
+consumed by the decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.phy.modulation import spread_bits, upsample_chips
+from repro.tag.framing import FrameFormat
+from repro.utils.bits import bits_to_bipolar
+from repro.utils.correlation import correlation_peaks, sliding_correlation
+
+__all__ = ["UserDetector", "UserDetection"]
+
+
+@dataclass(frozen=True)
+class UserDetection:
+    """One detected user within a collision.
+
+    ``offset``/``score``/``channel`` describe the best alignment;
+    ``candidates`` lists up to a handful of near-maximal alignments
+    (best first) for multi-hypothesis decoding.  The CBMA preamble is
+    an alternating bit pattern and bit-0 chips are the negated code, so
+    alignments shifted by whole bits *anti-correlate* at almost full
+    magnitude -- phase-blind correlation cannot resolve them, but the
+    frame CRC can: the receiver tries each candidate until one parses.
+    """
+
+    user_id: int
+    offset: int
+    """Sample index (within the search buffer) where the frame begins."""
+    score: float
+    """Normalised correlation peak in [0, 1]."""
+    channel: complex
+    """Estimated complex channel gain (amplitude of a unit chip)."""
+    candidates: tuple = ()
+    """((offset, score, channel), ...) alternative alignments, best first."""
+
+
+class UserDetector:
+    """Correlation-based multi-user detector.
+
+    Parameters
+    ----------
+    codes:
+        Mapping user id -> PN code (0/1 chips).
+    fmt:
+        Frame format (the preamble is the correlation anchor).
+    samples_per_chip:
+        Oversampling factor of the receive buffer.
+    threshold:
+        Normalised-correlation acceptance threshold.  The score of a
+        present user scales as ``~0.7/sqrt(n_tags)`` (the window energy
+        contains every tag), i.e. ~0.22 for a 10-tag collision, while
+        an absent user's leakage stays below ~0.3x the strongest
+        present score; 0.12 accepts all present users up to 10-tag
+        collisions and lets near-far-suppressed users fail -- the
+        behaviour power control exists to fix.  The user-detection
+        benchmark sweeps this.
+    """
+
+    def __init__(
+        self,
+        codes: Dict[int, np.ndarray],
+        fmt: Optional[FrameFormat] = None,
+        samples_per_chip: int = 1,
+        threshold: float = 0.12,
+        max_hypotheses: int = 8,
+    ):
+        if not codes:
+            raise ValueError("detector needs at least one user code")
+        if samples_per_chip < 1:
+            raise ValueError("samples_per_chip must be >= 1")
+        self.fmt = fmt or FrameFormat()
+        self.samples_per_chip = samples_per_chip
+        self.threshold = threshold
+        self.max_hypotheses = max_hypotheses
+        self.codes = {int(uid): np.asarray(code, dtype=np.uint8) for uid, code in codes.items()}
+        # Bipolar spread-preamble templates: zero-mean-ish, so the
+        # correlation rejects the DC offset contributed by other tags'
+        # unipolar chip activity.
+        self._templates: Dict[int, np.ndarray] = {}
+        for uid, code in self.codes.items():
+            chips = spread_bits(self.fmt.preamble, code)
+            template = upsample_chips(bits_to_bipolar(chips), samples_per_chip)
+            self._templates[uid] = template
+
+    def template(self, user_id: int) -> np.ndarray:
+        """The spread-preamble template for *user_id* (bipolar, upsampled)."""
+        return self._templates[int(user_id)]
+
+    def template_length(self, user_id: int) -> int:
+        return self._templates[int(user_id)].size
+
+    def detect(self, window: np.ndarray, max_users: Optional[int] = None) -> List[UserDetection]:
+        """Detect users inside *window* (complex samples).
+
+        The window should start at (or slightly before) the energy
+        detection and span at least one spread preamble plus the
+        largest expected inter-tag offset.  Returns detections sorted
+        by descending score, truncated to *max_users* when given.
+        """
+        x = np.asarray(window)
+        out: List[UserDetection] = []
+        for uid, template in self._templates.items():
+            if x.size < template.size:
+                continue
+            corr = sliding_correlation(x, template, normalize=True)
+            if corr.size == 0:
+                continue
+            best = int(np.argmax(corr))
+            score = float(corr[best])
+            if score < self.threshold:
+                continue
+            # Near-maximal alternative alignments: the +/-k-bit
+            # correlation images of the alternating preamble, plus any
+            # payload stretch that happens to imitate the preamble
+            # pattern.  Spaced at least half a bit block apart so
+            # sub-sample neighbours of one peak are not counted as
+            # separate hypotheses.  Hypotheses are ordered EARLIEST
+            # FIRST: the true preamble always precedes payload content
+            # that mimics it, and a too-early image simply fails its
+            # CRC and falls through to the next candidate.
+            block = self.samples_per_chip * int(self.codes[uid].size)
+            peaks = correlation_peaks(
+                corr, threshold=max(self.threshold, 0.5 * score), min_spacing=max(block // 2, 1)
+            )
+            ranked = sorted(int(k) for k in peaks)[: self.max_hypotheses - 1]
+            # The global maximum is always kept as a hypothesis even
+            # when many above-threshold leak peaks precede it -- it is
+            # usually the true preamble (or a +/-1-bit image of it).
+            if best not in ranked:
+                ranked = sorted(ranked + [best])
+            candidates = []
+            for k in ranked:
+                segment = x[k : k + template.size]
+                # Least-squares complex gain of a unit-amplitude chip:
+                # h = <x, t> / ||t||^2 with t the bipolar template.
+                h = complex(np.vdot(template, segment) / float(np.vdot(template, template).real))
+                candidates.append((int(k), float(corr[k]), h))
+            if not candidates:
+                segment = x[best : best + template.size]
+                h = complex(np.vdot(template, segment) / float(np.vdot(template, template).real))
+                candidates = [(best, score, h)]
+            # Report the strongest candidate as the detection's headline
+            # offset/score (used for ranking and ghost arbitration).
+            peak, score, h = max(candidates, key=lambda c: c[1])
+            out.append(
+                UserDetection(
+                    user_id=uid, offset=peak, score=score, channel=h, candidates=tuple(candidates)
+                )
+            )
+        out.sort(key=lambda d: d.score, reverse=True)
+        if max_users is not None:
+            out = out[:max_users]
+        return out

@@ -1,0 +1,44 @@
+"""Simulation engine: collisions, networks, metrics, experiments.
+
+- :mod:`repro.sim.collision` -- sample-level multi-tag superposition.
+- :mod:`repro.sim.network` -- the full CBMA network round loop.
+- :mod:`repro.sim.metrics` -- FER/BER/PRR/throughput accounting.
+- :mod:`repro.sim.experiments` -- canned drivers for every paper
+  table and figure.
+- :mod:`repro.sim.trace` -- channel-trace recording and replay.
+- :mod:`repro.sim.traffic` -- arrival models for network-level studies.
+- :mod:`repro.sim.sweep` -- parameter grids with optional parallelism.
+- :mod:`repro.sim.unslotted` -- fully asynchronous (round-free) operation.
+"""
+
+from repro.sim.collision import CollisionScenario, RoundTruth, simulate_round
+from repro.sim.metrics import MetricsAccumulator, RoundOutcome, score_frame
+from repro.sim.network import CbmaConfig, CbmaNetwork, CALIBRATED_EXTRA_NOISE_DB
+from repro.sim.sweep import grid, sweep
+from repro.sim.trace import ChannelTrace, TraceRound, record_trace, replay_trace
+from repro.sim.traffic import BurstyArrivals, PeriodicArrivals, PoissonArrivals
+from repro.sim.unslotted import UnslottedResult, UnslottedScenario, simulate_unslotted
+
+__all__ = [
+    "CollisionScenario",
+    "RoundTruth",
+    "simulate_round",
+    "MetricsAccumulator",
+    "RoundOutcome",
+    "score_frame",
+    "CbmaConfig",
+    "CbmaNetwork",
+    "CALIBRATED_EXTRA_NOISE_DB",
+    "ChannelTrace",
+    "TraceRound",
+    "record_trace",
+    "replay_trace",
+    "grid",
+    "sweep",
+    "BurstyArrivals",
+    "PeriodicArrivals",
+    "PoissonArrivals",
+    "UnslottedResult",
+    "UnslottedScenario",
+    "simulate_unslotted",
+]

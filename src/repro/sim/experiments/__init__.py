@@ -1,0 +1,94 @@
+"""Canned drivers for every table and figure in the paper's evaluation.
+
+| Paper artefact | Driver |
+|---|---|
+| Table I   | :func:`table1_system_comparison` |
+| Table II  | :func:`table2_power_difference` |
+| Fig. 5    | :func:`fig5_signal_field` |
+| Fig. 8(a) | :func:`fig8a_distance` |
+| Fig. 8(b) | :func:`fig8b_power` |
+| Fig. 8(c) | :func:`fig8c_preamble` |
+| Fig. 9(a) | :func:`fig9a_bitrate` |
+| Fig. 9(b) | :func:`fig9b_pn_codes` |
+| Fig. 9(c) | :func:`fig9c_power_control` |
+| Fig. 10   | :func:`fig10_deployment_cdfs` |
+| Fig. 11   | :func:`fig11_asynchrony` |
+| Fig. 12   | :func:`fig12_working_conditions` |
+| Sec VII-B2| :func:`user_detection_accuracy` |
+| Headline  | :func:`headline_throughput` |
+
+Every driver accepts a ``rounds``-style fidelity knob so unit tests can
+run them cheaply while benchmarks run them at paper scale.
+"""
+
+from repro.channel.geometry import Point
+from repro.channel.pathloss import LinkBudget, signal_strength_field
+from repro.sim.experiments.codes_power import (
+    fig9b_pn_codes,
+    fig9c_power_control,
+    table2_power_difference,
+)
+from repro.sim.experiments.common import (
+    BENCH_ROOM,
+    OFFICE_ROOM,
+    ExperimentResult,
+    bench_deployment,
+    build_network,
+)
+from repro.sim.experiments.comparative import (
+    PRIOR_SYSTEMS_TABLE1,
+    ThroughputComparison,
+    headline_throughput,
+    table1_system_comparison,
+    user_detection_accuracy,
+)
+from repro.sim.experiments.macro import (
+    fig10_deployment_cdfs,
+    fig11_asynchrony,
+    fig12_working_conditions,
+)
+from repro.sim.experiments.micro import (
+    fig8a_distance,
+    fig8b_power,
+    fig8c_preamble,
+    fig9a_bitrate,
+)
+
+__all__ = [
+    "fig5_signal_field",
+    "fig8a_distance",
+    "fig8b_power",
+    "fig8c_preamble",
+    "fig9a_bitrate",
+    "fig9b_pn_codes",
+    "fig9c_power_control",
+    "fig10_deployment_cdfs",
+    "fig11_asynchrony",
+    "fig12_working_conditions",
+    "table1_system_comparison",
+    "table2_power_difference",
+    "user_detection_accuracy",
+    "headline_throughput",
+    "ThroughputComparison",
+    "PRIOR_SYSTEMS_TABLE1",
+    "ExperimentResult",
+    "BENCH_ROOM",
+    "OFFICE_ROOM",
+    "bench_deployment",
+    "build_network",
+]
+
+
+def fig5_signal_field(resolution: int = 41, d_meters: float = 0.5):
+    """Theoretical backscatter signal strength field (paper Fig. 5).
+
+    Evaluates Friis eq. (1) on a grid with the ES at ``(-D, 0)`` and
+    the receiver at ``(+D, 0)``.  Returns ``(xs, ys, field_dbm)``.
+    """
+    budget = LinkBudget()
+    return signal_strength_field(
+        budget,
+        excitation=Point(-d_meters, 0.0),
+        receiver=Point(d_meters, 0.0),
+        resolution=resolution,
+    )

@@ -1,0 +1,68 @@
+"""Shared fixtures for the paper-reproduction experiments.
+
+All experiments share the paper's benchmark geometry (Sec. IV, Fig. 3):
+the excitation source and receiver sit 2*D = 1 m apart and tags are
+placed on the bench between/around them.  ``BENCH_ROOM`` bounds the
+random placements to the tabletop scale visible in the paper's Fig. 3;
+macro experiments that need the whole office use ``OFFICE_ROOM``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.channel.geometry import Deployment, Room
+from repro.sim.network import CbmaConfig, CbmaNetwork
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "BENCH_ROOM",
+    "OFFICE_ROOM",
+    "ExperimentResult",
+    "bench_deployment",
+    "build_network",
+]
+
+#: Tabletop placement region of the benchmark experiments (Fig. 3).
+BENCH_ROOM = Room(width=1.6, depth=1.2)
+
+#: The full office of Sec. VII-A.
+OFFICE_ROOM = Room(width=6.0, depth=4.0)
+
+#: Default spacing floor between randomly placed tags (> lambda/2 at
+#: 2 GHz, avoiding the mutual-coupling regime unless a macro experiment
+#: deliberately allows it).
+DEFAULT_MIN_SPACING_M = 0.15
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's labelled data, ready for rendering.
+
+    ``x`` is the swept parameter, ``series`` maps a label (e.g.
+    "2 tags") to y-values aligned with ``x``; ``notes`` carries
+    free-form context (parameters, paper reference values).
+    """
+
+    experiment_id: str
+    x_label: str
+    x: List = field(default_factory=list)
+    series: dict = field(default_factory=dict)
+    notes: str = ""
+
+
+def bench_deployment(n_tags: int, rng=None, min_spacing: float = DEFAULT_MIN_SPACING_M) -> Deployment:
+    """Random tabletop deployment in the paper's benchmark region."""
+    return Deployment.random(n_tags, rng=make_rng(rng), room=BENCH_ROOM, min_spacing=min_spacing)
+
+
+def build_network(
+    config: CbmaConfig,
+    deployment: Optional[Deployment] = None,
+    fixed_offsets_chips: Optional[Sequence[float]] = None,
+) -> CbmaNetwork:
+    """Construct a network, defaulting to a random bench deployment."""
+    if deployment is None:
+        deployment = bench_deployment(config.n_tags, rng=config.seed)
+    return CbmaNetwork(config, deployment, fixed_offsets_chips=fixed_offsets_chips)

@@ -1,0 +1,235 @@
+"""Comparative studies: user detection, Table I, the headline claim.
+
+- :func:`user_detection_accuracy` -- Sec. VII-B2: random active subsets
+  of a 10-tag pool; fraction of trials where the receiver identifies
+  exactly the transmitting tags (paper: 99.9%).
+- :func:`table1_system_comparison` -- our simulated CBMA next to the
+  single-tag TDMA / FSA / FDMA baselines plus the paper's Table I
+  figures for prior systems.
+- :func:`headline_throughput` -- the 10-tag aggregate rate and the
+  >10x comparison against the single-tag solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+from repro.mac.baselines.fdma import Fdma
+from repro.mac.baselines.fsa import FramedSlottedAloha
+from repro.mac.baselines.single_tag import SingleTagTdma
+from repro.channel.geometry import Deployment
+from repro.sim.experiments.common import ExperimentResult, bench_deployment
+from repro.sim.network import CbmaConfig, CbmaNetwork
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "user_detection_accuracy",
+    "table1_system_comparison",
+    "headline_throughput",
+    "PRIOR_SYSTEMS_TABLE1",
+]
+
+#: The paper's Table I, verbatim, for side-by-side reporting.
+PRIOR_SYSTEMS_TABLE1 = (
+    ("Ambient Backscatter", "1 kbps", 2, "<= 1 m"),
+    ("Wi-Fi Backscatter", "1 kbps", 1, "0.65 m"),
+    ("BackFi", "5 Mbps", 1, "1 m"),
+    ("FM Backscatter", "3.2 kbps", 1, "18 m"),
+    ("LoRa Backscatter", "8.7 bps", "1-2", "475 m"),
+    ("PLoRa", "6.25 kbps", 1, "1.1 km"),
+    ("Netscatter", "500 kbps", 256, "2 m"),
+)
+
+
+def user_detection_accuracy(
+    pool_size: int = 10,
+    n_trials: int = 200,
+    rounds_per_trial: int = 1,
+    seed: int = 81,
+    preamble_bits: int = 32,
+) -> ExperimentResult:
+    """User-detection accuracy over random active subsets (Sec. VII-B2).
+
+    Each trial activates a random subset of the 10-tag pool; the
+    receiver (which knows all 10 codes) must flag exactly the active
+    tags.  Accuracy counts a trial as correct when every transmitting
+    tag is detected and no silent tag is falsely decoded.  The paper
+    reports 99.9%, using "the best parameters obtained in the above
+    section" -- hence the long default preamble.
+    """
+    rng = make_rng(seed)
+    dep = bench_deployment(pool_size, rng=seed)
+    cfg = CbmaConfig(n_tags=pool_size, seed=seed, preamble_bits=preamble_bits)
+    net = CbmaNetwork(cfg, dep)
+
+    correct = 0
+    detect_hits = 0
+    detect_total = 0
+    false_alarms = 0
+    for _ in range(n_trials):
+        k = int(rng.integers(1, pool_size + 1))
+        active = sorted(rng.choice(pool_size, size=k, replace=False).tolist())
+        for _ in range(rounds_per_trial):
+            metrics = net.run_round(active_ids=active)
+            # Detection bookkeeping from the metrics of this round:
+            detect_total += k
+            detect_hits += metrics.frames_detected
+            false_alarms += metrics.false_decodes
+            ok = metrics.frames_detected == k and metrics.false_decodes == 0
+            correct += int(ok)
+
+    total = n_trials * rounds_per_trial
+    result = ExperimentResult(
+        experiment_id="user-detection",
+        x_label="metric",
+        x=["trial accuracy", "per-tag detection rate", "false decodes"],
+        notes=f"{pool_size}-tag pool, {total} trials, random subset sizes",
+    )
+    result.series["value"] = [
+        correct / total,
+        detect_hits / max(detect_total, 1),
+        float(false_alarms),
+    ]
+    return result
+
+
+@dataclass
+class ThroughputComparison:
+    """Aggregate goodputs of CBMA and the baselines (bits per second)."""
+
+    cbma_bps: float
+    single_tag_bps: float
+    fsa_bps: float
+    fdma_bps: float
+    n_tags: int
+    chip_rate_hz: float
+    cbma_fer: float = 0.0
+
+    @property
+    def aggregate_raw_bps(self) -> float:
+        """Raw on-air OOK bit rate summed over concurrent tags.
+
+        This is the paper's headline "multi-tag bit rate": with 10
+        tags keying at 800 kchip/s each, 8 Mbps of concurrent OOK
+        symbols are on the air.
+        """
+        return self.n_tags * self.chip_rate_hz
+
+    @property
+    def speedup_vs_single(self) -> float:
+        """CBMA goodput over ideal (genie-scheduled) single-tag TDMA."""
+        return self.cbma_bps / self.single_tag_bps if self.single_tag_bps else float("inf")
+
+    @property
+    def speedup_vs_fsa(self) -> float:
+        """CBMA goodput over framed-slotted-ALOHA single-tag access.
+
+        The paper's ">10x over single-tag solutions" holds against
+        this baseline: without collision decoding, distributed tags
+        must contend via FSA, whose slot efficiency is capped at 1/e.
+        """
+        return self.cbma_bps / self.fsa_bps if self.fsa_bps else float("inf")
+
+
+def _solo_success_probability(cfg: CbmaConfig, deployment, rounds: int = 40) -> Dict[int, float]:
+    """Per-tag solo (no collision) frame success probability."""
+    net = CbmaNetwork(cfg, deployment)
+    probs: Dict[int, float] = {}
+    for i in range(cfg.n_tags):
+        metrics = net.run_rounds(rounds, active_ids=[i])
+        probs[i] = metrics.per_tag_ack_ratio(i)
+    return probs
+
+
+def headline_throughput(
+    n_tags: int = 10,
+    chip_rate_hz: float = 800e3,
+    rounds: int = 100,
+    seed: int = 91,
+    samples_per_chip: int = 2,
+    code_length: int = 128,
+    preamble_bits: int = 16,
+) -> ThroughputComparison:
+    """The headline comparison: 10 concurrent tags vs one tag at a time.
+
+    Ten tags key OOK at 800 kchip/s each -- 8 Mbps of concurrent
+    on-air symbols, the paper's "10-tag bit rate of 8 Mbps" -- from a
+    controlled tabletop row (the demo layout).  CBMA decodes all ten
+    concurrently; the ideal single-tag TDMA baseline gives each tag
+    the whole channel one slot in N (genie scheduling); FSA is what
+    distributed single-tag systems can actually run (collisions lost,
+    slot efficiency <= 1/e); FDMA splits the band.  Expected shape:
+    CBMA ~N x (1 - FER) over ideal TDMA, and >10x over FSA.
+    """
+    cfg = CbmaConfig(
+        n_tags=n_tags,
+        chip_rate_hz=chip_rate_hz,
+        samples_per_chip=samples_per_chip,
+        code_length=code_length,
+        preamble_bits=preamble_bits,
+        seed=seed,
+    )
+    dep = Deployment.linear(n_tags, tag_to_rx=1.0, spacing=0.12)
+
+    net = CbmaNetwork(cfg, dep)
+    cbma_metrics = net.run_rounds(rounds)
+    cbma_bps = cbma_metrics.goodput_bps
+
+    frame_s = cfg.frame_duration_s()
+    payload_bits = cfg.payload_bits()
+    solo = _solo_success_probability(cfg, dep, rounds=max(rounds // 3, 20))
+    rng = make_rng(seed)
+
+    tdma = SingleTagTdma(list(range(n_tags)), lambda tid: solo[tid]).run(rounds * n_tags, rng)
+    single_bps = tdma.goodput_bps(payload_bits, frame_s)
+
+    fsa = FramedSlottedAloha(list(range(n_tags)), lambda tid: solo[tid]).run(rounds, rng)
+    fsa_bps = fsa.goodput_bps(payload_bits, frame_s)
+
+    fdma = Fdma(list(range(n_tags)), n_channels=min(n_tags, 4), success_probability=lambda tid: solo[tid]).run(
+        rounds, rng
+    )
+    fdma_bps = fdma.goodput_bps(payload_bits, frame_s, n_channels=min(n_tags, 4))
+
+    return ThroughputComparison(
+        cbma_bps=cbma_bps,
+        single_tag_bps=single_bps,
+        fsa_bps=fsa_bps,
+        fdma_bps=fdma_bps,
+        n_tags=n_tags,
+        chip_rate_hz=chip_rate_hz,
+        cbma_fer=cbma_metrics.fer,
+    )
+
+
+def table1_system_comparison(
+    tag_counts: Sequence[int] = (1, 2, 5, 10),
+    chip_rate_hz: float = 8.0e6,
+    rounds: int = 60,
+    seed: int = 95,
+) -> ExperimentResult:
+    """Our CBMA operating points next to the paper's Table I systems.
+
+    For each tag count the simulated aggregate goodput is reported;
+    prior systems' published numbers ride along in ``notes`` for the
+    side-by-side table the benchmark prints.
+    """
+    result = ExperimentResult(
+        experiment_id="table1",
+        x_label="number of tags",
+        x=list(tag_counts),
+        notes="prior systems: " + "; ".join(f"{n}: {r}, {t} tags, {d}" for n, r, t, d in PRIOR_SYSTEMS_TABLE1),
+    )
+    goodputs = []
+    fers = []
+    for n in tag_counts:
+        cfg = CbmaConfig(n_tags=n, chip_rate_hz=chip_rate_hz, seed=seed)
+        net = CbmaNetwork(cfg, bench_deployment(n, rng=seed + n))
+        metrics = net.run_rounds(rounds)
+        goodputs.append(metrics.goodput_bps)
+        fers.append(metrics.fer)
+    result.series["aggregate goodput (bps)"] = goodputs
+    result.series["FER"] = fers
+    return result

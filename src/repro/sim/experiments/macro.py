@@ -1,0 +1,204 @@
+"""Macro-benchmarks: deployment CDFs, asynchrony, working conditions.
+
+- :func:`fig10_deployment_cdfs` -- CDFs of error rate for no control /
+  power control / power control + tag selection (paper Fig. 10).
+- :func:`fig11_asynchrony` -- error rate vs inter-tag clock delay
+  (paper Fig. 11).
+- :func:`fig12_working_conditions` -- packet reception rate under
+  clean / WiFi / Bluetooth / OFDM-excitation conditions (paper
+  Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.geometry import Deployment
+from repro.channel.interference import (
+    BluetoothInterference,
+    NoInterference,
+    OfdmExcitationGate,
+    WiFiInterference,
+)
+from repro.mac.node_selection import NodeSelector
+from repro.mac.power_control import PowerController
+from repro.sim.experiments.common import BENCH_ROOM, ExperimentResult
+from repro.sim.network import CbmaConfig, CbmaNetwork
+from repro.utils.rng import make_rng
+
+__all__ = ["fig10_deployment_cdfs", "fig11_asynchrony", "fig12_working_conditions"]
+
+
+def _run_with_selection(
+    cfg: CbmaConfig,
+    deployment: Deployment,
+    rounds: int,
+    controller: PowerController,
+    selection_rounds: int = 2,
+    rng=None,
+) -> float:
+    """Power control + tag selection, then measure FER."""
+    rng = make_rng(rng)
+    net = CbmaNetwork(cfg, deployment)
+    selector = NodeSelector(deployment=deployment, budget=cfg.budget)
+    net.run_power_control(controller)
+    for _ in range(selection_rounds):
+        probe = net.run_rounds(max(rounds // 3, 10))
+        ratios = [probe.per_tag_ack_ratio(t.tag_id) for t in net.tags]
+        if all(r >= selector.ack_ratio_floor for r in ratios):
+            break
+        outcome = selector.select_round(net.positions, ratios, rng=rng)
+        net.positions = list(outcome.group)
+        net.run_power_control(controller)
+    return net.run_rounds(rounds).fer
+
+
+def fig10_deployment_cdfs(
+    n_tags: int = 5,
+    n_groups: int = 30,
+    n_idle_positions: int = 7,
+    rounds: int = 60,
+    seed: int = 51,
+    controller: Optional[PowerController] = None,
+) -> ExperimentResult:
+    """CDFs of error rate for three control strategies (paper Fig. 10).
+
+    Each group draws ``n_tags + n_idle_positions`` random bench
+    positions; the first *n_tags* start active and the rest are idle
+    candidates for tag selection.  Expected shape: the CDF with
+    selection + power control dominates power control alone, which
+    dominates no control; with power control alone roughly 60% of
+    deployments reach error < 5%.
+
+    ``series`` maps each strategy to the list of per-deployment FERs
+    (build a CDF with :func:`repro.analysis.stats.empirical_cdf`).
+    """
+    controller = controller or PowerController(packets_per_epoch=10)
+    rng = make_rng(seed)
+    none_fers: List[float] = []
+    pc_fers: List[float] = []
+    sel_fers: List[float] = []
+    for _ in range(n_groups):
+        s = int(rng.integers(0, 2**31))
+        dep = Deployment.random(
+            n_tags + n_idle_positions, rng=s, room=BENCH_ROOM, min_spacing=0.12
+        )
+        cfg = CbmaConfig(n_tags=n_tags, seed=s)
+
+        none_fers.append(CbmaNetwork(cfg, dep).run_rounds(rounds).fer)
+
+        net_pc = CbmaNetwork(cfg, dep)
+        net_pc.run_power_control(controller)
+        pc_fers.append(net_pc.run_rounds(rounds).fer)
+
+        sel_fers.append(_run_with_selection(cfg, dep, rounds, controller, rng=s))
+
+    result = ExperimentResult(
+        experiment_id="fig10",
+        x_label="deployment group",
+        x=list(range(1, n_groups + 1)),
+        notes=f"{n_tags} active tags, {n_idle_positions} idle positions, {rounds} packets",
+    )
+    result.series["no control"] = none_fers
+    result.series["power control"] = pc_fers
+    result.series["power control + tag selection"] = sel_fers
+    return result
+
+
+def fig11_asynchrony(
+    delays_chips: Sequence[float] = tuple(np.arange(0.0, 4.01, 0.25)),
+    rounds: int = 200,
+    tag_to_rx_m: float = 3.3,
+    code_length: int = 32,
+    seed: int = 61,
+) -> ExperimentResult:
+    """Error rate vs tag-2 clock delay (paper Fig. 11).
+
+    Two tags; tag 1 is the timing reference, tag 2's transmission is
+    delayed by a controlled number of chips.  Amplitude fading is
+    disabled so the sweep isolates asynchrony (matching the paper's
+    controlled-clock setup), but each round draws a fresh carrier phase
+    per tag -- any centimetre of path difference rotates the phase at
+    2 GHz, so fixed equal phases would be unphysical worst-case
+    coherent interference.  Expected shape: the error rate is lowest at
+    zero delay (chip-aligned codes retain their designed
+    cross-correlation) and jumps to a fluctuating plateau once any
+    appreciable delay exists.
+
+    The sweep runs with short (32-chip) codes at a distance past the
+    knee: with the paper's own parameters our receiver's
+    multi-hypothesis alignment makes 2-tag asynchrony almost free, so
+    the harsher operating point is needed to expose the penalty the
+    paper measures (its plateau is ~0.04).
+    """
+    from repro.channel.fading import FadingModel
+
+    phase_only = FadingModel(k_factor=1e6, shadowing_sigma_db=0.0)
+    result = ExperimentResult(
+        experiment_id="fig11",
+        x_label="tag-2 delay (chips)",
+        x=list(delays_chips),
+        notes=f"2 tags at {tag_to_rx_m} m, phase-only fading, {rounds} packets per point",
+    )
+    fers = []
+    for delay in delays_chips:
+        cfg = CbmaConfig(
+            n_tags=2, seed=seed, fading=phase_only, max_offset_chips=0.0,
+            code_length=code_length,
+        )
+        net = CbmaNetwork(
+            cfg,
+            Deployment.linear(2, tag_to_rx=tag_to_rx_m),
+            fixed_offsets_chips=[0.0, float(delay)],
+        )
+        fers.append(net.run_rounds(rounds).fer)
+    result.series["error rate"] = fers
+    return result
+
+
+def fig12_working_conditions(
+    n_tags: int = 3,
+    rounds: int = 150,
+    seed: int = 71,
+    wifi: Optional[WiFiInterference] = None,
+    bluetooth: Optional[BluetoothInterference] = None,
+    ofdm: Optional[OfdmExcitationGate] = None,
+) -> ExperimentResult:
+    """Packet reception rate under four working conditions (Fig. 12).
+
+    Cases: (i) clean, (ii) coexisting WiFi (CSMA/CA bursts), (iii)
+    coexisting Bluetooth (FHSS, rare hits), (iv) OFDM excitation
+    (intermittent energy for the tags to reflect).  Expected shape:
+    WiFi and Bluetooth cost only a little PRR; the OFDM excitation
+    costs a lot.
+    """
+    wifi = wifi or WiFiInterference(power_dbm=-50.0)
+    bluetooth = bluetooth or BluetoothInterference(power_dbm=-45.0)
+    # OFDM excitation bursts modelled as WiFi data-burst trains: tens
+    # of milliseconds on, ~10 ms quiet; frames overlapping a quiet gap
+    # reflect nothing and are lost.
+    ofdm = ofdm or OfdmExcitationGate(mean_on_s=25e-3, mean_off_s=10e-3)
+    conditions = [
+        ("no interference", {}),
+        ("WiFi interference", {"interference": wifi}),
+        ("Bluetooth interference", {"interference": bluetooth}),
+        ("OFDM excitation", {"excitation_gate": ofdm}),
+    ]
+    # "The locations of tags are fixed": a controlled good placement,
+    # so the comparison isolates the working condition.
+    dep = Deployment.linear(n_tags, tag_to_rx=1.0)
+    result = ExperimentResult(
+        experiment_id="fig12",
+        x_label="condition",
+        x=[name for name, _ in conditions],
+        notes=f"{n_tags} tags, fixed placement, {rounds} packets per condition",
+    )
+    prrs = []
+    for _name, overrides in conditions:
+        cfg = CbmaConfig(n_tags=n_tags, seed=seed, **overrides)
+        net = CbmaNetwork(cfg, dep)
+        prrs.append(net.run_rounds(rounds).prr)
+    result.series["PRR"] = prrs
+    return result

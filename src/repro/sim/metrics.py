@@ -1,0 +1,146 @@
+"""Experiment metrics: FER, BER, PRR, throughput.
+
+Definitions follow the paper:
+
+- *frame error rate* (FER): missing frames over transmitted frames
+  (Sec. IV: "the number of missing packets over the total number of
+  transmitted packets") -- a frame is missing when it is not decoded
+  with a valid CRC and matching payload;
+- *packet reception rate* (PRR): 1 - FER (Fig. 12's y-axis);
+- *bit error rate* (BER): wrong bits over decoded-frame bits,
+  computable only when ground truth is supplied;
+- *throughput/goodput*: delivered payload bits per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.bits import hamming_distance
+
+__all__ = ["RoundOutcome", "MetricsAccumulator", "score_frame"]
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """Per-tag result of one round, scored against ground truth."""
+
+    tag_id: int
+    transmitted: bool
+    detected: bool
+    decoded: bool
+    payload_correct: bool
+    bit_errors: int = 0
+    bits_compared: int = 0
+
+
+@dataclass
+class MetricsAccumulator:
+    """Accumulates outcomes across rounds and derives the paper metrics."""
+
+    frames_sent: int = 0
+    frames_detected: int = 0
+    frames_decoded: int = 0
+    frames_correct: int = 0
+    false_decodes: int = 0
+    """Frames 'decoded' for a tag that did not transmit (CRC slip)."""
+    bit_errors: int = 0
+    bits_compared: int = 0
+    payload_bits_delivered: int = 0
+    elapsed_s: float = 0.0
+    per_tag_sent: Dict[int, int] = field(default_factory=dict)
+    per_tag_correct: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, outcome: RoundOutcome, payload_bits: int = 0) -> None:
+        """Fold one per-tag outcome into the totals."""
+        if not outcome.transmitted:
+            if outcome.decoded:
+                self.false_decodes += 1
+            return
+        self.frames_sent += 1
+        self.per_tag_sent[outcome.tag_id] = self.per_tag_sent.get(outcome.tag_id, 0) + 1
+        if outcome.detected:
+            self.frames_detected += 1
+        if outcome.decoded:
+            self.frames_decoded += 1
+        if outcome.payload_correct:
+            self.frames_correct += 1
+            self.payload_bits_delivered += payload_bits
+            self.per_tag_correct[outcome.tag_id] = self.per_tag_correct.get(outcome.tag_id, 0) + 1
+        self.bit_errors += outcome.bit_errors
+        self.bits_compared += outcome.bits_compared
+
+    def add_time(self, seconds: float) -> None:
+        self.elapsed_s += seconds
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def fer(self) -> float:
+        """Frame error rate (missing / transmitted)."""
+        return 1.0 - self.frames_correct / self.frames_sent if self.frames_sent else 0.0
+
+    @property
+    def prr(self) -> float:
+        """Packet reception rate."""
+        return 1.0 - self.fer
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of transmitted frames whose user was detected."""
+        return self.frames_detected / self.frames_sent if self.frames_sent else 0.0
+
+    @property
+    def ber(self) -> float:
+        """Bit error rate over compared bits."""
+        return self.bit_errors / self.bits_compared if self.bits_compared else 0.0
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered payload bits per second of simulated air time."""
+        return self.payload_bits_delivered / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def per_tag_ack_ratio(self, tag_id: int) -> float:
+        """ACK ratio of one tag (1.0 when it never transmitted)."""
+        sent = self.per_tag_sent.get(tag_id, 0)
+        if not sent:
+            return 1.0
+        return self.per_tag_correct.get(tag_id, 0) / sent
+
+
+def score_frame(
+    tag_id: int,
+    sent_payload: Optional[bytes],
+    detected: bool,
+    decoded_payload: Optional[bytes],
+    raw_bits: Optional[np.ndarray] = None,
+    true_bits: Optional[np.ndarray] = None,
+) -> RoundOutcome:
+    """Score one tag's round against ground truth.
+
+    *sent_payload* is ``None`` for silent tags.  Bit-level errors are
+    counted when both raw decoded bits and the true post-preamble bits
+    are available and equal length.
+    """
+    transmitted = sent_payload is not None
+    decoded = decoded_payload is not None
+    correct = bool(transmitted and decoded and decoded_payload == sent_payload)
+    bit_errors = 0
+    bits_compared = 0
+    if raw_bits is not None and true_bits is not None and len(raw_bits) == len(true_bits):
+        bit_errors = hamming_distance(raw_bits, true_bits)
+        bits_compared = int(len(true_bits))
+    return RoundOutcome(
+        tag_id=tag_id,
+        transmitted=transmitted,
+        detected=detected,
+        decoded=decoded,
+        payload_correct=correct,
+        bit_errors=bit_errors,
+        bits_compared=bits_compared,
+    )

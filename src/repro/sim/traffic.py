@@ -1,0 +1,103 @@
+"""Traffic models for network-level simulation.
+
+The paper motivates CBMA with IoT devices that "transmit data at low
+rates or in a burst manner" (Sec. I).  These arrival processes feed the
+ARQ layer (:mod:`repro.mac.arq`) so throughput and latency can be
+studied under realistic offered load rather than full saturation:
+
+- :class:`PoissonArrivals` -- memoryless sensor reports;
+- :class:`PeriodicArrivals` -- fixed-interval telemetry with per-tag
+  phase offsets;
+- :class:`BurstyArrivals` -- ON/OFF bursts (events trigger a flurry of
+  readings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["PoissonArrivals", "PeriodicArrivals", "BurstyArrivals"]
+
+
+@dataclass
+class PoissonArrivals:
+    """Independent Poisson arrivals at *rate_hz* messages/second/tag."""
+
+    rate_hz: float
+
+    def draw(self, n_tags: int, duration_s: float, rng=None) -> np.ndarray:
+        """Messages arriving per tag during *duration_s*."""
+        if self.rate_hz < 0 or duration_s < 0:
+            raise ValueError("rate and duration must be non-negative")
+        rng = make_rng(rng)
+        return rng.poisson(self.rate_hz * duration_s, size=n_tags)
+
+
+@dataclass
+class PeriodicArrivals:
+    """One message every *period_s*, staggered across tags.
+
+    Tag *i* reports at phases ``i * period / n_tags`` -- the natural
+    firmware choice to avoid synchronous bursts.
+    """
+
+    period_s: float
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        self._elapsed = 0.0
+
+    def draw(self, n_tags: int, duration_s: float, rng=None) -> np.ndarray:
+        """Messages per tag during the next *duration_s* window."""
+        start = self._elapsed
+        end = start + duration_s
+        self._elapsed = end
+        counts = np.zeros(n_tags, dtype=np.int64)
+        for i in range(n_tags):
+            phase = (i / max(n_tags, 1)) * self.period_s
+            # Arrivals at phase + k*period inside [start, end).
+            k_first = int(np.ceil((start - phase) / self.period_s))
+            t = phase + k_first * self.period_s
+            while t < end:
+                if t >= start:
+                    counts[i] += 1
+                t += self.period_s
+        return counts
+
+
+@dataclass
+class BurstyArrivals:
+    """Two-state ON/OFF process: bursts of back-to-back messages.
+
+    Each window, a tag in OFF turns ON with probability *p_on*; while
+    ON it emits ``burst_rate_hz`` Poisson traffic and returns to OFF
+    with probability *p_off* at the window end.
+    """
+
+    burst_rate_hz: float
+    p_on: float = 0.05
+    p_off: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.p_on <= 1 and 0 <= self.p_off <= 1):
+            raise ValueError("probabilities must lie in [0, 1]")
+        self._state: dict = {}
+
+    def draw(self, n_tags: int, duration_s: float, rng=None) -> np.ndarray:
+        rng = make_rng(rng)
+        counts = np.zeros(n_tags, dtype=np.int64)
+        for i in range(n_tags):
+            on = self._state.get(i, False)
+            if not on and rng.random() < self.p_on:
+                on = True
+            if on:
+                counts[i] = rng.poisson(self.burst_rate_hz * duration_s)
+                if rng.random() < self.p_off:
+                    on = False
+            self._state[i] = on
+        return counts

@@ -1,0 +1,28 @@
+"""The backscatter tag: framing, clocking, encoding, power state.
+
+- :mod:`repro.tag.framing` -- the CBMA frame format (preamble, length,
+  payload, CRC-16).
+- :mod:`repro.tag.oscillator` -- clock offset/drift/jitter model.
+- :mod:`repro.tag.tag` -- the :class:`Tag` composing the transmit
+  pipeline and the power-control state.
+- :mod:`repro.tag.energy` -- RF harvesting and the tag's energy budget.
+"""
+
+from repro.tag.energy import EnergyHarvester, EnergyStore, TagEnergyModel
+from repro.tag.framing import DEFAULT_PREAMBLE, Frame, FrameError, FrameFormat, MAX_PAYLOAD_BYTES
+from repro.tag.oscillator import TagOscillator
+from repro.tag.tag import Tag, TagStats
+
+__all__ = [
+    "EnergyHarvester",
+    "EnergyStore",
+    "TagEnergyModel",
+    "DEFAULT_PREAMBLE",
+    "Frame",
+    "FrameError",
+    "FrameFormat",
+    "MAX_PAYLOAD_BYTES",
+    "TagOscillator",
+    "Tag",
+    "TagStats",
+]

@@ -1,0 +1,137 @@
+"""CBMA frame format (paper Sec. III-A).
+
+A frame is::
+
+    | preamble | length (1 byte) | payload (<= 126 bytes) | CRC-16 |
+
+The default preamble is the paper's one byte ``10101010``; the frame
+detection study (Fig. 8(c)) sweeps the preamble over 4..64 bits, so
+the length is configurable.  The length byte counts payload bytes; the
+CRC covers length + payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.bits import (
+    as_bit_array,
+    bits_to_bytes,
+    bytes_to_bits,
+    int_to_bits,
+    pack_bits,
+    unpack_bits,
+)
+from repro.utils.crc import CRC16_CCITT, Crc16
+
+__all__ = ["FrameFormat", "Frame", "DEFAULT_PREAMBLE", "MAX_PAYLOAD_BYTES", "FrameError"]
+
+#: The paper's preamble byte, alternating 1/0.
+DEFAULT_PREAMBLE = "10101010"
+MAX_PAYLOAD_BYTES = 126
+
+
+class FrameError(ValueError):
+    """Raised when bits cannot be parsed as a valid frame."""
+
+
+def _alternating_preamble(n_bits: int) -> np.ndarray:
+    """Extend the paper's alternating pattern to *n_bits*."""
+    return np.array([(i + 1) % 2 for i in range(n_bits)], dtype=np.uint8)
+
+
+@dataclass(frozen=True)
+class FrameFormat:
+    """Frame geometry shared by tags and the receiver.
+
+    Attributes
+    ----------
+    preamble:
+        The known preamble bit pattern (default: the paper's
+        ``10101010``).
+    crc:
+        CRC implementation covering the length byte and payload.
+    """
+
+    preamble: np.ndarray = field(default_factory=lambda: as_bit_array(DEFAULT_PREAMBLE))
+    crc: Crc16 = CRC16_CCITT
+
+    @classmethod
+    def with_preamble_bits(cls, n_bits: int) -> "FrameFormat":
+        """Format with an alternating preamble of *n_bits* (Fig. 8(c) sweep)."""
+        if n_bits < 1:
+            raise ValueError("preamble must have at least 1 bit")
+        return cls(preamble=_alternating_preamble(n_bits))
+
+    @property
+    def preamble_bits(self) -> int:
+        return int(self.preamble.size)
+
+    def header_bits(self) -> int:
+        """Preamble + length field size in bits."""
+        return self.preamble_bits + 8
+
+    def overhead_bits(self) -> int:
+        """All non-payload bits per frame (preamble + length + CRC)."""
+        return self.header_bits() + 16
+
+    def frame_bits(self, payload_bytes: int) -> int:
+        """Total bits of a frame carrying *payload_bytes*."""
+        if not 0 <= payload_bytes <= MAX_PAYLOAD_BYTES:
+            raise ValueError(f"payload must be 0..{MAX_PAYLOAD_BYTES} bytes")
+        return self.overhead_bits() + 8 * payload_bytes
+
+    def build(self, payload: bytes) -> np.ndarray:
+        """Serialise *payload* into frame bits."""
+        payload = bytes(payload)
+        if len(payload) > MAX_PAYLOAD_BYTES:
+            raise ValueError(f"payload of {len(payload)} bytes exceeds {MAX_PAYLOAD_BYTES}")
+        length_bits = int_to_bits(len(payload), 8)
+        body = pack_bits(length_bits, bytes_to_bits(payload))
+        crc_bits = self.crc.compute_bits(body)
+        return pack_bits(self.preamble, body, crc_bits)
+
+    def parse(self, bits: np.ndarray, check_preamble: bool = True) -> "Frame":
+        """Parse frame bits back into a :class:`Frame`.
+
+        Raises :class:`FrameError` on truncation, bad preamble, an
+        inconsistent length field or CRC mismatch.  ``check_preamble``
+        can be disabled when the caller already synchronised on the
+        preamble and stripped nothing.
+        """
+        arr = as_bit_array(bits)
+        if arr.size < self.overhead_bits():
+            raise FrameError(f"{arr.size} bits shorter than minimum frame {self.overhead_bits()}")
+        preamble, rest = unpack_bits(arr, self.preamble_bits, -1)
+        if check_preamble and not np.array_equal(preamble, self.preamble):
+            raise FrameError("preamble mismatch")
+        length_bits, rest = unpack_bits(rest, 8, -1)
+        length = int(bits_to_bytes(length_bits)[0])
+        if length > MAX_PAYLOAD_BYTES:
+            raise FrameError(f"length byte {length} exceeds max payload")
+        need = 8 * length + 16
+        if rest.size < need:
+            raise FrameError(f"frame truncated: need {need} bits after header, have {rest.size}")
+        payload_bits, crc_bits = unpack_bits(rest[:need], 8 * length, 16)
+        body = pack_bits(length_bits, payload_bits)
+        if not self.crc.check_bits(body, crc_bits):
+            raise FrameError("CRC mismatch")
+        return Frame(payload=bits_to_bytes(payload_bits), fmt=self)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A parsed (or to-be-sent) frame."""
+
+    payload: bytes
+    fmt: FrameFormat = field(default_factory=FrameFormat)
+
+    def to_bits(self) -> np.ndarray:
+        """Serialise to on-air bits."""
+        return self.fmt.build(self.payload)
+
+    @property
+    def n_bits(self) -> int:
+        return self.fmt.frame_bits(len(self.payload))

@@ -1,0 +1,153 @@
+"""The CBMA backscatter tag.
+
+Composes the tag-side pipeline of paper Sec. III-A: framing ->
+PN encoding -> power (impedance) selection -> upsampling/OOK.  The tag
+also carries the state the MAC layer mutates: its impedance index
+(Algorithm 1's ``Z``) and its ACK bookkeeping.
+
+The tag is deliberately "dumb": it cannot sense the channel (no ADC),
+it only counts the ACKs the receiver broadcasts back -- exactly the
+information boundary the paper imposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.impedance import ImpedanceCodebook, default_codebook
+from repro.phy.modulation import spread_bits, upsample_chips
+from repro.tag.framing import FrameFormat
+from repro.tag.oscillator import TagOscillator
+from repro.utils.bits import as_bit_array
+
+__all__ = ["Tag", "TagStats"]
+
+
+@dataclass
+class TagStats:
+    """ACK bookkeeping for one power-control epoch."""
+
+    sent: int = 0
+    acked: int = 0
+
+    def reset(self) -> None:
+        self.sent = 0
+        self.acked = 0
+
+    @property
+    def ack_ratio(self) -> float:
+        """Fraction of sent frames that were acknowledged (1.0 if none sent)."""
+        return self.acked / self.sent if self.sent else 1.0
+
+
+class Tag:
+    """One backscatter tag.
+
+    Parameters
+    ----------
+    tag_id:
+        Identifier, also the index of its PN code within the family.
+    code:
+        The tag's PN spreading code (0/1 chips).
+    fmt:
+        Frame format shared with the receiver.
+    codebook:
+        Impedance codebook for power control; the paper's four-state
+        ladder by default.
+    impedance_index:
+        Initial ``Z``.  Defaults to state 1 of the ladder (the second
+        weakest): a real tag powers up on whatever termination the
+        switch rests on, and starting mid-ladder leaves Algorithm 1
+        headroom in both directions.  Experiments that disable power
+        control keep this default, matching the paper's
+        "without power control" baseline.
+    oscillator:
+        Clock imperfection model (defaults to an ideal clock).
+    """
+
+    def __init__(
+        self,
+        tag_id: int,
+        code: np.ndarray,
+        fmt: Optional[FrameFormat] = None,
+        codebook: Optional[ImpedanceCodebook] = None,
+        impedance_index: Optional[int] = None,
+        oscillator: Optional[TagOscillator] = None,
+    ):
+        self.tag_id = int(tag_id)
+        self.code = as_bit_array(code)
+        if self.code.size == 0:
+            raise ValueError("spreading code must be non-empty")
+        self.fmt = fmt or FrameFormat()
+        self.codebook = codebook or default_codebook()
+        self.impedance_index = (
+            min(1, len(self.codebook) - 1) if impedance_index is None else int(impedance_index)
+        )
+        if not 0 <= self.impedance_index < len(self.codebook):
+            raise ValueError(f"impedance index {impedance_index} outside codebook")
+        self.oscillator = oscillator or TagOscillator()
+        self.stats = TagStats()
+
+    # ------------------------------------------------------------------
+    # Transmit pipeline
+    # ------------------------------------------------------------------
+
+    def frame_bits(self, payload: bytes) -> np.ndarray:
+        """Framing stage: payload -> frame bits."""
+        return self.fmt.build(payload)
+
+    def encode(self, payload: bytes) -> np.ndarray:
+        """Framing + PN encoding: payload -> 0/1 chip stream."""
+        return spread_bits(self.frame_bits(payload), self.code)
+
+    def chip_stream(self, payload: bytes, samples_per_chip: int = 1) -> np.ndarray:
+        """Full tag baseband: payload -> upsampled unit 0/1 samples.
+
+        Amplitude/phase (impedance state, channel) are applied by the
+        channel model; the tag emits a unit-amplitude chip envelope.
+        """
+        return upsample_chips(self.encode(payload), samples_per_chip)
+
+    # ------------------------------------------------------------------
+    # Power control state (driven by repro.mac.power_control)
+    # ------------------------------------------------------------------
+
+    @property
+    def delta_gamma(self) -> float:
+        """|delta Gamma| of the current impedance state."""
+        return float(abs(self.codebook[self.impedance_index].gamma))
+
+    @property
+    def amplitude_gain(self) -> float:
+        """|delta Gamma|/2 -- amplitude factor entering Friis eq. (1)."""
+        return self.codebook[self.impedance_index].amplitude_gain
+
+    def step_impedance(self) -> int:
+        """Algorithm 1 lines 18-22: advance ``Z`` cyclically; return new Z."""
+        self.impedance_index = (self.impedance_index + 1) % len(self.codebook)
+        return self.impedance_index
+
+    def set_impedance(self, index: int) -> None:
+        """Directly select an impedance state (used by tests/ablations)."""
+        if not 0 <= index < len(self.codebook):
+            raise ValueError(f"impedance index {index} outside codebook of {len(self.codebook)}")
+        self.impedance_index = int(index)
+
+    def record_result(self, acked: bool) -> None:
+        """Count one transmitted frame and whether an ACK came back."""
+        self.stats.sent += 1
+        if acked:
+            self.stats.acked += 1
+
+    def reset_epoch(self) -> None:
+        """Clear ACK bookkeeping at the start of a power-control epoch."""
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Tag(id={self.tag_id}, code_len={self.code.size}, "
+            f"Z={self.impedance_index}, ack_ratio={self.stats.ack_ratio:.2f})"
+        )

@@ -1,0 +1,105 @@
+"""Correlation primitives used by the CBMA receiver.
+
+The receiver's three DSP stages -- frame synchronisation, user detection
+and chip decoding (paper Sec. III-B) -- are all built on correlation:
+
+- *sliding correlation* of a known preamble/PN template against the
+  incoming sample stream locates frames and identifies which tag's PN
+  code is present;
+- *normalised correlation* against the per-bit chip templates decides
+  each bit.
+
+These helpers are deliberately dtype-agnostic: they accept real bipolar
+chips as well as complex baseband samples.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "normalized_correlation",
+    "sliding_correlation",
+    "correlation_peaks",
+    "best_alignment",
+]
+
+
+def normalized_correlation(x: np.ndarray, template: np.ndarray) -> float:
+    """Normalised correlation of two equal-length sequences.
+
+    Returns ``|<x, template>| / (||x|| * ||template||)`` -- a value in
+    [0, 1] that is 1 iff the sequences are identical up to a complex
+    scale factor.  The magnitude makes the metric insensitive to the
+    unknown carrier phase of a backscattered signal.
+    """
+    x = np.asarray(x)
+    template = np.asarray(template)
+    if x.shape != template.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {template.shape}")
+    denom = np.linalg.norm(x) * np.linalg.norm(template)
+    if denom == 0:
+        return 0.0
+    return float(np.abs(np.vdot(template, x)) / denom)
+
+
+def sliding_correlation(signal: np.ndarray, template: np.ndarray, normalize: bool = True) -> np.ndarray:
+    """Correlate *template* against every alignment of *signal*.
+
+    Returns an array of length ``len(signal) - len(template) + 1`` where
+    entry ``k`` is the (optionally normalised) correlation of
+    ``signal[k:k+len(template)]`` with the template.
+
+    The un-normalised path is a plain FFT-free vectorised dot product via
+    :func:`numpy.convolve`; the normalised path divides by the local
+    signal energy so that strong interferers do not masquerade as peaks.
+    """
+    signal = np.asarray(signal)
+    template = np.asarray(template)
+    n, m = signal.size, template.size
+    if m == 0:
+        raise ValueError("template must be non-empty")
+    if n < m:
+        return np.zeros(0, dtype=np.float64)
+    # Cross-correlation == convolution with conjugate-reversed template.
+    raw = np.convolve(signal, np.conj(template[::-1]), mode="valid")
+    mags = np.abs(raw)
+    if not normalize:
+        return mags
+    # Local energy of each length-m window, computed with a cumulative sum.
+    power = np.abs(signal) ** 2
+    csum = np.concatenate(([0.0], np.cumsum(power)))
+    window_energy = csum[m:] - csum[:-m]
+    denom = np.sqrt(np.maximum(window_energy, 1e-30)) * np.linalg.norm(template)
+    return mags / denom
+
+
+def correlation_peaks(corr: np.ndarray, threshold: float, min_spacing: int = 1) -> np.ndarray:
+    """Indices of local maxima in *corr* that exceed *threshold*.
+
+    Greedy non-maximum suppression: peaks are taken in descending height
+    order and any candidate within *min_spacing* samples of an accepted
+    peak is dropped.  Used by the frame synchroniser to avoid declaring
+    one frame twice.
+    """
+    corr = np.asarray(corr, dtype=np.float64)
+    candidates = np.flatnonzero(corr >= threshold)
+    if candidates.size == 0:
+        return candidates
+    order = candidates[np.argsort(corr[candidates])[::-1]]
+    accepted: list = []
+    for idx in order:
+        if all(abs(int(idx) - a) >= min_spacing for a in accepted):
+            accepted.append(int(idx))
+    return np.array(sorted(accepted), dtype=np.int64)
+
+
+def best_alignment(signal: np.ndarray, template: np.ndarray) -> Tuple[int, float]:
+    """Offset and score of the best template alignment within *signal*."""
+    corr = sliding_correlation(signal, template, normalize=True)
+    if corr.size == 0:
+        return 0, 0.0
+    idx = int(np.argmax(corr))
+    return idx, float(corr[idx])

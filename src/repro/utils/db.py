@@ -1,0 +1,70 @@
+"""Decibel arithmetic.
+
+Wireless link budgets mix dB, dBm and linear power freely; these helpers
+keep the conversions explicit and vectorised.  All functions accept
+scalars or numpy arrays and return the matching type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "power_ratio_db",
+    "add_powers_dbm",
+]
+
+_MIN_LINEAR = 1e-30
+
+
+def db_to_linear(db):
+    """Convert a power ratio in dB to linear scale (10^(dB/10))."""
+    return np.power(10.0, np.asarray(db, dtype=np.float64) / 10.0) if np.ndim(db) else 10.0 ** (db / 10.0)
+
+
+def linear_to_db(linear):
+    """Convert a linear power ratio to dB, clamping tiny values.
+
+    Values at or below zero are clamped to a floor (-300 dB) rather than
+    producing ``-inf``/NaN, which keeps downstream statistics finite.
+    """
+    arr = np.asarray(linear, dtype=np.float64)
+    clamped = np.maximum(arr, _MIN_LINEAR)
+    out = 10.0 * np.log10(clamped)
+    return out if arr.ndim else float(out)
+
+
+def dbm_to_watts(dbm):
+    """Convert power in dBm to watts."""
+    return db_to_linear(np.asarray(dbm) - 30.0) if np.ndim(dbm) else 10.0 ** ((dbm - 30.0) / 10.0)
+
+
+def watts_to_dbm(watts):
+    """Convert power in watts to dBm."""
+    arr = np.asarray(watts, dtype=np.float64)
+    out = linear_to_db(arr) + 30.0
+    return out if arr.ndim else float(out)
+
+
+def power_ratio_db(p_num, p_den):
+    """Ratio of two linear powers expressed in dB."""
+    num = np.asarray(p_num, dtype=np.float64)
+    den = np.maximum(np.asarray(p_den, dtype=np.float64), _MIN_LINEAR)
+    out = linear_to_db(num / den)
+    return out if (num.ndim or np.ndim(p_den)) else float(out)
+
+
+def add_powers_dbm(*powers_dbm):
+    """Sum incoherent powers given in dBm, returning dBm.
+
+    Used when combining independent interference sources at the
+    receiver: powers add linearly, not in dB.
+    """
+    if not powers_dbm:
+        raise ValueError("at least one power required")
+    total_w = sum(dbm_to_watts(p) for p in powers_dbm)
+    return watts_to_dbm(total_w)

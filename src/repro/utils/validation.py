@@ -1,0 +1,36 @@
+"""Argument validation helpers.
+
+Public API entry points validate their inputs eagerly and raise
+:class:`ValueError` with actionable messages, so misconfiguration fails
+at construction time rather than deep inside a vectorised kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_positive", "ensure_in_range", "ensure_binary_array"]
+
+
+def ensure_positive(value, name: str):
+    """Raise unless *value* is strictly positive; return it."""
+    if not (value > 0):
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def ensure_in_range(value, name: str, low, high, inclusive: bool = True):
+    """Raise unless *value* lies in [low, high] (or (low, high)); return it."""
+    ok = (low <= value <= high) if inclusive else (low < value < high)
+    if not ok:
+        bounds = f"[{low}, {high}]" if inclusive else f"({low}, {high})"
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def ensure_binary_array(arr, name: str) -> np.ndarray:
+    """Raise unless *arr* is a 0/1 array; return it as uint8."""
+    out = np.asarray(arr)
+    if out.size and not np.isin(out, (0, 1)).all():
+        raise ValueError(f"{name} must contain only 0/1 values")
+    return out.astype(np.uint8)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.analysis.ascii_plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plots import bar_chart, heatmap, line_plot, sparkline
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+
+    def test_constant_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(s) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds(self):
+        s = sparkline([5.0], lo=0.0, hi=10.0)
+        assert s in "▄▅"
+
+
+class TestBarChart:
+    def test_rows(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "bb" in lines[1]
+
+    def test_peak_is_longest(self):
+        out = bar_chart(["x", "y"], [1.0, 4.0])
+        bars = [line.count("█") for line in out.splitlines()]
+        assert bars[1] > bars[0]
+
+    def test_zero_value_no_bar(self):
+        out = bar_chart(["z"], [0.0])
+        assert "█" not in out
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_unit_suffix(self):
+        assert "ms" in bar_chart(["a"], [3.0], unit="ms")
+
+
+class TestHeatmap:
+    def test_shape(self):
+        out = heatmap(np.arange(12).reshape(3, 4))
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert all(len(l) == 4 for l in lines)
+
+    def test_extremes(self):
+        out = heatmap(np.array([[0.0, 1.0]]))
+        assert out[0] == " "
+        assert out[-1] == "@"
+
+    def test_flip(self):
+        m = np.array([[0.0], [1.0]])
+        flipped = heatmap(m, flip_rows=True)
+        assert flipped.splitlines()[0] == "@"
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap(np.arange(3))
+
+
+class TestLinePlot:
+    def test_contains_markers_and_legend(self):
+        out = line_plot([0, 1, 2], {"a": [0, 1, 2], "b": [2, 1, 0]})
+        assert "*" in out and "+" in out
+        assert "a" in out.splitlines()[-1]
+
+    def test_header_ranges(self):
+        out = line_plot([0, 10], {"s": [5, 15]})
+        assert "x: 0 .. 10" in out.splitlines()[0]
+
+    def test_empty(self):
+        assert line_plot([], {"s": []}) == ""

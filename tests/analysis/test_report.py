@@ -1,0 +1,39 @@
+"""Unit tests for repro.analysis.report (tiny fidelity)."""
+
+import pytest
+
+from repro.analysis.report import ReportSection, generate_report
+from repro.sim.experiments import fig12_working_conditions
+
+
+def _tiny_sections():
+    return [
+        ReportSection(
+            title="Fig. 12 (tiny)",
+            paper_shape="clean >= WiFi ~ BT >> OFDM",
+            runner=lambda rounds: fig12_working_conditions(rounds=rounds),
+            rounds=6,
+        )
+    ]
+
+
+class TestGenerateReport:
+    def test_returns_markdown(self):
+        text = generate_report(sections=_tiny_sections(), include_headline=False)
+        assert text.startswith("# CBMA reproduction report")
+        assert "## Fig. 12 (tiny)" in text
+        assert "| condition |" in text
+        assert "Paper shape" in text
+
+    def test_writes_file(self, tmp_path):
+        out = tmp_path / "report.md"
+        generate_report(out, sections=_tiny_sections(), include_headline=False)
+        assert out.read_text().startswith("# CBMA reproduction report")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            generate_report(scale=0.0, sections=_tiny_sections(), include_headline=False)
+
+    def test_sparklines_included(self):
+        text = generate_report(sections=_tiny_sections(), include_headline=False)
+        assert "`PRR`" in text

@@ -1,0 +1,111 @@
+"""Unit tests for repro.analysis.shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.shapes import (
+    dominates,
+    is_roughly_monotone,
+    knee_index,
+    ordering_holds,
+    plateau_stats,
+)
+
+
+class TestRoughlyMonotone:
+    def test_clean_increase(self):
+        assert is_roughly_monotone([0.1, 0.2, 0.3])
+
+    def test_clean_decrease(self):
+        assert is_roughly_monotone([0.3, 0.2, 0.1], increasing=False)
+
+    def test_noise_within_slack(self):
+        assert is_roughly_monotone([0.1, 0.12, 0.09, 0.2], slack=0.05)
+
+    def test_violation_beyond_slack(self):
+        assert not is_roughly_monotone([0.1, 0.5, 0.1, 0.6], slack=0.05)
+
+    def test_flat_counts_as_monotone(self):
+        assert is_roughly_monotone([0.2, 0.2, 0.2])
+        assert is_roughly_monotone([0.2, 0.2, 0.2], increasing=False)
+
+    def test_endpoints_must_respect_direction(self):
+        # Locally fine but globally decreasing.
+        assert not is_roughly_monotone([0.5, 0.48, 0.46, 0.44], slack=0.05)
+
+    def test_short_series(self):
+        assert is_roughly_monotone([1.0])
+        assert is_roughly_monotone([])
+
+    @given(st.lists(st.floats(0, 1), min_size=2, max_size=20))
+    def test_sorted_always_passes(self, values):
+        assert is_roughly_monotone(sorted(values), slack=0.0)
+
+
+class TestDominates:
+    def test_strict(self):
+        assert dominates([0.1, 0.2], [0.3, 0.4])
+
+    def test_with_slack(self):
+        assert dominates([0.31, 0.2], [0.3, 0.4], slack=0.02)
+
+    def test_fails(self):
+        assert not dominates([0.5, 0.2], [0.3, 0.4])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates([0.1], [0.1, 0.2])
+
+
+class TestKnee:
+    def test_obvious_knee(self):
+        values = [0.05, 0.05, 0.05, 0.05, 0.3, 0.6]
+        assert knee_index(range(6), values) in (4, 5)
+        assert knee_index(range(6), values, rise_fraction=0.25) == 4
+
+    def test_no_rise(self):
+        values = [0.1, 0.1, 0.1, 0.1]
+        assert knee_index(range(4), values) == 4
+
+    def test_early_rise(self):
+        values = [0.05, 0.5, 0.9]
+        assert knee_index(range(3), values) <= 1
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            knee_index([0, 1], [0.1, 0.2])
+
+    def test_rise_fraction_moves_knee(self):
+        values = [0.0, 0.0, 0.0, 0.2, 0.5, 1.0]
+        late = knee_index(range(6), values, rise_fraction=0.8)
+        early = knee_index(range(6), values, rise_fraction=0.1)
+        assert early <= late
+
+
+class TestPlateauAndOrdering:
+    def test_plateau_stats(self):
+        mean, spread = plateau_stats([0.03, 0.05, 0.04])
+        assert mean == pytest.approx(0.04)
+        assert spread == pytest.approx(0.02)
+
+    def test_plateau_empty(self):
+        with pytest.raises(ValueError):
+            plateau_stats([])
+
+    def test_ordering_holds(self):
+        best = [0.01, 0.02]
+        mid = [0.05, 0.06]
+        worst = [0.2, 0.3]
+        assert ordering_holds([best, mid, worst])
+        assert not ordering_holds([worst, mid, best])
+
+    def test_ordering_median(self):
+        a = [0.0, 0.0, 10.0]  # mean 3.3, median 0
+        b = [0.1, 0.1, 0.1]
+        assert ordering_holds([a, b], on="median")
+        assert not ordering_holds([a, b], on="mean", slack=0.0)
+
+    def test_ordering_bad_stat(self):
+        with pytest.raises(ValueError):
+            ordering_holds([[1.0]], on="max")

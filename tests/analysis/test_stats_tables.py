@@ -1,0 +1,101 @@
+"""Unit tests for repro.analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import cdf_at, empirical_cdf, summarize, wilson_interval
+from repro.analysis.tables import format_percent, render_series, render_table
+
+
+class TestEmpiricalCdf:
+    def test_basic(self):
+        values, probs = empirical_cdf([3.0, 1.0, 2.0])
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        assert probs.tolist() == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+
+    def test_empty(self):
+        values, probs = empirical_cdf([])
+        assert values.size == 0
+
+    def test_cdf_at(self):
+        samples = [0.1, 0.2, 0.3, 0.4]
+        assert cdf_at(samples, 0.25) == 0.5
+        assert cdf_at(samples, 1.0) == 1.0
+        assert cdf_at(samples, 0.0) == 0.0
+        assert cdf_at([], 1.0) == 0.0
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50))
+    def test_monotone_property(self, samples):
+        _, probs = empirical_cdf(samples)
+        assert np.all(np.diff(probs) >= 0)
+        assert probs[-1] == pytest.approx(1.0)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.3 < hi
+
+    def test_zero_successes(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0
+        assert hi > 0.0
+
+    def test_zero_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_narrows_with_more_trials(self):
+        lo1, hi1 = wilson_interval(10, 20)
+        lo2, hi2 = wilson_interval(1000, 2000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+
+class TestSummarize:
+    def test_values(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == 2.0
+        assert s.median == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+
+    def test_single_sample_std_zero(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestTables:
+    def test_render_table_contains_cells(self):
+        out = render_table(["a", "b"], [[1, "x"], [2, "y"]], title="T")
+        assert "T" in out
+        assert "a" in out and "x" in out and "2" in out
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [["veryverylongcell"], ["s"]])
+        lines = out.splitlines()
+        assert len(set(len(l) for l in lines[1:])) >= 1  # renders without error
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_series(self):
+        out = render_series("x", [1, 2], {"y1": [0.5, 0.25], "y2": [0.1, 0.2]})
+        assert "0.5000" in out
+        assert "y2" in out
+
+    def test_render_series_ragged(self):
+        out = render_series("x", [1, 2, 3], {"y": [0.1, 0.2]})
+        assert out  # missing cells render empty, no crash
+
+    def test_format_percent(self):
+        assert format_percent(0.1234) == "12.34%"
+        assert format_percent(0.5, digits=0) == "50%"

@@ -1,0 +1,111 @@
+"""Unit tests for repro.channel.fading and repro.channel.noise."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import (
+    FadingModel,
+    mutual_coupling_penalty,
+    rayleigh_gain,
+    rician_gain,
+)
+from repro.channel.noise import BOLTZMANN, NoiseModel, thermal_noise_power_w
+
+
+class TestRayleigh:
+    def test_unit_mean_power(self):
+        rng = np.random.default_rng(0)
+        gains = rayleigh_gain(rng, size=200_000)
+        assert float(np.mean(np.abs(gains) ** 2)) == pytest.approx(1.0, rel=0.02)
+
+    def test_complex(self):
+        assert np.iscomplexobj(rayleigh_gain(np.random.default_rng(1), size=4))
+
+
+class TestRician:
+    def test_unit_mean_power(self):
+        rng = np.random.default_rng(2)
+        gains = rician_gain(6.0, rng, size=200_000)
+        assert float(np.mean(np.abs(gains) ** 2)) == pytest.approx(1.0, rel=0.02)
+
+    def test_high_k_low_variance(self):
+        rng = np.random.default_rng(3)
+        high_k = np.abs(rician_gain(100.0, rng, size=10_000))
+        low_k = np.abs(rician_gain(0.5, np.random.default_rng(3), size=10_000))
+        assert np.std(high_k) < np.std(low_k)
+
+    def test_k_zero_is_rayleigh_like(self):
+        rng = np.random.default_rng(4)
+        gains = rician_gain(0.0, rng, size=100_000)
+        assert float(np.mean(np.abs(gains) ** 2)) == pytest.approx(1.0, rel=0.03)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            rician_gain(-1.0)
+
+
+class TestMutualCoupling:
+    def test_no_penalty_beyond_half_lambda(self):
+        assert mutual_coupling_penalty(0.08, 0.15) == 0.0
+
+    def test_full_penalty_at_contact(self):
+        assert mutual_coupling_penalty(0.0, 0.15, floor_db=6.0) == pytest.approx(6.0)
+
+    def test_linear_ramp(self):
+        lam = 0.15
+        assert mutual_coupling_penalty(lam / 4, lam, floor_db=6.0) == pytest.approx(3.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            mutual_coupling_penalty(-0.1, 0.15)
+        with pytest.raises(ValueError):
+            mutual_coupling_penalty(0.1, 0.0)
+
+
+class TestFadingModel:
+    def test_sample_gain_deterministic_with_seed(self):
+        m = FadingModel()
+        a = m.sample_gain(np.random.default_rng(5))
+        b = m.sample_gain(np.random.default_rng(5))
+        assert a == b
+
+    def test_sample_gains_count(self):
+        assert FadingModel().sample_gains(7, np.random.default_rng(0)).size == 7
+
+    def test_mean_power_near_unity(self):
+        m = FadingModel(k_factor=12.0, shadowing_sigma_db=1.0)
+        gains = m.sample_gains(20_000, np.random.default_rng(1))
+        assert float(np.mean(np.abs(gains) ** 2)) == pytest.approx(1.0, rel=0.1)
+
+
+class TestNoise:
+    def test_thermal_reference(self):
+        """kTB at 290 K and 1 Hz is -174 dBm."""
+        p = thermal_noise_power_w(1.0)
+        dbm = 10 * np.log10(p * 1000)
+        assert dbm == pytest.approx(-174.0, abs=0.1)
+
+    def test_noise_figure_adds(self):
+        base = thermal_noise_power_w(1e6)
+        with_nf = thermal_noise_power_w(1e6, noise_figure_db=10.0)
+        assert with_nf / base == pytest.approx(10.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            thermal_noise_power_w(0.0)
+
+    def test_model_power_and_std(self):
+        m = NoiseModel(bandwidth_hz=1e6, noise_figure_db=0.0, extra_noise_db=0.0)
+        assert m.power_w == pytest.approx(BOLTZMANN * 290.0 * 1e6)
+        assert m.std_per_component == pytest.approx(np.sqrt(m.power_w / 2))
+
+    def test_sample_statistics(self):
+        m = NoiseModel()
+        samples = m.sample(100_000, np.random.default_rng(0))
+        measured = float(np.mean(np.abs(samples) ** 2))
+        assert measured == pytest.approx(m.power_w, rel=0.03)
+
+    def test_extra_noise_scales(self):
+        base = NoiseModel(extra_noise_db=0.0).power_w
+        raised = NoiseModel(extra_noise_db=20.0).power_w
+        assert raised / base == pytest.approx(100.0)

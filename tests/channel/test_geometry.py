@@ -1,0 +1,104 @@
+"""Unit tests for repro.channel.geometry."""
+
+import math
+
+import pytest
+
+from repro.channel.geometry import Deployment, PAPER_D_METERS, Point, Room
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_as_array(self):
+        assert Point(1.5, -2.0).as_array().tolist() == [1.5, -2.0]
+
+
+class TestRoom:
+    def test_contains(self):
+        room = Room(width=4.0, depth=2.0)
+        assert room.contains(Point(1.9, 0.9))
+        assert not room.contains(Point(2.1, 0.0))
+        assert not room.contains(Point(0.0, 1.1))
+
+    def test_random_point_inside(self):
+        room = Room(width=2.0, depth=2.0)
+        for seed in range(20):
+            p = room.random_point(seed)
+            assert room.contains(p)
+
+    def test_margin_too_large(self):
+        with pytest.raises(ValueError):
+            Room(width=0.1, depth=0.1).random_point(0, margin=0.2)
+
+
+class TestDeployment:
+    def test_default_positions(self):
+        dep = Deployment()
+        assert dep.excitation.x == -PAPER_D_METERS
+        assert dep.receiver.x == PAPER_D_METERS
+
+    def test_add_tag_and_distances(self):
+        dep = Deployment()
+        idx = dep.add_tag(Point(0.0, 0.0))
+        d1, d2 = dep.tag_distances(idx)
+        assert d1 == pytest.approx(PAPER_D_METERS)
+        assert d2 == pytest.approx(PAPER_D_METERS)
+
+    def test_add_tag_outside_room(self):
+        dep = Deployment(room=Room(width=1.0, depth=1.0))
+        with pytest.raises(ValueError):
+            dep.add_tag(Point(5.0, 0.0))
+
+    def test_inter_tag_distance(self):
+        dep = Deployment()
+        dep.add_tag(Point(0, 0))
+        dep.add_tag(Point(0, 1))
+        assert dep.inter_tag_distance(0, 1) == pytest.approx(1.0)
+
+    def test_min_inter_tag_distance(self):
+        dep = Deployment()
+        dep.add_tag(Point(0, 0))
+        assert dep.min_inter_tag_distance() == math.inf
+        dep.add_tag(Point(0.2, 0))
+        dep.add_tag(Point(1.0, 0))
+        assert dep.min_inter_tag_distance() == pytest.approx(0.2)
+
+
+class TestRandomDeployment:
+    def test_count_and_spacing(self):
+        dep = Deployment.random(5, rng=3, min_spacing=0.3)
+        assert len(dep.tags) == 5
+        assert dep.min_inter_tag_distance() >= 0.3
+
+    def test_deterministic(self):
+        a = Deployment.random(3, rng=11)
+        b = Deployment.random(3, rng=11)
+        assert all(p.x == q.x and p.y == q.y for p, q in zip(a.tags, b.tags))
+
+    def test_impossible_spacing(self):
+        with pytest.raises(RuntimeError):
+            Deployment.random(50, rng=0, room=Room(width=1.0, depth=1.0), min_spacing=0.5)
+
+
+class TestLinearDeployment:
+    def test_geometry(self):
+        dep = Deployment.linear(3, tag_to_rx=2.0)
+        assert dep.excitation.x == pytest.approx(-0.5)
+        assert dep.receiver.x == pytest.approx(2.0)
+        # Tag cluster at x=0; middle tag on the axis.
+        assert dep.tags[1].x == pytest.approx(0.0)
+        assert dep.tags[1].y == pytest.approx(0.0)
+
+    def test_es_to_tag_roughly_constant(self):
+        """The paper fixes ES-to-tag at 50 cm while the RX moves."""
+        for d in (0.1, 1.0, 4.0):
+            dep = Deployment.linear(4, tag_to_rx=d)
+            for i in range(4):
+                d1, _ = dep.tag_distances(i)
+                assert 0.45 <= d1 <= 0.60
+
+    def test_spacing(self):
+        dep = Deployment.linear(2, tag_to_rx=1.0, spacing=0.2)
+        assert dep.inter_tag_distance(0, 1) == pytest.approx(0.2)

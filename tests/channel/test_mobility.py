@@ -1,0 +1,95 @@
+"""Unit tests for repro.channel.mobility."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment, Point, Room
+from repro.channel.mobility import RandomWalk, RandomWaypoint
+
+
+def _deployment(n=4):
+    dep = Deployment(room=Room(width=4.0, depth=3.0))
+    rng = np.random.default_rng(0)
+    for _ in range(n):
+        dep.tags.append(dep.room.random_point(rng))
+    return dep
+
+
+class TestRandomWalk:
+    def test_tags_move(self):
+        dep = _deployment()
+        before = [(p.x, p.y) for p in dep.tags]
+        RandomWalk(step_sigma_m=0.1).update(dep, rng=np.random.default_rng(1))
+        after = [(p.x, p.y) for p in dep.tags]
+        assert before != after
+
+    def test_stays_in_room(self):
+        dep = _deployment()
+        walk = RandomWalk(step_sigma_m=0.5)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            walk.update(dep, rng=rng)
+            assert all(dep.room.contains(p) for p in dep.tags)
+
+    def test_step_scales_with_dt(self):
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        dep_a, dep_b = _deployment(1), _deployment(1)
+        RandomWalk(0.1).update(dep_a, dt_s=0.01, rng=rng_a)
+        RandomWalk(0.1).update(dep_b, dt_s=100.0, rng=rng_b)
+        start = _deployment(1).tags[0]
+        assert start.distance_to(dep_a.tags[0]) < start.distance_to(dep_b.tags[0])
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWalk().update(_deployment(), dt_s=-1.0)
+
+    def test_deterministic_with_seed(self):
+        dep_a, dep_b = _deployment(), _deployment()
+        RandomWalk(0.1).update(dep_a, rng=np.random.default_rng(5))
+        RandomWalk(0.1).update(dep_b, rng=np.random.default_rng(5))
+        assert [(p.x, p.y) for p in dep_a.tags] == [(p.x, p.y) for p in dep_b.tags]
+
+
+class TestRandomWaypoint:
+    def test_moves_toward_waypoint(self):
+        dep = _deployment(1)
+        model = RandomWaypoint(speed_range_mps=(0.5, 0.5), pause_s=0.0)
+        rng = np.random.default_rng(4)
+        start = dep.tags[0]
+        model.update(dep, dt_s=1.0, rng=rng)
+        moved = start.distance_to(dep.tags[0])
+        assert moved == pytest.approx(0.5, abs=1e-6) or moved < 0.5  # reached early
+
+    def test_stays_in_room_long_run(self):
+        dep = _deployment(3)
+        model = RandomWaypoint()
+        rng = np.random.default_rng(6)
+        for _ in range(200):
+            model.update(dep, dt_s=0.5, rng=rng)
+            assert all(dep.room.contains(p) for p in dep.tags)
+
+    def test_pause_freezes_tag(self):
+        dep = _deployment(1)
+        model = RandomWaypoint(speed_range_mps=(10.0, 10.0), pause_s=5.0)
+        rng = np.random.default_rng(7)
+        model.update(dep, dt_s=10.0, rng=rng)  # reaches waypoint, starts pause
+        frozen = dep.tags[0]
+        model.update(dep, dt_s=1.0, rng=rng)  # still pausing
+        assert dep.tags[0].distance_to(frozen) == 0.0
+
+    def test_positions_decorrelate(self):
+        """Long-run mobility visits substantially different positions."""
+        dep = _deployment(1)
+        model = RandomWaypoint(pause_s=0.0)
+        rng = np.random.default_rng(8)
+        start = dep.tags[0]
+        distances = []
+        for _ in range(300):
+            model.update(dep, dt_s=1.0, rng=rng)
+            distances.append(start.distance_to(dep.tags[0]))
+        assert max(distances) > 1.0
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint().update(_deployment(), dt_s=-0.1)

@@ -1,0 +1,107 @@
+"""Unit tests for repro.channel.pathloss (Friis eq. (1), Fig. 5 field)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.geometry import Deployment, Point
+from repro.channel.pathloss import LinkBudget, signal_strength_field
+
+
+class TestLinkBudget:
+    def test_wavelength(self):
+        assert LinkBudget(carrier_hz=2e9).wavelength_m == pytest.approx(0.15, abs=0.001)
+
+    def test_equation_structure(self):
+        """Doubling either distance costs exactly 6 dB (1/d^2 per leg)."""
+        b = LinkBudget()
+        base = b.received_power_dbm(1.0, 1.0)
+        assert b.received_power_dbm(2.0, 1.0) == pytest.approx(base - 6.02, abs=0.05)
+        assert b.received_power_dbm(1.0, 2.0) == pytest.approx(base - 6.02, abs=0.05)
+
+    def test_delta_gamma_quadratic(self):
+        """Received power scales with |delta Gamma|^2."""
+        b = LinkBudget()
+        p1 = b.received_power_w(1.0, 1.0, delta_gamma=1.0)
+        p2 = b.received_power_w(1.0, 1.0, delta_gamma=0.5)
+        assert p1 / p2 == pytest.approx(4.0)
+
+    def test_tx_power_linear(self):
+        lo = LinkBudget(tx_power_dbm=0.0).received_power_dbm(1.0, 1.0)
+        hi = LinkBudget(tx_power_dbm=10.0).received_power_dbm(1.0, 1.0)
+        assert hi - lo == pytest.approx(10.0)
+
+    def test_near_field_floor(self):
+        """Distances are floored so degenerate geometry stays finite."""
+        b = LinkBudget()
+        assert np.isfinite(b.received_power_dbm(0.0, 0.0))
+        assert b.received_power_w(0.0, 1.0) == b.received_power_w(0.05, 1.0)
+
+    def test_amplitude_is_sqrt_power(self):
+        b = LinkBudget()
+        amp = b.received_amplitude(0.7, 1.3, 0.8)
+        assert amp**2 == pytest.approx(b.received_power_w(0.7, 1.3, 0.8))
+
+    def test_verbatim_equation(self):
+        """Check the implementation against a hand-evaluated eq. (1)."""
+        b = LinkBudget(tx_power_dbm=30.0, carrier_hz=3e8, gain_tx=1.0, gain_rx=1.0, gain_tag=1.0, alpha=1.0)
+        lam = b.wavelength_m  # ~1 m at 300 MHz
+        d1, d2, dg = 2.0, 3.0, 1.0
+        expected = (
+            (1.0 * 1.0 / (4 * math.pi * d1**2))
+            * (lam**2 / (4 * math.pi) * dg**2 / 4)
+            * (1.0 / (4 * math.pi * d2**2) * lam**2 / (4 * math.pi))
+        )
+        assert b.received_power_w(d1, d2, dg) == pytest.approx(expected, rel=1e-9)
+
+    @given(
+        st.floats(min_value=0.1, max_value=5.0),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_monotone_in_distance(self, d1, d2):
+        b = LinkBudget()
+        assert b.received_power_w(d1, d2) >= b.received_power_w(d1 * 1.5, d2)
+        assert b.received_power_w(d1, d2) >= b.received_power_w(d1, d2 * 1.5)
+
+    def test_deployment_helper(self):
+        dep = Deployment()
+        dep.add_tag(Point(0, 0))
+        b = LinkBudget()
+        d1, d2 = dep.tag_distances(0)
+        assert b.tag_power_for_deployment(dep, 0) == pytest.approx(b.received_power_w(d1, d2))
+
+
+class TestSignalStrengthField:
+    def test_shape(self):
+        xs, ys, field = signal_strength_field(
+            LinkBudget(), Point(-0.5, 0), Point(0.5, 0), resolution=21
+        )
+        assert field.shape == (21, 21)
+        assert xs.size == 21 and ys.size == 21
+
+    def test_peaks_near_endpoints(self):
+        """Signal is strongest for tags near the ES or the RX (Fig. 5)."""
+        xs, ys, field = signal_strength_field(
+            LinkBudget(), Point(-0.5, 0), Point(0.5, 0),
+            x_range=(-2, 2), y_range=(-2, 2), resolution=41,
+        )
+        centre_row = field[ys.size // 2]
+        # The strongest grid point on the axis is near x = +-0.5, not at the rim.
+        peak_x = xs[int(np.argmax(centre_row))]
+        assert abs(abs(peak_x) - 0.5) < 0.3
+
+    def test_symmetric_for_symmetric_layout(self):
+        xs, ys, field = signal_strength_field(
+            LinkBudget(), Point(-0.5, 0), Point(0.5, 0),
+            x_range=(-2, 2), y_range=(-2, 2), resolution=41,
+        )
+        assert np.allclose(field, field[:, ::-1], atol=1e-6)
+
+    def test_far_corner_weak(self):
+        xs, ys, field = signal_strength_field(
+            LinkBudget(), Point(-0.5, 0), Point(0.5, 0),
+            x_range=(-3, 3), y_range=(-2, 2), resolution=31,
+        )
+        assert field[0, 0] < field[ys.size // 2, xs.size // 2]

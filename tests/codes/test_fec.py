@@ -1,0 +1,145 @@
+"""Unit tests for repro.codes.fec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codes.fec import BlockInterleaver, FecPipeline, HammingCode
+from repro.utils.bits import as_bit_array, random_bits
+
+
+class TestHamming74:
+    def test_rate(self):
+        assert HammingCode().rate == pytest.approx(4 / 7)
+        assert HammingCode(extended=True).rate == 0.5
+
+    def test_roundtrip_clean(self):
+        code = HammingCode()
+        data = random_bits(64, np.random.default_rng(0))
+        decoded, corrected, unc = code.decode(code.encode(data))
+        assert np.array_equal(decoded, data)
+        assert corrected == 0
+        assert unc == 0
+
+    def test_corrects_any_single_error(self):
+        code = HammingCode()
+        data = as_bit_array("1011")
+        word = code.encode(data)
+        for pos in range(7):
+            corrupted = word.copy()
+            corrupted[pos] ^= 1
+            decoded, corrected, _ = code.decode(corrupted)
+            assert np.array_equal(decoded, data), f"failed at position {pos}"
+            assert corrected == 1
+
+    def test_length_validation(self):
+        code = HammingCode()
+        with pytest.raises(ValueError):
+            code.encode([1, 0, 1])
+        with pytest.raises(ValueError):
+            code.decode([1] * 6)
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=64).filter(lambda b: len(b) % 4 == 0))
+    def test_roundtrip_property(self, bits):
+        code = HammingCode()
+        data = as_bit_array(bits)
+        decoded, _, _ = code.decode(code.encode(data))
+        assert np.array_equal(decoded, data)
+
+    @given(st.data())
+    def test_single_error_always_corrected(self, draw):
+        code = HammingCode()
+        data = as_bit_array(draw.draw(st.lists(st.integers(0, 1), min_size=4, max_size=4)))
+        word = code.encode(data)
+        pos = draw.draw(st.integers(0, 6))
+        word[pos] ^= 1
+        decoded, _, _ = code.decode(word)
+        assert np.array_equal(decoded, data)
+
+
+class TestExtendedHamming:
+    def test_detects_double_errors(self):
+        code = HammingCode(extended=True)
+        data = as_bit_array("0110")
+        word = code.encode(data)
+        corrupted = word.copy()
+        corrupted[0] ^= 1
+        corrupted[3] ^= 1
+        _, _, uncorrectable = code.decode(corrupted)
+        assert uncorrectable == 1
+
+    def test_corrects_single_errors(self):
+        code = HammingCode(extended=True)
+        data = as_bit_array("1010")
+        word = code.encode(data)
+        for pos in range(7):
+            corrupted = word.copy()
+            corrupted[pos] ^= 1
+            decoded, corrected, unc = code.decode(corrupted)
+            assert np.array_equal(decoded, data)
+            assert (corrected, unc) == (1, 0)
+
+    def test_parity_bit_error_harmless(self):
+        code = HammingCode(extended=True)
+        data = as_bit_array("1111")
+        word = code.encode(data)
+        word[7] ^= 1  # the extra parity bit
+        decoded, corrected, unc = code.decode(word)
+        assert np.array_equal(decoded, data)
+        assert unc == 0
+
+
+class TestInterleaver:
+    def test_roundtrip(self):
+        il = BlockInterleaver(depth=4)
+        bits = random_bits(32, np.random.default_rng(1))
+        assert np.array_equal(il.deinterleave(il.interleave(bits)), bits)
+
+    def test_burst_dispersal(self):
+        """A burst of `depth` adjacent on-air errors lands in distinct
+        deinterleaved positions spaced by `depth`."""
+        il = BlockInterleaver(depth=8)
+        n = 64
+        clean = np.zeros(n, dtype=np.uint8)
+        on_air = il.interleave(clean)
+        on_air[10:18] ^= 1  # 8-bit burst
+        received = il.deinterleave(on_air)
+        error_positions = np.flatnonzero(received)
+        assert error_positions.size == 8
+        assert np.all(np.diff(error_positions) >= 7)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            BlockInterleaver(depth=8).interleave([1, 0, 1])
+
+
+class TestFecPipeline:
+    def test_roundtrip_with_padding(self):
+        pipe = FecPipeline(HammingCode(), BlockInterleaver(depth=8))
+        data = random_bits(30, np.random.default_rng(2))  # not a multiple of 4
+        coded = pipe.encode(data)
+        assert coded.size == pipe.encoded_length(30)
+        decoded, corrected = pipe.decode(coded, 30)
+        assert np.array_equal(decoded, data)
+        assert corrected == 0
+
+    def test_burst_corrected_end_to_end(self):
+        """An 8-bit on-air burst survives interleave + Hamming."""
+        pipe = FecPipeline(HammingCode(), BlockInterleaver(depth=8))
+        data = random_bits(56, np.random.default_rng(3))
+        coded = pipe.encode(data)
+        coded[20:28] ^= 1
+        decoded, corrected = pipe.decode(coded, 56)
+        assert np.array_equal(decoded, data)
+        assert corrected >= 1
+
+    def test_without_interleaver(self):
+        pipe = FecPipeline(HammingCode())
+        data = random_bits(16, np.random.default_rng(4))
+        decoded, _ = pipe.decode(pipe.encode(data), 16)
+        assert np.array_equal(decoded, data)
+
+    def test_too_short_decode_rejected(self):
+        pipe = FecPipeline(HammingCode())
+        with pytest.raises(ValueError):
+            pipe.decode([1, 0, 1, 0, 1, 0, 1], 10)

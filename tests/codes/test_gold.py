@@ -1,0 +1,80 @@
+"""Unit tests for repro.codes.gold."""
+
+import numpy as np
+import pytest
+
+from repro.codes.gold import GoldFamily, gold_codes
+from repro.codes.properties import periodic_crosscorrelation
+
+
+class TestGoldFamily:
+    def test_size(self):
+        fam = GoldFamily(5)
+        assert fam.length == 31
+        assert fam.size == 33
+        assert len(fam) == 33
+
+    def test_unsupported_degree(self):
+        with pytest.raises(ValueError):
+            GoldFamily(8)  # no preferred pair exists for degree 8
+
+    def test_codes_distinct(self):
+        fam = GoldFamily(5)
+        codes = fam.codes(fam.size)
+        seen = {tuple(c) for c in codes}
+        assert len(seen) == fam.size
+
+    def test_index_bounds(self):
+        fam = GoldFamily(5)
+        with pytest.raises(ValueError):
+            fam.code(fam.size)
+        with pytest.raises(ValueError):
+            fam.code(-1)
+
+    def test_too_many_requested(self):
+        with pytest.raises(ValueError):
+            GoldFamily(5).codes(40)
+
+    def test_three_valued_crosscorrelation(self):
+        """Gold's theorem: cross-correlation takes only 3 values.
+
+        For n=5 the values are {-1, -t, t-2}/N with t = 2^((n+1)/2)+1 = 9.
+        """
+        fam = GoldFamily(5)
+        n = fam.length
+        allowed = {-1.0, -9.0, 7.0}
+        codes = fam.codes(10)
+        for i in range(len(codes)):
+            for j in range(i + 1, len(codes)):
+                corr = periodic_crosscorrelation(codes[i], codes[j]) * n
+                values = set(np.round(corr).astype(int).tolist())
+                assert values <= {int(v) for v in allowed}, values
+
+    def test_bounded_crosscorrelation_degree7(self):
+        fam = GoldFamily(7)
+        codes = fam.codes(5)
+        bound = 17.0 / 127.0  # 2^((n+1)/2) + 1 over N
+        for i in range(len(codes)):
+            for j in range(i + 1, len(codes)):
+                cc = np.abs(periodic_crosscorrelation(codes[i], codes[j]))
+                assert cc.max() <= bound + 1e-9
+
+
+class TestGoldCodesHelper:
+    def test_basic(self):
+        codes = gold_codes(4, 31)
+        assert len(codes) == 4
+        assert all(c.size == 31 for c in codes)
+
+    def test_offset(self):
+        a = gold_codes(2, 31, offset=0)
+        b = gold_codes(2, 31, offset=2)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            gold_codes(2, 30)
+
+    def test_offset_overflow(self):
+        with pytest.raises(ValueError):
+            gold_codes(10, 31, offset=30)

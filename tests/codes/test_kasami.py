@@ -1,0 +1,64 @@
+"""Unit tests for repro.codes.kasami."""
+
+import numpy as np
+import pytest
+
+from repro.codes.kasami import KasamiFamily, kasami_codes
+from repro.codes.properties import analyze_family
+from repro.codes.registry import make_codes
+
+
+class TestKasamiFamily:
+    def test_dimensions(self):
+        fam = KasamiFamily(6)
+        assert fam.length == 63
+        assert fam.size == 8
+        assert len(fam) == 8
+
+    def test_odd_degree_rejected(self):
+        with pytest.raises(ValueError):
+            KasamiFamily(5)
+
+    def test_uncatalogued_degree_rejected(self):
+        with pytest.raises(ValueError):
+            KasamiFamily(14)
+
+    def test_codes_distinct(self):
+        fam = KasamiFamily(6)
+        assert len({tuple(c) for c in fam.codes()}) == fam.size
+
+    def test_index_bounds(self):
+        fam = KasamiFamily(6)
+        with pytest.raises(ValueError):
+            fam.code(8)
+
+    def test_count_bounds(self):
+        with pytest.raises(ValueError):
+            KasamiFamily(6).codes(9)
+
+    @pytest.mark.parametrize("degree", [4, 6, 8])
+    def test_achieves_welch_bound(self, degree):
+        """The small set's max cross-correlation equals its bound exactly."""
+        fam = KasamiFamily(degree)
+        report = analyze_family(fam.codes())
+        assert report.max_cross == pytest.approx(fam.welch_bound, abs=1e-9)
+
+    def test_beats_gold_bound(self):
+        """Kasami-63 max cross (9/63) < Gold-63 bound (17/63)."""
+        report = analyze_family(KasamiFamily(6).codes())
+        assert report.max_cross < 17.0 / 63.0
+
+
+class TestKasamiHelper:
+    def test_basic(self):
+        codes = kasami_codes(5, 63)
+        assert len(codes) == 5
+        assert all(c.size == 63 for c in codes)
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            kasami_codes(4, 60)
+
+    def test_registry_integration(self):
+        codes = make_codes("kasami", 4, 63)
+        assert len(codes) == 4

@@ -1,0 +1,79 @@
+"""Unit tests for repro.codes.lfsr."""
+
+import numpy as np
+import pytest
+
+from repro.codes.lfsr import Lfsr, PREFERRED_PAIRS, PRIMITIVE_POLYNOMIALS, m_sequence
+
+
+class TestLfsr:
+    def test_period_property(self):
+        assert Lfsr((5, 2)).period == 31
+
+    def test_state_copy(self):
+        reg = Lfsr((3, 1))
+        state = reg.state
+        state[0] = 99
+        assert reg.state[0] != 99
+
+    def test_zero_state_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr((3, 1), state=[0, 0, 0])
+
+    def test_wrong_state_length(self):
+        with pytest.raises(ValueError):
+            Lfsr((3, 1), state=[1, 0])
+
+    def test_invalid_taps(self):
+        with pytest.raises(ValueError):
+            Lfsr(())
+
+    def test_run_length(self):
+        assert Lfsr((4, 1)).run(10).size == 10
+
+    def test_run_negative(self):
+        with pytest.raises(ValueError):
+            Lfsr((4, 1)).run(-1)
+
+
+class TestMSequence:
+    @pytest.mark.parametrize("degree", sorted(PRIMITIVE_POLYNOMIALS))
+    def test_all_catalogued_polynomials_are_primitive(self, degree):
+        """Every listed polynomial must generate a maximal sequence."""
+        for taps in PRIMITIVE_POLYNOMIALS[degree]:
+            seq = m_sequence(taps)
+            assert seq.size == (1 << degree) - 1
+
+    def test_balance(self):
+        """m-sequences contain exactly 2^(n-1) ones."""
+        seq = m_sequence((5, 2))
+        assert int(seq.sum()) == 16
+
+    def test_run_property(self):
+        """An m-sequence contains every non-zero n-tuple exactly once."""
+        seq = m_sequence((4, 1))
+        n = 4
+        windows = set()
+        ext = np.concatenate([seq, seq[: n - 1]])
+        for i in range(seq.size):
+            windows.add(tuple(ext[i : i + n]))
+        assert len(windows) == seq.size
+        assert (0,) * n not in windows
+
+    def test_two_valued_autocorrelation(self):
+        """Periodic autocorrelation is -1/N at every non-zero shift."""
+        seq = m_sequence((5, 2)).astype(np.float64) * 2 - 1
+        n = seq.size
+        for shift in range(1, n):
+            corr = float(np.dot(seq, np.roll(seq, shift)))
+            assert corr == pytest.approx(-1.0)
+
+    def test_non_primitive_rejected(self):
+        # x^4 + x^2 + 1 = (x^2+x+1)^2 is not primitive.
+        with pytest.raises(ValueError):
+            m_sequence((4, 2))
+
+    def test_preferred_pairs_subset_of_primitives(self):
+        for degree, (u, v) in PREFERRED_PAIRS.items():
+            assert u in PRIMITIVE_POLYNOMIALS[degree]
+            assert v in PRIMITIVE_POLYNOMIALS[degree]

@@ -1,0 +1,103 @@
+"""Unit tests for repro.codes.properties and repro.codes.registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codes.properties import (
+    analyze_family,
+    balance,
+    periodic_autocorrelation,
+    periodic_crosscorrelation,
+)
+from repro.codes.registry import available_families, make_codes, register_family
+
+
+class TestAutocorrelation:
+    def test_zero_lag_is_one(self):
+        rng = np.random.default_rng(0)
+        code = rng.integers(0, 2, 32, dtype=np.uint8)
+        ac = periodic_autocorrelation(code)
+        assert ac[0] == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        code = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        ac = periodic_autocorrelation(code)
+        assert np.allclose(ac[1:], ac[1:][::-1])
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=32))
+    def test_bounded(self, bits):
+        ac = periodic_autocorrelation(np.array(bits, dtype=np.uint8))
+        assert np.all(np.abs(ac) <= 1.0 + 1e-9)
+
+
+class TestCrosscorrelation:
+    def test_identical_codes_peak_one(self):
+        code = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        cc = periodic_crosscorrelation(code, code)
+        assert cc[0] == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            periodic_crosscorrelation(np.zeros(4, dtype=np.uint8), np.zeros(8, dtype=np.uint8))
+
+    def test_negation_gives_minus_one(self):
+        code = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        cc = periodic_crosscorrelation(code, 1 - code)
+        assert cc[0] == pytest.approx(-1.0)
+
+
+class TestBalance:
+    def test_balanced(self):
+        assert balance(np.array([1, 0, 1, 0])) == 0.0
+
+    def test_all_ones(self):
+        assert balance(np.ones(8, dtype=np.uint8)) == 1.0
+
+    def test_all_zeros(self):
+        assert balance(np.zeros(8, dtype=np.uint8)) == -1.0
+
+
+class TestAnalyzeFamily:
+    def test_report_fields(self):
+        codes = make_codes("2nc", 4, 32)
+        report = analyze_family(codes)
+        assert report.size == 4
+        assert report.length == 32
+        assert 0 <= report.max_cross <= 1
+        assert 0 <= report.max_offpeak_auto <= 1
+        assert report.merit() > 0
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_family([])
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_family([np.zeros(8, dtype=np.uint8), np.zeros(16, dtype=np.uint8)])
+
+    def test_single_code_no_cross(self):
+        report = analyze_family([np.array([1, 0, 1, 0], dtype=np.uint8)])
+        assert report.max_cross == 0.0
+
+
+class TestRegistry:
+    def test_families_available(self):
+        fams = available_families()
+        assert {"gold", "2nc", "walsh"} <= set(fams)
+
+    def test_make_gold(self):
+        codes = make_codes("gold", 3, 31)
+        assert len(codes) == 3
+        assert codes[0].size == 31
+
+    def test_case_insensitive(self):
+        assert len(make_codes("GOLD", 2, 31)) == 2
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown code family"):
+            make_codes("nonesuch", 2, 31)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_family("gold", lambda c, l: [])

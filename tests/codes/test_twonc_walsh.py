@@ -1,0 +1,99 @@
+"""Unit tests for repro.codes.twonc and repro.codes.walsh."""
+
+import numpy as np
+import pytest
+
+from repro.codes.properties import analyze_family, balance
+from repro.codes.twonc import TwoNCFamily, twonc_codes
+from repro.codes.walsh import WalshFamily, hadamard_matrix, walsh_codes
+
+
+class TestTwoNC:
+    def test_deterministic(self):
+        """Tags and receiver must derive identical codes independently."""
+        a = TwoNCFamily(4, 32).codes()
+        b = TwoNCFamily(4, 32).codes()
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_balanced(self):
+        """Every 2NC code has exactly half its chips set."""
+        for code in twonc_codes(6, 32):
+            assert balance(code) == 0.0
+
+    def test_distinct(self):
+        codes = twonc_codes(8, 32)
+        assert len({tuple(c) for c in codes}) == 8
+
+    def test_even_length_required(self):
+        with pytest.raises(ValueError):
+            TwoNCFamily(2, 31)
+
+    def test_default_length(self):
+        assert TwoNCFamily(4).length == 32
+        assert TwoNCFamily(20).length == 40
+
+    def test_index_bounds(self):
+        fam = TwoNCFamily(3, 16)
+        with pytest.raises(ValueError):
+            fam.code(3)
+
+    def test_count_bounds(self):
+        with pytest.raises(ValueError):
+            TwoNCFamily(3, 16).codes(4)
+
+    def test_size_one_rejected_at_zero(self):
+        with pytest.raises(ValueError):
+            TwoNCFamily(0)
+
+    def test_orthogonality_beats_random(self):
+        """The searched family must out-perform a random balanced family."""
+        report = analyze_family(twonc_codes(5, 32))
+        rng = np.random.default_rng(123)
+        base = np.array([1] * 16 + [0] * 16, dtype=np.uint8)
+        random_family = [rng.permutation(base) for _ in range(5)]
+        random_report = analyze_family(random_family)
+        assert report.merit() <= random_report.merit()
+
+    def test_len(self):
+        assert len(TwoNCFamily(3, 16)) == 3
+
+
+class TestHadamard:
+    def test_orthogonal_rows(self):
+        h = hadamard_matrix(16).astype(np.int64)
+        assert np.array_equal(h @ h.T, 16 * np.eye(16, dtype=np.int64))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            hadamard_matrix(12)
+
+    def test_order_one(self):
+        assert hadamard_matrix(1).tolist() == [[1]]
+
+
+class TestWalshCodes:
+    def test_synchronous_orthogonality(self):
+        """Bipolar Walsh codes are exactly orthogonal at zero lag."""
+        codes = walsh_codes(6, 32)
+        bipolar = [c.astype(np.float64) * 2 - 1 for c in codes]
+        for i in range(len(bipolar)):
+            for j in range(i + 1, len(bipolar)):
+                assert abs(float(np.dot(bipolar[i], bipolar[j]))) < 1e-9
+
+    def test_skips_all_ones_row(self):
+        for code in walsh_codes(5, 32):
+            assert 0 < int(code.sum()) < 32
+
+    def test_capacity_limit(self):
+        with pytest.raises(ValueError):
+            walsh_codes(32, 32)
+
+    def test_family_wrapper(self):
+        fam = WalshFamily(4, 16)
+        assert len(fam) == 4
+        assert fam.code(0).size == 16
+        with pytest.raises(ValueError):
+            fam.code(4)
+        with pytest.raises(ValueError):
+            fam.codes(5)

@@ -1,0 +1,106 @@
+"""Integration tests: tag -> channel -> receiver -> MAC, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment, Room
+from repro.mac.node_selection import NodeSelector
+from repro.mac.power_control import PowerController
+from repro.sim.network import CbmaConfig, CbmaNetwork
+
+
+class TestEndToEnd:
+    def test_two_tags_reliable_at_one_meter(self):
+        cfg = CbmaConfig(n_tags=2, seed=42)
+        net = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0))
+        metrics = net.run_rounds(30)
+        assert metrics.fer < 0.2
+        assert metrics.detection_rate > 0.9
+
+    def test_more_tags_more_errors(self):
+        """MAI ordering: collisions of more tags decode worse."""
+        fers = {}
+        for n in (2, 5):
+            cfg = CbmaConfig(n_tags=n, seed=42)
+            net = CbmaNetwork(cfg, Deployment.linear(n, tag_to_rx=1.0))
+            fers[n] = net.run_rounds(30).fer
+        assert fers[5] >= fers[2]
+
+    def test_distance_degrades(self):
+        fers = {}
+        for d in (1.0, 6.0):
+            cfg = CbmaConfig(n_tags=2, seed=42)
+            net = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=d))
+            fers[d] = net.run_rounds(25).fer
+        assert fers[6.0] > fers[1.0]
+
+    def test_weak_excitation_kills_link(self):
+        from repro.channel.pathloss import LinkBudget
+
+        cfg = CbmaConfig(n_tags=2, seed=42, budget=LinkBudget(tx_power_dbm=-5.0))
+        net = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0))
+        assert net.run_rounds(20).fer > 0.8
+
+    def test_gold_codes_also_work(self):
+        cfg = CbmaConfig(n_tags=2, seed=42, code_family="gold", code_length=31)
+        net = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0))
+        assert net.run_rounds(25).fer < 0.4
+
+    def test_power_control_never_hurts_much(self):
+        """On a near-far deployment, Algorithm 1 must help (or at least
+        not make things clearly worse)."""
+        room = Room(width=1.6, depth=1.2)
+        dep = Deployment.random(3, rng=77, room=room, min_spacing=0.15)
+        cfg = CbmaConfig(n_tags=3, seed=77)
+        before = CbmaNetwork(cfg, dep).run_rounds(25).fer
+        net = CbmaNetwork(cfg, dep)
+        net.run_power_control(PowerController(packets_per_epoch=6))
+        after = net.run_rounds(25).fer
+        assert after <= before + 0.1
+
+    def test_node_selection_moves_bad_tag(self):
+        """A far-away tag gets swapped for a close idle position."""
+        dep = Deployment(room=Room(width=12, depth=8))
+        from repro.channel.geometry import Point
+
+        dep.tags = [Point(4.0, 2.5), Point(0.0, 0.2), Point(0.2, -0.2)]
+        cfg = CbmaConfig(n_tags=2, seed=13)
+        net = CbmaNetwork(cfg, dep)
+        probe = net.run_rounds(15)
+        ratios = [probe.per_tag_ack_ratio(t.tag_id) for t in net.tags]
+        selector = NodeSelector(
+            deployment=dep, budget=cfg.budget, initial_temperature=0.01
+        )
+        outcome = selector.select_round(net.positions, ratios, rng=np.random.default_rng(1))
+        if 0 in outcome.replaced:  # tag 0 was bad, as engineered
+            net.positions = list(outcome.group)
+            after = net.run_rounds(15)
+            assert after.fer <= probe.fer
+
+    def test_full_cbma_pipeline_with_all_mechanisms(self):
+        """Power control then selection on a random deployment with
+        spare positions; the pipeline runs end to end and produces a
+        sane FER."""
+        room = Room(width=1.6, depth=1.2)
+        dep = Deployment.random(6, rng=5, room=room, min_spacing=0.12)
+        cfg = CbmaConfig(n_tags=4, seed=5)
+        net = CbmaNetwork(cfg, dep)
+        net.run_power_control(PowerController(packets_per_epoch=6))
+        probe = net.run_rounds(12)
+        ratios = [probe.per_tag_ack_ratio(t.tag_id) for t in net.tags]
+        selector = NodeSelector(deployment=dep, budget=cfg.budget)
+        outcome = selector.select_round(net.positions, ratios, rng=np.random.default_rng(2))
+        net.positions = list(outcome.group)
+        final = net.run_rounds(12)
+        assert 0.0 <= final.fer <= 1.0
+        assert final.frames_sent == 48
+
+
+class TestAcknowledgementLoop:
+    def test_acks_reach_tag_stats(self):
+        cfg = CbmaConfig(n_tags=2, seed=3)
+        net = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0))
+        net.run_rounds(10)
+        for tag in net.tags:
+            assert tag.stats.sent == 10
+            assert 0 <= tag.stats.acked <= 10

@@ -1,0 +1,111 @@
+"""Smoke tests for every paper-experiment driver (cheap settings).
+
+Each driver is exercised with tiny round counts: these tests assert
+structure (labels, lengths, value ranges) and the cheapest version of
+the expected *shape*; the full-scale shapes are produced by the
+benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.experiments import (
+    fig5_signal_field,
+    fig8a_distance,
+    fig8b_power,
+    fig8c_preamble,
+    fig9a_bitrate,
+    fig9b_pn_codes,
+    fig9c_power_control,
+    fig10_deployment_cdfs,
+    fig11_asynchrony,
+    fig12_working_conditions,
+    headline_throughput,
+    table1_system_comparison,
+    table2_power_difference,
+    user_detection_accuracy,
+)
+
+
+class TestFieldAndTables:
+    def test_fig5_field(self):
+        xs, ys, field = fig5_signal_field(resolution=11)
+        assert field.shape == (11, 11)
+        assert np.isfinite(field).all()
+
+    def test_table2_structure(self):
+        r = table2_power_difference(n_pairs=3, rounds=10)
+        assert len(r.series["snr1_db"]) == 3
+        assert all(0 <= d <= 1 for d in r.series["difference"])
+        assert all(0 <= e <= 1 for e in r.series["error_rate"])
+
+    def test_table1_structure(self):
+        r = table1_system_comparison(tag_counts=(1, 2), rounds=6)
+        assert len(r.series["aggregate goodput (bps)"]) == 2
+        assert "Netscatter" in r.notes
+
+
+class TestMicroDrivers:
+    def test_fig8a(self):
+        r = fig8a_distance(distances_m=(0.5, 3.5), tag_counts=(2,), rounds=10)
+        assert list(r.series) == ["2 tags"]
+        assert len(r.series["2 tags"]) == 2
+
+    def test_fig8b_power_trend(self):
+        r = fig8b_power(tx_powers_dbm=(-5.0, 20.0), tag_counts=(2,), rounds=12)
+        lo_power_fer, hi_power_fer = r.series["2 tags"]
+        assert lo_power_fer > hi_power_fer
+
+    def test_fig8c_preamble_trend(self):
+        r = fig8c_preamble(preamble_bits=(4, 32), tag_counts=(2,), rounds=12)
+        short, long_ = r.series["2 tags"]
+        assert short >= long_
+
+    def test_fig9a(self):
+        r = fig9a_bitrate(bitrates_hz=(250e3, 5e6), tag_counts=(2,), rounds=8)
+        assert len(r.series["2 tags"]) == 2
+
+
+class TestCodesAndPower:
+    def test_fig9b(self):
+        r = fig9b_pn_codes(tag_counts=(2,), rounds=8, n_groups=2)
+        assert set(r.series) == {"gold-31", "2nc-64"}
+
+    def test_fig9c(self):
+        r = fig9c_power_control(tag_counts=(2,), n_groups=2, rounds=8)
+        assert len(r.series["without power control"]) == 1
+        assert len(r.series["with power control"]) == 1
+
+
+class TestMacroDrivers:
+    def test_fig10(self):
+        r = fig10_deployment_cdfs(n_tags=2, n_groups=2, n_idle_positions=2, rounds=8)
+        assert set(r.series) == {
+            "no control",
+            "power control",
+            "power control + tag selection",
+        }
+        for fers in r.series.values():
+            assert len(fers) == 2
+
+    def test_fig11(self):
+        r = fig11_asynchrony(delays_chips=(0.0, 1.0), rounds=10)
+        assert len(r.series["error rate"]) == 2
+
+    def test_fig12(self):
+        r = fig12_working_conditions(rounds=15)
+        prr = dict(zip(r.x, r.series["PRR"]))
+        assert prr["no interference"] >= prr["OFDM excitation"]
+
+
+class TestComparative:
+    def test_user_detection(self):
+        r = user_detection_accuracy(n_trials=10)
+        acc = r.series["value"][0]
+        assert 0 <= acc <= 1
+
+    def test_headline(self):
+        tc = headline_throughput(rounds=8)
+        assert tc.aggregate_raw_bps == pytest.approx(8e6)
+        assert tc.cbma_bps > 0
+        assert tc.speedup_vs_fsa > tc.speedup_vs_single

@@ -1,0 +1,109 @@
+"""Failure injection: hostile inputs must fail loudly or degrade, never
+corrupt results silently."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.codes import twonc_codes
+from repro.phy.modulation import fractional_delay, ook_baseband
+from repro.receiver import CbmaReceiver
+from repro.sim.network import CbmaConfig, CbmaNetwork
+from repro.tag.framing import FrameFormat
+from repro.tag.tag import Tag
+
+SPC = 2
+
+
+def _clean_frame_buffer(tag, payload, seed=0):
+    rng = np.random.default_rng(seed)
+    sig = ook_baseband(tag.chip_stream(payload, SPC), amplitude=1.0)
+    sig = fractional_delay(sig, 128, total_length=sig.size + 200)
+    return sig + 1e-6 * (rng.normal(size=sig.size) + 1j * rng.normal(size=sig.size))
+
+
+@pytest.fixture
+def rx_and_tag():
+    codes = twonc_codes(1, 32)
+    fmt = FrameFormat()
+    tag = Tag(0, codes[0], fmt=fmt)
+    rx = CbmaReceiver({0: codes[0]}, fmt=fmt, samples_per_chip=SPC)
+    return rx, tag
+
+
+class TestHostileBuffers:
+    def test_nan_samples_do_not_produce_decodes(self, rx_and_tag):
+        rx, tag = rx_and_tag
+        buf = _clean_frame_buffer(tag, b"nan attack")
+        buf[::100] = np.nan
+        report = rx.process(buf)
+        # NaNs poison correlations; the receiver must not emit a
+        # "successful" decode whose provenance is garbage.
+        for frame in report.frames:
+            if frame.success:
+                assert frame.payload == b"nan attack"
+
+    def test_inf_burst_handled(self, rx_and_tag):
+        rx, tag = rx_and_tag
+        buf = _clean_frame_buffer(tag, b"inf inside")
+        buf[50:60] = np.inf
+        report = rx.process(buf)  # must not raise
+        assert report is not None
+
+    def test_all_zero_buffer(self, rx_and_tag):
+        rx, _ = rx_and_tag
+        report = rx.process(np.zeros(5000, dtype=complex))
+        assert all(not f.success for f in report.frames)
+
+    def test_huge_dc_offset(self, rx_and_tag):
+        """A constant leak (un-cancelled carrier) must not create
+        phantom frames; the bipolar templates reject DC."""
+        rx, tag = rx_and_tag
+        rng = np.random.default_rng(1)
+        buf = 5.0 + 1e-3 * (rng.normal(size=40000) + 1j * rng.normal(size=40000))
+        report = rx.process(buf)
+        assert all(not f.success for f in report.frames)
+
+    def test_dc_plus_frame_decodes_with_blocker(self, rx_and_tag):
+        """With the opt-in carrier-leak blocker, a strong constant
+        offset riding on the capture is tolerated."""
+        from repro.codes import twonc_codes
+
+        codes = twonc_codes(1, 32)
+        fmt = FrameFormat()
+        tag = Tag(0, codes[0], fmt=fmt)
+        rx = CbmaReceiver(
+            {0: codes[0]}, fmt=fmt, samples_per_chip=SPC, dc_block=True
+        )
+        buf = _clean_frame_buffer(tag, b"dc riding!") + 3.0
+        report = rx.process(buf, skip_energy_gate=True)
+        assert report.decoded_payloads().get(0) == b"dc riding!"
+
+
+class TestHostileConfiguration:
+    def test_zero_tags_config(self):
+        cfg = CbmaConfig(n_tags=0, seed=1)
+        with pytest.raises(Exception):
+            CbmaNetwork(cfg, Deployment.linear(1, tag_to_rx=1.0)).run_rounds(1)
+
+    def test_mismatched_code_family_length(self):
+        with pytest.raises(ValueError):
+            CbmaConfig(n_tags=2, code_family="gold", code_length=30).frame_bits
+            from repro.codes import make_codes
+
+            make_codes("gold", 2, 30)
+
+    def test_payload_too_large_raises_at_build(self):
+        cfg = CbmaConfig(n_tags=1, payload_bytes=127, seed=1)
+        with pytest.raises(ValueError):
+            cfg.frame_bits()
+
+    def test_adversarial_payload_equal_to_preamble(self, rx_and_tag):
+        """A payload of 0xAA bytes mimics the preamble pattern
+        everywhere; the earliest-first hypothesis policy must still
+        find the real frame start."""
+        rx, tag = rx_and_tag
+        payload = b"\xaa" * 16
+        buf = _clean_frame_buffer(tag, payload, seed=3)
+        report = rx.process(buf)
+        assert report.decoded_payloads().get(0) == payload

@@ -1,0 +1,98 @@
+"""Unit tests for repro.mac.arq."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.mac.arq import ArqSimulator, ArqStats, Message
+from repro.sim.network import CbmaConfig, CbmaNetwork
+from repro.sim.traffic import PoissonArrivals
+
+
+def _network(n_tags=2, distance=1.0, seed=11, payload_bytes=8):
+    cfg = CbmaConfig(n_tags=n_tags, seed=seed, payload_bytes=payload_bytes)
+    return CbmaNetwork(cfg, Deployment.linear(n_tags, tag_to_rx=distance))
+
+
+class TestMessage:
+    def test_latency(self):
+        m = Message(0, 1, b"x", arrival_time_s=1.0)
+        assert m.latency_s is None
+        m.delivered_time_s = 1.5
+        assert m.latency_s == pytest.approx(0.5)
+
+
+class TestArqStats:
+    def test_empty(self):
+        s = ArqStats()
+        assert s.delivery_ratio == 1.0
+        assert s.mean_latency_s == 0.0
+        assert s.mean_attempts == 0.0
+        assert s.goodput_bps(100) == 0.0
+
+    def test_goodput(self):
+        s = ArqStats(delivered=10, elapsed_s=2.0)
+        assert s.goodput_bps(100) == 500.0
+
+
+class TestArqSimulator:
+    def test_payload_too_small_rejected(self):
+        net = _network(payload_bytes=1)
+        with pytest.raises(ValueError):
+            ArqSimulator(net, PoissonArrivals(1.0))
+
+    def test_invalid_limits(self):
+        net = _network()
+        with pytest.raises(ValueError):
+            ArqSimulator(net, PoissonArrivals(1.0), max_retries=0)
+        with pytest.raises(ValueError):
+            ArqSimulator(net, PoissonArrivals(1.0), max_queue=0)
+
+    def test_reliable_delivery_good_channel(self):
+        net = _network()
+        rate = 0.3 / net.config.frame_duration_s()
+        sim = ArqSimulator(net, PoissonArrivals(rate))
+        stats = sim.run(60, rng=np.random.default_rng(7))
+        assert stats.offered > 10
+        backlog = sum(len(q) for q in sim.queues.values())
+        assert stats.delivered + stats.dropped + backlog == stats.offered
+        assert stats.delivery_ratio > 0.9
+        assert stats.duplicates == 0
+
+    def test_no_traffic_no_rounds_transmitted(self):
+        net = _network()
+        sim = ArqSimulator(net, PoissonArrivals(0.0))
+        stats = sim.run(10, rng=np.random.default_rng(0))
+        assert stats.offered == 0
+        assert stats.transmissions == 0
+
+    def test_latencies_grow_with_load(self):
+        lat = {}
+        for label, load in (("light", 0.2), ("heavy", 1.5)):
+            net = _network(seed=13)
+            rate = load / net.config.frame_duration_s()
+            sim = ArqSimulator(net, PoissonArrivals(rate))
+            stats = sim.run(80, rng=np.random.default_rng(1))
+            lat[label] = stats.mean_latency_s
+        assert lat["heavy"] > lat["light"]
+
+    def test_bad_channel_drops_after_retries(self):
+        """A dead link (hopeless distance) must drop, not hang."""
+        net = _network(distance=8.0, seed=3)
+        rate = 0.3 / net.config.frame_duration_s()
+        sim = ArqSimulator(net, PoissonArrivals(rate), max_retries=3, max_queue=4)
+        stats = sim.run(40, rng=np.random.default_rng(2))
+        assert stats.delivered < stats.offered
+        assert stats.dropped > 0
+
+    def test_queue_capacity_enforced(self):
+        net = _network(distance=8.0, seed=3)  # nothing ever delivers
+        rate = 5.0 / net.config.frame_duration_s()
+        sim = ArqSimulator(net, PoissonArrivals(rate), max_retries=50, max_queue=3)
+        sim.run(10, rng=np.random.default_rng(4))
+        assert all(len(q) <= 3 for q in sim.queues.values())
+
+    def test_negative_rounds_rejected(self):
+        sim = ArqSimulator(_network(), PoissonArrivals(1.0))
+        with pytest.raises(ValueError):
+            sim.run(-1)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.mac.baselines."""
+
+import numpy as np
+import pytest
+
+from repro.mac.baselines.fdma import Fdma
+from repro.mac.baselines.fsa import FramedSlottedAloha
+from repro.mac.baselines.single_tag import SingleTagTdma
+
+
+class TestSingleTagTdma:
+    def test_perfect_channel(self):
+        tdma = SingleTagTdma([0, 1, 2], lambda tid: 1.0)
+        result = tdma.run(300, np.random.default_rng(0))
+        assert result.successes == 300
+        assert result.success_rate == 1.0
+        # Round-robin fairness.
+        assert all(result.per_tag_successes[t] == 100 for t in range(3))
+
+    def test_lossy_channel_statistics(self):
+        tdma = SingleTagTdma([0], lambda tid: 0.5)
+        result = tdma.run(10_000, np.random.default_rng(1))
+        assert result.success_rate == pytest.approx(0.5, abs=0.03)
+
+    def test_goodput(self):
+        tdma = SingleTagTdma([0], lambda tid: 1.0)
+        result = tdma.run(100, np.random.default_rng(0))
+        # 100 successes x 128 bits over 100 slots x 1 ms = 128 kbps.
+        assert result.goodput_bps(128, 1e-3) == pytest.approx(128_000)
+
+    def test_empty_tags(self):
+        result = SingleTagTdma([], lambda tid: 1.0).run(10)
+        assert result.successes == 0
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            SingleTagTdma([0], lambda tid: 1.0).run(-1)
+
+    def test_goodput_invalid_duration(self):
+        result = SingleTagTdma([0], lambda tid: 1.0).run(10, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            result.goodput_bps(128, 0.0)
+
+
+class TestFsa:
+    def test_slot_efficiency_bounded_by_1_over_e(self):
+        """Saturated FSA cannot beat the slotted-ALOHA limit."""
+        fsa = FramedSlottedAloha(list(range(20)), lambda tid: 1.0)
+        result = fsa.run(400, np.random.default_rng(2))
+        assert result.slot_efficiency <= 0.42  # 1/e + sampling slack
+
+    def test_efficiency_near_optimum_with_matched_frame(self):
+        fsa = FramedSlottedAloha(list(range(16)), lambda tid: 1.0, adapt=False)
+        result = fsa.run(400, np.random.default_rng(3))
+        assert result.slot_efficiency == pytest.approx(0.368, abs=0.05)
+
+    def test_slot_accounting(self):
+        fsa = FramedSlottedAloha([0, 1, 2], lambda tid: 1.0, adapt=False)
+        result = fsa.run(50, np.random.default_rng(4))
+        assert result.empty_slots + result.singleton_slots + result.collision_slots == result.slots
+
+    def test_collisions_always_lost(self):
+        """Two tags, one slot: every frame collides, zero successes."""
+        fsa = FramedSlottedAloha([0, 1], lambda tid: 1.0, initial_frame_size=1, adapt=False)
+        result = fsa.run(50, np.random.default_rng(5))
+        assert result.successes == 0
+        assert result.collision_slots == 50
+
+    def test_phy_loss_applies_to_singletons(self):
+        fsa = FramedSlottedAloha([0], lambda tid: 0.0, adapt=False)
+        result = fsa.run(50, np.random.default_rng(6))
+        assert result.singleton_slots == 50
+        assert result.successes == 0
+
+    def test_adaptation_tracks_backlog(self):
+        """With adaptation on, efficiency stays healthy even when the
+        initial frame size is badly wrong."""
+        fsa = FramedSlottedAloha(list(range(30)), lambda tid: 1.0, initial_frame_size=2)
+        result = fsa.run(200, np.random.default_rng(7))
+        assert result.slot_efficiency > 0.2
+
+    def test_invalid_frames(self):
+        with pytest.raises(ValueError):
+            FramedSlottedAloha([0], lambda tid: 1.0).run(-1)
+
+
+class TestFdma:
+    def test_fewer_tags_than_channels(self):
+        fdma = Fdma([0, 1], n_channels=4, success_probability=lambda tid: 1.0)
+        result = fdma.run(100, np.random.default_rng(8))
+        assert result.successes == 200
+
+    def test_time_sharing_beyond_channel_count(self):
+        fdma = Fdma(list(range(8)), n_channels=4, success_probability=lambda tid: 1.0)
+        result = fdma.run(100, np.random.default_rng(9))
+        # 4 channels x 100 rounds, each channel serving 2 tags alternately.
+        assert result.successes == 400
+        assert all(result.per_tag_successes[t] == 50 for t in range(8))
+
+    def test_goodput_divides_bandwidth(self):
+        fdma = Fdma([0, 1], n_channels=2, success_probability=lambda tid: 1.0)
+        result = fdma.run(100, np.random.default_rng(10))
+        # Each sub-channel at half rate: aggregate equals one full channel.
+        assert result.goodput_bps(128, 1e-3, n_channels=2) == pytest.approx(128_000)
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            Fdma([0], n_channels=0, success_probability=lambda tid: 1.0).run(1)
+
+    def test_empty_tags(self):
+        fdma = Fdma([], n_channels=2, success_probability=lambda tid: 1.0)
+        assert fdma.run(10).successes == 0

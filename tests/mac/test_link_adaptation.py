@@ -1,0 +1,109 @@
+"""Unit tests for repro.mac.link_adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.mac.link_adaptation import SpreadingFactorController
+
+
+def _channel(knee_length: int):
+    """Synthetic channel: FER ~0 above the knee length, high below it."""
+
+    def measure(length: int, rounds: int) -> float:
+        return 0.02 if length >= knee_length else 0.85
+
+    return measure
+
+
+class TestValidation:
+    def test_lengths_must_ascend(self):
+        with pytest.raises(ValueError):
+            SpreadingFactorController(lengths=(64, 32))
+
+    def test_lengths_nonempty(self):
+        with pytest.raises(ValueError):
+            SpreadingFactorController(lengths=())
+
+    def test_alpha_range(self):
+        with pytest.raises(ValueError):
+            SpreadingFactorController(ewma_alpha=0.0)
+
+    def test_epochs_positive(self):
+        ctrl = SpreadingFactorController()
+        with pytest.raises(ValueError):
+            ctrl.run(_channel(64), n_epochs=0)
+
+    def test_start_length_must_be_candidate(self):
+        ctrl = SpreadingFactorController(lengths=(32, 64))
+        with pytest.raises(ValueError):
+            ctrl.run(_channel(64), start_length=48)
+
+
+class TestAdaptation:
+    def test_converges_to_knee(self):
+        """The goodput optimum is the shortest workable length."""
+        ctrl = SpreadingFactorController(lengths=(32, 64, 128, 256))
+        result = ctrl.run(_channel(64), n_epochs=20, rng=np.random.default_rng(0))
+        assert result.chosen_length == 64
+
+    def test_prefers_short_when_everything_works(self):
+        ctrl = SpreadingFactorController(lengths=(32, 64, 128))
+        result = ctrl.run(_channel(32), n_epochs=20, rng=np.random.default_rng(1))
+        assert result.chosen_length == 32
+
+    def test_retreats_to_long_codes_in_bad_channel(self):
+        ctrl = SpreadingFactorController(lengths=(32, 64, 128, 256))
+        result = ctrl.run(_channel(256), n_epochs=30, rng=np.random.default_rng(2))
+        assert result.chosen_length == 256
+
+    def test_history_recorded(self):
+        ctrl = SpreadingFactorController(lengths=(32, 64))
+        result = ctrl.run(_channel(32), n_epochs=6, rng=np.random.default_rng(3))
+        assert len(result.history) == 6
+        epochs = [h[0] for h in result.history]
+        assert epochs == list(range(6))
+
+    def test_probing_explores_neighbours(self):
+        ctrl = SpreadingFactorController(lengths=(32, 64, 128), probe_period=2)
+        result = ctrl.run(_channel(32), n_epochs=12, rng=np.random.default_rng(4))
+        assert len(result.lengths_tried()) >= 2
+
+    def test_hysteresis_resists_noise(self):
+        """A noisy but statistically flat channel should not thrash."""
+        rng_noise = np.random.default_rng(5)
+
+        def noisy(length, rounds):
+            return float(np.clip(0.05 + rng_noise.normal(0, 0.02), 0, 1))
+
+        ctrl = SpreadingFactorController(lengths=(32, 64, 128), hysteresis=0.1)
+        result = ctrl.run(noisy, n_epochs=20, start_length=32, rng=np.random.default_rng(6))
+        # 32 has the best rate; flat FER means no reason to leave it.
+        assert result.chosen_length == 32
+
+    def test_goodput_score_shape(self):
+        ctrl = SpreadingFactorController(lengths=(32, 64))
+        ctrl._update(32, 0.5)
+        ctrl._update(64, 0.0)
+        assert ctrl.goodput_score(32) == pytest.approx(0.5 / 32)
+        assert ctrl.goodput_score(64) == pytest.approx(1.0 / 64)
+        assert ctrl.best_length() == 32
+
+
+class TestIntegrationWithNetwork:
+    def test_adapts_on_real_simulator(self):
+        """Drive the controller with the actual CBMA network at a harsh
+        distance: it must leave the short code it starts on."""
+        from repro.channel.geometry import Deployment
+        from repro.sim.network import CbmaConfig, CbmaNetwork
+
+        def measure(length: int, rounds: int) -> float:
+            cfg = CbmaConfig(n_tags=3, seed=29, code_length=int(length))
+            net = CbmaNetwork(cfg, Deployment.linear(3, tag_to_rx=3.5))
+            return net.run_rounds(rounds).fer
+
+        ctrl = SpreadingFactorController(lengths=(16, 64, 128))
+        result = ctrl.run(
+            measure, n_epochs=8, rounds_per_epoch=12,
+            start_length=16, rng=np.random.default_rng(7),
+        )
+        assert result.chosen_length >= 64

@@ -1,0 +1,96 @@
+"""Unit tests for repro.mac.baselines.netscatter."""
+
+import numpy as np
+import pytest
+
+from repro.mac.baselines.netscatter import ChirpPhy, NetscatterResult, NetscatterSimulator
+
+
+class TestChirpPhy:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            ChirpPhy(100)
+
+    def test_base_chirp_unit_modulus(self):
+        phy = ChirpPhy(64)
+        assert np.allclose(np.abs(phy.base_chirp), 1.0)
+
+    def test_shift_lands_in_its_bin(self):
+        phy = ChirpPhy(64)
+        for shift in (0, 1, 17, 63):
+            spectrum = np.abs(phy.dechirp(phy.tag_symbol(shift)))
+            assert int(np.argmax(spectrum)) == phy.bin_of_shift(shift)
+            assert spectrum.max() == pytest.approx(1.0)
+
+    def test_shifts_are_orthogonal(self):
+        """Two different shifts never leak into each other's bin."""
+        phy = ChirpPhy(64)
+        combined = phy.tag_symbol(5) + phy.tag_symbol(20)
+        spectrum = np.abs(phy.dechirp(combined))
+        assert spectrum[phy.bin_of_shift(5)] == pytest.approx(1.0, abs=1e-9)
+        assert spectrum[phy.bin_of_shift(20)] == pytest.approx(1.0, abs=1e-9)
+        others = np.delete(spectrum, [phy.bin_of_shift(5), phy.bin_of_shift(20)])
+        assert np.max(others) < 1e-9
+
+    def test_shift_bounds(self):
+        with pytest.raises(ValueError):
+            ChirpPhy(64).tag_symbol(64)
+
+    def test_dechirp_length_check(self):
+        with pytest.raises(ValueError):
+            ChirpPhy(64).dechirp(np.zeros(32))
+
+    def test_detect_bins(self):
+        phy = ChirpPhy(64)
+        bins = phy.detect_bins(phy.tag_symbol(9), threshold=0.5)
+        assert bins.tolist() == [phy.bin_of_shift(9)]
+
+
+class TestNetscatterSimulator:
+    def test_capacity_bound(self):
+        with pytest.raises(ValueError):
+            NetscatterSimulator(n_tags=300, n_bins=256)
+
+    def test_invalid_tags(self):
+        with pytest.raises(ValueError):
+            NetscatterSimulator(n_tags=0)
+
+    def test_symbol_rate(self):
+        sim = NetscatterSimulator(n_tags=4, n_bins=256, bandwidth_hz=1e6)
+        assert sim.symbol_rate_hz == pytest.approx(1e6 / 256)
+
+    def test_clean_channel_near_zero_ber(self):
+        sim = NetscatterSimulator(n_tags=64, n_bins=256, snr_db=15.0)
+        result = sim.run(100, np.random.default_rng(0))
+        assert result.ber < 0.01
+
+    def test_ber_grows_as_snr_falls(self):
+        bers = []
+        for snr in (12.0, 3.0):
+            sim = NetscatterSimulator(n_tags=64, snr_db=snr)
+            bers.append(sim.run(100, np.random.default_rng(1)).ber)
+        assert bers[1] > bers[0]
+
+    def test_near_far_hurts(self):
+        flat = NetscatterSimulator(n_tags=64, snr_db=12.0)
+        spread = NetscatterSimulator(n_tags=64, snr_db=12.0, amplitude_spread_db=24.0)
+        ber_flat = flat.run(100, np.random.default_rng(2)).ber
+        ber_spread = spread.run(100, np.random.default_rng(2)).ber
+        assert ber_spread > ber_flat
+
+    def test_rates(self):
+        sim = NetscatterSimulator(n_tags=256, n_bins=256, bandwidth_hz=1e6, snr_db=15.0)
+        result = sim.run(50, np.random.default_rng(3))
+        # The Table-I operating point: ~1 Mbps aggregate raw OOK over
+        # 256 tags, i.e. ~3.9 kbps per tag.
+        assert result.aggregate_rate_bps == pytest.approx(1e6, rel=0.01)
+        assert result.per_tag_rate_bps == pytest.approx(3906.25)
+        assert result.goodput_bps() <= result.aggregate_rate_bps
+
+    def test_negative_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            NetscatterSimulator(n_tags=4).run(-1)
+
+    def test_result_empty(self):
+        r = NetscatterResult(n_tags=1, symbols=0, bit_errors=0, bits_total=0, symbol_rate_hz=1.0)
+        assert r.ber == 0.0

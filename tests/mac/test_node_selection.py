@@ -1,0 +1,91 @@
+"""Unit tests for repro.mac.node_selection."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment, Point, Room
+from repro.channel.pathloss import LinkBudget
+from repro.mac.node_selection import NodeSelector
+
+
+def _deployment():
+    """Two good positions near the devices, two active spots far away."""
+    dep = Deployment(room=Room(width=10, depth=10))
+    dep.tags = [
+        Point(4.0, 4.0),   # 0: active, terrible
+        Point(0.0, 0.1),   # 1: active, good
+        Point(0.1, 0.0),   # 2: idle, good
+        Point(4.5, 4.5),   # 3: idle, terrible
+    ]
+    return dep
+
+
+class TestNodeSelector:
+    def test_strength_ordering(self):
+        sel = NodeSelector(deployment=_deployment(), budget=LinkBudget())
+        assert sel.strength_dbm(1) > sel.strength_dbm(0)
+        assert sel.strength_dbm(2) > sel.strength_dbm(3)
+
+    def test_replaces_bad_tag_with_stronger_idle(self):
+        # Cold annealing: only strength-improving swaps are accepted,
+        # so the bad tag must land on the good idle position.
+        sel = NodeSelector(
+            deployment=_deployment(), budget=LinkBudget(), initial_temperature=0.01
+        )
+        result = sel.select_round([0, 1], ack_ratios=[0.1, 0.95], rng=np.random.default_rng(0))
+        assert 0 in result.replaced
+        assert 2 in result.group  # picked the good idle position
+        assert 1 in result.group  # good tag untouched
+
+    def test_good_tags_untouched(self):
+        sel = NodeSelector(deployment=_deployment(), budget=LinkBudget())
+        result = sel.select_round([0, 1], ack_ratios=[0.9, 0.9], rng=np.random.default_rng(0))
+        assert result.replaced == []
+        assert result.group == [0, 1]
+
+    def test_mismatched_lengths(self):
+        sel = NodeSelector(deployment=_deployment(), budget=LinkBudget())
+        with pytest.raises(ValueError):
+            sel.select_round([0, 1], ack_ratios=[0.5])
+
+    def test_exclusion_radius(self):
+        """Idle candidates too close to a selected tag are skipped."""
+        dep = _deployment()
+        # Make candidate 2 sit within lambda/2 of active tag 1.
+        dep.tags[2] = Point(0.0, 0.12)
+        sel = NodeSelector(deployment=dep, budget=LinkBudget(), exclusion_radius_m=0.2)
+        result = sel.select_round([0, 1], ack_ratios=[0.1, 0.9], rng=np.random.default_rng(1))
+        assert 2 not in result.group
+
+    def test_annealing_acceptance_decays(self):
+        """Later rounds accept fewer worse candidates."""
+        dep = Deployment(room=Room(width=10, depth=10))
+        # One active good tag that keeps "failing", idle options all worse.
+        dep.tags = [Point(0.0, 0.1)] + [Point(3 + 0.2 * k, 3.0) for k in range(8)]
+        early_accepts = 0
+        late_accepts = 0
+        trials = 200
+        for k in range(trials):
+            sel = NodeSelector(
+                deployment=dep, budget=LinkBudget(),
+                initial_temperature=6.0, cooling=0.5,
+            )
+            rng = np.random.default_rng(k)
+            r0 = sel.select_round([0], [0.0], rng=rng)
+            early_accepts += r0.accepted_worse
+            for _ in range(6):
+                sel.select_round([0], [1.0], rng=rng)  # just advance the round counter
+            r_late = sel.select_round([0], [0.0], rng=rng)
+            late_accepts += r_late.accepted_worse
+        assert early_accepts > late_accepts
+
+    def test_no_idle_candidates(self):
+        dep = Deployment(room=Room(width=10, depth=10))
+        dep.tags = [Point(0, 0.1), Point(0.1, 0)]
+        sel = NodeSelector(deployment=dep, budget=LinkBudget())
+        result = sel.select_round([0, 1], [0.0, 0.0], rng=np.random.default_rng(0))
+        assert result.group == [0, 1]
+
+    def test_default_exclusion_is_half_wavelength(self):
+        sel = NodeSelector(deployment=_deployment(), budget=LinkBudget())
+        assert sel.exclusion_radius_m == pytest.approx(LinkBudget().wavelength_m / 2)

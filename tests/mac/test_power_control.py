@@ -1,0 +1,110 @@
+"""Unit tests for repro.mac.power_control (Algorithm 1)."""
+
+import pytest
+
+from repro.codes import twonc_codes
+from repro.mac.power_control import PowerController
+from repro.tag.tag import Tag
+
+
+def _tags(n):
+    codes = twonc_codes(n, 32)
+    return [Tag(i, codes[i]) for i in range(n)]
+
+
+class TestPowerController:
+    def test_requires_tags(self):
+        with pytest.raises(ValueError):
+            PowerController().run([], lambda tags, m: {})
+
+    def test_converges_immediately_when_all_acked(self):
+        tags = _tags(3)
+        controller = PowerController(packets_per_epoch=10)
+
+        def perfect(ts, m):
+            return {t.tag_id: m for t in ts}
+
+        result = controller.run(tags, perfect)
+        assert result.converged
+        assert result.epochs == 1
+        assert result.final_fer == 0.0
+
+    def test_cycle_bound(self):
+        """A hopeless channel stops after 3 x n_tags epochs (+ arbitration)."""
+        tags = _tags(2)
+        controller = PowerController(packets_per_epoch=10, max_cycles_per_tag=3)
+        calls = []
+
+        def hopeless(ts, m):
+            calls.append(1)
+            return {t.tag_id: 0 for t in ts}
+
+        result = controller.run(tags, hopeless)
+        assert not result.converged
+        # 6 search epochs plus at most 2 arbitration epochs.
+        assert 6 <= result.epochs <= 8
+
+    def test_failing_tag_steps_impedance(self):
+        tags = _tags(2)
+        start = [t.impedance_index for t in tags]
+        seen_states = {t.tag_id: set() for t in tags}
+
+        def track(ts, m):
+            for t in ts:
+                seen_states[t.tag_id].add(t.impedance_index)
+            return {ts[0].tag_id: m, ts[1].tag_id: 0}  # tag 1 always fails
+
+        PowerController(packets_per_epoch=10).run(tags, track)
+        # The failing tag explored several states; the good one never moved.
+        assert len(seen_states[1]) > 1
+        assert seen_states[0] == {start[0]}
+
+    def test_power_dependent_channel_converges(self):
+        """ACKs arrive only at the strongest state -> controller finds it."""
+        tags = _tags(2)
+        top = len(tags[0].codebook) - 1
+
+        def channel(ts, m):
+            return {t.tag_id: (m if t.impedance_index == top else 0) for t in ts}
+
+        result = PowerController(packets_per_epoch=10, fer_threshold=0.05).run(tags, channel)
+        assert all(t.impedance_index == top for t in tags)
+        assert result.final_fer == 0.0
+
+    def test_best_configuration_restored(self):
+        """After a non-converging run the best-seen config must be kept."""
+        tags = _tags(1)
+        history = []
+
+        def flaky(ts, m):
+            z = ts[0].impedance_index
+            history.append(z)
+            # State 2 gives 60% acks, everything else 10%.
+            return {ts[0].tag_id: int(m * (0.6 if z == 2 else 0.1))}
+
+        PowerController(packets_per_epoch=10).run(tags, flaky)
+        assert tags[0].impedance_index == 2
+
+    def test_fer_history_recorded(self):
+        tags = _tags(2)
+        controller = PowerController(packets_per_epoch=4)
+
+        def half(ts, m):
+            return {t.tag_id: m // 2 for t in ts}
+
+        result = controller.run(tags, half)
+        assert len(result.fer_history) == result.epochs
+        assert all(0 <= f <= 1 for f in result.fer_history)
+        assert len(result.impedance_history) == result.epochs
+
+    def test_ack_ratio_floor_respected(self):
+        """Tags above the 50% floor must not adjust (paper line 17)."""
+        tags = _tags(2)
+        z0 = [t.impedance_index for t in tags]
+
+        def sixty_percent(ts, m):
+            return {t.tag_id: int(0.6 * m) for t in ts}
+
+        PowerController(packets_per_epoch=10, fer_threshold=0.05).run(tags, sixty_percent)
+        # 60% acks > 50% floor: nobody moves, even though FER=0.4 > threshold.
+        assert [t.impedance_index for t in tags] == z0

@@ -1,0 +1,120 @@
+"""Unit tests for repro.phy.impedance."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phy.impedance import (
+    CARRIER_HZ,
+    DEFAULT_ANTENNA_IMPEDANCE,
+    ImpedanceCodebook,
+    PAPER_TERMINATIONS,
+    SHIFT_HZ,
+    Termination,
+    default_codebook,
+    reflection_coefficient,
+)
+
+
+class TestTermination:
+    def test_capacitor_impedance(self):
+        t = Termination("3pF", capacitance_f=3e-12, esr_ohm=0.0)
+        z = t.impedance(2e9)
+        expected = -1.0 / (2 * math.pi * 2e9 * 3e-12)
+        assert z.real == 0.0
+        assert z.imag == pytest.approx(expected)
+
+    def test_inductor_impedance(self):
+        t = Termination("2nH", inductance_h=2e-9, esr_ohm=0.0)
+        z = t.impedance(2e9)
+        assert z.imag == pytest.approx(2 * math.pi * 2e9 * 2e-9)
+
+    def test_resistor(self):
+        t = Termination("50", resistance_ohm=50.0, esr_ohm=0.0)
+        assert t.impedance(2e9) == 50.0
+
+    def test_open_is_large(self):
+        z = Termination("open").impedance(2e9)
+        assert abs(z) > 500.0
+
+    def test_multi_component_rejected(self):
+        t = Termination("bad", capacitance_f=1e-12, inductance_h=1e-9)
+        with pytest.raises(ValueError):
+            t.impedance(2e9)
+
+
+class TestReflectionCoefficient:
+    def test_matched_load_absorbs(self):
+        z_ant = complex(50.0, 20.0)
+        gamma = reflection_coefficient(z_ant.conjugate(), z_ant)
+        assert abs(gamma) == pytest.approx(0.0, abs=1e-12)
+
+    def test_pure_reactance_full_reflection(self):
+        gamma = reflection_coefficient(complex(0, -30.0), complex(50.0, 0.0))
+        assert abs(gamma) == pytest.approx(1.0, abs=1e-9)
+
+    def test_short_into_real_antenna(self):
+        gamma = reflection_coefficient(complex(0, 0), complex(50.0, 0.0))
+        assert gamma == pytest.approx(-1.0)
+
+
+class TestCodebook:
+    def test_four_states(self):
+        cb = default_codebook()
+        assert len(cb) == 4
+
+    def test_sorted_ascending_power(self):
+        gains = default_codebook().amplitude_gains()
+        assert np.all(np.diff(gains) > 0)
+
+    def test_power_range_spans_several_db(self):
+        """The ladder must give Algorithm 1 real authority (> 10 dB)."""
+        assert default_codebook().power_range_db() > 10.0
+
+    def test_distinct_steps(self):
+        gains = default_codebook().amplitude_gains()
+        steps_db = 20 * np.log10(gains[1:] / gains[:-1])
+        assert np.all(steps_db > 1.0)
+
+    def test_state_by_name(self):
+        cb = default_codebook()
+        state = cb.state_by_name("open")
+        assert state.termination.name == "open"
+
+    def test_state_by_name_missing(self):
+        with pytest.raises(KeyError):
+            default_codebook().state_by_name("42ohm")
+
+    def test_amplitude_gain_definition(self):
+        cb = default_codebook()
+        for state in cb.states:
+            assert state.amplitude_gain == pytest.approx(abs(state.gamma) / 2.0)
+
+    def test_power_gain_db(self):
+        state = default_codebook()[3]
+        assert state.power_gain_db == pytest.approx(
+            20 * math.log10(abs(state.gamma) / 2), abs=1e-9
+        )
+
+    def test_summary_keys(self):
+        names = set(default_codebook().summary())
+        assert names == {"3pF", "1pF", "open", "2nH"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ImpedanceCodebook([])
+
+    def test_operating_frequency_is_shifted(self):
+        cb = default_codebook()
+        assert cb.freq_hz == CARRIER_HZ + SHIFT_HZ
+
+    def test_custom_antenna_changes_gains(self):
+        a = ImpedanceCodebook(PAPER_TERMINATIONS, antenna_impedance=complex(50, 0))
+        b = ImpedanceCodebook(PAPER_TERMINATIONS, antenna_impedance=DEFAULT_ANTENNA_IMPEDANCE)
+        assert not np.allclose(a.amplitude_gains(), b.amplitude_gains())
+
+    def test_unsorted_preserves_order(self):
+        cb = ImpedanceCodebook(PAPER_TERMINATIONS, sort_by_power=False)
+        names = [s.termination.name for s in cb.states]
+        assert names == [t.name for t in PAPER_TERMINATIONS]

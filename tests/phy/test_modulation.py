@@ -1,0 +1,132 @@
+"""Unit tests for repro.phy.modulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.modulation import (
+    chips_per_frame,
+    despread_reference,
+    fractional_delay,
+    ook_baseband,
+    spread_bits,
+    upsample_chips,
+)
+from repro.utils.bits import as_bit_array
+
+
+class TestSpreadBits:
+    def test_paper_example(self):
+        """Sec. III-A: data "10" with PN "01001" encodes to "0100110110"."""
+        out = spread_bits("10", as_bit_array("01001"))
+        assert "".join(str(b) for b in out) == "0100110110"
+
+    def test_bit_one_is_code(self):
+        code = as_bit_array("0110")
+        assert np.array_equal(spread_bits("1", code), code)
+
+    def test_bit_zero_is_negation(self):
+        code = as_bit_array("0110")
+        assert np.array_equal(spread_bits("0", code), 1 - code)
+
+    def test_length(self):
+        assert spread_bits("1011", as_bit_array("010")).size == 12
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(ValueError):
+            spread_bits("1", np.zeros(0, dtype=np.uint8))
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=16))
+    def test_despread_recovers_bits(self, bits):
+        """Correlating each chip block with the reference recovers bits."""
+        code = as_bit_array("01001101")
+        chips = spread_bits(bits, code)
+        ref = despread_reference(code)
+        blocks = (chips.astype(np.float64)).reshape(len(bits), code.size)
+        stats = blocks @ ref
+        decisions = (stats > 0).astype(int)
+        assert decisions.tolist() == list(bits)
+
+
+class TestDespreadReference:
+    def test_bipolar(self):
+        ref = despread_reference(as_bit_array("101"))
+        assert ref.tolist() == [1.0, -1.0, 1.0]
+
+
+class TestUpsample:
+    def test_repeat(self):
+        out = upsample_chips([1, 0], 3)
+        assert out.tolist() == [1, 1, 1, 0, 0, 0]
+
+    def test_identity(self):
+        out = upsample_chips([1, 0, 1], 1)
+        assert out.tolist() == [1, 0, 1]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            upsample_chips([1], 0)
+
+
+class TestOokBaseband:
+    def test_harmonic_gain_applied(self):
+        out = ook_baseband(np.array([1.0]), amplitude=1.0)
+        assert abs(out[0]) == pytest.approx(4.0 / np.pi)
+
+    def test_no_harmonic_gain(self):
+        out = ook_baseband(np.array([1.0]), amplitude=2.0, include_harmonic_gain=False)
+        assert out[0] == pytest.approx(2.0)
+
+    def test_zero_chip_silent(self):
+        out = ook_baseband(np.array([0.0, 1.0]), amplitude=1j)
+        assert out[0] == 0.0
+        assert out[1] != 0.0
+
+    def test_complex_amplitude_phase(self):
+        out = ook_baseband(np.array([1.0]), amplitude=1j, include_harmonic_gain=False)
+        assert out[0] == pytest.approx(1j)
+
+
+class TestFractionalDelay:
+    def test_integer_delay(self):
+        out = fractional_delay(np.array([1.0, 2.0]), 3)
+        assert out.tolist() == [0.0, 0.0, 0.0, 1.0, 2.0]
+
+    def test_fractional_interpolates(self):
+        out = fractional_delay(np.array([1.0]), 0.25)
+        assert out[0] == pytest.approx(0.75)
+        assert out[1] == pytest.approx(0.25)
+
+    def test_energy_approximately_preserved_for_constant(self):
+        sig = np.ones(100)
+        out = fractional_delay(sig, 5.5)
+        # Interior of a delayed constant block stays 1.0.
+        assert np.allclose(out[7:100], 1.0)
+
+    def test_total_length(self):
+        out = fractional_delay(np.ones(4), 2, total_length=10)
+        assert out.size == 10
+
+    def test_truncation(self):
+        out = fractional_delay(np.ones(10), 5, total_length=8)
+        assert out.size == 8
+        assert out[5:].tolist() == [1.0, 1.0, 1.0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fractional_delay(np.ones(3), -1)
+
+    def test_complex_signal(self):
+        out = fractional_delay(np.array([1 + 1j]), 1.5)
+        assert out[1] == pytest.approx(0.5 + 0.5j)
+
+
+class TestChipsPerFrame:
+    def test_basic(self):
+        assert chips_per_frame(160, 64) == 10240
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chips_per_frame(-1, 64)
+        with pytest.raises(ValueError):
+            chips_per_frame(10, 0)

@@ -1,0 +1,159 @@
+"""Unit tests for repro.phy.sampling and repro.phy.snr."""
+
+import numpy as np
+import pytest
+
+from repro.phy.sampling import (
+    chip_matched_filter,
+    decimate,
+    instantaneous_power,
+    integrate_and_dump,
+    moving_average,
+)
+from repro.phy.snr import (
+    estimate_snr_db,
+    evm,
+    relative_power_difference,
+    snr_from_amplitudes,
+)
+
+
+class TestMovingAverage:
+    def test_constant_signal(self):
+        out = moving_average(np.ones(10), 4)
+        assert np.allclose(out, 1.0)
+
+    def test_step_response(self):
+        x = np.concatenate([np.zeros(4), np.ones(4)])
+        out = moving_average(x, 4)
+        assert out[3] == 0.0
+        assert out[7] == 1.0
+        assert 0 < out[5] < 1
+
+    def test_cold_start_partial_window(self):
+        out = moving_average(np.array([2.0, 4.0]), 8)
+        assert out[0] == 2.0
+        assert out[1] == 3.0
+
+    def test_window_one_is_identity(self):
+        x = np.arange(5.0)
+        assert np.allclose(moving_average(x, 1), x)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(5), 0)
+
+
+class TestIntegrateAndDump:
+    def test_averaging(self):
+        x = np.array([1.0, 3.0, 5.0, 7.0])
+        out = integrate_and_dump(x, 2)
+        assert out.tolist() == [2.0, 6.0]
+
+    def test_offset(self):
+        x = np.array([9.0, 1.0, 3.0])
+        out = integrate_and_dump(x, 2, offset=1)
+        assert out.tolist() == [2.0]
+
+    def test_drops_partial_tail(self):
+        out = integrate_and_dump(np.arange(5.0), 2)
+        assert out.size == 2
+
+    def test_empty_result(self):
+        assert integrate_and_dump(np.ones(1), 2).size == 0
+
+    def test_complex(self):
+        x = np.array([1 + 1j, 3 + 3j])
+        out = integrate_and_dump(x, 2)
+        assert out[0] == pytest.approx(2 + 2j)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            integrate_and_dump(np.ones(4), 0)
+
+
+class TestDecimateAndPower:
+    def test_decimate(self):
+        assert decimate(np.arange(10), 3).tolist() == [0, 3, 6, 9]
+
+    def test_decimate_offset(self):
+        assert decimate(np.arange(10), 3, offset=1).tolist() == [1, 4, 7]
+
+    def test_decimate_invalid(self):
+        with pytest.raises(ValueError):
+            decimate(np.arange(4), 0)
+
+    def test_instantaneous_power_is_magnitude(self):
+        x = np.array([3 + 4j])
+        assert instantaneous_power(x)[0] == pytest.approx(5.0)
+
+
+class TestMatchedFilter:
+    def test_peak_at_alignment(self):
+        chip = np.concatenate([np.zeros(5), np.ones(4), np.zeros(5)])
+        out = chip_matched_filter(chip, 4)
+        assert int(np.argmax(out)) == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chip_matched_filter(np.ones(4), 0)
+
+
+class TestSnrEstimation:
+    def test_known_snr(self):
+        rng = np.random.default_rng(0)
+        n = 200_000
+        noise = (rng.normal(0, 1, n) + 1j * rng.normal(0, 1, n)) / np.sqrt(2)
+        signal = np.sqrt(10.0) * np.exp(1j * rng.uniform(0, 2 * np.pi, n))
+        est = estimate_snr_db(signal + noise, noise)
+        assert est == pytest.approx(10.0, abs=0.3)
+
+    def test_zero_noise_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_snr_db(np.ones(4), np.zeros(4))
+
+    def test_snr_from_amplitudes(self):
+        # amplitude 1, per-component std sqrt(0.5) -> total noise power 1.
+        assert snr_from_amplitudes(1.0, np.sqrt(0.5)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_snr_from_amplitudes_invalid(self):
+        with pytest.raises(ValueError):
+            snr_from_amplitudes(1.0, 0.0)
+
+
+class TestRelativePowerDifference:
+    def test_equal_powers(self):
+        assert relative_power_difference([2.0, 2.0]) == 0.0
+
+    def test_paper_definition(self):
+        # (max - min) / max.
+        assert relative_power_difference([1.0, 0.5]) == pytest.approx(0.5)
+
+    def test_single_value(self):
+        assert relative_power_difference([3.0]) == 0.0
+
+    def test_zero_max(self):
+        assert relative_power_difference([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            relative_power_difference([-1.0, 1.0])
+
+
+class TestEvm:
+    def test_perfect_signal(self):
+        ref = np.array([1 + 0j, -1 + 0j])
+        assert evm(ref, ref) == 0.0
+
+    def test_known_error(self):
+        ref = np.array([1 + 0j])
+        rx = np.array([1.1 + 0j])
+        assert evm(rx, ref) == pytest.approx(0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evm(np.ones(2), np.ones(3))
+
+    def test_zero_reference(self):
+        with pytest.raises(ValueError):
+            evm(np.ones(2), np.zeros(2))

@@ -1,0 +1,71 @@
+"""Unit tests for repro.phy.sideband."""
+
+import math
+
+import pytest
+
+from repro.phy.sideband import (
+    dsb_components,
+    image_rejection_db,
+    sideband_efficiency,
+    ssb_components,
+)
+
+
+class TestDsb:
+    def test_equal_split(self):
+        wanted, image = dsb_components(2.0)
+        assert wanted == image == 1.0
+
+    def test_power_conserved(self):
+        wanted, image = dsb_components(1.0)
+        # Each sideband carries A/2 -> P/4; both together P/2 (the
+        # other half is at the carrier/harmonics in a real square wave).
+        assert abs(wanted) ** 2 + abs(image) ** 2 == pytest.approx(0.5)
+
+    def test_efficiency_half(self):
+        assert sideband_efficiency(single_sideband=False) == pytest.approx(0.5)
+
+
+class TestSsb:
+    def test_perfect_quadrature_no_image(self):
+        wanted, image = ssb_components(1.0)
+        assert abs(image) == pytest.approx(0.0, abs=1e-12)
+        assert abs(wanted) == pytest.approx(1.0)
+
+    def test_efficiency_one_when_perfect(self):
+        assert sideband_efficiency(single_sideband=True) == pytest.approx(1.0)
+
+    def test_phase_error_leaks(self):
+        wanted, image = ssb_components(1.0, phase_error_rad=math.radians(10))
+        assert abs(image) > 0
+        assert abs(wanted) > abs(image)
+
+    def test_amplitude_imbalance_leaks(self):
+        _, image = ssb_components(1.0, amplitude_imbalance_db=1.0)
+        assert abs(image) > 0
+
+    def test_efficiency_degrades_with_error(self):
+        perfect = sideband_efficiency(True)
+        imperfect = sideband_efficiency(True, phase_error_rad=math.radians(20))
+        assert imperfect < perfect
+
+
+class TestImageRejection:
+    def test_infinite_when_perfect(self):
+        assert image_rejection_db(0.0) == float("inf")
+
+    def test_classic_values(self):
+        """~1 degree phase error gives ~41 dB IRR (textbook figure)."""
+        irr = image_rejection_db(math.radians(1.0))
+        assert 40.0 < irr < 43.0
+
+    def test_monotone_in_phase_error(self):
+        a = image_rejection_db(math.radians(1.0))
+        b = image_rejection_db(math.radians(5.0))
+        assert a > b
+
+    def test_imbalance_contributes(self):
+        only_phase = image_rejection_db(math.radians(2.0))
+        both = image_rejection_db(math.radians(2.0), amplitude_imbalance_db=0.5)
+        assert both < only_phase

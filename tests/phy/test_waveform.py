@@ -1,0 +1,84 @@
+"""Unit tests for repro.phy.waveform."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phy.waveform import (
+    FIRST_HARMONIC_AMPLITUDE,
+    harmonic_power_db,
+    square_wave,
+    square_wave_harmonics,
+    tone,
+)
+
+
+class TestSquareWave:
+    def test_unit_amplitude(self):
+        w = square_wave(1e6, 16e6, 64)
+        assert set(np.unique(w)) <= {-1.0, 1.0}
+
+    def test_period(self):
+        # 16 samples per period at fs/f = 16.
+        w = square_wave(1e6, 16e6, 32)
+        assert np.array_equal(w[:16], w[16:32])
+
+    def test_duty_cycle_half(self):
+        w = square_wave(1e6, 64e6, 6400)
+        assert abs(float(np.mean(w))) < 0.02
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            square_wave(0, 1e6, 10)
+
+
+class TestHarmonics:
+    def test_first_harmonic_amplitude(self):
+        """Paper eq. (2): the fundamental has amplitude 4/pi."""
+        w = square_wave_harmonics(1e6, 64e6, 6400, n_harmonics=1)
+        assert float(np.max(np.abs(w))) == pytest.approx(4.0 / math.pi, rel=1e-3)
+
+    def test_converges_to_square(self):
+        exact = square_wave(1e6, 64e6, 640)
+        approx = square_wave_harmonics(1e6, 64e6, 640, n_harmonics=50)
+        # Sign agreement away from transitions.
+        agree = np.mean(np.sign(approx) == exact)
+        assert agree > 0.95
+
+    def test_more_harmonics_closer(self):
+        exact = square_wave(1e6, 64e6, 640)
+        err1 = np.linalg.norm(square_wave_harmonics(1e6, 64e6, 640, 1) - exact)
+        err9 = np.linalg.norm(square_wave_harmonics(1e6, 64e6, 640, 9) - exact)
+        assert err9 < err1
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            square_wave_harmonics(1e6, 64e6, 64, n_harmonics=0)
+
+
+class TestHarmonicPower:
+    def test_paper_values(self):
+        """Paper: 3rd harmonic ~9.5 dB down, 5th ~14 dB down."""
+        assert harmonic_power_db(3) == pytest.approx(-9.54, abs=0.01)
+        assert harmonic_power_db(5) == pytest.approx(-13.98, abs=0.01)
+
+    def test_fundamental_is_zero(self):
+        assert harmonic_power_db(1) == 0.0
+
+    def test_even_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_power_db(2)
+
+
+class TestTone:
+    def test_unit_magnitude(self):
+        t = tone(1e6, 16e6, 128)
+        assert np.allclose(np.abs(t), 1.0)
+
+    def test_phase_offset(self):
+        t = tone(1e6, 16e6, 4, phase=np.pi / 2)
+        assert t[0] == pytest.approx(1j)
+
+    def test_constant(self):
+        assert FIRST_HARMONIC_AMPLITUDE == pytest.approx(4.0 / math.pi)

@@ -1,0 +1,111 @@
+"""Unit tests for waveform_from_edges and the non-ideal clock path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.modulation import fractional_delay, upsample_chips, waveform_from_edges
+from repro.tag.oscillator import TagOscillator
+
+
+class TestWaveformFromEdges:
+    def test_matches_ideal_pipeline(self):
+        """Regular edges must reproduce upsample + fractional delay."""
+        chips = np.array([1, 0, 1, 1, 0, 1, 0, 0], dtype=np.uint8)
+        spc = 4
+        for offset in (0.0, 0.25, 1.6):
+            edges = np.arange(chips.size + 1) + offset
+            a = waveform_from_edges(chips, edges, spc)
+            b = fractional_delay(
+                upsample_chips(chips.astype(float), spc), offset * spc, total_length=a.size
+            )
+            assert np.allclose(a, b, atol=1e-12)
+
+    def test_edge_count_validated(self):
+        with pytest.raises(ValueError):
+            waveform_from_edges([1, 0], np.array([0.0, 1.0]), 2)
+
+    def test_decreasing_edges_rejected(self):
+        with pytest.raises(ValueError):
+            waveform_from_edges([1, 0], np.array([0.0, 2.0, 1.0]), 2)
+
+    def test_negative_edges_rejected(self):
+        with pytest.raises(ValueError):
+            waveform_from_edges([1], np.array([-1.0, 1.0]), 2)
+
+    def test_output_bounded_zero_one(self):
+        rng = np.random.default_rng(0)
+        chips = rng.integers(0, 2, 50)
+        edges = np.maximum.accumulate(np.arange(51) + rng.normal(0, 0.2, 51))
+        edges -= edges.min()
+        out = waveform_from_edges(chips, edges, 2)
+        assert out.min() >= -1e-12
+        assert out.max() <= 1.0 + 1e-12
+
+    def test_total_energy_matches_on_time(self):
+        """Integral of the waveform equals total ON duration in samples."""
+        chips = np.array([1, 1, 0, 1], dtype=np.uint8)
+        edges = np.array([0.0, 1.3, 2.1, 3.0, 4.4])
+        spc = 8
+        out = waveform_from_edges(chips, edges, spc, total_length=64)
+        on_duration = (1.3 - 0.0) + (2.1 - 1.3) + (4.4 - 3.0)
+        assert out.sum() == pytest.approx(on_duration * spc, rel=1e-9)
+
+    def test_total_length_respected(self):
+        out = waveform_from_edges([1, 1], np.array([0.0, 1.0, 2.0]), 2, total_length=10)
+        assert out.size == 10
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=20),
+        st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ideal_equivalence_property(self, chips, offset):
+        chips = np.array(chips, dtype=np.uint8)
+        spc = 2
+        edges = np.arange(chips.size + 1, dtype=np.float64) + offset
+        a = waveform_from_edges(chips, edges, spc)
+        b = fractional_delay(
+            upsample_chips(chips.astype(float), spc), offset * spc, total_length=a.size
+        )
+        assert np.allclose(a, b, atol=1e-9)
+
+
+class TestOscillatorEdges:
+    def test_is_ideal(self):
+        assert TagOscillator().is_ideal
+        assert TagOscillator(offset_chips=5.0).is_ideal  # offset alone stays ideal
+        assert not TagOscillator(drift_ppm=10.0).is_ideal
+        assert not TagOscillator(jitter_chips_rms=0.01).is_ideal
+
+    def test_jittered_edges_monotone(self):
+        osc = TagOscillator(jitter_chips_rms=0.5)
+        edges = osc.chip_edges(1000, np.random.default_rng(0))
+        assert np.all(np.diff(edges) >= 0)
+
+    def test_drift_accumulates(self):
+        osc = TagOscillator(drift_ppm=1000.0)
+        edges = osc.chip_edges(10001)
+        slip = 10000 - (edges[-1] - edges[0])
+        assert slip == pytest.approx(10000 * 1000e-6, rel=0.01)
+
+
+class TestJitterInSimulation:
+    def test_nonideal_path_still_decodes(self):
+        """Crystal-grade imperfection must not break the link."""
+        from repro.channel.geometry import Deployment
+        from repro.sim.network import CbmaConfig, CbmaNetwork
+
+        cfg = CbmaConfig(
+            n_tags=2, seed=41, jitter_chips_rms=0.02, drift_ppm_sigma=20.0
+        )
+        net = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0))
+        assert net.run_rounds(15).fer < 0.3
+
+    def test_rc_clock_breaks_the_link(self):
+        from repro.channel.geometry import Deployment
+        from repro.sim.network import CbmaConfig, CbmaNetwork
+
+        cfg = CbmaConfig(n_tags=2, seed=41, drift_ppm_sigma=2000.0)
+        net = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0))
+        assert net.run_rounds(10).fer > 0.7

@@ -1,0 +1,59 @@
+"""Unit tests for repro.receiver.frame_sync."""
+
+import numpy as np
+import pytest
+
+from repro.receiver.frame_sync import EnergyDetector
+
+
+def _burst_buffer(lead=600, burst=400, tail=200, amp=1.0, noise=0.02, seed=0):
+    rng = np.random.default_rng(seed)
+    n = lead + burst + tail
+    x = noise * (rng.normal(size=n) + 1j * rng.normal(size=n))
+    x[lead : lead + burst] += amp * np.exp(1j * rng.uniform(0, 2 * np.pi, burst))
+    return x
+
+
+class TestEnergyDetector:
+    def test_detects_burst(self):
+        det = EnergyDetector()
+        result = det.detect(_burst_buffer())
+        assert result.detected
+        assert any(abs(d - 600) < 40 for d in result.detections)
+
+    def test_no_detection_in_pure_noise(self):
+        rng = np.random.default_rng(1)
+        noise = 0.02 * (rng.normal(size=4000) + 1j * rng.normal(size=4000))
+        det = EnergyDetector(threshold_db=6.0, power_window=64)
+        assert not det.detect(noise).detected
+
+    def test_empty_buffer(self):
+        assert not EnergyDetector().detect(np.zeros(0)).detected
+
+    def test_guard_suppresses_repeats(self):
+        det = EnergyDetector(guard_samples=1000)
+        result = det.detect(_burst_buffer())
+        assert len(result.detections) <= 2
+
+    def test_weak_burst_missed(self):
+        """Bursts below the 3 dB margin must not trigger."""
+        x = _burst_buffer(amp=0.02, noise=0.02)
+        det = EnergyDetector(power_window=64, threshold_db=3.0)
+        result = det.detect(x)
+        assert all(abs(d - 600) > 40 for d in result.detections) or not result.detected
+
+    def test_threshold_db_semantics(self):
+        """A burst exactly k dB above the floor is caught only when the
+        configured margin is below k."""
+        # Burst power ~9.5 dB above noise floor.
+        x = _burst_buffer(amp=0.06, noise=0.02)
+        lenient = EnergyDetector(threshold_db=3.0, power_window=32)
+        strict = EnergyDetector(threshold_db=15.0, power_window=32)
+        assert any(abs(d - 600) < 40 for d in lenient.detect(x).detections)
+        assert not any(abs(d - 600) < 40 for d in strict.detect(x).detections)
+
+    def test_detection_near_onset_not_inside_burst(self):
+        det = EnergyDetector()
+        result = det.detect(_burst_buffer(lead=900))
+        onset_hits = [d for d in result.detections if 850 <= d <= 960]
+        assert onset_hits, result.detections

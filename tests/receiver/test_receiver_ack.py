@@ -1,0 +1,115 @@
+"""Unit tests for repro.receiver.receiver and repro.receiver.ack."""
+
+import numpy as np
+import pytest
+
+from repro.codes import twonc_codes
+from repro.phy.modulation import fractional_delay, ook_baseband
+from repro.receiver.ack import AckMessage
+from repro.receiver.receiver import CbmaReceiver
+from repro.tag.framing import FrameFormat
+from repro.tag.tag import Tag
+
+
+class TestAckMessage:
+    def test_for_ids(self):
+        ack = AckMessage.for_ids([3, 1, 1])
+        assert ack.acknowledges(1)
+        assert ack.acknowledges(3)
+        assert not ack.acknowledges(2)
+        assert len(ack) == 2
+
+    def test_empty_default(self):
+        assert len(AckMessage()) == 0
+
+    def test_frozen(self):
+        ack = AckMessage.for_ids([1])
+        with pytest.raises(AttributeError):
+            ack.decoded_ids = frozenset()
+
+
+def _collision_buffer(tags, payloads, amps, offsets, spc, noise=1e-6, lead=128, seed=0):
+    rng = np.random.default_rng(seed)
+    streams = []
+    for tag, amp, off in zip(tags, amps, offsets):
+        if tag.tag_id not in payloads:
+            continue
+        sig = ook_baseband(tag.chip_stream(payloads[tag.tag_id], spc), amplitude=amp)
+        streams.append(fractional_delay(sig, lead + off))
+    n = max(s.size for s in streams) + 64
+    total = np.zeros(n, dtype=complex)
+    for s in streams:
+        total[: s.size] += s
+    total += noise * (rng.normal(size=n) + 1j * rng.normal(size=n))
+    return total
+
+
+class TestCbmaReceiver:
+    def setup_method(self):
+        self.spc = 2
+        self.codes = twonc_codes(3, 32)
+        self.fmt = FrameFormat()
+        self.tags = [Tag(i, self.codes[i], fmt=self.fmt) for i in range(3)]
+        self.rx = CbmaReceiver(
+            {i: self.codes[i] for i in range(3)}, fmt=self.fmt, samples_per_chip=self.spc
+        )
+
+    def test_single_tag_roundtrip(self):
+        payloads = {0: b"only tag zero"}
+        buf = _collision_buffer(self.tags, payloads, [1.0, 1.0, 1.0], [0, 0, 0], self.spc)
+        report = self.rx.process(buf)
+        assert report.decoded_payloads() == payloads
+        assert report.ack.acknowledges(0)
+
+    def test_three_tag_collision(self):
+        payloads = {0: b"tag zero data!", 1: b"tag one data!!", 2: b"tag two data!!"}
+        amps = [1.0 * np.exp(1j * 0.3), 0.9 * np.exp(1j * 2.0), 1.1 * np.exp(1j * 4.0)]
+        buf = _collision_buffer(self.tags, payloads, amps, [0.0, 3.3, 7.7], self.spc)
+        report = self.rx.process(buf)
+        assert report.decoded_payloads() == payloads
+        assert set(report.ack.decoded_ids) == {0, 1, 2}
+
+    def test_no_signal_nothing_acked(self):
+        """Noise may trip the 3 dB energy gate and even marginal
+        correlations, but no frame may decode and nothing is ACKed."""
+        rng = np.random.default_rng(0)
+        noise = 1e-6 * (rng.normal(size=8000) + 1j * rng.normal(size=8000))
+        report = self.rx.process(noise)
+        assert all(not f.success for f in report.frames)
+        assert len(report.ack) == 0
+
+    def test_skip_energy_gate(self):
+        rng = np.random.default_rng(0)
+        noise = 1e-6 * (rng.normal(size=8000) + 1j * rng.normal(size=8000))
+        report = self.rx.process(noise, skip_energy_gate=True)
+        # User detector ran (possibly empty result), no crash.
+        assert report.ack is not None
+
+    def test_ghost_suppression(self):
+        """One very strong tag must not be decoded under other codes."""
+        payloads = {0: b"dominant tag payload"}
+        buf = _collision_buffer(self.tags, payloads, [5.0, 1, 1], [0, 0, 0], self.spc)
+        report = self.rx.process(buf)
+        decoded = report.decoded_payloads()
+        assert list(decoded) == [0]
+        ghosts = [f for f in report.frames if f.reason == "ghost"]
+        # Any duplicate decodes were converted to ghosts, never ACKed.
+        for g in ghosts:
+            assert not report.ack.acknowledges(g.user_id)
+
+    def test_frame_for_missing_user(self):
+        payloads = {0: b"zzz"}
+        buf = _collision_buffer(self.tags, payloads, [1, 1, 1], [0, 0, 0], self.spc)
+        report = self.rx.process(buf)
+        assert report.frame_for(99) is None
+
+    def test_near_far_weak_tag_suffers(self):
+        """A 20 dB weaker tag should fail while the strong one succeeds."""
+        payloads = {0: b"strong tag here", 1: b"weak tag here!!"}
+        buf = _collision_buffer(
+            self.tags, payloads, [1.0, 0.1, 1.0], [0.0, 4.4, 0.0], self.spc, noise=3e-3
+        )
+        report = self.rx.process(buf)
+        decoded = report.decoded_payloads()
+        assert 0 in decoded
+        assert decoded.get(1) != payloads[1] or 1 not in decoded

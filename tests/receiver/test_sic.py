@@ -1,0 +1,105 @@
+"""Unit tests for repro.receiver.sic (successive interference cancellation)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import twonc_codes
+from repro.phy.modulation import fractional_delay, ook_baseband
+from repro.receiver import CbmaReceiver, SicReceiver
+from repro.tag.framing import FrameFormat
+from repro.tag.tag import Tag
+
+
+SPC = 2
+
+
+def _build(tags, payloads, amps, offsets, noise, rng):
+    streams = []
+    for tag, amp, off in zip(tags, amps, offsets):
+        if tag.tag_id not in payloads:
+            continue
+        sig = ook_baseband(tag.chip_stream(payloads[tag.tag_id], SPC), amplitude=amp)
+        streams.append(fractional_delay(sig, 128 + off))
+    n = max(s.size for s in streams) + 64
+    total = np.zeros(n, dtype=complex)
+    for s in streams:
+        total[: s.size] += s
+    return total + noise * (rng.normal(size=n) + 1j * rng.normal(size=n))
+
+
+@pytest.fixture
+def setup():
+    codes = twonc_codes(3, 64)
+    fmt = FrameFormat()
+    tags = [Tag(i, codes[i], fmt=fmt) for i in range(3)]
+    sic = SicReceiver({i: codes[i] for i in range(3)}, fmt=fmt, samples_per_chip=SPC)
+    plain = CbmaReceiver({i: codes[i] for i in range(3)}, fmt=fmt, samples_per_chip=SPC)
+    return codes, fmt, tags, sic, plain
+
+
+class TestSicReceiver:
+    def test_invalid_passes(self):
+        codes = twonc_codes(1, 32)
+        with pytest.raises(ValueError):
+            SicReceiver({0: codes[0]}, max_passes=0)
+
+    def test_single_tag_same_as_plain(self, setup):
+        codes, fmt, tags, sic, plain = setup
+        rng = np.random.default_rng(0)
+        payloads = {0: b"single tag here!"}
+        buf = _build(tags, payloads, [1.0, 0, 0], [3.3, 0, 0], 0.01, rng)
+        assert sic.process(buf).decoded_payloads() == plain.process(buf).decoded_payloads()
+
+    def test_recovers_near_far_victim(self, setup):
+        """SIC must decode a ~18 dB weaker tag that the plain receiver loses."""
+        codes, fmt, tags, sic, plain = setup
+        rng = np.random.default_rng(1)
+        wins_sic = wins_plain = 0
+        for trial in range(10):
+            payloads = {
+                0: bytes(rng.integers(0, 256, 16, dtype=np.uint8)),
+                1: bytes(rng.integers(0, 256, 16, dtype=np.uint8)),
+            }
+            amps = [
+                1.0 * np.exp(1j * rng.uniform(0, 2 * np.pi)),
+                0.12 * np.exp(1j * rng.uniform(0, 2 * np.pi)),
+                0.0,
+            ]
+            offs = [rng.uniform(0, 16), rng.uniform(0, 16), 0]
+            buf = _build(tags, payloads, amps, offs, 0.01, rng)
+            wins_plain += plain.process(buf).decoded_payloads().get(1) == payloads[1]
+            wins_sic += sic.process(buf).decoded_payloads().get(1) == payloads[1]
+        assert wins_sic >= 8
+        assert wins_sic > wins_plain
+
+    def test_no_false_acks_for_silent_tags(self, setup):
+        codes, fmt, tags, sic, plain = setup
+        rng = np.random.default_rng(2)
+        payloads = {0: bytes(rng.integers(0, 256, 16, dtype=np.uint8))}
+        buf = _build(tags, payloads, [1.0, 0, 0], [2.2, 0, 0], 0.01, rng)
+        report = sic.process(buf)
+        assert set(report.ack.decoded_ids) <= {0}
+
+    def test_three_tag_staircase(self, setup):
+        """Three tags at 0 / -10 / -20 dB: SIC peels them in order."""
+        codes, fmt, tags, sic, plain = setup
+        rng = np.random.default_rng(3)
+        payloads = {
+            i: bytes(rng.integers(0, 256, 16, dtype=np.uint8)) for i in range(3)
+        }
+        amps = [
+            1.0 * np.exp(1j * 0.5),
+            0.32 * np.exp(1j * 2.0),
+            0.1 * np.exp(1j * 4.0),
+        ]
+        offs = [1.0, 6.5, 12.3]
+        buf = _build(tags, payloads, amps, offs, 0.005, rng)
+        decoded = sic.process(buf).decoded_payloads()
+        assert decoded == payloads
+
+    def test_noise_only_no_successes(self, setup):
+        codes, fmt, tags, sic, plain = setup
+        rng = np.random.default_rng(4)
+        noise = 0.01 * (rng.normal(size=8000) + 1j * rng.normal(size=8000))
+        report = sic.process(noise)
+        assert all(not f.success for f in report.frames)

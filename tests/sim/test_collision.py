@@ -1,0 +1,105 @@
+"""Unit tests for repro.sim.collision."""
+
+import numpy as np
+import pytest
+
+from repro.channel.interference import OfdmExcitationGate, WiFiInterference
+from repro.channel.noise import NoiseModel
+from repro.codes import twonc_codes
+from repro.sim.collision import CollisionScenario, simulate_round
+from repro.tag.oscillator import TagOscillator
+from repro.tag.tag import Tag
+
+
+def _scenario(n_tags=2, spc=2, **kw):
+    codes = twonc_codes(n_tags, 32)
+    tags = [Tag(i, codes[i], oscillator=TagOscillator(offset_chips=1.0 * i)) for i in range(n_tags)]
+    amps = [1e-6] * n_tags
+    defaults = dict(
+        tags=tags, amplitudes=amps,
+        noise=NoiseModel(extra_noise_db=0.0), samples_per_chip=spc,
+    )
+    defaults.update(kw)
+    return CollisionScenario(**defaults)
+
+
+class TestCollisionScenario:
+    def test_amplitude_count_mismatch(self):
+        codes = twonc_codes(2, 32)
+        tags = [Tag(i, codes[i]) for i in range(2)]
+        with pytest.raises(ValueError):
+            CollisionScenario(tags=tags, amplitudes=[1.0])
+
+    def test_invalid_spc(self):
+        with pytest.raises(ValueError):
+            _scenario(spc=0)
+
+    def test_sample_rate(self):
+        scn = _scenario(spc=4, chip_rate_hz=2e6)
+        assert scn.sample_rate_hz == 8e6
+
+    def test_effective_amplitude_scales_with_impedance(self):
+        scn = _scenario()
+        lo_state, hi_state = 0, len(scn.tags[0].codebook) - 1
+        scn.tags[0].set_impedance(lo_state)
+        weak = abs(scn.effective_amplitude(0))
+        scn.tags[0].set_impedance(hi_state)
+        strong = abs(scn.effective_amplitude(0))
+        assert strong > weak
+
+
+class TestSimulateRound:
+    def test_truth_bookkeeping(self):
+        scn = _scenario()
+        payloads = {0: b"abc", 1: b"def"}
+        iq, truth = simulate_round(scn, payloads, np.random.default_rng(0))
+        assert truth.payloads == payloads
+        assert set(truth.amplitudes) == {0, 1}
+        assert truth.n_samples == iq.size
+
+    def test_silent_tag_not_in_truth(self):
+        scn = _scenario()
+        iq, truth = simulate_round(scn, {0: b"abc"}, np.random.default_rng(0))
+        assert 1 not in truth.amplitudes
+
+    def test_lead_in_is_noise_only(self):
+        scn = _scenario(lead_in_chips=64)
+        iq, truth = simulate_round(scn, {0: b"abc", 1: b"def"}, np.random.default_rng(1))
+        lead = 64 * scn.samples_per_chip
+        lead_power = np.mean(np.abs(iq[: lead // 2]) ** 2)
+        frame_power = np.mean(np.abs(iq[lead * 2 : lead * 4]) ** 2)
+        assert frame_power > 10 * lead_power
+
+    def test_offsets_respected(self):
+        scn = _scenario()
+        iq, truth = simulate_round(scn, {0: b"a", 1: b"b"}, np.random.default_rng(2))
+        lead = scn.lead_in_chips * scn.samples_per_chip
+        assert truth.offsets_samples[0] == lead
+        assert truth.offsets_samples[1] == lead + 1.0 * scn.samples_per_chip
+
+    def test_all_silent_gives_noise_buffer(self):
+        scn = _scenario()
+        iq, truth = simulate_round(scn, {}, np.random.default_rng(3))
+        assert iq.size > 0
+        assert truth.amplitudes == {}
+
+    def test_excitation_gate_zeroes_signal(self):
+        gate = OfdmExcitationGate(mean_on_s=1e-9, mean_off_s=10.0)  # ~always off
+        scn = _scenario(excitation_gate=gate, noise=NoiseModel(extra_noise_db=-100))
+        iq, truth = simulate_round(scn, {0: b"abc", 1: b"def"}, np.random.default_rng(4))
+        assert np.max(np.abs(iq)) < 1e-7
+
+    def test_interference_adds_power(self):
+        quiet = _scenario(noise=NoiseModel(extra_noise_db=-100.0))
+        iq_quiet, _ = simulate_round(quiet, {}, np.random.default_rng(5))
+        loud = _scenario(
+            noise=NoiseModel(extra_noise_db=-100.0),
+            interference=WiFiInterference(power_dbm=-40, overlap=1.0, mean_idle_s=1e-4),
+        )
+        iq_loud, _ = simulate_round(loud, {}, np.random.default_rng(5))
+        assert np.mean(np.abs(iq_loud) ** 2) > 10 * np.mean(np.abs(iq_quiet) ** 2)
+
+    def test_reproducible_with_seed(self):
+        a, _ = simulate_round(_scenario(), {0: b"x", 1: b"y"}, np.random.default_rng(7))
+        b, _ = simulate_round(_scenario(), {0: b"x", 1: b"y"}, np.random.default_rng(7))
+        assert np.array_equal(a, b)

@@ -1,0 +1,91 @@
+"""Focused unit tests for the experiment drivers beyond the smoke pass.
+
+The smoke tests assert structure; these pin the contracts downstream
+consumers (benchmarks, the report generator, the CLI) rely on:
+deterministic outputs for a fixed seed, correct series alignment,
+parameter plumbing, and a few cheap shape guarantees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.experiments import (
+    ExperimentResult,
+    bench_deployment,
+    fig5_signal_field,
+    fig8a_distance,
+    fig8b_power,
+    fig9b_pn_codes,
+    fig11_asynchrony,
+    fig12_working_conditions,
+    table2_power_difference,
+)
+from repro.sim.experiments.common import BENCH_ROOM, build_network
+from repro.sim.network import CbmaConfig
+
+
+class TestCommonHelpers:
+    def test_bench_deployment_within_room(self):
+        dep = bench_deployment(4, rng=1)
+        assert len(dep.tags) == 4
+        assert all(BENCH_ROOM.contains(p) for p in dep.tags)
+
+    def test_bench_deployment_deterministic(self):
+        a = bench_deployment(3, rng=9)
+        b = bench_deployment(3, rng=9)
+        assert [(p.x, p.y) for p in a.tags] == [(p.x, p.y) for p in b.tags]
+
+    def test_build_network_defaults(self):
+        net = build_network(CbmaConfig(n_tags=2, seed=3))
+        assert len(net.tags) == 2
+
+    def test_experiment_result_defaults(self):
+        r = ExperimentResult(experiment_id="x", x_label="p")
+        assert r.x == []
+        assert r.series == {}
+
+
+class TestDriverContracts:
+    def test_series_lengths_match_x(self):
+        r = fig8b_power(tx_powers_dbm=(0.0, 20.0), tag_counts=(2, 3), rounds=6)
+        for ys in r.series.values():
+            assert len(ys) == len(r.x)
+
+    def test_deterministic_with_seed(self):
+        a = fig8a_distance(distances_m=(1.0,), tag_counts=(2,), rounds=8, seed=5)
+        b = fig8a_distance(distances_m=(1.0,), tag_counts=(2,), rounds=8, seed=5)
+        assert a.series == b.series
+
+    def test_custom_tag_counts_label_series(self):
+        r = fig8a_distance(distances_m=(1.0,), tag_counts=(3, 4), rounds=5)
+        assert set(r.series) == {"3 tags", "4 tags"}
+
+    def test_fig9b_family_parameter(self):
+        r = fig9b_pn_codes(
+            tag_counts=(2,), families=(("gold", 31),), rounds=5, n_groups=1
+        )
+        assert list(r.series) == ["gold-31"]
+
+    def test_table2_pair_count(self):
+        r = table2_power_difference(n_pairs=4, rounds=5)
+        assert len(r.x) == 4
+        assert len(r.series["error_rate"]) == 4
+
+    def test_fig11_zero_delay_included(self):
+        r = fig11_asynchrony(delays_chips=(0.0,), rounds=10)
+        assert r.x == [0.0]
+        assert len(r.series["error rate"]) == 1
+
+    def test_fig12_condition_order(self):
+        r = fig12_working_conditions(rounds=8)
+        assert r.x[0] == "no interference"
+        assert r.x[-1] == "OFDM excitation"
+
+    def test_fig5_resolution_plumbed(self):
+        xs, ys, field = fig5_signal_field(resolution=9)
+        assert field.shape == (9, 9)
+
+    def test_all_fers_are_probabilities(self):
+        r = fig8b_power(tx_powers_dbm=(0.0, 20.0), tag_counts=(2,), rounds=6)
+        for ys in r.series.values():
+            assert all(0.0 <= y <= 1.0 for y in ys)

@@ -1,0 +1,107 @@
+"""Unit tests for repro.sim.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import MetricsAccumulator, RoundOutcome, score_frame
+
+
+def _outcome(tag_id=0, transmitted=True, detected=True, decoded=True, correct=True):
+    return RoundOutcome(
+        tag_id=tag_id,
+        transmitted=transmitted,
+        detected=detected,
+        decoded=decoded,
+        payload_correct=correct,
+    )
+
+
+class TestMetricsAccumulator:
+    def test_empty_metrics(self):
+        m = MetricsAccumulator()
+        assert m.fer == 0.0
+        assert m.prr == 1.0
+        assert m.ber == 0.0
+        assert m.goodput_bps == 0.0
+        assert m.detection_rate == 0.0
+
+    def test_fer_counts_missing_frames(self):
+        m = MetricsAccumulator()
+        m.record(_outcome(correct=True), payload_bits=128)
+        m.record(_outcome(correct=False, decoded=False), payload_bits=128)
+        assert m.fer == 0.5
+        assert m.prr == 0.5
+
+    def test_goodput(self):
+        m = MetricsAccumulator()
+        m.record(_outcome(), payload_bits=100)
+        m.add_time(0.01)
+        assert m.goodput_bps == pytest.approx(10_000)
+
+    def test_false_decode_tracked_separately(self):
+        m = MetricsAccumulator()
+        m.record(_outcome(transmitted=False, decoded=True))
+        assert m.false_decodes == 1
+        assert m.frames_sent == 0
+
+    def test_silent_tag_ignored(self):
+        m = MetricsAccumulator()
+        m.record(_outcome(transmitted=False, decoded=False))
+        assert m.frames_sent == 0 and m.false_decodes == 0
+
+    def test_per_tag_ack_ratio(self):
+        m = MetricsAccumulator()
+        m.record(_outcome(tag_id=3, correct=True))
+        m.record(_outcome(tag_id=3, correct=False))
+        m.record(_outcome(tag_id=4, correct=True))
+        assert m.per_tag_ack_ratio(3) == 0.5
+        assert m.per_tag_ack_ratio(4) == 1.0
+        assert m.per_tag_ack_ratio(99) == 1.0  # never transmitted
+
+    def test_detection_rate(self):
+        m = MetricsAccumulator()
+        m.record(_outcome(detected=True, decoded=False, correct=False))
+        m.record(_outcome(detected=False, decoded=False, correct=False))
+        assert m.detection_rate == 0.5
+
+    def test_ber_accumulates(self):
+        m = MetricsAccumulator()
+        m.record(
+            RoundOutcome(0, True, True, True, True, bit_errors=3, bits_compared=100)
+        )
+        m.record(
+            RoundOutcome(0, True, True, True, True, bit_errors=1, bits_compared=100)
+        )
+        assert m.ber == pytest.approx(0.02)
+
+
+class TestScoreFrame:
+    def test_correct_decode(self):
+        out = score_frame(0, b"abc", True, b"abc")
+        assert out.payload_correct and out.decoded and out.transmitted
+
+    def test_wrong_payload(self):
+        out = score_frame(0, b"abc", True, b"xyz")
+        assert out.decoded and not out.payload_correct
+
+    def test_missed_frame(self):
+        out = score_frame(0, b"abc", False, None)
+        assert not out.decoded and not out.payload_correct
+
+    def test_silent_tag(self):
+        out = score_frame(0, None, False, None)
+        assert not out.transmitted
+
+    def test_bit_error_counting(self):
+        raw = np.array([1, 0, 1, 1], dtype=np.uint8)
+        true = np.array([1, 1, 1, 0], dtype=np.uint8)
+        out = score_frame(0, b"a", True, b"a", raw_bits=raw, true_bits=true)
+        assert out.bit_errors == 2
+        assert out.bits_compared == 4
+
+    def test_mismatched_bit_lengths_skipped(self):
+        out = score_frame(
+            0, b"a", True, b"a",
+            raw_bits=np.zeros(4, dtype=np.uint8), true_bits=np.zeros(8, dtype=np.uint8),
+        )
+        assert out.bits_compared == 0

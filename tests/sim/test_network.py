@@ -1,0 +1,104 @@
+"""Unit tests for repro.sim.network (CbmaConfig / CbmaNetwork)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.mac.power_control import PowerController
+from repro.sim.network import CbmaConfig, CbmaNetwork
+
+
+class TestCbmaConfig:
+    def test_frame_geometry(self):
+        cfg = CbmaConfig(payload_bytes=16, preamble_bits=8)
+        assert cfg.frame_bits() == 8 + 8 + 128 + 16
+        assert cfg.payload_bits() == 128
+
+    def test_frame_duration(self):
+        cfg = CbmaConfig(payload_bytes=16, code_length=64, chip_rate_hz=1e6)
+        assert cfg.frame_duration_s() == pytest.approx(160 * 64 / 1e6)
+
+    def test_frame_format_preamble(self):
+        cfg = CbmaConfig(preamble_bits=16)
+        assert cfg.frame_format().preamble_bits == 16
+
+
+class TestCbmaNetwork:
+    def _net(self, n=2, seed=5, rounds=None, **kw):
+        cfg = CbmaConfig(n_tags=n, seed=seed, **kw)
+        return CbmaNetwork(cfg, Deployment.linear(n, tag_to_rx=1.0))
+
+    def test_too_few_positions(self):
+        cfg = CbmaConfig(n_tags=5)
+        with pytest.raises(ValueError):
+            CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0))
+
+    def test_run_round_accumulates(self):
+        net = self._net()
+        m = net.run_rounds(3)
+        assert m.frames_sent == 6  # 2 tags x 3 rounds
+
+    def test_active_subset(self):
+        net = self._net(n=3)
+        m = net.run_rounds(2, active_ids=[1])
+        assert m.frames_sent == 2
+        assert set(m.per_tag_sent) == {1}
+
+    def test_good_geometry_low_fer(self):
+        net = self._net()
+        m = net.run_rounds(25)
+        assert m.fer < 0.25
+
+    def test_reproducible_with_seed(self):
+        a = self._net(seed=9).run_rounds(10).fer
+        b = self._net(seed=9).run_rounds(10).fer
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        """Different seeds draw different channel realizations."""
+        amps = []
+        for s in (1, 2, 3):
+            net = self._net(seed=s)
+            net._draw_oscillators()
+            amps.append(tuple(net._base_amplitudes()))
+        assert len(set(amps)) == 3
+
+    def test_fixed_offsets(self):
+        cfg = CbmaConfig(n_tags=2, seed=1)
+        net = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0), fixed_offsets_chips=[0.0, 2.5])
+        net._draw_oscillators()
+        assert net.tags[0].oscillator.offset_chips == 0.0
+        assert net.tags[1].oscillator.offset_chips == 2.5
+
+    def test_epoch_runner_returns_acks(self):
+        net = self._net()
+        acks = net.epoch_runner(net.tags, 5)
+        assert set(acks) == {0, 1}
+        assert all(0 <= v <= 5 for v in acks.values())
+
+    def test_power_control_runs(self):
+        net = self._net()
+        result = net.run_power_control(PowerController(packets_per_epoch=4))
+        assert result.epochs >= 1
+        assert 0.0 <= result.final_fer <= 1.0
+
+    def test_move_tag(self):
+        cfg = CbmaConfig(n_tags=2, seed=1)
+        dep = Deployment.linear(4, tag_to_rx=1.0)  # extra positions
+        net = CbmaNetwork(cfg, dep)
+        net.move_tag(0, 3)
+        assert net.positions[0] == 3
+
+    def test_move_tag_bounds(self):
+        net = self._net()
+        with pytest.raises(ValueError):
+            net.move_tag(0, 99)
+
+    def test_code_family_choice(self):
+        net = self._net(code_family="gold", code_length=31)
+        assert net.codes[0].size == 31
+
+    def test_goodput_positive_when_frames_delivered(self):
+        m = self._net().run_rounds(10)
+        if m.frames_correct:
+            assert m.goodput_bps > 0

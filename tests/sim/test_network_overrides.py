@@ -1,0 +1,90 @@
+"""Tests for CbmaNetwork's override hooks and config plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.phy.impedance import ImpedanceCodebook, PAPER_TERMINATIONS, Termination
+from repro.sim.network import CbmaConfig, CbmaNetwork
+
+
+class TestChannelOverride:
+    def _net(self):
+        return CbmaNetwork(
+            CbmaConfig(n_tags=2, seed=5), Deployment.linear(2, tag_to_rx=1.0)
+        )
+
+    def test_wrong_arity_rejected(self):
+        net = self._net()
+        with pytest.raises(ValueError):
+            net.run_round(channel_override=([1.0 + 0j], [0.0]))
+
+    def test_override_pins_offsets(self):
+        net = self._net()
+        net.run_round(channel_override=([1e-6, 1e-6], [1.25, 3.5]))
+        assert net.tags[0].oscillator.offset_chips == 1.25
+        assert net.tags[1].oscillator.offset_chips == 3.5
+
+    def test_override_recorded_in_last_round_channel(self):
+        net = self._net()
+        amps = [2e-6 + 0j, 1e-6 + 1e-6j]
+        net.run_round(channel_override=(amps, [0.0, 2.0]))
+        recorded_amps, recorded_offsets = net.last_round_channel
+        assert np.allclose(recorded_amps, amps)
+        assert recorded_offsets == [0.0, 2.0]
+
+    def test_zero_override_kills_link(self):
+        net = self._net()
+        metrics = net.run_round(channel_override=([0j, 0j], [0.0, 0.0]))
+        assert metrics.frames_correct == 0
+
+
+class TestConfigPlumbing:
+    def test_drift_sigma_draws_per_tag_drift(self):
+        cfg = CbmaConfig(n_tags=3, seed=9, drift_ppm_sigma=500.0)
+        net = CbmaNetwork(cfg, Deployment.linear(3, tag_to_rx=1.0))
+        net._draw_oscillators()
+        drifts = [t.oscillator.drift_ppm for t in net.tags]
+        assert any(d != 0.0 for d in drifts)
+        assert len(set(drifts)) == 3
+
+    def test_zero_drift_sigma_keeps_ideal_clocks(self):
+        cfg = CbmaConfig(n_tags=2, seed=9)
+        net = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0))
+        net._draw_oscillators()
+        assert all(t.oscillator.drift_ppm == 0.0 for t in net.tags)
+
+    def test_custom_user_threshold_reaches_detector(self):
+        cfg = CbmaConfig(n_tags=2, seed=9, user_threshold=0.33)
+        net = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0))
+        assert net.receiver.user_detector.threshold == 0.33
+
+    def test_preamble_bits_reach_tags_and_receiver(self):
+        cfg = CbmaConfig(n_tags=2, seed=9, preamble_bits=24)
+        net = CbmaNetwork(cfg, Deployment.linear(2, tag_to_rx=1.0))
+        assert net.fmt.preamble_bits == 24
+        assert net.tags[0].fmt.preamble_bits == 24
+        assert net.receiver.fmt.preamble_bits == 24
+
+
+class TestImpedanceCodebookVariants:
+    def test_custom_reference_changes_gammas(self):
+        short_ref = ImpedanceCodebook(PAPER_TERMINATIONS)
+        matched_ref = ImpedanceCodebook(
+            PAPER_TERMINATIONS,
+            reference=Termination("match", resistance_ohm=50.0),
+        )
+        assert not np.allclose(
+            short_ref.amplitude_gains(), matched_ref.amplitude_gains()
+        )
+
+    def test_two_element_codebook_usable_by_tag(self):
+        from repro.codes import twonc_codes
+        from repro.tag import Tag
+
+        small = ImpedanceCodebook(PAPER_TERMINATIONS[:2])
+        tag = Tag(0, twonc_codes(1, 32)[0], codebook=small)
+        assert len(tag.codebook) == 2
+        tag.step_impedance()
+        tag.step_impedance()
+        assert 0 <= tag.impedance_index < 2

@@ -1,0 +1,78 @@
+"""Unit tests for repro.sim.sweep."""
+
+import pytest
+
+from repro.sim.sweep import grid, sweep
+
+
+def _fer_point(params, seed):
+    """Module-level point function (picklable) used across tests."""
+    from repro.channel.geometry import Deployment
+    from repro.sim.network import CbmaConfig, CbmaNetwork
+
+    cfg = CbmaConfig(n_tags=params["n_tags"], seed=seed)
+    net = CbmaNetwork(cfg, Deployment.linear(params["n_tags"], tag_to_rx=params["d"]))
+    return net.run_rounds(params.get("rounds", 5)).fer
+
+
+def _echo_point(params, seed):
+    return (params, seed)
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        points = grid(a=[1, 2], b=["x", "y"])
+        assert len(points) == 4
+        assert {"a": 1, "b": "x"} in points
+        assert {"a": 2, "b": "y"} in points
+
+    def test_order_is_document_order(self):
+        points = grid(a=[1, 2], b=[10, 20])
+        assert points[0] == {"a": 1, "b": 10}
+        assert points[1] == {"a": 1, "b": 20}
+
+    def test_empty_axes(self):
+        assert grid() == [{}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            grid(a=[])
+
+
+class TestSweep:
+    def test_results_in_order(self):
+        points = grid(k=[0, 1, 2])
+        results = sweep(_echo_point, points, seed=1)
+        assert [r[0]["k"] for r in results] == [0, 1, 2]
+
+    def test_per_point_seeds_differ(self):
+        results = sweep(_echo_point, grid(k=[0, 1, 2]), seed=1)
+        seeds = [r[1] for r in results]
+        assert len(set(seeds)) == 3
+
+    def test_seeds_reproducible(self):
+        a = sweep(_echo_point, grid(k=[0, 1]), seed=7)
+        b = sweep(_echo_point, grid(k=[0, 1]), seed=7)
+        assert [r[1] for r in a] == [r[1] for r in b]
+
+    def test_different_root_seed_changes_points(self):
+        a = sweep(_echo_point, grid(k=[0]), seed=7)
+        b = sweep(_echo_point, grid(k=[0]), seed=8)
+        assert a[0][1] != b[0][1]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            sweep(_echo_point, grid(k=[0]), workers=0)
+
+    def test_serial_simulation_sweep(self):
+        points = grid(n_tags=[2], d=[1.0, 4.0])
+        fers = sweep(_fer_point, points, seed=3)
+        assert len(fers) == 2
+        assert all(0.0 <= f <= 1.0 for f in fers)
+
+    def test_parallel_matches_serial(self):
+        """Worker processes must return identical results to serial."""
+        points = grid(n_tags=[2], d=[1.0, 2.0])
+        serial = sweep(_fer_point, points, seed=3)
+        parallel = sweep(_fer_point, points, seed=3, workers=2)
+        assert serial == parallel

@@ -1,0 +1,99 @@
+"""Unit tests for repro.sim.trace."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.sim.network import CbmaConfig, CbmaNetwork
+from repro.sim.trace import ChannelTrace, TraceRound, record_trace, replay_trace
+
+
+def _network(seed=4, n=3):
+    return CbmaNetwork(CbmaConfig(n_tags=n, seed=seed), Deployment.linear(n, tag_to_rx=1.5))
+
+
+class TestChannelTrace:
+    def test_append_and_len(self):
+        trace = ChannelTrace(n_tags=2)
+        trace.append([1 + 0j, 0.5j], [0.0, 1.5])
+        assert len(trace) == 1
+        assert trace.rounds[0].n_tags == 2
+
+    def test_append_wrong_arity(self):
+        trace = ChannelTrace(n_tags=2)
+        with pytest.raises(ValueError):
+            trace.append([1 + 0j], [0.0])
+
+    def test_round_powers(self):
+        r = TraceRound(amplitudes=(3 + 4j, 1 + 0j), offsets_chips=(0.0, 0.0))
+        assert np.allclose(r.powers(), [25.0, 1.0])
+
+    def test_json_roundtrip(self, tmp_path):
+        trace = ChannelTrace(n_tags=2, description="roundtrip")
+        trace.append([1 + 2j, -0.5 + 0.25j], [0.0, 3.7])
+        trace.append([0.1 + 0j, 0.2 + 0j], [1.0, 2.0])
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = ChannelTrace.load(path)
+        assert loaded.description == "roundtrip"
+        assert len(loaded) == 2
+        assert loaded.rounds[0].amplitudes == trace.rounds[0].amplitudes
+        assert loaded.rounds[1].offsets_chips == trace.rounds[1].offsets_chips
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelTrace.from_dict({"format_version": 99, "n_tags": 1, "rounds": []})
+
+    def test_power_matrix_shape(self):
+        trace = ChannelTrace(n_tags=3)
+        for _ in range(4):
+            trace.append([1, 1, 1], [0, 0, 0])
+        assert trace.power_matrix().shape == (4, 3)
+
+    def test_mean_power_difference(self):
+        trace = ChannelTrace(n_tags=2)
+        trace.append([2.0, 1.0], [0, 0])  # powers 4, 1 -> diff 0.75
+        assert trace.mean_power_difference() == pytest.approx(0.75)
+        assert ChannelTrace(n_tags=2).mean_power_difference() == 0.0
+
+
+class TestRecordReplay:
+    def test_record_counts(self):
+        net = _network()
+        trace, metrics = record_trace(net, 6)
+        assert len(trace) == 6
+        assert metrics.frames_sent == 18
+
+    def test_record_negative(self):
+        with pytest.raises(ValueError):
+            record_trace(_network(), -1)
+
+    def test_replay_tag_count_mismatch(self):
+        trace = ChannelTrace(n_tags=5)
+        with pytest.raises(ValueError):
+            replay_trace(_network(n=3), trace)
+
+    def test_replay_is_deterministic_given_seed(self):
+        net = _network(seed=4)
+        trace, _ = record_trace(net, 5)
+        dep = Deployment.linear(3, tag_to_rx=1.5)
+        a = replay_trace(CbmaNetwork(CbmaConfig(n_tags=3, seed=77), dep), trace)
+        b = replay_trace(CbmaNetwork(CbmaConfig(n_tags=3, seed=77), dep), trace)
+        assert a.frames_correct == b.frames_correct
+        assert a.fer == b.fer
+
+    def test_replay_uses_trace_channel(self):
+        """A trace with zero amplitudes must produce total loss."""
+        net = _network(seed=1)
+        trace = ChannelTrace(n_tags=3)
+        for _ in range(4):
+            trace.append([0j, 0j, 0j], [0.0, 0.0, 0.0])
+        metrics = replay_trace(net, trace)
+        assert metrics.frames_correct == 0
+
+    def test_last_round_channel_exposed(self):
+        net = _network()
+        net.run_round()
+        amps, offsets = net.last_round_channel
+        assert len(amps) == 3
+        assert len(offsets) == 3

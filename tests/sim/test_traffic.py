@@ -1,0 +1,72 @@
+"""Unit tests for repro.sim.traffic."""
+
+import numpy as np
+import pytest
+
+from repro.sim.traffic import BurstyArrivals, PeriodicArrivals, PoissonArrivals
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        model = PoissonArrivals(rate_hz=100.0)
+        rng = np.random.default_rng(0)
+        counts = model.draw(1000, 0.1, rng)
+        assert float(counts.mean()) == pytest.approx(10.0, rel=0.1)
+
+    def test_zero_rate(self):
+        counts = PoissonArrivals(0.0).draw(5, 1.0, np.random.default_rng(0))
+        assert counts.sum() == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1.0).draw(1, 1.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(1.0).draw(1, -1.0)
+
+
+class TestPeriodic:
+    def test_one_per_period(self):
+        model = PeriodicArrivals(period_s=1.0)
+        total = np.zeros(4, dtype=np.int64)
+        for _ in range(10):
+            total += model.draw(4, 0.5)
+        # 5 seconds elapsed -> 5 messages per tag.
+        assert total.tolist() == [5, 5, 5, 5]
+
+    def test_phases_staggered(self):
+        model = PeriodicArrivals(period_s=1.0)
+        counts = model.draw(4, 0.25)
+        # Only the tag whose phase falls in the first quarter fires.
+        assert counts.sum() == 1
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PeriodicArrivals(period_s=0.0)
+
+
+class TestBursty:
+    def test_off_state_quiet(self):
+        model = BurstyArrivals(burst_rate_hz=1000.0, p_on=0.0)
+        counts = model.draw(10, 1.0, np.random.default_rng(1))
+        assert counts.sum() == 0
+
+    def test_bursts_cluster(self):
+        model = BurstyArrivals(burst_rate_hz=100.0, p_on=0.5, p_off=0.5)
+        rng = np.random.default_rng(2)
+        windows = [model.draw(1, 0.1, rng)[0] for _ in range(200)]
+        windows = np.array(windows)
+        # Bimodal: some windows silent, active windows carry ~10.
+        assert (windows == 0).any()
+        assert windows.max() >= 5
+
+    def test_state_persists_across_windows(self):
+        model = BurstyArrivals(burst_rate_hz=50.0, p_on=1.0, p_off=0.0)
+        rng = np.random.default_rng(3)
+        first = model.draw(2, 0.2, rng)
+        second = model.draw(2, 0.2, rng)
+        # Once ON with p_off=0, every subsequent window is active.
+        assert (second > 0).all() or (first > 0).all()
+
+    def test_invalid_probs(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(1.0, p_on=1.5)

@@ -1,0 +1,109 @@
+"""Unit tests for repro.tag.energy."""
+
+import pytest
+
+from repro.channel.pathloss import LinkBudget
+from repro.tag.energy import EnergyHarvester, EnergyStore, TagEnergyModel
+
+
+class TestEnergyHarvester:
+    def test_inverse_square(self):
+        h = EnergyHarvester()
+        assert h.incident_power_w(1.0) / h.incident_power_w(2.0) == pytest.approx(4.0)
+
+    def test_sensitivity_cliff(self):
+        h = EnergyHarvester()
+        assert h.harvested_power_w(50.0) == 0.0
+
+    def test_efficiency_applied(self):
+        h = EnergyHarvester(efficiency=0.5)
+        d = 0.5
+        assert h.harvested_power_w(d) == pytest.approx(0.5 * h.incident_power_w(d))
+
+    def test_more_tx_power_more_harvest(self):
+        lo = EnergyHarvester(budget=LinkBudget(tx_power_dbm=10.0))
+        hi = EnergyHarvester(budget=LinkBudget(tx_power_dbm=20.0))
+        assert hi.incident_power_w(1.0) == pytest.approx(10 * lo.incident_power_w(1.0))
+
+    def test_near_field_floor(self):
+        h = EnergyHarvester()
+        assert h.incident_power_w(0.0) == h.incident_power_w(0.05)
+
+
+class TestEnergyStore:
+    def test_capacity(self):
+        s = EnergyStore(capacitance_f=10e-6, max_voltage=2.0)
+        assert s.capacity_j == pytest.approx(20e-6)
+
+    def test_charge_clamps_at_capacity(self):
+        s = EnergyStore(level_j=0.0)
+        s.charge(1.0, 1.0)  # absurd power
+        assert s.level_j == s.capacity_j
+
+    def test_leakage_drains(self):
+        s = EnergyStore(level_j=1e-6, leak_w=1e-7)
+        s.charge(0.0, 5.0)
+        assert s.level_j == pytest.approx(0.5e-6)
+
+    def test_never_negative(self):
+        s = EnergyStore(level_j=1e-9)
+        s.charge(0.0, 1e6)
+        assert s.level_j == 0.0
+
+    def test_draw(self):
+        s = EnergyStore(level_j=1e-6)
+        assert s.draw(4e-7)
+        assert s.level_j == pytest.approx(6e-7)
+        assert not s.draw(1e-6)
+
+    def test_validation(self):
+        s = EnergyStore()
+        with pytest.raises(ValueError):
+            s.charge(1.0, -1.0)
+        with pytest.raises(ValueError):
+            s.draw(-1.0)
+
+
+class TestTagEnergyModel:
+    def test_frame_energy(self):
+        m = TagEnergyModel(active_power_w=5e-6)
+        assert m.frame_energy_j(0.01) == pytest.approx(5e-8)
+
+    def test_cannot_transmit_when_empty(self):
+        m = TagEnergyModel()
+        m.store.level_j = 0.0
+        assert not m.can_transmit(0.01)
+
+    def test_step_charges_then_transmits(self):
+        m = TagEnergyModel()
+        # Harvest at 0.5 m for a while.
+        for _ in range(200):
+            m.step(0.5, dt_s=0.01, transmitting=False)
+        assert m.can_transmit(0.01)
+        assert m.step(0.5, dt_s=0.01, transmitting=True, frame_duration_s=0.01)
+
+    def test_duty_cycle_monotone_in_distance(self):
+        m = TagEnergyModel()
+        duties = [m.sustainable_duty_cycle(d) for d in (0.3, 1.0, 2.0, 3.0)]
+        assert all(a >= b for a, b in zip(duties, duties[1:]))
+
+    def test_duty_cycle_range(self):
+        m = TagEnergyModel()
+        assert m.sustainable_duty_cycle(0.2) == 1.0
+        assert m.sustainable_duty_cycle(60.0) == 0.0
+
+    def test_paper_geometry_is_energy_feasible(self):
+        """At the paper's 0.5 m ES-tag distance a tag runs full duty."""
+        assert TagEnergyModel().sustainable_duty_cycle(0.5) == 1.0
+
+    def test_max_range_ordering(self):
+        m = TagEnergyModel()
+        assert m.max_range_m(1.0) <= m.max_range_m(0.1)
+
+    def test_max_range_validation(self):
+        with pytest.raises(ValueError):
+            TagEnergyModel().max_range_m(0.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TagEnergyModel().frame_energy_j(-1.0)

@@ -1,0 +1,127 @@
+"""Unit tests for repro.tag.tag and repro.tag.oscillator."""
+
+import numpy as np
+import pytest
+
+from repro.codes import twonc_codes
+from repro.phy.modulation import spread_bits
+from repro.tag.framing import FrameFormat
+from repro.tag.oscillator import TagOscillator
+from repro.tag.tag import Tag, TagStats
+
+
+class TestOscillator:
+    def test_ideal_edges(self):
+        osc = TagOscillator()
+        assert osc.chip_edges(4).tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_offset(self):
+        osc = TagOscillator(offset_chips=2.5)
+        assert osc.chip_edges(2).tolist() == [2.5, 3.5]
+
+    def test_drift_compresses_spacing(self):
+        fast = TagOscillator(drift_ppm=1000.0)
+        edges = fast.chip_edges(1001)
+        spacing = edges[-1] - edges[-2]
+        assert spacing < 1.0
+
+    def test_jitter_statistics(self):
+        osc = TagOscillator(jitter_chips_rms=0.05)
+        edges = osc.chip_edges(10_000, np.random.default_rng(0))
+        residuals = edges - np.arange(10_000)
+        assert float(np.std(residuals)) == pytest.approx(0.05, rel=0.1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            TagOscillator().chip_edges(-1)
+
+    def test_total_delay_samples(self):
+        assert TagOscillator(offset_chips=3.0).total_delay_samples(4) == 12.0
+
+    def test_total_delay_invalid_spc(self):
+        with pytest.raises(ValueError):
+            TagOscillator().total_delay_samples(0)
+
+    def test_random_factory_ranges(self):
+        osc = TagOscillator.random(np.random.default_rng(1), max_offset_chips=5.0)
+        assert 0.0 <= osc.offset_chips <= 5.0
+
+
+class TestTagStats:
+    def test_ack_ratio(self):
+        stats = TagStats(sent=10, acked=7)
+        assert stats.ack_ratio == 0.7
+
+    def test_ack_ratio_no_traffic(self):
+        assert TagStats().ack_ratio == 1.0
+
+    def test_reset(self):
+        stats = TagStats(sent=5, acked=3)
+        stats.reset()
+        assert stats.sent == 0 and stats.acked == 0
+
+
+class TestTag:
+    def _tag(self, **kw):
+        return Tag(0, twonc_codes(1, 32)[0], **kw)
+
+    def test_default_impedance_mid_ladder(self):
+        assert self._tag().impedance_index == 1
+
+    def test_encode_is_framed_and_spread(self):
+        tag = self._tag()
+        payload = b"data!"
+        expected = spread_bits(tag.fmt.build(payload), tag.code)
+        assert np.array_equal(tag.encode(payload), expected)
+
+    def test_chip_stream_upsampled(self):
+        tag = self._tag()
+        chips = tag.encode(b"x")
+        stream = tag.chip_stream(b"x", samples_per_chip=3)
+        assert stream.size == 3 * chips.size
+
+    def test_step_impedance_cyclic(self):
+        tag = self._tag()
+        n = len(tag.codebook)
+        start = tag.impedance_index
+        for _ in range(n):
+            tag.step_impedance()
+        assert tag.impedance_index == start
+
+    def test_set_impedance_bounds(self):
+        tag = self._tag()
+        with pytest.raises(ValueError):
+            tag.set_impedance(99)
+
+    def test_delta_gamma_tracks_state(self):
+        tag = self._tag()
+        tag.set_impedance(0)
+        weak = tag.delta_gamma
+        tag.set_impedance(len(tag.codebook) - 1)
+        assert tag.delta_gamma > weak
+
+    def test_amplitude_gain_half_delta_gamma(self):
+        tag = self._tag()
+        assert tag.amplitude_gain == pytest.approx(tag.delta_gamma / 2)
+
+    def test_record_and_reset(self):
+        tag = self._tag()
+        tag.record_result(True)
+        tag.record_result(False)
+        assert tag.stats.sent == 2
+        assert tag.stats.acked == 1
+        tag.reset_epoch()
+        assert tag.stats.sent == 0
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(ValueError):
+            Tag(0, np.zeros(0, dtype=np.uint8))
+
+    def test_invalid_initial_impedance(self):
+        with pytest.raises(ValueError):
+            self._tag(impedance_index=17)
+
+    def test_custom_format_used(self):
+        fmt = FrameFormat.with_preamble_bits(16)
+        tag = self._tag(fmt=fmt)
+        assert tag.encode(b"").size == fmt.frame_bits(0) * tag.code.size

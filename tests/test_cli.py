@@ -1,0 +1,95 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunCommand:
+    def test_basic_run(self, capsys):
+        assert main(["run", "--tags", "2", "--rounds", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "FER" in out
+        assert "goodput" in out
+
+    def test_power_control_flag(self, capsys):
+        assert main([
+            "run", "--tags", "2", "--rounds", "4", "--power-control", "--seed", "3",
+        ]) == 0
+        assert "power control" in capsys.readouterr().out
+
+    def test_code_family_option(self, capsys):
+        assert main([
+            "run", "--tags", "2", "--rounds", "4",
+            "--code-family", "gold", "--code-length", "31",
+        ]) == 0
+        assert "gold-31" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_fig12(self, capsys):
+        assert main(["experiment", "fig12", "--rounds", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "OFDM excitation" in out
+
+    def test_unknown_artefact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_fig11_plots_series(self, capsys):
+        assert main(["experiment", "fig11", "--rounds", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "error rate" in out
+
+
+class TestFieldCommand:
+    def test_field(self, capsys):
+        assert main(["field", "--resolution", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "dBm" in out
+
+
+class TestTraceCommands:
+    def test_record_then_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.json")
+        assert main(["trace", "record", path, "--tags", "2", "--rounds", "5"]) == 0
+        data = json.loads(open(path).read())
+        assert data["n_tags"] == 2
+        assert len(data["rounds"]) == 5
+        assert main(["trace", "replay", path]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 5 rounds" in out
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestAdaptCommand:
+    def test_adapt_runs(self, capsys):
+        assert main([
+            "adapt", "--tags", "2", "--distance", "1.0", "--epochs", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chosen code length" in out
+        assert "goodput score" in out
+
+
+class TestSystemCommand:
+    def test_system_runs(self, capsys):
+        assert main([
+            "system", "--population", "4", "--group", "2",
+            "--epochs", "2", "--rounds", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Deployment summary" in out
+        assert "fairness" in out
+
+    def test_system_with_mobility(self, capsys):
+        assert main([
+            "system", "--population", "4", "--group", "2",
+            "--epochs", "2", "--rounds", "3", "--mobility",
+        ]) == 0
+        assert "Deployment summary" in capsys.readouterr().out

@@ -1,0 +1,81 @@
+"""Documentation consistency checks.
+
+Docs drift is a bug class like any other: these tests compile every
+Python block in the markdown docs, verify that every module the docs
+name is importable, and that the README's example list matches the
+examples directory.
+"""
+
+import ast
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _python_blocks(markdown_path: Path):
+    text = markdown_path.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.S)
+
+
+class TestDocCodeBlocks:
+    @pytest.mark.parametrize(
+        "doc", ["docs/usage.md", "README.md"], ids=["usage", "readme"]
+    )
+    def test_python_blocks_compile(self, doc):
+        path = REPO / doc
+        blocks = _python_blocks(path)
+        assert blocks, f"{doc} should contain python examples"
+        for i, block in enumerate(blocks):
+            try:
+                ast.parse(block)
+            except SyntaxError as exc:  # pragma: no cover - failure path
+                pytest.fail(f"{doc} block {i} does not parse: {exc}")
+
+    def test_usage_blocks_import_cleanly(self):
+        """Every import statement in the cookbook must resolve."""
+        for block in _python_blocks(REPO / "docs" / "usage.md"):
+            tree = ast.parse(block)
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom) and node.module:
+                    module = importlib.import_module(node.module)
+                    for alias in node.names:
+                        assert hasattr(module, alias.name), (
+                            f"{node.module} has no attribute {alias.name}"
+                        )
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        importlib.import_module(alias.name)
+
+
+class TestDocModuleReferences:
+    def test_api_index_modules_exist(self):
+        text = (REPO / "docs" / "api.md").read_text()
+        for match in sorted(set(re.findall(r"`(repro(?:\.\w+)+)\.", text))):
+            importlib.import_module(match)
+
+    def test_design_extension_modules_exist(self):
+        text = (REPO / "DESIGN.md").read_text()
+        for match in sorted(set(re.findall(r"`(\w+(?:/\w+)*\.py)`", text))):
+            in_package = (REPO / "src" / "repro" / match).exists()
+            at_root = (REPO / match).exists()
+            assert in_package or at_root, match
+
+
+class TestReadmeExamples:
+    def test_every_listed_example_exists(self):
+        text = (REPO / "README.md").read_text()
+        listed = set(re.findall(r"python (examples/\w+\.py)", text))
+        assert listed, "README should list runnable examples"
+        for rel in listed:
+            assert (REPO / rel).exists(), f"README references missing {rel}"
+
+    def test_every_example_file_is_listed(self):
+        text = (REPO / "README.md").read_text()
+        for path in (REPO / "examples").glob("*.py"):
+            assert f"examples/{path.name}" in text, (
+                f"examples/{path.name} missing from README"
+            )

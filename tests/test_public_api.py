@@ -1,0 +1,36 @@
+"""Public-API integrity: every module imports and every __all__ resolves."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = sorted(
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")  # importing it runs the CLI
+)
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_dunder_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+
+
+def test_version_present():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,64 @@
+"""Golden-value regression tests.
+
+Everything in the simulator is a pure function of its seed; these tests
+pin a handful of seeded outputs *exactly*, so an unintended behaviour
+change anywhere in the stack (codes, PHY, channel, receiver) shows up
+as a diff even when all property tests still pass.
+
+INTENTIONAL changes (recalibration, receiver improvements) will break
+these; that is the point.  Regenerate the constants with the snippet in
+each test's docstring and mention the change in CHANGELOG.md.
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro.channel.geometry import Deployment
+from repro.codes import make_codes
+from repro.sim.network import CbmaConfig, CbmaNetwork
+
+
+def _digest(arrays) -> str:
+    m = hashlib.sha256()
+    for a in arrays:
+        m.update(np.ascontiguousarray(a).tobytes())
+    return m.hexdigest()[:16]
+
+
+class TestCodeGoldens:
+    """Code families are deterministic constructions; their bytes must
+    never drift silently (tags and receiver derive them independently).
+
+    Regenerate: ``_digest(make_codes(family, 5, length))``.
+    """
+
+    def test_gold_family_digest(self):
+        assert _digest(make_codes("gold", 5, 31)) == "b23ff4555782aa52"
+
+    def test_twonc_family_digest(self):
+        assert _digest(make_codes("2nc", 5, 64)) == "3591e7b66926732b"
+
+    def test_kasami_family_digest(self):
+        assert _digest(make_codes("kasami", 5, 63)) == "b1230befa9ef0df1"
+
+
+class TestEndToEndGoldens:
+    """Seeded end-to-end runs.  Regenerate by running the scenario and
+    reading ``frames_correct`` / ``frames_detected``."""
+
+    def test_two_tags_one_meter_seed42(self):
+        net = CbmaNetwork(
+            CbmaConfig(n_tags=2, seed=42), Deployment.linear(2, tag_to_rx=1.0)
+        )
+        metrics = net.run_rounds(20)
+        assert metrics.frames_correct == 40
+        assert metrics.frames_detected == 40
+
+    def test_four_tags_two_meters_seed42(self):
+        net = CbmaNetwork(
+            CbmaConfig(n_tags=4, seed=42), Deployment.linear(4, tag_to_rx=2.0)
+        )
+        metrics = net.run_rounds(15)
+        assert metrics.frames_correct == 58
+        assert metrics.frames_detected == 59

@@ -1,0 +1,101 @@
+"""Unit tests for repro.system (the full deployment life cycle)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment, Room
+from repro.channel.mobility import RandomWalk
+from repro.sim.network import CbmaConfig
+from repro.system import CbmaSystem
+
+
+def _system(population=8, group=3, seed=5, **kw):
+    dep = Deployment.random(
+        population, rng=seed, room=Room(width=1.6, depth=1.2), min_spacing=0.12
+    )
+    cfg = CbmaConfig(n_tags=group, seed=seed)
+    return CbmaSystem(cfg, dep, **kw)
+
+
+class TestConstruction:
+    def test_population_must_cover_group(self):
+        dep = Deployment.random(2, rng=1, room=Room(width=1.6, depth=1.2))
+        with pytest.raises(ValueError):
+            CbmaSystem(CbmaConfig(n_tags=4, seed=1), dep)
+
+    def test_population_property(self):
+        assert _system(population=8).population == 8
+
+
+class TestEpochs:
+    def test_epoch_report_fields(self):
+        sys_ = _system()
+        report = sys_.run_epoch(rounds=6)
+        assert report.epoch == 0
+        assert len(report.group) == 3
+        assert report.power_control_ran
+        assert 0.0 <= report.fer <= 1.0
+        assert report.frames_sent == 18
+
+    def test_epoch_counter_advances(self):
+        sys_ = _system()
+        reports = sys_.run(3, rounds_per_epoch=4)
+        assert [r.epoch for r in reports] == [0, 1, 2]
+
+    def test_negative_epochs_rejected(self):
+        with pytest.raises(ValueError):
+            _system().run(-1)
+
+    def test_power_control_cached_per_group(self):
+        """The same static group composition balances only once."""
+        sys_ = _system(population=3, group=3)  # only one possible group
+        first = sys_.run_epoch(rounds=4)
+        second = sys_.run_epoch(rounds=4)
+        assert first.power_control_ran
+        assert not second.power_control_ran
+
+    def test_mobility_invalidates_cache(self):
+        sys_ = _system(
+            population=3, group=3,
+            mobility=RandomWalk(step_sigma_m=0.5), mobility_dt_s=1.0,
+            reposition_tolerance_m=0.01,
+        )
+        sys_.run_epoch(rounds=4)
+        second = sys_.run_epoch(rounds=4)
+        assert second.power_control_ran  # tags moved too far
+
+    def test_groups_rotate(self):
+        sys_ = _system(population=8, group=3)
+        groups = {tuple(sorted(sys_.run_epoch(rounds=3).group)) for _ in range(6)}
+        assert len(groups) > 1
+
+
+class TestAccounting:
+    def test_cumulative_metrics_grow(self):
+        sys_ = _system()
+        sys_.run(2, rounds_per_epoch=5)
+        assert sys_.metrics.frames_sent == 2 * 5 * 3
+        assert 0.0 <= sys_.metrics.fer <= 1.0
+
+    def test_per_tag_delivery_keys(self):
+        sys_ = _system(population=6, group=3)
+        sys_.run(2, rounds_per_epoch=4)
+        delivery = sys_.per_tag_delivery()
+        assert set(delivery) == set(range(6))
+        assert all(0.0 <= v <= 1.0 for v in delivery.values())
+
+    def test_fairness_improves_with_epochs(self):
+        sys_ = _system(population=8, group=3)
+        sys_.run(2, rounds_per_epoch=2)
+        early = sys_.fairness()
+        sys_.run(12, rounds_per_epoch=2)
+        late = sys_.fairness()
+        assert late >= early - 0.05
+
+    def test_reproducible(self):
+        a = _system(seed=11)
+        b = _system(seed=11)
+        ra = a.run(2, rounds_per_epoch=4)
+        rb = b.run(2, rounds_per_epoch=4)
+        assert [r.group for r in ra] == [r.group for r in rb]
+        assert [r.fer for r in ra] == [r.fer for r in rb]

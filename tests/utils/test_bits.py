@@ -1,0 +1,157 @@
+"""Unit tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    as_bit_array,
+    bipolar_to_bits,
+    bits_to_bipolar,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    hamming_distance,
+    int_to_bits,
+    pack_bits,
+    random_bits,
+    unpack_bits,
+)
+
+
+class TestAsBitArray:
+    def test_from_string(self):
+        assert as_bit_array("1011").tolist() == [1, 0, 1, 1]
+
+    def test_from_list(self):
+        assert as_bit_array([0, 1, 0]).dtype == np.uint8
+
+    def test_rejects_non_binary_string(self):
+        with pytest.raises(ValueError):
+            as_bit_array("10 2")
+
+    def test_rejects_non_binary_values(self):
+        with pytest.raises(ValueError):
+            as_bit_array([0, 1, 2])
+
+    def test_empty(self):
+        assert as_bit_array("").size == 0
+
+    def test_flattens(self):
+        assert as_bit_array(np.array([[1, 0], [0, 1]])).shape == (4,)
+
+
+class TestBytesBits:
+    def test_roundtrip(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_msb_first(self):
+        assert bytes_to_bits(b"\x80").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_lsb_first(self):
+        assert bytes_to_bits(b"\x80", msb_first=False).tolist() == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_lsb_roundtrip(self):
+        data = b"\x12\x34\xab"
+        assert bits_to_bytes(bytes_to_bits(data, msb_first=False), msb_first=False) == data
+
+    def test_non_multiple_of_8_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([1, 0, 1])
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip_property(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestIntBits:
+    def test_basic(self):
+        assert int_to_bits(5, 4).tolist() == [0, 1, 0, 1]
+
+    def test_roundtrip(self):
+        for v in (0, 1, 127, 255):
+            assert bits_to_int(int_to_bits(v, 8)) == v
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(256, 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(0, 0)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip_property(self, v):
+        assert bits_to_int(int_to_bits(v, 16)) == v
+
+
+class TestPackUnpack:
+    def test_pack(self):
+        out = pack_bits([1, 0], "11", np.array([0], dtype=np.uint8))
+        assert out.tolist() == [1, 0, 1, 1, 0]
+
+    def test_pack_empty(self):
+        assert pack_bits().size == 0
+
+    def test_unpack_fields(self):
+        a, b, c = unpack_bits(as_bit_array("10110"), 2, 2, 1)
+        assert a.tolist() == [1, 0]
+        assert b.tolist() == [1, 1]
+        assert c.tolist() == [0]
+
+    def test_unpack_rest(self):
+        a, rest = unpack_bits(as_bit_array("10110"), 2, -1)
+        assert rest.tolist() == [1, 1, 0]
+
+    def test_unpack_too_short(self):
+        with pytest.raises(ValueError):
+            unpack_bits(as_bit_array("10"), 3)
+
+    def test_rest_only_last(self):
+        with pytest.raises(ValueError):
+            unpack_bits(as_bit_array("1010"), -1, 2)
+
+
+class TestHamming:
+    def test_zero_distance(self):
+        assert hamming_distance("1010", "1010") == 0
+
+    def test_all_differ(self):
+        assert hamming_distance("1111", "0000") == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance("10", "100")
+
+
+class TestBipolar:
+    def test_mapping(self):
+        assert bits_to_bipolar([1, 0, 1]).tolist() == [1.0, -1.0, 1.0]
+
+    def test_roundtrip(self):
+        bits = random_bits(100, np.random.default_rng(0))
+        assert np.array_equal(bipolar_to_bits(bits_to_bipolar(bits)), bits)
+
+    @given(st.lists(st.integers(0, 1), max_size=64))
+    def test_roundtrip_property(self, bits):
+        arr = as_bit_array(bits)
+        assert np.array_equal(bipolar_to_bits(bits_to_bipolar(arr)), arr)
+
+
+class TestRandomBits:
+    def test_length(self):
+        assert random_bits(17).size == 17
+
+    def test_deterministic_with_seed(self):
+        a = random_bits(50, np.random.default_rng(1))
+        b = random_bits(50, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_bits(-1)

@@ -1,0 +1,114 @@
+"""Unit tests for repro.utils.correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.correlation import (
+    best_alignment,
+    correlation_peaks,
+    normalized_correlation,
+    sliding_correlation,
+)
+
+
+class TestNormalizedCorrelation:
+    def test_identical_is_one(self):
+        x = np.array([1.0, -1.0, 1.0, 1.0])
+        assert normalized_correlation(x, x) == pytest.approx(1.0)
+
+    def test_phase_invariant(self):
+        x = np.array([1.0, -1.0, 1.0, 1.0])
+        rotated = x * np.exp(1j * 0.7)
+        assert normalized_correlation(rotated, x) == pytest.approx(1.0)
+
+    def test_orthogonal_is_zero(self):
+        a = np.array([1.0, 1.0, -1.0, -1.0])
+        b = np.array([1.0, -1.0, 1.0, -1.0])
+        assert normalized_correlation(a, b) == pytest.approx(0.0)
+
+    def test_zero_signal(self):
+        assert normalized_correlation(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_correlation(np.ones(3), np.ones(4))
+
+    @given(st.integers(2, 32))
+    def test_bounded_by_one(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        t = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert 0.0 <= normalized_correlation(x, t) <= 1.0 + 1e-12
+
+
+class TestSlidingCorrelation:
+    def test_peak_at_embedding_offset(self):
+        rng = np.random.default_rng(3)
+        template = np.sign(rng.normal(size=32))
+        signal = np.concatenate([np.zeros(17), template, np.zeros(11)])
+        signal = signal + 0.01 * rng.normal(size=signal.size)
+        corr = sliding_correlation(signal, template)
+        assert int(np.argmax(corr)) == 17
+
+    def test_output_length(self):
+        corr = sliding_correlation(np.zeros(100), np.ones(30))
+        assert corr.size == 71
+
+    def test_too_short_signal(self):
+        assert sliding_correlation(np.zeros(3), np.ones(5)).size == 0
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(ValueError):
+            sliding_correlation(np.zeros(5), np.zeros(0))
+
+    def test_unnormalized_scales_with_amplitude(self):
+        template = np.ones(8)
+        weak = sliding_correlation(0.1 * np.ones(16), template, normalize=False)
+        strong = sliding_correlation(10.0 * np.ones(16), template, normalize=False)
+        assert strong.max() > 50 * weak.max()
+
+    def test_normalized_is_scale_invariant(self):
+        rng = np.random.default_rng(0)
+        template = np.sign(rng.normal(size=16))
+        signal = np.concatenate([rng.normal(size=8), template, rng.normal(size=8)])
+        a = sliding_correlation(signal, template)
+        b = sliding_correlation(1000.0 * signal, template)
+        assert np.allclose(a, b)
+
+
+class TestCorrelationPeaks:
+    def test_finds_isolated_peaks(self):
+        corr = np.zeros(50)
+        corr[10] = 1.0
+        corr[40] = 0.8
+        peaks = correlation_peaks(corr, threshold=0.5, min_spacing=5)
+        assert peaks.tolist() == [10, 40]
+
+    def test_suppresses_nearby(self):
+        corr = np.zeros(50)
+        corr[10] = 1.0
+        corr[12] = 0.9
+        peaks = correlation_peaks(corr, threshold=0.5, min_spacing=5)
+        assert peaks.tolist() == [10]
+
+    def test_threshold_filters(self):
+        corr = np.array([0.1, 0.2, 0.3])
+        assert correlation_peaks(corr, threshold=0.5).size == 0
+
+    def test_empty_input(self):
+        assert correlation_peaks(np.zeros(0), 0.5).size == 0
+
+
+class TestBestAlignment:
+    def test_returns_offset_and_score(self):
+        rng = np.random.default_rng(9)
+        template = np.sign(rng.normal(size=24))
+        signal = np.concatenate([0.05 * rng.normal(size=13), template])
+        offset, score = best_alignment(signal, template)
+        assert offset == 13
+        assert score > 0.9
+
+    def test_degenerate(self):
+        offset, score = best_alignment(np.zeros(3), np.ones(8))
+        assert (offset, score) == (0, 0.0)

@@ -1,0 +1,65 @@
+"""Unit tests for repro.utils.db."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.db import (
+    add_powers_dbm,
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    power_ratio_db,
+    watts_to_dbm,
+)
+
+
+class TestConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == 1.0
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_linear_to_db_roundtrip(self):
+        for db in (-30.0, -3.0, 0.0, 7.5, 40.0):
+            assert linear_to_db(db_to_linear(db)) == pytest.approx(db)
+
+    def test_dbm_watts(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+        assert watts_to_dbm(1e-3) == pytest.approx(0.0)
+
+    def test_zero_linear_clamped(self):
+        assert linear_to_db(0.0) == -300.0
+        assert np.isfinite(linear_to_db(-1.0))
+
+    def test_array_inputs(self):
+        arr = np.array([1.0, 10.0, 100.0])
+        out = linear_to_db(arr)
+        assert np.allclose(out, [0.0, 10.0, 20.0])
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_roundtrip_property(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+
+class TestPowerRatio:
+    def test_equal_powers(self):
+        assert power_ratio_db(5.0, 5.0) == pytest.approx(0.0)
+
+    def test_ten_times(self):
+        assert power_ratio_db(10.0, 1.0) == pytest.approx(10.0)
+
+
+class TestAddPowers:
+    def test_two_equal_sources_add_3db(self):
+        assert add_powers_dbm(-60.0, -60.0) == pytest.approx(-57.0, abs=0.02)
+
+    def test_dominant_source_wins(self):
+        total = add_powers_dbm(-40.0, -90.0)
+        assert total == pytest.approx(-40.0, abs=0.01)
+
+    def test_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            add_powers_dbm()

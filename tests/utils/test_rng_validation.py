@@ -1,0 +1,72 @@
+"""Unit tests for repro.utils.rng and repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import child_rngs, make_rng, spawn_seed
+from repro.utils.validation import ensure_binary_array, ensure_in_range, ensure_positive
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        assert make_rng(42).integers(0, 1000) == make_rng(42).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestChildRngs:
+    def test_count(self):
+        assert len(child_rngs(1, 5)) == 5
+
+    def test_children_differ(self):
+        a, b = child_rngs(7, 2)
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_deterministic_from_seed(self):
+        a1, a2 = child_rngs(3, 2)
+        b1, b2 = child_rngs(3, 2)
+        assert a1.integers(0, 10**9) == b1.integers(0, 10**9)
+        assert a2.integers(0, 10**9) == b2.integers(0, 10**9)
+
+    def test_from_generator(self):
+        kids = child_rngs(np.random.default_rng(0), 3)
+        assert len(kids) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            child_rngs(0, -1)
+
+
+class TestSpawnSeed:
+    def test_range(self):
+        seed = spawn_seed(np.random.default_rng(0))
+        assert 0 <= seed < 2**63
+
+
+class TestValidation:
+    def test_ensure_positive_accepts(self):
+        assert ensure_positive(3, "x") == 3
+
+    def test_ensure_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            ensure_positive(0, "x")
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range(5, "y", 0, 10) == 5
+        with pytest.raises(ValueError, match="y"):
+            ensure_in_range(11, "y", 0, 10)
+
+    def test_ensure_in_range_exclusive(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(0, "z", 0, 1, inclusive=False)
+
+    def test_ensure_binary(self):
+        out = ensure_binary_array([0, 1, 1], "bits")
+        assert out.dtype == np.uint8
+        with pytest.raises(ValueError, match="bits"):
+            ensure_binary_array([0, 2], "bits")
