@@ -18,7 +18,10 @@ def _ascii_field(field, levels=" .:-=+*#%@"):
 
 
 def test_fig5_signal_field(run_once, report):
-    xs, ys, field = run_once(fig5_signal_field, resolution=41)
+    result = run_once(fig5_signal_field, resolution=41)
+    xs = result.artifacts["xs"]
+    ys = result.artifacts["ys"]
+    field = result.artifacts["field_dbm"]
 
     centre_cut = field[ys.size // 2]
     cut_rows = "  ".join(

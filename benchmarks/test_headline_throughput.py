@@ -16,28 +16,31 @@ from repro.sim.experiments import headline_throughput
 
 
 def test_headline_throughput(run_once, report):
-    tc = run_once(headline_throughput, n_tags=10, rounds=scaled(50))
+    result = run_once(headline_throughput, n_tags=10, rounds=scaled(50))
+    m = result.metrics
 
     report(
         render_table(
             ["scheme", "aggregate goodput"],
             [
-                ["CBMA, 10 concurrent tags", f"{tc.cbma_bps / 1e3:.1f} kbps"],
-                ["single-tag TDMA (genie scheduled)", f"{tc.single_tag_bps / 1e3:.1f} kbps"],
-                ["single-tag FSA (distributed)", f"{tc.fsa_bps / 1e3:.1f} kbps"],
-                ["FDMA (4 sub-channels)", f"{tc.fdma_bps / 1e3:.1f} kbps"],
+                ["CBMA, 10 concurrent tags", f"{m['cbma_bps'] / 1e3:.1f} kbps"],
+                ["single-tag TDMA (genie scheduled)", f"{m['single_tag_bps'] / 1e3:.1f} kbps"],
+                ["single-tag FSA (distributed)", f"{m['fsa_bps'] / 1e3:.1f} kbps"],
+                ["FDMA (4 sub-channels)", f"{m['fdma_bps'] / 1e3:.1f} kbps"],
             ],
             title="Headline reproduction: 10-tag throughput comparison",
         )
-        + f"\non-air OOK rate: {tc.aggregate_raw_bps / 1e6:.1f} Mbps (paper: 8 Mbps)"
-        + f"\n10-tag collision FER: {tc.cbma_fer:.3f}"
-        + f"\nspeedup vs genie TDMA: {tc.speedup_vs_single:.1f}x"
-        + f"\nspeedup vs FSA:        {tc.speedup_vs_fsa:.1f}x (paper: >10x vs single-tag solutions)"
+        + f"\non-air OOK rate: {m['aggregate_raw_bps'] / 1e6:.1f} Mbps (paper: 8 Mbps)"
+        + f"\n10-tag collision FER: {m['cbma_fer']:.3f}"
+        + f"\nspeedup vs genie TDMA: {m['speedup_vs_single']:.1f}x"
+        + f"\nspeedup vs FSA:        {m['speedup_vs_fsa']:.1f}x (paper: >10x vs single-tag solutions)"
     )
 
-    assert tc.aggregate_raw_bps == 8e6
-    assert tc.cbma_fer < 0.4
-    assert tc.speedup_vs_single > 5.0, f"only {tc.speedup_vs_single:.1f}x vs genie TDMA"
-    assert tc.speedup_vs_fsa > 10.0, f"only {tc.speedup_vs_fsa:.1f}x vs FSA"
+    assert m["aggregate_raw_bps"] == 8e6
+    assert m["cbma_fer"] < 0.4
+    assert m["speedup_vs_single"] > 5.0, f"only {m['speedup_vs_single']:.1f}x vs genie TDMA"
+    assert m["speedup_vs_fsa"] > 10.0, f"only {m['speedup_vs_fsa']:.1f}x vs FSA"
     # FDMA cannot beat one full-band channel's goodput.
-    assert tc.fdma_bps <= tc.single_tag_bps * 1.2
+    assert m["fdma_bps"] <= m["single_tag_bps"] * 1.2
+    # Run metadata travels with the result now.
+    assert result.params["n_tags"] == 10 and result.wall_time_s > 0

@@ -57,3 +57,6 @@ def test_table1_system_comparison(run_once, report):
     # Shape assertions: goodput grows with concurrency.
     goodputs = result.series["aggregate goodput (bps)"]
     assert goodputs[-1] > goodputs[0], "10 tags should out-deliver 1 tag"
+    # Run metadata travels with the result now.
+    assert result.params["tag_counts"] == [1, 2, 5, 10]
+    assert result.wall_time_s > 0

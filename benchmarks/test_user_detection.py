@@ -19,23 +19,23 @@ def test_user_detection_accuracy(run_once, report):
         n_trials=scaled(150),
     )
 
-    values = dict(zip(result.x, result.series["value"]))
+    m = result.metrics
     report(
         render_table(
             ["metric", "value"],
             [
-                ["trial accuracy (exact active set)", format_percent(values["trial accuracy"])],
-                ["per-tag detection rate", format_percent(values["per-tag detection rate"])],
-                ["false decodes (silent tags ACKed)", int(values["false decodes"])],
+                ["trial accuracy (exact active set)", format_percent(m["trial_accuracy"])],
+                ["per-tag detection rate", format_percent(m["detection_rate"])],
+                ["false decodes (silent tags ACKed)", int(m["false_decodes"])],
             ],
             title="User detection reproduction (10-tag pool, random subsets)",
         )
         + "\nPaper: 99.9% correct identification of the transmitting set."
     )
 
-    assert values["per-tag detection rate"] > 0.97
-    assert values["trial accuracy"] > 0.9
-    assert values["false decodes"] == 0
+    assert m["detection_rate"] > 0.97
+    assert m["trial_accuracy"] > 0.9
+    assert m["false_decodes"] == 0
 
 
 def test_user_detection_threshold_sweep(run_once, report):

@@ -25,6 +25,7 @@ Subpackages
 ``repro.mac``       Algorithm 1 power control, node selection, baselines
 ``repro.sim``       collision/network simulators, paper experiments
 ``repro.system``    the full deployment life cycle (CbmaSystem)
+``repro.obs``       tracing, profiling, the unified ExperimentResult
 ``repro.analysis``  CDFs, confidence intervals, report rendering
 """
 
@@ -32,6 +33,9 @@ from repro.channel.geometry import Deployment, Point, Room
 from repro.channel.pathloss import LinkBudget
 from repro.mac.node_selection import NodeSelector
 from repro.mac.power_control import PowerController
+from repro.obs.profile import RunProfile
+from repro.obs.result import ExperimentResult
+from repro.obs.tracer import Tracer
 from repro.receiver.receiver import CbmaReceiver, ReceptionReport
 from repro.sim.metrics import MetricsAccumulator
 from repro.sim.network import CbmaConfig, CbmaNetwork
@@ -58,5 +62,8 @@ __all__ = [
     "Frame",
     "FrameFormat",
     "Tag",
+    "Tracer",
+    "RunProfile",
+    "ExperimentResult",
     "__version__",
 ]

@@ -177,14 +177,14 @@ def generate_report(
         parts.append(_section_markdown(section, result))
 
     if include_headline:
-        tc = headline_throughput(rounds=max(int(30 * scale), 5))
+        m = headline_throughput(rounds=max(int(30 * scale), 5)).metrics
         parts.append("## Headline — 10-tag throughput")
         parts.append("")
         parts.append(
-            f"- on-air OOK rate: {tc.aggregate_raw_bps / 1e6:.1f} Mbps (paper: 8 Mbps)\n"
-            f"- CBMA goodput: {tc.cbma_bps / 1e3:.1f} kbps at FER {tc.cbma_fer:.3f}\n"
-            f"- speedup vs genie TDMA: {tc.speedup_vs_single:.1f}x\n"
-            f"- speedup vs FSA (distributed single-tag): {tc.speedup_vs_fsa:.1f}x (paper: >10x)"
+            f"- on-air OOK rate: {m['aggregate_raw_bps'] / 1e6:.1f} Mbps (paper: 8 Mbps)\n"
+            f"- CBMA goodput: {m['cbma_bps'] / 1e3:.1f} kbps at FER {m['cbma_fer']:.3f}\n"
+            f"- speedup vs genie TDMA: {m['speedup_vs_single']:.1f}x\n"
+            f"- speedup vs FSA (distributed single-tag): {m['speedup_vs_fsa']:.1f}x (paper: >10x)"
         )
         parts.append("")
 

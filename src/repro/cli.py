@@ -6,6 +6,8 @@ Usage (after ``pip install -e .``)::
     python -m repro run --tags 5 --power-control
     python -m repro experiment fig8a --rounds 40
     python -m repro field --resolution 41
+    python -m repro profile --tags 10 --rounds 20
+    python -m repro profile --tags 4 --rounds 5 --json
     python -m repro trace record out.json --tags 3 --rounds 50
     python -m repro trace replay out.json --seed 9
 
@@ -85,6 +87,26 @@ def _build_parser() -> argparse.ArgumentParser:
     field = sub.add_parser("field", help="print the Fig. 5 signal-strength field")
     field.add_argument("--resolution", type=int, default=41)
 
+    prof = sub.add_parser(
+        "profile", help="trace a simulation and print the stage-level profile"
+    )
+    prof.add_argument("--tags", type=int, default=4)
+    prof.add_argument("--rounds", type=int, default=20)
+    prof.add_argument("--distance", type=float, default=1.0, help="tag-to-RX metres")
+    prof.add_argument("--seed", type=int, default=7)
+    prof.add_argument(
+        "--receiver",
+        choices=["sic", "standard"],
+        default="sic",
+        help="receiver pipeline to profile (sic exercises every stage)",
+    )
+    prof.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw JSONL event log (spans, counters, gauges, profile) to stdout",
+    )
+    prof.add_argument("--trace", metavar="PATH", help="also write the JSONL event log to PATH")
+
     adapt = sub.add_parser("adapt", help="auto-select the spreading factor for a channel")
     adapt.add_argument("--tags", type=int, default=3)
     adapt.add_argument("--distance", type=float, default=2.0)
@@ -149,20 +171,23 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.artefact == "headline":
         from repro.sim.experiments import headline_throughput
 
-        tc = headline_throughput(rounds=args.rounds)
+        m = headline_throughput(rounds=args.rounds).metrics
         print(
             render_table(
                 ["scheme", "aggregate goodput"],
                 [
-                    ["CBMA, 10 concurrent tags", f"{tc.cbma_bps / 1e3:.1f} kbps"],
-                    ["single-tag TDMA (genie)", f"{tc.single_tag_bps / 1e3:.1f} kbps"],
-                    ["single-tag FSA", f"{tc.fsa_bps / 1e3:.1f} kbps"],
-                    ["FDMA (4 channels)", f"{tc.fdma_bps / 1e3:.1f} kbps"],
+                    ["CBMA, 10 concurrent tags", f"{m['cbma_bps'] / 1e3:.1f} kbps"],
+                    ["single-tag TDMA (genie)", f"{m['single_tag_bps'] / 1e3:.1f} kbps"],
+                    ["single-tag FSA", f"{m['fsa_bps'] / 1e3:.1f} kbps"],
+                    ["FDMA (4 channels)", f"{m['fdma_bps'] / 1e3:.1f} kbps"],
                 ],
-                title=f"Headline: {tc.aggregate_raw_bps / 1e6:.0f} Mbps on-air, FER {tc.cbma_fer:.3f}",
+                title=f"Headline: {m['aggregate_raw_bps'] / 1e6:.0f} Mbps on-air, FER {m['cbma_fer']:.3f}",
             )
         )
-        print(f"speedup vs genie TDMA {tc.speedup_vs_single:.1f}x, vs FSA {tc.speedup_vs_fsa:.1f}x")
+        print(
+            f"speedup vs genie TDMA {m['speedup_vs_single']:.1f}x, "
+            f"vs FSA {m['speedup_vs_fsa']:.1f}x"
+        )
         return 0
     result = _EXPERIMENTS[args.artefact](args.rounds)
     numeric_x = all(isinstance(x, (int, float)) for x in result.x)
@@ -176,10 +201,46 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_field(args: argparse.Namespace) -> int:
-    xs, ys, field = fig5_signal_field(resolution=args.resolution)
+    field = fig5_signal_field(resolution=args.resolution).artifacts["field_dbm"]
     print("Fig. 5 theoretical signal strength (dBm); ES at (-0.5,0), RX at (+0.5,0)")
     print(heatmap(field))
     print(f"range: {field.min():.1f} .. {field.max():.1f} dBm")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import Tracer, jsonl_lines, render_dashboard, write_jsonl
+    from repro.receiver.sic import SicReceiver
+
+    tracer = Tracer()
+    config = CbmaConfig(n_tags=args.tags, seed=args.seed)
+    network = CbmaNetwork(
+        config,
+        Deployment.linear(args.tags, tag_to_rx=args.distance),
+        tracer=tracer,
+        receiver_cls=SicReceiver if args.receiver == "sic" else None,
+    )
+    t0 = time.perf_counter()
+    metrics = network.run_rounds(args.rounds)
+    profile = tracer.profile(wall_time_s=time.perf_counter() - t0)
+
+    if args.trace:
+        write_jsonl(args.trace, tracer, profile=profile)
+    if args.json:
+        for line in jsonl_lines(tracer, profile=profile):
+            print(line)
+        return 0
+    print(profile.format_table())
+    print()
+    print(render_dashboard(profile))
+    print(
+        f"\n{args.tags} tags x {args.rounds} rounds ({args.receiver} receiver): "
+        f"FER {format_percent(metrics.fer)}, goodput {metrics.goodput_bps / 1e3:.1f} kbps"
+    )
+    if args.trace:
+        print(f"event log written to {args.trace}")
     return 0
 
 
@@ -271,6 +332,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "field":
         return _cmd_field(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "report":

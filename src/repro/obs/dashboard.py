@@ -1,0 +1,48 @@
+"""ASCII dashboard rendering for run profiles.
+
+Turns a :class:`~repro.obs.profile.RunProfile` into the stage-time bar
+chart and error-budget view the ``repro profile`` subcommand prints,
+re-using the repo's dependency-free terminal plotting helpers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ascii_plots import bar_chart
+from repro.obs.profile import RunProfile
+
+__all__ = ["render_dashboard"]
+
+
+def render_dashboard(profile: RunProfile, width: int = 40) -> str:
+    """Bar-chart view of where a run's time and errors went."""
+    parts = []
+    if profile.stages:
+        ordered = sorted(profile.stages.values(), key=lambda s: -s.total_s)
+        parts.append("time per stage (total seconds):")
+        parts.append(
+            bar_chart(
+                [s.name for s in ordered],
+                [s.total_s for s in ordered],
+                width=width,
+                unit=" s",
+            )
+        )
+    if profile.error_budget:
+        items = sorted(profile.error_budget.items())
+        parts.append("")
+        parts.append("frame outcome budget (fraction of sent frames):")
+        parts.append(
+            bar_chart([k for k, _ in items], [v for _, v in items], width=width)
+        )
+    interesting = [g for g in profile.gauges.values() if g.count > 1]
+    if interesting:
+        parts.append("")
+        parts.append("gauges (mean):")
+        parts.append(
+            bar_chart(
+                [g.name for g in interesting],
+                [abs(g.mean) for g in interesting],
+                width=width,
+            )
+        )
+    return "\n".join(parts) if parts else "(empty profile)"

@@ -1,0 +1,99 @@
+"""JSONL event export for tracer state.
+
+One JSON object per line, in a stable schema:
+
+- ``{"type": "span", "name", "start_s", "duration_s", "depth", "index",
+  "attrs"}`` -- one per completed span, in completion order;
+- ``{"type": "counter", "name", "value"}`` -- final counter values;
+- ``{"type": "gauge", "name", "values"}`` -- every recorded sample;
+- ``{"type": "profile", ...}`` -- the aggregated
+  :class:`~repro.obs.profile.RunProfile` (when one is supplied).
+
+The format round-trips: :func:`read_jsonl` reconstructs the records so
+traces can be archived next to ``BENCH_*.json`` artefacts and diffed
+across optimisation PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.obs.profile import RunProfile
+from repro.obs.tracer import SpanRecord, Tracer
+
+__all__ = ["jsonl_lines", "write_jsonl", "read_jsonl"]
+
+
+def jsonl_lines(tracer: Tracer, profile: Optional[RunProfile] = None) -> Iterator[str]:
+    """Serialise a tracer's events (and optionally a profile) to JSONL."""
+    for rec in tracer.records:
+        yield json.dumps(
+            {
+                "type": "span",
+                "name": rec.name,
+                "start_s": rec.start_s,
+                "duration_s": rec.duration_s,
+                "depth": rec.depth,
+                "index": rec.index,
+                "attrs": rec.attrs,
+            }
+        )
+    for name, value in tracer.counters.items():
+        yield json.dumps({"type": "counter", "name": name, "value": value})
+    for name, values in tracer.gauges.items():
+        yield json.dumps({"type": "gauge", "name": name, "values": list(values)})
+    if profile is not None:
+        yield json.dumps({"type": "profile", **profile.to_dict()})
+
+
+def write_jsonl(
+    path: Union[str, Path],
+    tracer: Tracer,
+    profile: Optional[RunProfile] = None,
+) -> int:
+    """Write the trace to *path*; returns the number of lines written."""
+    n = 0
+    with open(path, "w") as fh:
+        for line in jsonl_lines(tracer, profile):
+            fh.write(line + "\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: Union[str, Path]) -> dict:
+    """Parse a JSONL trace back into structured form.
+
+    Returns ``{"spans": [SpanRecord...], "counters": {...},
+    "gauges": {...}, "profile": RunProfile | None}``.
+    """
+    spans: List[SpanRecord] = []
+    counters = {}
+    gauges = {}
+    profile = None
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            kind = obj.get("type")
+            if kind == "span":
+                spans.append(
+                    SpanRecord(
+                        name=obj["name"],
+                        start_s=obj["start_s"],
+                        duration_s=obj["duration_s"],
+                        depth=obj["depth"],
+                        index=obj["index"],
+                        attrs=obj.get("attrs", {}),
+                    )
+                )
+            elif kind == "counter":
+                counters[obj["name"]] = obj["value"]
+            elif kind == "gauge":
+                gauges[obj["name"]] = list(obj["values"])
+            elif kind == "profile":
+                profile = RunProfile.from_dict(obj)
+    return {"spans": spans, "counters": counters, "gauges": gauges, "profile": profile}

@@ -1,0 +1,224 @@
+"""Aggregated run profiles: stage latencies and error budgets.
+
+A :class:`RunProfile` condenses a tracer's raw spans/counters/gauges
+into the summary an operator actually reads:
+
+- per-stage latency statistics (count, total, mean, p50, p95, max);
+- final counter values;
+- gauge statistics (count, mean, min, p50, p95, max);
+- a **stage-attributed error budget**: of the frames that were lost,
+  what fraction died at detection, at decode, or decoded to the wrong
+  payload -- the attribution NetScatter-style evaluations rely on.
+
+Profiles serialise to/from plain dicts and JSON so benchmark drivers
+can store them next to their metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["StageStats", "GaugeStats", "RunProfile"]
+
+#: Counter names that attribute one lost frame to a pipeline stage
+#: (incremented by the network's truth-based scoring).
+_ERROR_COUNTERS = {
+    "errors.not_detected": "detect",
+    "errors.not_decoded": "decode",
+    "errors.wrong_payload": "payload",
+}
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Latency statistics of one span name."""
+
+    name: str
+    count: int
+    total_s: float
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    max_s: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "max_s": self.max_s,
+        }
+
+    @classmethod
+    def from_durations(cls, name: str, durations: List[float]) -> "StageStats":
+        arr = np.asarray(durations, dtype=np.float64)
+        return cls(
+            name=name,
+            count=int(arr.size),
+            total_s=float(arr.sum()),
+            mean_s=float(arr.mean()),
+            p50_s=float(np.percentile(arr, 50)),
+            p95_s=float(np.percentile(arr, 95)),
+            max_s=float(arr.max()),
+        )
+
+
+@dataclass(frozen=True)
+class GaugeStats:
+    """Distribution statistics of one gauge."""
+
+    name: str
+    count: int
+    mean: float
+    min: float
+    p50: float
+    p95: float
+    max: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_values(cls, name: str, values: List[float]) -> "GaugeStats":
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            name=name,
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            min=float(arr.min()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            max=float(arr.max()),
+        )
+
+
+@dataclass
+class RunProfile:
+    """Stage-attributed summary of one instrumented run."""
+
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, GaugeStats] = field(default_factory=dict)
+    error_budget: Dict[str, float] = field(default_factory=dict)
+    """Stage -> fraction of *sent* frames lost at that stage."""
+    wall_time_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tracer(cls, tracer, wall_time_s: Optional[float] = None) -> "RunProfile":
+        """Aggregate a tracer's records into a profile."""
+        by_name: Dict[str, List[float]] = {}
+        for rec in tracer.records:
+            by_name.setdefault(rec.name, []).append(rec.duration_s)
+        stages = {
+            name: StageStats.from_durations(name, durs) for name, durs in by_name.items()
+        }
+        gauges = {
+            name: GaugeStats.from_values(name, vals)
+            for name, vals in tracer.gauges.items()
+            if vals
+        }
+        counters = dict(tracer.counters)
+        if wall_time_s is None:
+            wall_time_s = sum(s.total_s for s in stages.values() if s.name == "round")
+        return cls(
+            stages=stages,
+            counters=counters,
+            gauges=gauges,
+            error_budget=cls._error_budget(counters),
+            wall_time_s=float(wall_time_s),
+        )
+
+    @staticmethod
+    def _error_budget(counters: Dict[str, float]) -> Dict[str, float]:
+        sent = counters.get("round.frames_sent", 0)
+        if not sent:
+            return {}
+        budget = {
+            stage: counters.get(key, 0) / sent for key, stage in _ERROR_COUNTERS.items()
+        }
+        budget["delivered"] = counters.get("round.frames_correct", 0) / sent
+        return budget
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_time_s": self.wall_time_s,
+            "stages": {name: s.to_dict() for name, s in self.stages.items()},
+            "counters": dict(self.counters),
+            "gauges": {name: g.to_dict() for name, g in self.gauges.items()},
+            "error_budget": dict(self.error_budget),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunProfile":
+        stages = {
+            name: StageStats(name=name, **vals) for name, vals in data.get("stages", {}).items()
+        }
+        gauges = {
+            name: GaugeStats(name=name, **vals) for name, vals in data.get("gauges", {}).items()
+        }
+        return cls(
+            stages=stages,
+            counters=dict(data.get("counters", {})),
+            gauges=gauges,
+            error_budget=dict(data.get("error_budget", {})),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunProfile":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def format_table(self) -> str:
+        """Fixed-width text table of the stage breakdown."""
+        lines = [
+            f"{'stage':<14} {'calls':>7} {'total':>10} {'mean':>10} {'p50':>10} {'p95':>10}",
+            "-" * 65,
+        ]
+        ordered = sorted(self.stages.values(), key=lambda s: -s.total_s)
+        for s in ordered:
+            lines.append(
+                f"{s.name:<14} {s.count:>7d} {_fmt_s(s.total_s):>10} "
+                f"{_fmt_s(s.mean_s):>10} {_fmt_s(s.p50_s):>10} {_fmt_s(s.p95_s):>10}"
+            )
+        if self.error_budget:
+            lines.append("")
+            lines.append("error budget (fraction of sent frames):")
+            for stage, frac in sorted(self.error_budget.items()):
+                lines.append(f"  {stage:<14} {frac:7.3f}")
+        return "\n".join(lines)
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} us"

@@ -1,0 +1,170 @@
+"""The unified experiment result type.
+
+Every driver in :mod:`repro.sim.experiments` returns one
+:class:`ExperimentResult`: the swept series for plotting, plus the
+fields the old ad-hoc tuples and per-driver dataclasses scattered
+around -- the parameters that produced the run, the root seed, scalar
+summary metrics, the wall-clock time, and (when the run was traced) a
+:class:`~repro.obs.profile.RunProfile`.
+
+Backwards compatibility is kept through two deprecation shims, both of
+which emit :class:`DeprecationWarning` and will be removed one release
+after 1.x:
+
+- attribute access falling through to ``metrics`` (the old
+  ``ThroughputComparison`` attributes: ``result.cbma_bps`` ==
+  ``result.metrics["cbma_bps"]``);
+- tuple unpacking for drivers that used to return bare tuples
+  (``xs, ys, field = fig5_signal_field()``), backed by the
+  ``legacy_tuple`` field.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.obs.profile import RunProfile
+
+__all__ = ["ExperimentResult"]
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays into JSON-serialisable builtins."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's labelled data and run metadata.
+
+    ``x`` is the swept parameter, ``series`` maps a label (e.g.
+    "2 tags") to y-values aligned with ``x``; ``notes`` carries
+    free-form context.  ``params``/``seed`` record what produced the
+    run, ``metrics`` holds scalar summaries, ``wall_time_s`` the
+    driver's wall-clock cost, and ``profile`` the aggregated trace when
+    the run was observed with a :class:`~repro.obs.tracer.Tracer`.
+    """
+
+    experiment_id: str
+    x_label: str = ""
+    x: List = field(default_factory=list)
+    series: dict = field(default_factory=dict)
+    notes: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    seed: Optional[int] = None
+    wall_time_s: float = 0.0
+    profile: Optional[RunProfile] = None
+    artifacts: Dict[str, Any] = field(default_factory=dict, repr=False)
+    """Bulk outputs that are not series (e.g. the Fig. 5 field array)."""
+    legacy_tuple: Optional[tuple] = field(default=None, repr=False, compare=False)
+    """Deprecated tuple shape of drivers that predate this class."""
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def finish(self, t0: float) -> "ExperimentResult":
+        """Record wall time from a ``time.perf_counter()`` start mark."""
+        self.wall_time_s = time.perf_counter() - t0
+        return self
+
+    def summarize_series(self, prefix: str = "mean") -> "ExperimentResult":
+        """Fold each numeric series' mean into ``metrics``."""
+        for label, ys in self.series.items():
+            if ys and all(isinstance(y, (int, float, np.floating, np.integer)) for y in ys):
+                self.metrics[f"{prefix}:{label}"] = float(np.mean(ys))
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "x_label": self.x_label,
+            "x": _jsonable(self.x),
+            "series": _jsonable(self.series),
+            "notes": self.notes,
+            "params": _jsonable(self.params),
+            "metrics": _jsonable(self.metrics),
+            "seed": self.seed,
+            "wall_time_s": self.wall_time_s,
+            "profile": self.profile.to_dict() if self.profile is not None else None,
+            "artifacts": _jsonable(self.artifacts),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        profile = data.get("profile")
+        return cls(
+            experiment_id=data["experiment_id"],
+            x_label=data.get("x_label", ""),
+            x=list(data.get("x", [])),
+            series={k: list(v) for k, v in data.get("series", {}).items()},
+            notes=data.get("notes", ""),
+            params=dict(data.get("params", {})),
+            metrics=dict(data.get("metrics", {})),
+            seed=data.get("seed"),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+            profile=RunProfile.from_dict(profile) if profile is not None else None,
+            artifacts=dict(data.get("artifacts", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Deprecation shims (one release)
+    # ------------------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        # Only reached for attributes that are NOT regular fields.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        metrics = self.__dict__.get("metrics") or {}
+        if name in metrics:
+            warnings.warn(
+                f"ExperimentResult.{name} attribute access is deprecated; "
+                f"use result.metrics[{name!r}] instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return metrics[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __iter__(self):
+        legacy = self.__dict__.get("legacy_tuple")
+        if legacy is None:
+            raise TypeError(
+                "ExperimentResult is not iterable; access .x/.series/"
+                ".metrics/.artifacts explicitly"
+            )
+        warnings.warn(
+            "unpacking this driver's result as a tuple is deprecated; "
+            "use result.artifacts instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return iter(legacy)

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.tracer import as_tracer
 from repro.phy.modulation import upsample_chips
 from repro.tag.framing import FrameError, FrameFormat, MAX_PAYLOAD_BYTES
 from repro.utils.bits import bits_to_bipolar, bits_to_bytes, pack_bits
@@ -52,9 +53,13 @@ class ChipDecoder:
         Frame format (for field geometry and CRC).
     samples_per_chip:
         Oversampling factor of the receive buffer.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; the CRC check records a
+        ``crc`` span and ``crc.ok`` / ``crc.fail`` counters.
     """
 
-    def __init__(self, code: np.ndarray, fmt: Optional[FrameFormat] = None, samples_per_chip: int = 1):
+    def __init__(self, code: np.ndarray, fmt: Optional[FrameFormat] = None, samples_per_chip: int = 1, tracer=None):
+        self.tracer = as_tracer(tracer)
         self.fmt = fmt or FrameFormat()
         self.samples_per_chip = int(samples_per_chip)
         if self.samples_per_chip < 1:
@@ -120,12 +125,16 @@ class ChipDecoder:
             return DecodedFrame(user_id, False, None, "truncated", raw_bits=length_bits)
 
         frame_bits = pack_bits(self.fmt.preamble, length_bits, rest_bits)
+        tracer = self.tracer
         try:
-            frame = self.fmt.parse(frame_bits, check_preamble=False)
+            with tracer.span("crc"):
+                frame = self.fmt.parse(frame_bits, check_preamble=False)
         except FrameError:
+            tracer.count("crc.fail")
             return DecodedFrame(
                 user_id, False, None, "crc", raw_bits=pack_bits(length_bits, rest_bits)
             )
+        tracer.count("crc.ok")
         return DecodedFrame(
             user_id, True, frame.payload, "ok", raw_bits=pack_bits(length_bits, rest_bits)
         )

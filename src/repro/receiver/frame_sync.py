@@ -16,7 +16,7 @@ together than a guard interval are merged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -63,6 +63,9 @@ class EnergyDetector:
     """Detections are suppressed until the averages have warmed up;
     a cold-start baseline estimated from one or two samples would
     otherwise fire on ordinary noise fluctuations."""
+    tracer: Optional[object] = None
+    """Optional :class:`repro.obs.Tracer`; set automatically when the
+    owning receiver is constructed with one."""
 
     def detect(self, iq: np.ndarray) -> FrameSyncResult:
         """Run the detector over a complex sample buffer."""
@@ -92,4 +95,13 @@ class EnergyDetector:
             if idx - last >= self.guard_samples:
                 detections.append(int(idx))
                 last = int(idx)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.count("frame_sync.detections", len(detections))
+            tracer.count("frame_sync.crossings", int(crossings.size))
+            for idx in detections:
+                # Detection margin: how far above the 3 dB threshold the
+                # short-window power actually crossed (dB).
+                lead = current[idx] / max(baseline_lagged[idx] * factor, 1e-30)
+                tracer.gauge("frame_sync.lead_db", 10.0 * np.log10(max(lead, 1e-30)))
         return FrameSyncResult(detections=detections)

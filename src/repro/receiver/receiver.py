@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.tracer import as_tracer
 from repro.receiver.ack import AckMessage
 from repro.receiver.decoder import ChipDecoder, DecodedFrame
 from repro.receiver.frame_sync import EnergyDetector, FrameSyncResult
@@ -72,6 +73,14 @@ class CbmaReceiver:
         (the calibrated paper pipeline assumes a tone-free shifted
         band); enable when the excitation carrier leaks into the
         capture as a constant offset.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; when given, every pipeline
+        stage records spans, counters and gauges.  ``None`` (default)
+        keeps the hot path free of observation cost.
+
+    Prefer :meth:`from_config` over passing loose keyword arguments:
+    it derives everything from a :class:`~repro.sim.network.CbmaConfig`
+    so the config fields are not duplicated at each call site.
     """
 
     def __init__(
@@ -82,19 +91,61 @@ class CbmaReceiver:
         detector: Optional[EnergyDetector] = None,
         user_threshold: float = 0.12,
         dc_block: bool = False,
+        tracer=None,
     ):
         self.dc_block = dc_block
+        self.tracer = as_tracer(tracer)
         self.fmt = fmt or FrameFormat()
         self.samples_per_chip = int(samples_per_chip)
         self.codes = {int(uid): np.asarray(c, dtype=np.uint8) for uid, c in codes.items()}
         self.energy_detector = detector or EnergyDetector()
+        if getattr(self.energy_detector, "tracer", None) is None and self.tracer.enabled:
+            self.energy_detector.tracer = self.tracer
         self.user_detector = UserDetector(
             self.codes, self.fmt, samples_per_chip=self.samples_per_chip, threshold=user_threshold
         )
         self._decoders = {
-            uid: ChipDecoder(code, self.fmt, self.samples_per_chip)
+            uid: ChipDecoder(code, self.fmt, self.samples_per_chip, tracer=self.tracer)
             for uid, code in self.codes.items()
         }
+
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        *,
+        codes: Optional[Dict[int, np.ndarray]] = None,
+        tracer=None,
+        detector: Optional[EnergyDetector] = None,
+        dc_block: bool = False,
+        **kwargs,
+    ) -> "CbmaReceiver":
+        """Build a receiver from a :class:`~repro.sim.network.CbmaConfig`.
+
+        This is the supported construction path: frame format,
+        oversampling and detection threshold come straight from the
+        config instead of being re-typed as loose kwargs at every call
+        site (those constructor paths are deprecated and kept for one
+        release).  *codes* defaults to the config's code family over
+        tag ids ``0..n_tags-1``; subclass-specific options (e.g.
+        ``max_passes`` for :class:`~repro.receiver.sic.SicReceiver`)
+        pass through ``**kwargs``.
+        """
+        if codes is None:
+            from repro.codes.registry import make_codes
+
+            generated = make_codes(config.code_family, config.n_tags, config.code_length)
+            codes = {i: generated[i] for i in range(config.n_tags)}
+        return cls(
+            codes,
+            fmt=config.frame_format(),
+            samples_per_chip=config.samples_per_chip,
+            detector=detector,
+            user_threshold=config.user_threshold,
+            dc_block=dc_block,
+            tracer=tracer,
+            **kwargs,
+        )
 
     def process(self, iq: np.ndarray, round_index: int = 0, skip_energy_gate: bool = False) -> ReceptionReport:
         """Run the full pipeline over a complex sample buffer.
@@ -104,19 +155,32 @@ class CbmaReceiver:
         experiments that isolate later stages (paper Sec. VII-B2
         "adopt the best parameters obtained in the above section").
         """
+        tracer = self.tracer
         x = np.asarray(iq)
         if self.dc_block and x.size:
             # Carrier-leak blocker (opt-in): a constant offset would
             # swamp the energy detector's baseline and the correlators'
             # local energy normalisation.
             x = x - np.mean(x)
-        sync = self.energy_detector.detect(x)
+        with tracer.span("frame_sync"):
+            sync = self.energy_detector.detect(x)
         report = ReceptionReport(sync=sync)
         if not sync.detected and not skip_energy_gate:
+            tracer.count("frame_sync.misses")
             report.ack = AckMessage.for_ids([], round_index)
             return report
 
-        report.detections = self.user_detector.detect(x)
+        with tracer.span("detect"):
+            report.detections = self.user_detector.detect(x)
+        if tracer.enabled:
+            tracer.count("detect.users", len(report.detections))
+            for det in report.detections:
+                tracer.gauge("detect.score", det.score)
+                if det.candidates and len(det.candidates) > 1:
+                    # Margin of the chosen correlation peak over the
+                    # runner-up alignment hypothesis.
+                    scores = sorted((s for _o, s, _c in det.candidates), reverse=True)
+                    tracer.gauge("detect.peak_margin", scores[0] - scores[1])
         for det in report.detections:
             decoder = self._decoders[det.user_id]
             # Multi-hypothesis decoding: the alternating preamble has
@@ -127,12 +191,14 @@ class CbmaReceiver:
             # the handful of hypotheses).
             candidates = det.candidates or ((det.offset, det.score, det.channel),)
             frame = None
-            for offset, _score, channel in candidates:
-                attempt = decoder.decode_frame(x, offset, channel, user_id=det.user_id)
-                if frame is None or (attempt.success and not frame.success):
-                    frame = attempt
-                if attempt.success:
-                    break
+            with tracer.span("decode", user=det.user_id):
+                for offset, _score, channel in candidates:
+                    attempt = decoder.decode_frame(x, offset, channel, user_id=det.user_id)
+                    if frame is None or (attempt.success and not frame.success):
+                        frame = attempt
+                    if attempt.success:
+                        break
+            tracer.count(f"decode.{frame.reason}")
             report.frames.append(frame)
 
         self._suppress_ghosts(report)
@@ -167,6 +233,7 @@ class CbmaReceiver:
             for i in indices:
                 if i == keep:
                     continue
+                self.tracer.count("decode.ghost")
                 ghost = report.frames[i]
                 report.frames[i] = DecodedFrame(
                     user_id=ghost.user_id,

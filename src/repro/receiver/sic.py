@@ -47,12 +47,15 @@ class SicReceiver(CbmaReceiver):
 
     def process(self, iq: np.ndarray, round_index: int = 0, skip_energy_gate: bool = False) -> ReceptionReport:
         """Iteratively decode and cancel until no new tag decodes."""
+        tracer = self.tracer
         x = np.array(iq, dtype=np.complex128, copy=True)
         if self.dc_block and x.size:
             x -= np.mean(x)  # carrier-leak blocker (see CbmaReceiver)
-        sync = self.energy_detector.detect(x)
+        with tracer.span("frame_sync"):
+            sync = self.energy_detector.detect(x)
         report = ReceptionReport(sync=sync)
         if not sync.detected and not skip_energy_gate:
+            tracer.count("frame_sync.misses")
             report.ack = AckMessage.for_ids([], round_index)
             return report
 
@@ -61,52 +64,58 @@ class SicReceiver(CbmaReceiver):
         best_detections: Dict[int, object] = {}
         residual = x
         for _pass in range(self.max_passes):
-            detections = self.user_detector.detect(residual)
-            for det in detections:
-                if det.user_id not in succeeded:
-                    best_detections[det.user_id] = det
-            new_successes: List[tuple] = []
-            for det in detections:
-                if det.user_id in succeeded:
-                    continue
-                decoder = self._decoders[det.user_id]
-                candidates = det.candidates or ((det.offset, det.score, det.channel),)
-                frame = None
-                used = None
-                for offset, _score, channel in candidates:
-                    attempt = decoder.decode_frame(residual, offset, channel, user_id=det.user_id)
-                    if frame is None or (attempt.success and not frame.success):
-                        frame = attempt
-                        used = (offset, channel)
-                    if attempt.success:
-                        break
-                if frame is not None and frame.success:
-                    new_successes.append((det, frame, used))
-                elif frame is not None:
-                    # Remember the latest failure, but keep the user
-                    # eligible for the next pass: cancellation may be
-                    # exactly what rescues it.
-                    failed[det.user_id] = frame
+            with tracer.span("sic", sic_pass=_pass):
+                tracer.count("sic.passes")
+                with tracer.span("detect"):
+                    detections = self.user_detector.detect(residual)
+                for det in detections:
+                    if det.user_id not in succeeded:
+                        best_detections[det.user_id] = det
+                new_successes: List[tuple] = []
+                for det in detections:
+                    if det.user_id in succeeded:
+                        continue
+                    decoder = self._decoders[det.user_id]
+                    candidates = det.candidates or ((det.offset, det.score, det.channel),)
+                    frame = None
+                    used = None
+                    with tracer.span("decode", user=det.user_id):
+                        for offset, _score, channel in candidates:
+                            attempt = decoder.decode_frame(residual, offset, channel, user_id=det.user_id)
+                            if frame is None or (attempt.success and not frame.success):
+                                frame = attempt
+                                used = (offset, channel)
+                            if attempt.success:
+                                break
+                    tracer.count(f"decode.{frame.reason}")
+                    if frame is not None and frame.success:
+                        new_successes.append((det, frame, used))
+                    elif frame is not None:
+                        # Remember the latest failure, but keep the user
+                        # eligible for the next pass: cancellation may be
+                        # exactly what rescues it.
+                        failed[det.user_id] = frame
 
-            if not new_successes:
-                break
-            # Per-pass ghost dedup BEFORE committing: a wrong-code
-            # correlator decodes the strongest frame bit-exact (see
-            # _suppress_ghosts), and cancelling such a ghost with the
-            # wrong code would corrupt the residual.  Keep only the
-            # highest-scoring owner of each distinct payload; the
-            # losers stay eligible -- once the true owner's frame is
-            # cancelled, their own (weaker) frame becomes decodable.
-            by_payload: Dict[bytes, list] = {}
-            for entry in new_successes:
-                by_payload.setdefault(entry[1].payload, []).append(entry)
-            committed = [
-                max(entries, key=lambda e: e[0].score) for entries in by_payload.values()
-            ]
-            for det, frame, (offset, channel) in committed:
-                succeeded[det.user_id] = frame
-                failed.pop(det.user_id, None)
-                residual = self._cancel(residual, det.user_id, frame, offset, channel)
+                if not new_successes:
+                    break
+                # Per-pass ghost dedup BEFORE committing: a wrong-code
+                # correlator decodes the strongest frame bit-exact (see
+                # _suppress_ghosts), and cancelling such a ghost with the
+                # wrong code would corrupt the residual.  Keep only the
+                # highest-scoring owner of each distinct payload; the
+                # losers stay eligible -- once the true owner's frame is
+                # cancelled, their own (weaker) frame becomes decodable.
+                by_payload: Dict[bytes, list] = {}
+                for entry in new_successes:
+                    by_payload.setdefault(entry[1].payload, []).append(entry)
+                committed = [
+                    max(entries, key=lambda e: e[0].score) for entries in by_payload.values()
+                ]
+                for det, frame, (offset, channel) in committed:
+                    succeeded[det.user_id] = frame
+                    failed.pop(det.user_id, None)
+                    tracer.count("sic.cancellations")
+                    residual = self._cancel(residual, det.user_id, frame, offset, channel)
 
         report.detections = sorted(
             best_detections.values(), key=lambda d: d.score, reverse=True

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.channel.interference import NoInterference, OfdmExcitationGate
 from repro.channel.noise import NoiseModel
+from repro.obs.tracer import as_tracer
 from repro.phy.modulation import fractional_delay, ook_baseband, waveform_from_edges
 from repro.tag.tag import Tag
 from repro.utils.rng import make_rng
@@ -114,13 +115,29 @@ def simulate_round(
     scenario: CollisionScenario,
     payloads: Dict[int, bytes],
     rng=None,
+    tracer=None,
 ) -> tuple:
     """Simulate one round; returns ``(iq_buffer, RoundTruth)``.
 
     *payloads* maps tag id -> payload bytes; tags absent from the map
     stay silent this round (their link still exists but radiates
-    nothing).
+    nothing).  *tracer* (a :class:`repro.obs.Tracer`) records the
+    waveform-synthesis span; it never consumes *rng*, so traced and
+    untraced runs are bit-identical.
     """
+    tracer = as_tracer(tracer)
+    with tracer.span("synthesize", tags=len(payloads)):
+        iq, truth = _synthesize_round(scenario, payloads, rng)
+    if tracer.enabled:
+        tracer.gauge("round.n_samples", truth.n_samples)
+    return iq, truth
+
+
+def _synthesize_round(
+    scenario: CollisionScenario,
+    payloads: Dict[int, bytes],
+    rng=None,
+) -> tuple:
     rng = make_rng(rng)
     spc = scenario.samples_per_chip
     lead_in = scenario.lead_in_chips * spc

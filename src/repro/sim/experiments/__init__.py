@@ -21,6 +21,8 @@ Every driver accepts a ``rounds``-style fidelity knob so unit tests can
 run them cheaply while benchmarks run them at paper scale.
 """
 
+import time
+
 from repro.channel.geometry import Point
 from repro.channel.pathloss import LinkBudget, signal_strength_field
 from repro.sim.experiments.codes_power import (
@@ -79,16 +81,34 @@ __all__ = [
 ]
 
 
-def fig5_signal_field(resolution: int = 41, d_meters: float = 0.5):
+def fig5_signal_field(resolution: int = 41, d_meters: float = 0.5) -> ExperimentResult:
     """Theoretical backscatter signal strength field (paper Fig. 5).
 
     Evaluates Friis eq. (1) on a grid with the ES at ``(-D, 0)`` and
-    the receiver at ``(+D, 0)``.  Returns ``(xs, ys, field_dbm)``.
+    the receiver at ``(+D, 0)``.  Returns an :class:`ExperimentResult`
+    whose ``artifacts`` hold ``xs``, ``ys`` and ``field_dbm``.  The old
+    ``xs, ys, field = fig5_signal_field()`` tuple unpacking still works
+    (with a :class:`DeprecationWarning`).
     """
+    t0 = time.perf_counter()
     budget = LinkBudget()
-    return signal_strength_field(
+    xs, ys, field_dbm = signal_strength_field(
         budget,
         excitation=Point(-d_meters, 0.0),
         receiver=Point(d_meters, 0.0),
         resolution=resolution,
     )
+    result = ExperimentResult(
+        experiment_id="fig5",
+        x_label="x (m)",
+        x=list(xs),
+        notes=f"ES at (-{d_meters}, 0), RX at (+{d_meters}, 0), {resolution}x{resolution} grid",
+        params={"resolution": resolution, "d_meters": d_meters},
+        artifacts={"xs": xs, "ys": ys, "field_dbm": field_dbm},
+        legacy_tuple=(xs, ys, field_dbm),
+    )
+    result.metrics = {
+        "peak_dbm": float(field_dbm.max()),
+        "min_dbm": float(field_dbm.min()),
+    }
+    return result.finish(t0)

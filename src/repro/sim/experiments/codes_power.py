@@ -9,6 +9,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -40,12 +41,15 @@ def table2_power_difference(
     ``snr2_db``, ``difference`` and ``error_rate``; ``x`` indexes the
     pair.
     """
+    t0 = time.perf_counter()
     rng = make_rng(seed)
     result = ExperimentResult(
         experiment_id="table2",
         x_label="pair",
         x=list(range(1, n_pairs + 1)),
         notes=f"{rounds} collided packets per pair; bench placements",
+        params={"n_pairs": n_pairs, "rounds": rounds},
+        seed=seed,
     )
     snr1: List[float] = []
     snr2: List[float] = []
@@ -75,7 +79,7 @@ def table2_power_difference(
         "difference": diffs,
         "error_rate": errors,
     }
-    return result
+    return result.summarize_series().finish(t0)
 
 
 def fig9b_pn_codes(
@@ -91,11 +95,18 @@ def fig9b_pn_codes(
     shape: error grows with tag count for both families; 2NC stays
     below Gold, and Gold degrades sharply at 5 tags.
     """
+    t0 = time.perf_counter()
     result = ExperimentResult(
         experiment_id="fig9b",
         x_label="number of tags",
         x=list(tag_counts),
         notes=f"{rounds} packets x {n_groups} placements per point",
+        params={
+            "families": [list(f) for f in families],
+            "rounds": rounds,
+            "n_groups": n_groups,
+        },
+        seed=seed,
     )
     for family, length in families:
         fers = []
@@ -109,7 +120,7 @@ def fig9b_pn_codes(
                 group_fers.append(net.run_rounds(rounds).fer)
             fers.append(float(np.mean(group_fers)))
         result.series[f"{family}-{length}"] = fers
-    return result
+    return result.summarize_series().finish(t0)
 
 
 def fig9c_power_control(
@@ -127,11 +138,14 @@ def fig9c_power_control(
     Algorithm 1.  Expected shape: both curves grow with the tag count;
     the power-controlled curve stays several times lower.
     """
+    t0 = time.perf_counter()
     result = ExperimentResult(
         experiment_id="fig9c",
         x_label="number of tags",
         x=list(tag_counts),
         notes=f"{n_groups} random placements, {rounds} packets each",
+        params={"n_groups": n_groups, "rounds": rounds},
+        seed=seed,
     )
     without: List[float] = []
     with_pc: List[float] = []
@@ -151,4 +165,4 @@ def fig9c_power_control(
         with_pc.append(float(np.mean(fer_on)))
     result.series["without power control"] = without
     result.series["with power control"] = with_pc
-    return result
+    return result.summarize_series().finish(t0)

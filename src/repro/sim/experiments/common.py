@@ -9,10 +9,10 @@ macro experiments that need the whole office use ``OFFICE_ROOM``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.channel.geometry import Deployment, Room
+from repro.obs.result import ExperimentResult
 from repro.sim.network import CbmaConfig, CbmaNetwork
 from repro.utils.rng import make_rng
 
@@ -34,22 +34,6 @@ OFFICE_ROOM = Room(width=6.0, depth=4.0)
 #: 2 GHz, avoiding the mutual-coupling regime unless a macro experiment
 #: deliberately allows it).
 DEFAULT_MIN_SPACING_M = 0.15
-
-
-@dataclass
-class ExperimentResult:
-    """One experiment's labelled data, ready for rendering.
-
-    ``x`` is the swept parameter, ``series`` maps a label (e.g.
-    "2 tags") to y-values aligned with ``x``; ``notes`` carries
-    free-form context (parameters, paper reference values).
-    """
-
-    experiment_id: str
-    x_label: str
-    x: List = field(default_factory=list)
-    series: dict = field(default_factory=dict)
-    notes: str = ""
 
 
 def bench_deployment(n_tags: int, rng=None, min_spacing: float = DEFAULT_MIN_SPACING_M) -> Deployment:

@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
@@ -59,6 +60,7 @@ def user_detection_accuracy(
     reports 99.9%, using "the best parameters obtained in the above
     section" -- hence the long default preamble.
     """
+    t0 = time.perf_counter()
     rng = make_rng(seed)
     dep = bench_deployment(pool_size, rng=seed)
     cfg = CbmaConfig(n_tags=pool_size, seed=seed, preamble_bits=preamble_bits)
@@ -86,18 +88,39 @@ def user_detection_accuracy(
         x_label="metric",
         x=["trial accuracy", "per-tag detection rate", "false decodes"],
         notes=f"{pool_size}-tag pool, {total} trials, random subset sizes",
+        params={
+            "pool_size": pool_size,
+            "n_trials": n_trials,
+            "rounds_per_trial": rounds_per_trial,
+            "preamble_bits": preamble_bits,
+        },
+        seed=seed,
     )
     result.series["value"] = [
         correct / total,
         detect_hits / max(detect_total, 1),
         float(false_alarms),
     ]
-    return result
+    result.metrics = {
+        "trial_accuracy": correct / total,
+        "detection_rate": detect_hits / max(detect_total, 1),
+        "false_decodes": float(false_alarms),
+    }
+    return result.finish(t0)
 
 
 @dataclass
 class ThroughputComparison:
-    """Aggregate goodputs of CBMA and the baselines (bits per second)."""
+    """Aggregate goodputs of CBMA and the baselines (bits per second).
+
+    .. deprecated:: 1.0
+        :func:`headline_throughput` now returns an
+        :class:`~repro.obs.result.ExperimentResult` whose ``metrics``
+        dict carries these values (plus the derived ratios).  The old
+        attribute spellings keep working on the new result through its
+        deprecation shim.  This class remains for one release for code
+        that constructs it directly.
+    """
 
     cbma_bps: float
     single_tag_bps: float
@@ -151,7 +174,7 @@ def headline_throughput(
     samples_per_chip: int = 2,
     code_length: int = 128,
     preamble_bits: int = 16,
-) -> ThroughputComparison:
+) -> ExperimentResult:
     """The headline comparison: 10 concurrent tags vs one tag at a time.
 
     Ten tags key OOK at 800 kchip/s each -- 8 Mbps of concurrent
@@ -162,7 +185,15 @@ def headline_throughput(
     distributed single-tag systems can actually run (collisions lost,
     slot efficiency <= 1/e); FDMA splits the band.  Expected shape:
     CBMA ~N x (1 - FER) over ideal TDMA, and >10x over FSA.
+
+    Returns an :class:`ExperimentResult` whose ``metrics`` carry the
+    goodputs and derived ratios (``cbma_bps``, ``single_tag_bps``,
+    ``fsa_bps``, ``fdma_bps``, ``cbma_fer``, ``aggregate_raw_bps``,
+    ``speedup_vs_single``, ``speedup_vs_fsa``).  The old
+    :class:`ThroughputComparison` attribute spellings still resolve on
+    the result (with a :class:`DeprecationWarning`).
     """
+    t0 = time.perf_counter()
     cfg = CbmaConfig(
         n_tags=n_tags,
         chip_rate_hz=chip_rate_hz,
@@ -193,15 +224,35 @@ def headline_throughput(
     )
     fdma_bps = fdma.goodput_bps(payload_bits, frame_s, n_channels=min(n_tags, 4))
 
-    return ThroughputComparison(
-        cbma_bps=cbma_bps,
-        single_tag_bps=single_bps,
-        fsa_bps=fsa_bps,
-        fdma_bps=fdma_bps,
-        n_tags=n_tags,
-        chip_rate_hz=chip_rate_hz,
-        cbma_fer=cbma_metrics.fer,
+    result = ExperimentResult(
+        experiment_id="headline-throughput",
+        x_label="system",
+        x=["CBMA", "single-tag TDMA", "FSA", "FDMA"],
+        notes=f"{n_tags} tags at {chip_rate_hz/1e3:.0f} kchip/s, {rounds} rounds",
+        params={
+            "n_tags": n_tags,
+            "chip_rate_hz": chip_rate_hz,
+            "rounds": rounds,
+            "samples_per_chip": samples_per_chip,
+            "code_length": code_length,
+            "preamble_bits": preamble_bits,
+        },
+        seed=seed,
     )
+    result.series["goodput (bps)"] = [cbma_bps, single_bps, fsa_bps, fdma_bps]
+    result.metrics = {
+        "cbma_bps": cbma_bps,
+        "single_tag_bps": single_bps,
+        "fsa_bps": fsa_bps,
+        "fdma_bps": fdma_bps,
+        "n_tags": n_tags,
+        "chip_rate_hz": chip_rate_hz,
+        "cbma_fer": cbma_metrics.fer,
+        "aggregate_raw_bps": n_tags * chip_rate_hz,
+        "speedup_vs_single": cbma_bps / single_bps if single_bps else float("inf"),
+        "speedup_vs_fsa": cbma_bps / fsa_bps if fsa_bps else float("inf"),
+    }
+    return result.finish(t0)
 
 
 def table1_system_comparison(
@@ -216,11 +267,14 @@ def table1_system_comparison(
     prior systems' published numbers ride along in ``notes`` for the
     side-by-side table the benchmark prints.
     """
+    t0 = time.perf_counter()
     result = ExperimentResult(
         experiment_id="table1",
         x_label="number of tags",
         x=list(tag_counts),
         notes="prior systems: " + "; ".join(f"{n}: {r}, {t} tags, {d}" for n, r, t, d in PRIOR_SYSTEMS_TABLE1),
+        params={"tag_counts": list(tag_counts), "chip_rate_hz": chip_rate_hz, "rounds": rounds},
+        seed=seed,
     )
     goodputs = []
     fers = []
@@ -232,4 +286,4 @@ def table1_system_comparison(
         fers.append(metrics.fer)
     result.series["aggregate goodput (bps)"] = goodputs
     result.series["FER"] = fers
-    return result
+    return result.summarize_series().finish(t0)

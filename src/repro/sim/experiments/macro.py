@@ -11,6 +11,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -75,6 +76,7 @@ def fig10_deployment_cdfs(
     ``series`` maps each strategy to the list of per-deployment FERs
     (build a CDF with :func:`repro.analysis.stats.empirical_cdf`).
     """
+    t0 = time.perf_counter()
     controller = controller or PowerController(packets_per_epoch=10)
     rng = make_rng(seed)
     none_fers: List[float] = []
@@ -100,11 +102,18 @@ def fig10_deployment_cdfs(
         x_label="deployment group",
         x=list(range(1, n_groups + 1)),
         notes=f"{n_tags} active tags, {n_idle_positions} idle positions, {rounds} packets",
+        params={
+            "n_tags": n_tags,
+            "n_groups": n_groups,
+            "n_idle_positions": n_idle_positions,
+            "rounds": rounds,
+        },
+        seed=seed,
     )
     result.series["no control"] = none_fers
     result.series["power control"] = pc_fers
     result.series["power control + tag selection"] = sel_fers
-    return result
+    return result.summarize_series().finish(t0)
 
 
 def fig11_asynchrony(
@@ -135,12 +144,15 @@ def fig11_asynchrony(
     """
     from repro.channel.fading import FadingModel
 
+    t0 = time.perf_counter()
     phase_only = FadingModel(k_factor=1e6, shadowing_sigma_db=0.0)
     result = ExperimentResult(
         experiment_id="fig11",
         x_label="tag-2 delay (chips)",
         x=list(delays_chips),
         notes=f"2 tags at {tag_to_rx_m} m, phase-only fading, {rounds} packets per point",
+        params={"rounds": rounds, "tag_to_rx_m": tag_to_rx_m, "code_length": code_length},
+        seed=seed,
     )
     fers = []
     for delay in delays_chips:
@@ -155,7 +167,7 @@ def fig11_asynchrony(
         )
         fers.append(net.run_rounds(rounds).fer)
     result.series["error rate"] = fers
-    return result
+    return result.summarize_series().finish(t0)
 
 
 def fig12_working_conditions(
@@ -174,6 +186,7 @@ def fig12_working_conditions(
     WiFi and Bluetooth cost only a little PRR; the OFDM excitation
     costs a lot.
     """
+    t0 = time.perf_counter()
     wifi = wifi or WiFiInterference(power_dbm=-50.0)
     bluetooth = bluetooth or BluetoothInterference(power_dbm=-45.0)
     # OFDM excitation bursts modelled as WiFi data-burst trains: tens
@@ -194,6 +207,8 @@ def fig12_working_conditions(
         x_label="condition",
         x=[name for name, _ in conditions],
         notes=f"{n_tags} tags, fixed placement, {rounds} packets per condition",
+        params={"n_tags": n_tags, "rounds": rounds},
+        seed=seed,
     )
     prrs = []
     for _name, overrides in conditions:
@@ -201,4 +216,4 @@ def fig12_working_conditions(
         net = CbmaNetwork(cfg, dep)
         prrs.append(net.run_rounds(rounds).prr)
     result.series["PRR"] = prrs
-    return result
+    return result.summarize_series().finish(t0)

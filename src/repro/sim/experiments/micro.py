@@ -11,6 +11,7 @@ Each driver reproduces one sweep of paper Sec. VII-B1:
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from repro.channel.geometry import Deployment
@@ -42,11 +43,14 @@ def fig8a_distance(
     Expected shape: FER roughly constant below ~2 m (level set by the
     number of tags), rising slowly beyond.
     """
+    t0 = time.perf_counter()
     result = ExperimentResult(
         experiment_id="fig8a",
         x_label="tag-to-RX distance (m)",
         x=list(distances_m),
         notes=f"ES-to-tag fixed at {ES_TO_TAG_M} m; {rounds} packets per point",
+        params={"tag_counts": list(tag_counts), "rounds": rounds, "es_to_tag_m": ES_TO_TAG_M},
+        seed=seed,
     )
     for n in tag_counts:
         fers = []
@@ -55,7 +59,7 @@ def fig8a_distance(
             net = CbmaNetwork(cfg, Deployment.linear(n, tag_to_rx=d, es_to_tag=ES_TO_TAG_M))
             fers.append(net.run_rounds(rounds).fer)
         result.series[f"{n} tags"] = fers
-    return result
+    return result.summarize_series().finish(t0)
 
 
 def fig8b_power(
@@ -71,11 +75,14 @@ def fig8b_power(
     backscatter is buried in the noise floor and the error rate is
     near 1.
     """
+    t0 = time.perf_counter()
     result = ExperimentResult(
         experiment_id="fig8b",
         x_label="ES transmit power (dBm)",
         x=list(tx_powers_dbm),
         notes=f"tag-to-RX {tag_to_rx_m} m; {rounds} packets per point",
+        params={"tag_counts": list(tag_counts), "rounds": rounds, "tag_to_rx_m": tag_to_rx_m},
+        seed=seed,
     )
     for n in tag_counts:
         fers = []
@@ -84,7 +91,7 @@ def fig8b_power(
             net = CbmaNetwork(cfg, Deployment.linear(n, tag_to_rx=tag_to_rx_m, es_to_tag=ES_TO_TAG_M))
             fers.append(net.run_rounds(rounds).fer)
         result.series[f"{n} tags"] = fers
-    return result
+    return result.summarize_series().finish(t0)
 
 
 def fig8c_preamble(
@@ -102,11 +109,14 @@ def fig8c_preamble(
     monotonically with preamble length, below ~1% at 64 bits even with
     4 tags.
     """
+    t0 = time.perf_counter()
     result = ExperimentResult(
         experiment_id="fig8c",
         x_label="preamble length (bits)",
         x=list(preamble_bits),
         notes=f"tag-to-RX {tag_to_rx_m} m; {rounds} packets per point",
+        params={"tag_counts": list(tag_counts), "rounds": rounds, "tag_to_rx_m": tag_to_rx_m},
+        seed=seed,
     )
     for n in tag_counts:
         fers = []
@@ -115,7 +125,7 @@ def fig8c_preamble(
             net = CbmaNetwork(cfg, Deployment.linear(n, tag_to_rx=tag_to_rx_m, es_to_tag=ES_TO_TAG_M))
             fers.append(net.run_rounds(rounds).fer)
         result.series[f"{n} tags"] = fers
-    return result
+    return result.summarize_series().finish(t0)
 
 
 def fig9a_bitrate(
@@ -140,6 +150,7 @@ def fig9a_bitrate(
     Expected shape: FER grows with bit rate but the system remains
     usable at 5 Mbps.
     """
+    t0 = time.perf_counter()
     result = ExperimentResult(
         experiment_id="fig9a",
         x_label="bit rate (bps)",
@@ -148,6 +159,13 @@ def fig9a_bitrate(
             f"receiver sampling {receiver_sample_rate_hz/1e6:.0f} MS/s, "
             f"tag-to-RX {tag_to_rx_m} m; {rounds} packets per point"
         ),
+        params={
+            "tag_counts": list(tag_counts),
+            "rounds": rounds,
+            "receiver_sample_rate_hz": receiver_sample_rate_hz,
+            "tag_to_rx_m": tag_to_rx_m,
+        },
+        seed=seed,
     )
     for n in tag_counts:
         fers = []
@@ -162,4 +180,4 @@ def fig9a_bitrate(
             net = CbmaNetwork(cfg, Deployment.linear(n, tag_to_rx=tag_to_rx_m, es_to_tag=ES_TO_TAG_M))
             fers.append(net.run_rounds(rounds).fer)
         result.series[f"{n} tags"] = fers
-    return result
+    return result.summarize_series().finish(t0)

@@ -30,6 +30,7 @@ from repro.channel.noise import NoiseModel
 from repro.channel.pathloss import LinkBudget
 from repro.codes.registry import make_codes
 from repro.mac.power_control import PowerController, PowerControlResult
+from repro.obs.tracer import as_tracer
 from repro.phy.impedance import default_codebook
 from repro.receiver.receiver import CbmaReceiver
 from repro.sim.collision import CollisionScenario, simulate_round
@@ -120,6 +121,16 @@ class CbmaNetwork:
         Optional explicit per-tag start offsets (used by the
         asynchrony study, Fig. 11); default draws fresh random offsets
         every round.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; shared with the receiver
+        and the round loop.  When given, each round records spans
+        (``round``, ``synthesize`` and the receiver stages), the
+        truth-scored error counters and per-tag SNR gauges.
+    receiver_cls:
+        Receiver class to instantiate (default
+        :class:`~repro.receiver.receiver.CbmaReceiver`); must offer the
+        ``from_config`` classmethod.  Extra *receiver_kwargs* pass
+        through (e.g. ``max_passes`` for SIC).
     """
 
     def __init__(
@@ -127,6 +138,9 @@ class CbmaNetwork:
         config: CbmaConfig,
         deployment: Deployment,
         fixed_offsets_chips: Optional[Sequence[float]] = None,
+        tracer=None,
+        receiver_cls: Optional[type] = None,
+        receiver_kwargs: Optional[Dict] = None,
     ):
         if len(deployment.tags) < config.n_tags:
             raise ValueError(
@@ -136,6 +150,7 @@ class CbmaNetwork:
         self.config = config
         self.deployment = deployment
         self.rng = make_rng(config.seed)
+        self.tracer = as_tracer(tracer)
         self.fmt = config.frame_format()
         self.codes = make_codes(config.code_family, config.n_tags, config.code_length)
         self.fixed_offsets_chips = (
@@ -147,11 +162,11 @@ class CbmaNetwork:
         ]
         #: Deployment position index per tag (mutated by node selection).
         self.positions: List[int] = list(range(config.n_tags))
-        self.receiver = CbmaReceiver(
-            {i: self.codes[i] for i in range(config.n_tags)},
-            fmt=self.fmt,
-            samples_per_chip=config.samples_per_chip,
-            user_threshold=config.user_threshold,
+        self.receiver = (receiver_cls or CbmaReceiver).from_config(
+            config,
+            codes={i: self.codes[i] for i in range(config.n_tags)},
+            tracer=tracer,
+            **(receiver_kwargs or {}),
         )
 
     # ------------------------------------------------------------------
@@ -249,24 +264,45 @@ class CbmaNetwork:
             i: bytes(self.rng.integers(0, 256, cfg.payload_bytes, dtype=np.uint8))
             for i in sorted(active)
         }
-        iq, truth = simulate_round(scenario, payloads, self.rng)
-        report = self.receiver.process(iq)
+        tracer = self.tracer
+        with tracer.span("round", tags=len(payloads)):
+            tracer.count("round.rounds")
+            iq, truth = simulate_round(scenario, payloads, self.rng, tracer=tracer)
+            report = self.receiver.process(iq)
 
-        detected_ids = {d.user_id for d in report.detections}
-        for i, tag in enumerate(self.tags):
-            sent = payloads.get(i)
-            frame = report.frame_for(i)
-            decoded_payload = frame.payload if (frame is not None and frame.success) else None
-            outcome = score_frame(
-                tag_id=i,
-                sent_payload=sent,
-                detected=i in detected_ids,
-                decoded_payload=decoded_payload,
-            )
-            metrics.record(outcome, payload_bits=cfg.payload_bits())
-            if sent is not None:
-                tag.record_result(outcome.payload_correct)
-        metrics.add_time(cfg.frame_duration_s())
+            if tracer.enabled:
+                noise_w = max(cfg.noise.power_w, 1e-30)
+                for tag_id, amp in truth.amplitudes.items():
+                    snr = (abs(amp) ** 2) / noise_w
+                    tracer.gauge("tag.snr_db", 10.0 * np.log10(max(snr, 1e-30)))
+            detected_ids = {d.user_id for d in report.detections}
+            for i, tag in enumerate(self.tags):
+                sent = payloads.get(i)
+                frame = report.frame_for(i)
+                decoded_payload = frame.payload if (frame is not None and frame.success) else None
+                outcome = score_frame(
+                    tag_id=i,
+                    sent_payload=sent,
+                    detected=i in detected_ids,
+                    decoded_payload=decoded_payload,
+                )
+                metrics.record(outcome, payload_bits=cfg.payload_bits())
+                if sent is not None:
+                    tag.record_result(outcome.payload_correct)
+                    if tracer.enabled:
+                        # Truth-scored error budget: which stage lost
+                        # this frame (sync/detect miss, decode failure,
+                        # or a CRC-passing wrong payload)?
+                        tracer.count("round.frames_sent")
+                        if outcome.payload_correct:
+                            tracer.count("round.frames_correct")
+                        elif not outcome.detected:
+                            tracer.count("errors.not_detected")
+                        elif decoded_payload is None:
+                            tracer.count("errors.not_decoded")
+                        else:
+                            tracer.count("errors.wrong_payload")
+            metrics.add_time(cfg.frame_duration_s())
         return metrics
 
     def run_rounds(self, n_rounds: int, active_ids: Optional[Sequence[int]] = None) -> MetricsAccumulator:

@@ -15,6 +15,7 @@ completion order.
 from __future__ import annotations
 
 import itertools
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -50,6 +51,7 @@ def sweep(
     points: Sequence[Mapping[str, Any]],
     seed: int = 0,
     workers: Optional[int] = None,
+    chunksize: int = 1,
 ) -> List[Any]:
     """Evaluate *point_fn* at every point; results in grid order.
 
@@ -57,7 +59,9 @@ def sweep(
     ----------
     point_fn:
         ``f(params, seed) -> result``.  Must be picklable (module
-        level) when ``workers`` is set.
+        level) when ``workers`` is set; checked up front so the
+        failure is a clear :class:`TypeError` instead of a hang or an
+        opaque traceback from a worker.
     points:
         Parameter dicts, e.g. from :func:`grid`.
     seed:
@@ -66,6 +70,10 @@ def sweep(
     workers:
         ``None`` (default) runs serially in-process; an integer runs
         that many worker processes.
+    chunksize:
+        Points dispatched to a worker per IPC round trip (parallel
+        mode only).  Raise it when points are cheap and numerous so
+        pickling overhead stops dominating.
     """
     points = list(points)
     seeds = _point_seeds(seed, len(points))
@@ -73,8 +81,17 @@ def sweep(
         return [point_fn(dict(p), s) for p, s in zip(points, seeds)]
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if chunksize < 1:
+        raise ValueError("chunksize must be >= 1")
+    try:
+        pickle.dumps(point_fn)
+    except Exception as exc:
+        raise TypeError(
+            f"point_fn {point_fn!r} is not picklable, so it cannot be shipped "
+            "to worker processes. Define it at module level (not a lambda, "
+            "closure or local function), or run with workers=None."
+        ) from exc
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(point_fn, dict(p), s) for p, s in zip(points, seeds)
-        ]
-        return [f.result() for f in futures]
+        return list(
+            pool.map(point_fn, [dict(p) for p in points], seeds, chunksize=chunksize)
+        )

@@ -19,6 +19,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.channel.noise import NoiseModel
+from repro.obs.tracer import as_tracer
 from repro.phy.modulation import fractional_delay, ook_baseband
 from repro.receiver.streaming import StreamingReceiver
 from repro.tag.tag import Tag
@@ -100,8 +101,15 @@ def simulate_unslotted(
     scenario: UnslottedScenario,
     receiver: StreamingReceiver,
     rng=None,
+    tracer=None,
 ) -> UnslottedResult:
-    """Run one unslotted simulation and decode the whole stream."""
+    """Run one unslotted simulation and decode the whole stream.
+
+    *tracer* (a :class:`repro.obs.Tracer`) records the waveform
+    synthesis and stream-decode spans plus offered/delivered counters;
+    it never consumes *rng*.
+    """
+    tracer = as_tracer(tracer)
     rng = make_rng(rng)
     n_samples = int(scenario.duration_s * scenario.sample_rate_hz)
     buffer = scenario.noise.sample(n_samples, rng)
@@ -128,15 +136,17 @@ def simulate_unslotted(
     for tx in transmissions:
         result.per_tag_offered[tx.tag_index] = result.per_tag_offered.get(tx.tag_index, 0) + 1
 
-    for tx in transmissions:
-        tag = scenario.tags[tx.tag_index]
-        amp = complex(scenario.amplitudes[tx.tag_index]) * tag.delta_gamma
-        phase = np.exp(1j * rng.uniform(0.0, 2.0 * np.pi))
-        signal = ook_baseband(tag.chip_stream(tx.payload, scenario.samples_per_chip), amplitude=amp * phase)
-        placed = fractional_delay(signal, tx.start_sample, total_length=n_samples)
-        buffer += placed
+    with tracer.span("synthesize", tags=len(scenario.tags)):
+        for tx in transmissions:
+            tag = scenario.tags[tx.tag_index]
+            amp = complex(scenario.amplitudes[tx.tag_index]) * tag.delta_gamma
+            phase = np.exp(1j * rng.uniform(0.0, 2.0 * np.pi))
+            signal = ook_baseband(tag.chip_stream(tx.payload, scenario.samples_per_chip), amplitude=amp * phase)
+            placed = fractional_delay(signal, tx.start_sample, total_length=n_samples)
+            buffer += placed
 
-    decoded = receiver.process_stream(buffer)
+    with tracer.span("stream_decode"):
+        decoded = receiver.process_stream(buffer)
 
     # Score: a decode counts once per matching offered transmission
     # (payloads are random, so payload identity is an exact matcher).
@@ -152,4 +162,7 @@ def simulate_unslotted(
             result.per_tag_delivered[frame.user_id] = (
                 result.per_tag_delivered.get(frame.user_id, 0) + 1
             )
+    if tracer.enabled:
+        tracer.count("unslotted.offered", result.offered)
+        tracer.count("unslotted.delivered", result.delivered)
     return result

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.channel.geometry import Deployment
 from repro.mac.fairness import RotatingGroupScheduler, ServiceLog
 from repro.mac.power_control import PowerController
+from repro.obs.tracer import as_tracer
 from repro.sim.metrics import MetricsAccumulator
 from repro.sim.network import CbmaConfig, CbmaNetwork
 from repro.utils.rng import make_rng
@@ -79,6 +80,7 @@ class CbmaSystem:
         mobility_dt_s: float = 1.0,
         reposition_tolerance_m: float = 0.10,
         seed=None,
+        tracer=None,
     ):
         population = len(deployment.tags)
         if population < config.n_tags:
@@ -92,6 +94,7 @@ class CbmaSystem:
         self.mobility_dt_s = mobility_dt_s
         self.reposition_tolerance_m = reposition_tolerance_m
         self.rng = make_rng(seed if seed is not None else config.seed)
+        self.tracer = as_tracer(tracer)
         self.scheduler = RotatingGroupScheduler(deployment, group_size=config.n_tags)
         self.service_log = ServiceLog(n_tags=population)
         self.metrics = MetricsAccumulator()
@@ -121,31 +124,37 @@ class CbmaSystem:
             tags=[self.deployment.tags[i] for i in group],
             room=self.deployment.room,
         )
-        net = CbmaNetwork(self.config, sub)
+        net = CbmaNetwork(
+            self.config, sub, tracer=self.tracer if self.tracer.enabled else None
+        )
         net.rng = make_rng(int(self.rng.integers(0, 2**31)))
         return net
 
     def run_epoch(self, rounds: int = 20) -> EpochReport:
         """One full epoch: select, balance (if needed), transfer, move."""
-        # Sorted so the same composition hits the same balance cache
-        # regardless of the order the scheduler emitted it.
-        group = tuple(sorted(self.scheduler.next_group(self.rng)))
-        net = self._build_network(group)
+        tracer = self.tracer
+        with tracer.span("epoch", epoch=self._epoch):
+            tracer.count("epoch.epochs")
+            # Sorted so the same composition hits the same balance cache
+            # regardless of the order the scheduler emitted it.
+            group = tuple(sorted(self.scheduler.next_group(self.rng)))
+            net = self._build_network(group)
 
-        ran_pc = False
-        if self._needs_rebalance(group):
-            self.controller.run(net.tags, net.epoch_runner)
-            self._balanced[group] = (
-                [t.impedance_index for t in net.tags],
-                self._positions_of(group),
-            )
-            ran_pc = True
-        else:
-            states, _ = self._balanced[group]
-            for tag, z in zip(net.tags, states):
-                tag.set_impedance(z)
+            ran_pc = False
+            if self._needs_rebalance(group):
+                self.controller.run(net.tags, net.epoch_runner)
+                self._balanced[group] = (
+                    [t.impedance_index for t in net.tags],
+                    self._positions_of(group),
+                )
+                ran_pc = True
+                tracer.count("epoch.power_control_runs")
+            else:
+                states, _ = self._balanced[group]
+                for tag, z in zip(net.tags, states):
+                    tag.set_impedance(z)
 
-        epoch_metrics = net.run_rounds(rounds)
+            epoch_metrics = net.run_rounds(rounds)
         delivered = {
             group[i]: epoch_metrics.per_tag_correct.get(i, 0) for i in range(len(group))
         }

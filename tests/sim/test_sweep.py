@@ -76,3 +76,22 @@ class TestSweep:
         serial = sweep(_fer_point, points, seed=3)
         parallel = sweep(_fer_point, points, seed=3, workers=2)
         assert serial == parallel
+
+    def test_unpicklable_point_fn_fails_fast(self):
+        """A lambda with workers set must raise immediately, not hang."""
+        with pytest.raises(TypeError, match="module level"):
+            sweep(lambda p, s: s, grid(k=[0, 1]), workers=2)
+
+    def test_unpicklable_point_fn_fine_serially(self):
+        results = sweep(lambda p, s: p["k"], grid(k=[0, 1]))
+        assert results == [0, 1]
+
+    def test_invalid_chunksize(self):
+        with pytest.raises(ValueError):
+            sweep(_echo_point, grid(k=[0]), workers=1, chunksize=0)
+
+    def test_chunksize_preserves_order_and_seeds(self):
+        points = grid(k=[0, 1, 2, 3, 4])
+        plain = sweep(_echo_point, points, seed=5, workers=2)
+        chunked = sweep(_echo_point, points, seed=5, workers=2, chunksize=3)
+        assert chunked == plain

@@ -51,6 +51,59 @@ class TestFieldCommand:
         assert "dBm" in out
 
 
+class TestProfileCommand:
+    def test_table_output(self, capsys):
+        assert main(["profile", "--tags", "4", "--rounds", "3"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("frame_sync", "detect", "decode", "crc", "sic"):
+            assert stage in out, f"stage {stage} missing from profile output"
+        assert "error budget" in out
+        assert "FER" in out
+
+    def test_standard_receiver(self, capsys):
+        assert main([
+            "profile", "--tags", "2", "--rounds", "3", "--receiver", "standard",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "decode" in out and "sic" not in out.split("error budget")[0].split()
+
+    def test_json_output_parses(self, capsys):
+        assert main(["profile", "--tags", "4", "--rounds", "4", "--json"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        events = [json.loads(line) for line in lines]
+        types = {e["type"] for e in events}
+        assert {"span", "counter", "profile"} <= types
+        span_names = {e["name"] for e in events if e["type"] == "span"}
+        for stage in ("frame_sync", "detect", "decode", "crc", "sic"):
+            assert stage in span_names
+        (profile,) = [e for e in events if e["type"] == "profile"]
+        assert profile["counters"]["round.rounds"] == 4
+        assert "delivered" in profile["error_budget"]
+
+    def test_trace_file_written(self, tmp_path, capsys):
+        path = str(tmp_path / "events.jsonl")
+        assert main(["profile", "--tags", "2", "--rounds", "2", "--trace", path]) == 0
+        from repro.obs import read_jsonl
+
+        back = read_jsonl(path)
+        assert back["spans"] and back["profile"] is not None
+
+    def test_deterministic_given_seed(self, capsys):
+        assert main(["profile", "--tags", "3", "--rounds", "3", "--seed", "9", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["profile", "--tags", "3", "--rounds", "3", "--seed", "9", "--json"]) == 0
+        second = capsys.readouterr().out
+
+        def counters(text):
+            return {
+                (e["name"]): e["value"]
+                for e in (json.loads(l) for l in text.splitlines() if l.strip())
+                if e["type"] == "counter"
+            }
+
+        assert counters(first) == counters(second)
+
+
 class TestTraceCommands:
     def test_record_then_replay(self, tmp_path, capsys):
         path = str(tmp_path / "trace.json")
