@@ -23,6 +23,7 @@ Subpackages
 ``repro.tag``       framing, clocks, the Tag state machine
 ``repro.receiver``  frame sync, user detection, decoding, ACK
 ``repro.mac``       Algorithm 1 power control, node selection, baselines
+``repro.faults``    deterministic deployment fault injection
 ``repro.sim``       collision/network simulators, paper experiments
 ``repro.system``    the full deployment life cycle (CbmaSystem)
 ``repro.obs``       tracing, profiling, the unified ExperimentResult
@@ -31,6 +32,7 @@ Subpackages
 
 from repro.channel.geometry import Deployment, Point, Room
 from repro.channel.pathloss import LinkBudget
+from repro.faults import FaultPlan
 from repro.mac.node_selection import NodeSelector
 from repro.mac.power_control import PowerController
 from repro.obs.profile import RunProfile
@@ -65,5 +67,6 @@ __all__ = [
     "Tracer",
     "RunProfile",
     "ExperimentResult",
+    "FaultPlan",
     "__version__",
 ]

@@ -107,6 +107,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument("--trace", metavar="PATH", help="also write the JSONL event log to PATH")
 
+    faults = sub.add_parser(
+        "faults", help="inject deployment faults and show the attributed error budget"
+    )
+    faults.add_argument("--tags", type=int, default=4)
+    faults.add_argument("--rounds", type=int, default=30)
+    faults.add_argument("--seed", type=int, default=7)
+    faults.add_argument("--distance", type=float, default=1.0, help="tag-to-RX metres")
+    faults.add_argument("--dropout", type=float, default=0.2, help="per-round tag dropout probability")
+    faults.add_argument("--brownout", type=float, default=0.0, help="per-round tag brownout probability")
+    faults.add_argument("--ack-loss", type=float, default=0.0, help="per-round downlink ACK loss probability")
+    faults.add_argument("--stuck", type=int, default=0, help="number of tags with a stuck impedance switch")
+    faults.add_argument(
+        "--burst",
+        type=float,
+        default=-60.0,
+        metavar="DBM",
+        help="burst-jammer power over the middle third of the run (nan disables)",
+    )
+    faults.add_argument("--clip", type=float, default=0.0, metavar="AMPL", help="ADC full-scale clip level (0 disables)")
+    faults.add_argument(
+        "--curve",
+        action="store_true",
+        help="sweep dropout probability and plot delivery vs fault rate instead",
+    )
+
     adapt = sub.add_parser("adapt", help="auto-select the spreading factor for a channel")
     adapt.add_argument("--tags", type=int, default=3)
     adapt.add_argument("--distance", type=float, default=2.0)
@@ -288,6 +313,87 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.faults import (
+        AckLoss,
+        AdcSaturation,
+        BurstInterferer,
+        FaultPlan,
+        StuckImpedance,
+        TagBrownout,
+        TagDropout,
+    )
+    from repro.sim.experiments import resilience_curve, run_faulted_network
+
+    if args.curve:
+        result = resilience_curve(
+            n_tags=args.tags,
+            rounds=args.rounds,
+            seed=args.seed,
+            distance_m=args.distance,
+            burst_power_dbm=None if math.isnan(args.burst) else args.burst,
+        )
+        print(result.notes)
+        print(line_plot(result.x, result.series))
+        print(
+            render_series(
+                result.x_label,
+                result.x,
+                result.series,
+                title="Resilience: delivery vs fault rate",
+            )
+        )
+        return 0
+
+    models = []
+    if args.dropout > 0:
+        models.append(TagDropout(probability=args.dropout))
+    if args.brownout > 0:
+        models.append(TagBrownout(probability=args.brownout))
+    if args.ack_loss > 0:
+        models.append(AckLoss(probability=args.ack_loss))
+    if args.stuck > 0:
+        models.append(StuckImpedance(tags=tuple(range(min(args.stuck, args.tags)))))
+    if not math.isnan(args.burst):
+        models.append(
+            BurstInterferer(
+                start_round=args.rounds // 3,
+                end_round=max(2 * args.rounds // 3, args.rounds // 3 + 1),
+                power_dbm=args.burst,
+            )
+        )
+    if args.clip > 0:
+        models.append(AdcSaturation(full_scale=args.clip))
+    plan = FaultPlan(models, seed=args.seed) if models else None
+
+    metrics, profile, fault_log = run_faulted_network(
+        plan, n_tags=args.tags, rounds=args.rounds, seed=args.seed, distance_m=args.distance
+    )
+    if plan is not None:
+        print(f"fault plan: {plan.describe()}")
+    else:
+        print("fault plan: (healthy baseline -- no faults requested)")
+    print(
+        f"{args.tags} tags x {args.rounds} rounds: FER {format_percent(metrics.fer)}, "
+        f"delivery {format_percent(1.0 - metrics.fer)}"
+    )
+    if fault_log:
+        print(
+            render_table(
+                ["fault", "injections"],
+                [[reason, str(count)] for reason, count in sorted(fault_log.items())],
+                title="Injected faults",
+            )
+        )
+    if profile.error_budget:
+        print("error budget (fraction of sent frames):")
+        for stage, frac in sorted(profile.error_budget.items()):
+            print(f"  {stage:<24} {frac:7.3f}")
+    return 0
+
+
 def _cmd_system(args: argparse.Namespace) -> int:
     from repro.channel.geometry import Room
     from repro.channel.mobility import RandomWalk
@@ -342,6 +448,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         generate_report(args.output, scale=args.scale)
         print(f"report written to {args.output}")
         return 0
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "adapt":
         return _cmd_adapt(args)
     if args.command == "system":

@@ -7,11 +7,23 @@ simplest form a passive tag can implement -- stop-and-wait with a
 1-byte sequence number prefixed to the payload:
 
 - each tag keeps a FIFO of pending messages;
-- every round, each backlogged tag transmits its head-of-line message;
+- every round, each backlogged tag whose retransmission timer expired
+  transmits its head-of-line message;
 - an ACK naming the tag pops the message (the receiver dedupes on the
-  sequence number, so a lost ACK only costs a duplicate, never data);
+  sequence number, so a lost ACK only costs a duplicate, never data --
+  duplicates are counted in :attr:`ArqStats.duplicates`);
+- an unacknowledged attempt backs off exponentially
+  (``backoff_base_rounds * 2^(attempts-1)`` rounds, capped at
+  ``backoff_cap_rounds``) before the next try, so a jammed or faulted
+  channel is not hammered every round;
 - after ``max_retries`` unacknowledged attempts the message is dropped
   and counted.
+
+When the underlying network carries a :class:`repro.faults.FaultPlan`,
+the ARQ round driver honours it end to end: transmit faults
+(dropout/brownout), channel faults (burst jammer, ADC clipping), clock
+drift, and downlink ACK loss all flow through the same code path as
+:meth:`CbmaNetwork.run_round`.
 
 The simulation advances in CBMA round units; a traffic model
 (:mod:`repro.sim.traffic`) injects arrivals between rounds, giving
@@ -43,6 +55,10 @@ class Message:
     arrival_time_s: float
     attempts: int = 0
     delivered_time_s: Optional[float] = None
+    next_round: int = 0
+    """Earliest round index this message may (re)transmit -- the
+    stop-and-wait retransmission timer, advanced by the exponential
+    backoff after every unacknowledged attempt."""
 
     @property
     def latency_s(self) -> Optional[float]:
@@ -59,6 +75,12 @@ class ArqStats:
     delivered: int = 0
     dropped: int = 0
     duplicates: int = 0
+    """Retransmissions the receiver decoded again because the ACK for
+    an earlier attempt never reached the tag (deduped on sequence
+    number; never double-counted in :attr:`delivered`)."""
+    acks_lost: int = 0
+    """Downlink ACKs that failed to reach their tag (fault-injected or
+    ``ack_loss_prob``-drawn)."""
     transmissions: int = 0
     latencies_s: List[float] = field(default_factory=list)
     backlog_samples: List[int] = field(default_factory=list)
@@ -100,23 +122,53 @@ class ArqSimulator:
     max_queue:
         Per-tag queue capacity; arrivals beyond it are dropped at the
         tail (counted as offered + dropped).
+    backoff_base_rounds:
+        Rounds waited after the first unacknowledged attempt; each
+        further failure doubles the wait (exponential backoff).
+    backoff_cap_rounds:
+        Upper bound on the backoff wait (rounds).
+    ack_loss_prob:
+        Probability that the downlink ACK for a successful decode never
+        reaches the tag (on top of any fault-injected
+        :class:`~repro.faults.AckLoss`).  The receiver's dedupe on the
+        sequence number turns each lost ACK into a duplicate, never a
+        double delivery.
     """
 
-    def __init__(self, network: CbmaNetwork, traffic, max_retries: int = 8, max_queue: int = 32):
+    def __init__(
+        self,
+        network: CbmaNetwork,
+        traffic,
+        max_retries: int = 8,
+        max_queue: int = 32,
+        backoff_base_rounds: int = 1,
+        backoff_cap_rounds: int = 16,
+        ack_loss_prob: float = 0.0,
+    ):
         if network.config.payload_bytes < 2:
             raise ValueError("payload must fit a sequence byte plus data")
         if max_retries < 1 or max_queue < 1:
             raise ValueError("max_retries and max_queue must be >= 1")
+        if backoff_base_rounds < 0 or backoff_cap_rounds < backoff_base_rounds:
+            raise ValueError(
+                "backoff_base_rounds must be >= 0 and backoff_cap_rounds >= backoff_base_rounds"
+            )
+        if not 0.0 <= ack_loss_prob <= 1.0:
+            raise ValueError("ack_loss_prob must be in [0, 1]")
         self.network = network
         self.traffic = traffic
         self.max_retries = max_retries
         self.max_queue = max_queue
+        self.backoff_base_rounds = int(backoff_base_rounds)
+        self.backoff_cap_rounds = int(backoff_cap_rounds)
+        self.ack_loss_prob = float(ack_loss_prob)
         self.queues: Dict[int, Deque[Message]] = {
             i: deque() for i in range(network.config.n_tags)
         }
         self._next_seq: Dict[int, int] = {i: 0 for i in self.queues}
         self._last_delivered_seq: Dict[int, int] = {i: -1 for i in self.queues}
         self._time_s = 0.0
+        self._round = 0
 
     def _inject_arrivals(self, stats: ArqStats, duration_s: float, rng) -> None:
         counts = self.traffic.draw(len(self.queues), duration_s, rng)
@@ -145,17 +197,30 @@ class ArqSimulator:
         round_s = self.network.config.frame_duration_s()
         for _ in range(n_rounds):
             self._inject_arrivals(stats, round_s, rng)
-            active = [tid for tid, q in self.queues.items() if q]
+            # A tag is eligible only when its head-of-line message's
+            # retransmission timer has expired.
+            active = [
+                tid
+                for tid, q in self.queues.items()
+                if q and q[0].next_round <= self._round
+            ]
             stats.backlog_samples.append(sum(len(q) for q in self.queues.values()))
             if active:
                 # Pin each active tag's payload to its head-of-line
                 # message by running the round with explicit payloads.
-                metrics = self._run_arq_round(active, stats)
+                metrics = self._run_arq_round(active, stats, rng)
             self._time_s += round_s
             stats.elapsed_s += round_s
+            self._round += 1
         return stats
 
-    def _run_arq_round(self, active: List[int], stats: ArqStats):
+    def _backoff_rounds(self, attempts: int) -> int:
+        """Exponential backoff after *attempts* unacknowledged tries."""
+        if self.backoff_base_rounds == 0:
+            return 0
+        return min(self.backoff_base_rounds * 2 ** max(attempts - 1, 0), self.backoff_cap_rounds)
+
+    def _run_arq_round(self, active: List[int], stats: ArqStats, rng):
         """One collision round carrying head-of-line messages."""
         network = self.network
         cfg = network.config
@@ -166,8 +231,10 @@ class ArqSimulator:
         # pieces directly (same code path otherwise).
         from repro.sim.collision import CollisionScenario, simulate_round
 
+        rf = network.next_round_faults()
         if network.fixed_offsets_chips is None:
             network._draw_oscillators()
+        network.apply_fault_drift(rf)
         amplitudes = network._base_amplitudes()
         scenario = CollisionScenario(
             tags=network.tags,
@@ -177,12 +244,14 @@ class ArqSimulator:
             excitation_gate=cfg.excitation_gate,
             samples_per_chip=cfg.samples_per_chip,
             chip_rate_hz=cfg.chip_rate_hz,
+            tx_faults=rf.tx_faults() if rf is not None else None,
         )
         payloads = {tid: self.queues[tid][0].payload for tid in active}
         for tid in active:
             self.queues[tid][0].attempts += 1
             stats.transmissions += 1
         iq, _truth = simulate_round(scenario, payloads, network.rng)
+        iq = network.apply_channel_faults(iq, rf)
         report = network.receiver.process(iq)
 
         for tid in active:
@@ -194,7 +263,9 @@ class ArqSimulator:
                 and frame.payload == message.payload
             )
             if ok:
-                self.queues[tid].popleft()
+                # The receiver got the data; dedupe on the sequence
+                # number so a retransmit after a lost ACK counts as a
+                # duplicate, never a second delivery.
                 if message.seq == self._last_delivered_seq[tid]:
                     stats.duplicates += 1
                 else:
@@ -202,7 +273,20 @@ class ArqSimulator:
                     message.delivered_time_s = self._time_s
                     stats.delivered += 1
                     stats.latencies_s.append(message.latency_s)
-            elif message.attempts >= self.max_retries:
+                ack_lost = (rf is not None and tid in rf.ack_lost) or (
+                    self.ack_loss_prob > 0.0 and rng.random() < self.ack_loss_prob
+                )
+                if not ack_lost:
+                    self.queues[tid].popleft()
+                    continue
+                # The tag never heard the ACK: from its point of view
+                # the attempt failed, so it keeps the message and backs
+                # off like any other failure.
+                stats.acks_lost += 1
+            if message.attempts >= self.max_retries:
                 self.queues[tid].popleft()
-                stats.dropped += 1
+                if message.delivered_time_s is None:
+                    stats.dropped += 1
+            else:
+                message.next_round = self._round + self._backoff_rounds(message.attempts)
         return report

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.channel.geometry import Deployment
 from repro.channel.pathloss import LinkBudget
@@ -38,6 +38,10 @@ class SelectionResult:
     """How many swaps were annealing-accepted despite lower strength."""
     group: List[int] = field(default_factory=list)
     """Deployment indices of the active group after selection."""
+    blacklisted: List[int] = field(default_factory=list)
+    """Tags newly blacklisted this round (persistently bad)."""
+    readmitted: List[int] = field(default_factory=list)
+    """Previously blacklisted tags whose quarantine expired this round."""
 
 
 @dataclass
@@ -60,6 +64,18 @@ class NodeSelector:
         Annealing schedule; acceptance of a worse candidate is
         ``exp(delta / temperature(T))`` with ``temperature(T) =
         initial_temperature * cooling^T`` and ``delta < 0`` in dB.
+    blacklist_after:
+        A tag observed bad (below the ACK floor) this many consecutive
+        selection rounds is blacklisted: removed from the idle
+        candidate pool so the annealer stops re-admitting a tag that a
+        hardware fault (stuck switch, browned-out harvester) keeps
+        breaking.  Geometry says nothing about such faults, which is
+        why strength-based selection alone keeps picking them.
+    readmit_after:
+        Blacklisted tags are quarantined for this many selection
+        rounds, then readmitted on probation (their bad-streak counter
+        reset) -- transient faults clear, and a permanent one simply
+        re-earns the blacklist.
     """
 
     deployment: Deployment
@@ -68,11 +84,23 @@ class NodeSelector:
     exclusion_radius_m: Optional[float] = None
     initial_temperature: float = 6.0
     cooling: float = 0.7
+    blacklist_after: int = 3
+    readmit_after: int = 10
     _round: int = field(default=0, init=False)
+    _consecutive_bad: Dict[int, int] = field(default_factory=dict, init=False)
+    _blacklist: Dict[int, int] = field(default_factory=dict, init=False)
+    """Deployment index -> round at which it was blacklisted."""
 
     def __post_init__(self) -> None:
         if self.exclusion_radius_m is None:
             self.exclusion_radius_m = self.budget.wavelength_m / 2.0
+        if self.blacklist_after < 1 or self.readmit_after < 1:
+            raise ValueError("blacklist_after and readmit_after must be >= 1")
+
+    @property
+    def blacklisted(self) -> List[int]:
+        """Deployment indices currently quarantined."""
+        return sorted(self._blacklist)
 
     def strength_dbm(self, index: int) -> float:
         """Theoretical received strength of deployment tag *index*."""
@@ -115,8 +143,30 @@ class NodeSelector:
             raise ValueError("one ack ratio per group member required")
         rng = make_rng(rng)
         group = list(group)
-        idle: Set[int] = set(range(len(self.deployment.tags))) - set(group)
         result = SelectionResult(group=group)
+
+        # Quarantine bookkeeping: readmit tags whose sentence expired
+        # (on probation -- their bad streak restarts from zero), then
+        # fold this round's observations into the streak counters and
+        # blacklist tags that stayed bad for ``blacklist_after`` rounds.
+        for idx in sorted(self._blacklist):
+            if self._round - self._blacklist[idx] >= self.readmit_after:
+                del self._blacklist[idx]
+                self._consecutive_bad.pop(idx, None)
+                result.readmitted.append(idx)
+        for idx, ratio in zip(group, ack_ratios):
+            if ratio < self.ack_ratio_floor:
+                streak = self._consecutive_bad.get(idx, 0) + 1
+                self._consecutive_bad[idx] = streak
+                if streak >= self.blacklist_after and idx not in self._blacklist:
+                    self._blacklist[idx] = self._round
+                    result.blacklisted.append(idx)
+            else:
+                self._consecutive_bad.pop(idx, None)
+
+        idle: Set[int] = (
+            set(range(len(self.deployment.tags))) - set(group) - set(self._blacklist)
+        )
 
         for pos, (idx, ratio) in enumerate(zip(list(group), ack_ratios)):
             if ratio >= self.ack_ratio_floor:
@@ -137,7 +187,8 @@ class NodeSelector:
                     worse = accept
                 if accept:
                     idle.discard(candidate)
-                    idle.add(idx)
+                    if idx not in self._blacklist:
+                        idle.add(idx)
                     group[pos] = candidate
                     result.replaced.append(idx)
                     if worse:

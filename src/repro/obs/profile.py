@@ -153,6 +153,13 @@ class RunProfile:
         budget = {
             stage: counters.get(key, 0) / sent for key, stage in _ERROR_COUNTERS.items()
         }
+        # Any other errors.* counter (fault-attributed losses like
+        # errors.fault.dropout, contained pipeline failures under
+        # errors.pipeline.*) joins the budget under its own slug, so
+        # every loss a run attributed shows up in one place.
+        for key, value in counters.items():
+            if key.startswith("errors.") and key not in _ERROR_COUNTERS:
+                budget[key[len("errors."):]] = value / sent
         budget["delivered"] = counters.get("round.frames_correct", 0) / sent
         return budget
 

@@ -15,6 +15,7 @@
 
 from repro.receiver.ack import AckMessage
 from repro.receiver.decoder import ChipDecoder, DecodedFrame
+from repro.receiver.failures import DecodeFailure, sanitize_buffer
 from repro.receiver.frame_sync import EnergyDetector, FrameSyncResult
 from repro.receiver.diversity import DiversityReceiver
 from repro.receiver.receiver import CbmaReceiver, ReceptionReport
@@ -27,6 +28,8 @@ __all__ = [
     "AckMessage",
     "ChipDecoder",
     "DecodedFrame",
+    "DecodeFailure",
+    "sanitize_buffer",
     "EnergyDetector",
     "FrameSyncResult",
     "CbmaReceiver",

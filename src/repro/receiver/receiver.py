@@ -23,6 +23,7 @@ import numpy as np
 from repro.obs.tracer import as_tracer
 from repro.receiver.ack import AckMessage
 from repro.receiver.decoder import ChipDecoder, DecodedFrame
+from repro.receiver.failures import DecodeFailure, sanitize_buffer
 from repro.receiver.frame_sync import EnergyDetector, FrameSyncResult
 from repro.receiver.user_detection import UserDetection, UserDetector
 from repro.tag.framing import FrameFormat
@@ -38,6 +39,14 @@ class ReceptionReport:
     detections: List[UserDetection] = field(default_factory=list)
     frames: List[DecodedFrame] = field(default_factory=list)
     ack: AckMessage = field(default_factory=AckMessage)
+    failures: List[DecodeFailure] = field(default_factory=list)
+    """Contained pipeline failures (degradation contract: the pipeline
+    never raises; it records what went wrong here instead)."""
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage had to degrade instead of completing."""
+        return bool(self.failures)
 
     def frame_for(self, user_id: int) -> Optional[DecodedFrame]:
         """The decode outcome for *user_id*, if it was detected."""
@@ -147,6 +156,26 @@ class CbmaReceiver:
             **kwargs,
         )
 
+    def _contain(self, report: ReceptionReport, failure: DecodeFailure) -> None:
+        """Record a contained pipeline failure (degradation contract)."""
+        report.failures.append(failure)
+        if self.tracer.enabled:
+            self.tracer.count(failure.counter)
+
+    def _front_end(self, iq, report_failures: List[DecodeFailure]) -> np.ndarray:
+        """Input hygiene shared with :class:`~repro.receiver.sic.SicReceiver`."""
+        x, failures = sanitize_buffer(iq)
+        for failure in failures:
+            report_failures.append(failure)
+            if self.tracer.enabled:
+                self.tracer.count(failure.counter)
+        if self.dc_block and x.size:
+            # Carrier-leak blocker (opt-in): a constant offset would
+            # swamp the energy detector's baseline and the correlators'
+            # local energy normalisation.
+            x = x - np.mean(x)
+        return x
+
     def process(self, iq: np.ndarray, round_index: int = 0, skip_energy_gate: bool = False) -> ReceptionReport:
         """Run the full pipeline over a complex sample buffer.
 
@@ -154,24 +183,33 @@ class CbmaReceiver:
         whole buffer even without an energy detection -- used by
         experiments that isolate later stages (paper Sec. VII-B2
         "adopt the best parameters obtained in the above section").
+
+        Degradation contract: this method never raises on malformed or
+        pathological input.  Bad samples are sanitised at the front
+        end, and a stage that blows up is contained into a
+        :class:`DecodeFailure` on ``report.failures`` (counted under
+        ``errors.pipeline.*``) while the rest of the pipeline carries
+        on with whatever the earlier stages produced.
         """
         tracer = self.tracer
-        x = np.asarray(iq)
-        if self.dc_block and x.size:
-            # Carrier-leak blocker (opt-in): a constant offset would
-            # swamp the energy detector's baseline and the correlators'
-            # local energy normalisation.
-            x = x - np.mean(x)
-        with tracer.span("frame_sync"):
-            sync = self.energy_detector.detect(x)
-        report = ReceptionReport(sync=sync)
+        report = ReceptionReport(sync=FrameSyncResult(detections=[]))
+        x = self._front_end(iq, report.failures)
+        try:
+            with tracer.span("frame_sync"):
+                report.sync = self.energy_detector.detect(x)
+        except Exception as exc:
+            self._contain(report, DecodeFailure("frame_sync", "exception", detail=str(exc)))
+        sync = report.sync
         if not sync.detected and not skip_energy_gate:
             tracer.count("frame_sync.misses")
             report.ack = AckMessage.for_ids([], round_index)
             return report
 
-        with tracer.span("detect"):
-            report.detections = self.user_detector.detect(x)
+        try:
+            with tracer.span("detect"):
+                report.detections = self.user_detector.detect(x)
+        except Exception as exc:
+            self._contain(report, DecodeFailure("user_detection", "exception", detail=str(exc)))
         if tracer.enabled:
             tracer.count("detect.users", len(report.detections))
             for det in report.detections:
@@ -191,21 +229,40 @@ class CbmaReceiver:
             # the handful of hypotheses).
             candidates = det.candidates or ((det.offset, det.score, det.channel),)
             frame = None
-            with tracer.span("decode", user=det.user_id):
-                for offset, _score, channel in candidates:
-                    attempt = decoder.decode_frame(x, offset, channel, user_id=det.user_id)
-                    if frame is None or (attempt.success and not frame.success):
-                        frame = attempt
-                    if attempt.success:
-                        break
+            try:
+                with tracer.span("decode", user=det.user_id):
+                    for offset, _score, channel in candidates:
+                        attempt = decoder.decode_frame(x, offset, channel, user_id=det.user_id)
+                        if frame is None or (attempt.success and not frame.success):
+                            frame = attempt
+                        if attempt.success:
+                            break
+            except Exception as exc:
+                # Contain a decoder blow-up as a per-user failed frame:
+                # the report still accounts for the detection, and the
+                # other users' decodes proceed untouched.
+                self._contain(
+                    report,
+                    DecodeFailure("decode", "exception", user_id=det.user_id, detail=str(exc)),
+                )
+                frame = DecodedFrame(
+                    user_id=det.user_id, success=False, payload=None, reason="exception"
+                )
             tracer.count(f"decode.{frame.reason}")
             report.frames.append(frame)
 
-        self._suppress_ghosts(report)
+        try:
+            self._suppress_ghosts(report)
+        except Exception as exc:
+            self._contain(report, DecodeFailure("decode", "ghost_suppression", detail=str(exc)))
 
-        report.ack = AckMessage.for_ids(
-            (f.user_id for f in report.frames if f.success), round_index
-        )
+        try:
+            report.ack = AckMessage.for_ids(
+                (f.user_id for f in report.frames if f.success), round_index
+            )
+        except Exception as exc:
+            self._contain(report, DecodeFailure("ack", "exception", detail=str(exc)))
+            report.ack = AckMessage.for_ids([], round_index)
         return report
 
     def _suppress_ghosts(self, report: ReceptionReport) -> None:

@@ -24,6 +24,8 @@ import numpy as np
 from repro.phy.modulation import spread_bits, upsample_chips
 from repro.receiver.ack import AckMessage
 from repro.receiver.decoder import DecodedFrame
+from repro.receiver.failures import DecodeFailure
+from repro.receiver.frame_sync import FrameSyncResult
 from repro.receiver.receiver import CbmaReceiver, ReceptionReport
 from repro.tag.framing import FrameFormat
 from repro.utils.bits import pack_bits
@@ -46,15 +48,23 @@ class SicReceiver(CbmaReceiver):
         self.max_passes = max_passes
 
     def process(self, iq: np.ndarray, round_index: int = 0, skip_energy_gate: bool = False) -> ReceptionReport:
-        """Iteratively decode and cancel until no new tag decodes."""
+        """Iteratively decode and cancel until no new tag decodes.
+
+        Honours the same degradation contract as
+        :meth:`CbmaReceiver.process`: malformed input is sanitised, and
+        a pass that blows up mid-cancellation is contained into a
+        ``DecodeFailure`` while the frames already decoded stay on the
+        report.
+        """
         tracer = self.tracer
-        x = np.array(iq, dtype=np.complex128, copy=True)
-        if self.dc_block and x.size:
-            x -= np.mean(x)  # carrier-leak blocker (see CbmaReceiver)
-        with tracer.span("frame_sync"):
-            sync = self.energy_detector.detect(x)
-        report = ReceptionReport(sync=sync)
-        if not sync.detected and not skip_energy_gate:
+        report = ReceptionReport(sync=FrameSyncResult(detections=[]))
+        x = self._front_end(iq, report.failures)
+        try:
+            with tracer.span("frame_sync"):
+                report.sync = self.energy_detector.detect(x)
+        except Exception as exc:
+            self._contain(report, DecodeFailure("frame_sync", "exception", detail=str(exc)))
+        if not report.sync.detected and not skip_energy_gate:
             tracer.count("frame_sync.misses")
             report.ack = AckMessage.for_ids([], round_index)
             return report
@@ -64,21 +74,63 @@ class SicReceiver(CbmaReceiver):
         best_detections: Dict[int, object] = {}
         residual = x
         for _pass in range(self.max_passes):
-            with tracer.span("sic", sic_pass=_pass):
-                tracer.count("sic.passes")
-                with tracer.span("detect"):
-                    detections = self.user_detector.detect(residual)
-                for det in detections:
-                    if det.user_id not in succeeded:
-                        best_detections[det.user_id] = det
-                new_successes: List[tuple] = []
-                for det in detections:
-                    if det.user_id in succeeded:
-                        continue
-                    decoder = self._decoders[det.user_id]
-                    candidates = det.candidates or ((det.offset, det.score, det.channel),)
-                    frame = None
-                    used = None
+            try:
+                residual, progressed = self._run_pass(
+                    _pass, residual, succeeded, failed, best_detections, report
+                )
+            except Exception as exc:
+                # A failed pass ends cancellation but keeps everything
+                # decoded so far: SIC degrades to "fewer passes", never
+                # to a crash.
+                self._contain(
+                    report, DecodeFailure("sic", "exception", detail=f"pass {_pass}: {exc}")
+                )
+                break
+            if not progressed:
+                break
+
+        report.detections = sorted(
+            best_detections.values(), key=lambda d: d.score, reverse=True
+        )
+        report.frames = list(succeeded.values()) + [
+            f for uid, f in failed.items() if uid not in succeeded
+        ]
+        try:
+            self._suppress_ghosts(report)
+        except Exception as exc:
+            self._contain(report, DecodeFailure("decode", "ghost_suppression", detail=str(exc)))
+        report.ack = AckMessage.for_ids(
+            (f.user_id for f in report.frames if f.success), round_index
+        )
+        return report
+
+    def _run_pass(
+        self,
+        _pass: int,
+        residual: np.ndarray,
+        succeeded: Dict[int, DecodedFrame],
+        failed: Dict[int, DecodedFrame],
+        best_detections: Dict[int, object],
+        report: ReceptionReport,
+    ) -> tuple:
+        """One detect-decode-cancel pass; returns ``(residual, progressed)``."""
+        tracer = self.tracer
+        with tracer.span("sic", sic_pass=_pass):
+            tracer.count("sic.passes")
+            with tracer.span("detect"):
+                detections = self.user_detector.detect(residual)
+            for det in detections:
+                if det.user_id not in succeeded:
+                    best_detections[det.user_id] = det
+            new_successes: List[tuple] = []
+            for det in detections:
+                if det.user_id in succeeded:
+                    continue
+                decoder = self._decoders[det.user_id]
+                candidates = det.candidates or ((det.offset, det.score, det.channel),)
+                frame = None
+                used = None
+                try:
                     with tracer.span("decode", user=det.user_id):
                         for offset, _score, channel in candidates:
                             attempt = decoder.decode_frame(residual, offset, channel, user_id=det.user_id)
@@ -87,47 +139,44 @@ class SicReceiver(CbmaReceiver):
                                 used = (offset, channel)
                             if attempt.success:
                                 break
-                    tracer.count(f"decode.{frame.reason}")
-                    if frame is not None and frame.success:
-                        new_successes.append((det, frame, used))
-                    elif frame is not None:
-                        # Remember the latest failure, but keep the user
-                        # eligible for the next pass: cancellation may be
-                        # exactly what rescues it.
-                        failed[det.user_id] = frame
+                except Exception as exc:
+                    self._contain(
+                        report,
+                        DecodeFailure("decode", "exception", user_id=det.user_id, detail=str(exc)),
+                    )
+                    frame = DecodedFrame(
+                        user_id=det.user_id, success=False, payload=None, reason="exception"
+                    )
+                tracer.count(f"decode.{frame.reason}")
+                if frame.success:
+                    new_successes.append((det, frame, used))
+                else:
+                    # Remember the latest failure, but keep the user
+                    # eligible for the next pass: cancellation may be
+                    # exactly what rescues it.
+                    failed[det.user_id] = frame
 
-                if not new_successes:
-                    break
-                # Per-pass ghost dedup BEFORE committing: a wrong-code
-                # correlator decodes the strongest frame bit-exact (see
-                # _suppress_ghosts), and cancelling such a ghost with the
-                # wrong code would corrupt the residual.  Keep only the
-                # highest-scoring owner of each distinct payload; the
-                # losers stay eligible -- once the true owner's frame is
-                # cancelled, their own (weaker) frame becomes decodable.
-                by_payload: Dict[bytes, list] = {}
-                for entry in new_successes:
-                    by_payload.setdefault(entry[1].payload, []).append(entry)
-                committed = [
-                    max(entries, key=lambda e: e[0].score) for entries in by_payload.values()
-                ]
-                for det, frame, (offset, channel) in committed:
-                    succeeded[det.user_id] = frame
-                    failed.pop(det.user_id, None)
-                    tracer.count("sic.cancellations")
-                    residual = self._cancel(residual, det.user_id, frame, offset, channel)
-
-        report.detections = sorted(
-            best_detections.values(), key=lambda d: d.score, reverse=True
-        )
-        report.frames = list(succeeded.values()) + [
-            f for uid, f in failed.items() if uid not in succeeded
-        ]
-        self._suppress_ghosts(report)
-        report.ack = AckMessage.for_ids(
-            (f.user_id for f in report.frames if f.success), round_index
-        )
-        return report
+            if not new_successes:
+                return residual, False
+            # Per-pass ghost dedup BEFORE committing: a wrong-code
+            # correlator decodes the strongest frame bit-exact (see
+            # _suppress_ghosts), and cancelling such a ghost with the
+            # wrong code would corrupt the residual.  Keep only the
+            # highest-scoring owner of each distinct payload; the
+            # losers stay eligible -- once the true owner's frame is
+            # cancelled, their own (weaker) frame becomes decodable.
+            by_payload: Dict[bytes, list] = {}
+            for entry in new_successes:
+                by_payload.setdefault(entry[1].payload, []).append(entry)
+            committed = [
+                max(entries, key=lambda e: e[0].score) for entries in by_payload.values()
+            ]
+            for det, frame, (offset, channel) in committed:
+                succeeded[det.user_id] = frame
+                failed.pop(det.user_id, None)
+                tracer.count("sic.cancellations")
+                residual = self._cancel(residual, det.user_id, frame, offset, channel)
+        return residual, True
 
     def _cancel(
         self,

@@ -14,7 +14,7 @@
 from repro.sim.collision import CollisionScenario, RoundTruth, simulate_round
 from repro.sim.metrics import MetricsAccumulator, RoundOutcome, score_frame
 from repro.sim.network import CbmaConfig, CbmaNetwork, CALIBRATED_EXTRA_NOISE_DB
-from repro.sim.sweep import grid, sweep
+from repro.sim.sweep import PointError, grid, sweep
 from repro.sim.trace import ChannelTrace, TraceRound, record_trace, replay_trace
 from repro.sim.traffic import BurstyArrivals, PeriodicArrivals, PoissonArrivals
 from repro.sim.unslotted import UnslottedResult, UnslottedScenario, simulate_unslotted
@@ -35,6 +35,7 @@ __all__ = [
     "replay_trace",
     "grid",
     "sweep",
+    "PointError",
     "BurstyArrivals",
     "PeriodicArrivals",
     "PoissonArrivals",

@@ -85,6 +85,12 @@ class CollisionScenario:
     each tag's 20 MHz subcarrier (ppm error x shift frequency), rotating
     that tag's baseband continuously.  ``None`` (default) keeps the
     ideal model."""
+    tx_faults: Optional[Dict[int, "TagTxFault"]] = None
+    """Optional per-tag transmit impairments
+    (:class:`repro.faults.TagTxFault`), keyed by tag id: a *silent* tag
+    radiates nothing this round (its payload stays in the truth, so it
+    scores as sent-and-lost); ``keep_fraction`` truncates the burst
+    mid-frame (brownout).  ``None`` keeps the healthy model."""
 
     def __post_init__(self) -> None:
         if len(self.tags) != len(self.amplitudes):
@@ -146,8 +152,14 @@ def _synthesize_round(
     truth = RoundTruth(payloads=dict(payloads), amplitudes={}, offsets_samples={}, n_samples=0)
 
     max_len = lead_in + scenario.tail_chips * spc
+    tx_faults = scenario.tx_faults or {}
     for i, tag in enumerate(scenario.tags):
         if tag.tag_id not in payloads:
+            continue
+        fault = tx_faults.get(tag.tag_id)
+        if fault is not None and fault.silent:
+            # Dropout: the application offered a frame (it stays in the
+            # truth for scoring) but the tag radiates nothing.
             continue
         offset = lead_in + tag.oscillator.total_delay_samples(spc)
         amp = scenario.effective_amplitude(i)
@@ -171,6 +183,16 @@ def _synthesize_round(
             delayed = delayed * np.exp(
                 2j * np.pi * scenario.cfo_hz[i] * n / scenario.sample_rate_hz
             )
+        if fault is not None and fault.keep_fraction is not None:
+            # Brownout: the tag loses power mid-frame.  Only the leading
+            # fraction of the *burst* (past the placement offset) makes
+            # it onto the air; the tail is dark.
+            burst_start = int(np.floor(offset))
+            cut = burst_start + int(
+                round(fault.keep_fraction * max(delayed.size - burst_start, 0))
+            )
+            delayed = delayed.copy()
+            delayed[cut:] = 0.0
         streams.append(delayed)
         truth.amplitudes[tag.tag_id] = amp
         truth.offsets_samples[tag.tag_id] = offset

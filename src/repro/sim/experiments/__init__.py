@@ -55,8 +55,11 @@ from repro.sim.experiments.micro import (
     fig8c_preamble,
     fig9a_bitrate,
 )
+from repro.sim.experiments.resilience import resilience_curve, run_faulted_network
 
 __all__ = [
+    "resilience_curve",
+    "run_faulted_network",
     "fig5_signal_field",
     "fig8a_distance",
     "fig8b_power",

@@ -29,6 +29,7 @@ from repro.channel.link import realize_channel
 from repro.channel.noise import NoiseModel
 from repro.channel.pathloss import LinkBudget
 from repro.codes.registry import make_codes
+from repro.faults.plan import FaultPlan, RoundFaults
 from repro.mac.power_control import PowerController, PowerControlResult
 from repro.obs.tracer import as_tracer
 from repro.phy.impedance import default_codebook
@@ -131,6 +132,17 @@ class CbmaNetwork:
         :class:`~repro.receiver.receiver.CbmaReceiver`); must offer the
         ``from_config`` classmethod.  Extra *receiver_kwargs* pass
         through (e.g. ``max_passes`` for SIC).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injected into every
+        round: tag dropout/brownout, oscillator drift, burst
+        interference, ADC clipping, ACK loss and stuck impedance
+        switches.  Injections are logged in :attr:`fault_log` and, when
+        a tracer is attached, fault-caused losses are attributed as
+        ``errors.fault.*`` counters in the error budget.
+    round_offset:
+        Starting value of the fault-plan round index -- lets
+        :class:`~repro.system.CbmaSystem` keep one global fault
+        timeline across its per-epoch networks.
     """
 
     def __init__(
@@ -141,6 +153,8 @@ class CbmaNetwork:
         tracer=None,
         receiver_cls: Optional[type] = None,
         receiver_kwargs: Optional[Dict] = None,
+        faults: Optional[FaultPlan] = None,
+        round_offset: int = 0,
     ):
         if len(deployment.tags) < config.n_tags:
             raise ValueError(
@@ -162,6 +176,12 @@ class CbmaNetwork:
         ]
         #: Deployment position index per tag (mutated by node selection).
         self.positions: List[int] = list(range(config.n_tags))
+        self.faults = faults
+        self._round_index = int(round_offset)
+        #: Injection log: ``fault.*`` slug -> number of injections so
+        #: far (kept even without a tracer, so fault runs are checkable
+        #: on the untraced fast path).
+        self.fault_log: Dict[str, int] = {}
         self.receiver = (receiver_cls or CbmaReceiver).from_config(
             config,
             codes={i: self.codes[i] for i in range(config.n_tags)},
@@ -210,6 +230,70 @@ class CbmaNetwork:
         )
         return realization.amplitudes()
 
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+
+    def _log_fault(self, reason: str, n: int = 1) -> None:
+        self.fault_log[reason] = self.fault_log.get(reason, 0) + n
+
+    def next_round_faults(self) -> Optional[RoundFaults]:
+        """Resolve the fault plan for the upcoming round and advance
+        the round counter.
+
+        Applies the persistent tag-state faults (stuck impedance)
+        immediately; returns the resolved :class:`RoundFaults` for the
+        per-round consumers, or ``None`` when nothing is active.
+        Called once per simulated round by :meth:`run_round` and by the
+        ARQ layer's round driver.
+        """
+        index = self._round_index
+        self._round_index += 1
+        if self.faults is None or self.faults.empty:
+            return None
+        rf = self.faults.resolve(index, self.config.n_tags)
+        for i, tag in enumerate(self.tags):
+            tag.stuck = i in rf.stuck
+        if not rf.any_active:
+            return None
+        if rf.stuck:
+            self._log_fault("fault.stuck_impedance", len(rf.stuck))
+        if rf.silent:
+            self._log_fault("fault.dropout", len(rf.silent))
+        if rf.brownout:
+            self._log_fault("fault.brownout", len(rf.brownout))
+        if rf.drift_ppm:
+            self._log_fault("fault.clock_drift", len(rf.drift_ppm))
+        if rf.ack_lost:
+            self._log_fault("fault.ack_loss", len(rf.ack_lost))
+        return rf
+
+    def apply_fault_drift(self, rf: Optional[RoundFaults]) -> None:
+        """Add fault-injected oscillator drift on top of this round's
+        clock draw (honors both the random and the override paths)."""
+        if rf is None or not rf.drift_ppm:
+            return
+        for i, extra_ppm in rf.drift_ppm.items():
+            osc = self.tags[i].oscillator
+            self.tags[i].oscillator = TagOscillator(
+                offset_chips=osc.offset_chips,
+                jitter_chips_rms=osc.jitter_chips_rms,
+                drift_ppm=osc.drift_ppm + extra_ppm,
+            )
+
+    def apply_channel_faults(self, iq: np.ndarray, rf: Optional[RoundFaults]) -> np.ndarray:
+        """Burst interference + ADC saturation on a synthesized buffer."""
+        if rf is None:
+            return iq
+        jam = rf.jammer_samples(iq.size, self.config.samples_per_chip * self.config.chip_rate_hz)
+        if jam is not None:
+            iq = iq + jam
+            self._log_fault("fault.interference")
+        if rf.clip_level is not None:
+            iq = rf.clip(iq)
+            self._log_fault("fault.adc_clip")
+        return iq
+
     def run_round(
         self,
         active_ids: Optional[Sequence[int]] = None,
@@ -228,6 +312,7 @@ class CbmaNetwork:
         cfg = self.config
         metrics = metrics if metrics is not None else MetricsAccumulator()
         active = set(int(i) for i in (active_ids if active_ids is not None else range(cfg.n_tags)))
+        rf = self.next_round_faults()
 
         if channel_override is not None:
             amplitudes, offsets = channel_override
@@ -241,6 +326,7 @@ class CbmaNetwork:
         else:
             self._draw_oscillators()
             amplitudes = self._base_amplitudes()
+        self.apply_fault_drift(rf)
         self.last_round_channel = (
             np.array(amplitudes, copy=True),
             [t.oscillator.offset_chips for t in self.tags],
@@ -259,6 +345,7 @@ class CbmaNetwork:
             samples_per_chip=cfg.samples_per_chip,
             chip_rate_hz=cfg.chip_rate_hz,
             cfo_hz=cfo,
+            tx_faults=rf.tx_faults() if rf is not None else None,
         )
         payloads = {
             i: bytes(self.rng.integers(0, 256, cfg.payload_bytes, dtype=np.uint8))
@@ -268,6 +355,7 @@ class CbmaNetwork:
         with tracer.span("round", tags=len(payloads)):
             tracer.count("round.rounds")
             iq, truth = simulate_round(scenario, payloads, self.rng, tracer=tracer)
+            iq = self.apply_channel_faults(iq, rf)
             report = self.receiver.process(iq)
 
             if tracer.enabled:
@@ -288,14 +376,29 @@ class CbmaNetwork:
                 )
                 metrics.record(outcome, payload_bits=cfg.payload_bits())
                 if sent is not None:
-                    tag.record_result(outcome.payload_correct)
+                    # The tag's view of the ACK: a delivered frame whose
+                    # ACK the fault plan eats looks unacknowledged to
+                    # the tag (it will retransmit / mis-steer power
+                    # control) even though the data arrived.
+                    acked = outcome.payload_correct
+                    if acked and rf is not None and i in rf.ack_lost:
+                        acked = False
+                        if tracer.enabled:
+                            tracer.count("faults.ack_lost")
+                    tag.record_result(acked)
                     if tracer.enabled:
                         # Truth-scored error budget: which stage lost
                         # this frame (sync/detect miss, decode failure,
-                        # or a CRC-passing wrong payload)?
+                        # or a CRC-passing wrong payload)?  An injected
+                        # fault that explains the loss takes the blame
+                        # instead, so operators can separate deployment
+                        # failures from algorithmic ones.
                         tracer.count("round.frames_sent")
+                        fault_reason = rf.loss_reason(i) if rf is not None else None
                         if outcome.payload_correct:
                             tracer.count("round.frames_correct")
+                        elif fault_reason is not None:
+                            tracer.count(f"errors.{fault_reason}")
                         elif not outcome.detected:
                             tracer.count("errors.not_detected")
                         elif decoded_payload is None:

@@ -10,18 +10,33 @@ deterministic per-point seeds derived from one root seed either way.
 The point function must be a *module-level* callable (picklable) taking
 ``(params_dict, seed)``; results come back in grid order regardless of
 completion order.
+
+Long sweeps additionally get resilience:
+
+- ``on_error="contain"`` turns a raising point into a
+  :class:`PointError` in its grid slot instead of aborting the other
+  N-1 points;
+- ``checkpoint=<path>`` appends every finished point to a JSONL file
+  and, on a re-run with the same grid shape and seed, skips the points
+  already on disk -- a killed 10-hour sweep resumes instead of
+  restarting.
 """
 
 from __future__ import annotations
 
+import functools
 import itertools
+import json
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import traceback as _traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["grid", "sweep"]
+__all__ = ["grid", "sweep", "PointError"]
 
 
 def grid(**axes: Sequence) -> List[Dict[str, Any]]:
@@ -40,10 +55,136 @@ def grid(**axes: Sequence) -> List[Dict[str, Any]]:
     return [dict(zip(names, combo)) for combo in combos]
 
 
+@dataclass(frozen=True)
+class PointError:
+    """A contained failure of one sweep point (``on_error="contain"``).
+
+    Occupies the failing point's slot in the result list so the grid
+    order survives; carries everything needed to reproduce the failure
+    (the exact params and seed) and to diagnose it (type, message,
+    formatted traceback).
+    """
+
+    index: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    error_type: str = ""
+    message: str = ""
+    traceback: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"PointError(#{self.index} {self.params}: {self.error_type}: {self.message})"
+
+
 def _point_seeds(root_seed: int, n: int) -> List[int]:
     """Independent, reproducible per-point seeds."""
     seq = np.random.SeedSequence(root_seed)
     return [int(child.generate_state(1)[0]) for child in seq.spawn(n)]
+
+
+def _run_point(point_fn, contain: bool, index: int, params: Dict[str, Any], seed: int):
+    """Evaluate one point; module-level so it pickles to workers."""
+    try:
+        return point_fn(dict(params), seed)
+    except Exception as exc:
+        if not contain:
+            raise
+        return PointError(
+            index=index,
+            params=dict(params),
+            seed=seed,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=_traceback.format_exc(),
+        )
+
+
+_PENDING = object()
+
+
+def _load_checkpoint(
+    path: Path,
+    n_points: int,
+    seed: int,
+    points: List[Dict[str, Any]],
+    seeds: List[int],
+    results: List[Any],
+    retry_errors: bool,
+) -> None:
+    """Fill *results* slots from a prior run's JSONL checkpoint."""
+    if not path.exists() or path.stat().st_size == 0:
+        return
+    with open(path, "r") as fh:
+        lines = [line for line in fh if line.strip()]
+    header = json.loads(lines[0])
+    if header.get("type") != "header":
+        raise ValueError(f"checkpoint {path} has no header line; refusing to resume")
+    if header.get("n_points") != n_points or header.get("seed") != seed:
+        raise ValueError(
+            f"checkpoint {path} belongs to a different sweep "
+            f"(n_points={header.get('n_points')}, seed={header.get('seed')}; "
+            f"this sweep has n_points={n_points}, seed={seed})"
+        )
+    for line in lines[1:]:
+        rec = json.loads(line)
+        if rec.get("type") != "point":
+            continue
+        i = int(rec["index"])
+        if not 0 <= i < n_points:
+            continue
+        if rec.get("status") == "ok":
+            results[i] = rec["result"]
+        elif not retry_errors:
+            results[i] = PointError(
+                index=i,
+                params=dict(points[i]),
+                seed=seeds[i],
+                error_type=rec.get("error_type", ""),
+                message=rec.get("message", ""),
+                traceback=rec.get("traceback", ""),
+            )
+
+
+class _CheckpointWriter:
+    """Appends finished points to the JSONL checkpoint as they land."""
+
+    def __init__(self, path: Path, n_points: int, seed: int):
+        fresh = not path.exists() or path.stat().st_size == 0
+        self._fh = open(path, "a")
+        if fresh:
+            self._write({"type": "header", "n_points": n_points, "seed": seed})
+
+    def _write(self, rec: dict) -> None:
+        self._fh.write(json.dumps(rec) + "\n")
+        self._fh.flush()
+
+    def record(self, index: int, result: Any) -> None:
+        if isinstance(result, PointError):
+            self._write(
+                {
+                    "type": "point",
+                    "index": index,
+                    "status": "error",
+                    "error_type": result.error_type,
+                    "message": result.message,
+                    "traceback": result.traceback,
+                }
+            )
+            return
+        try:
+            line = json.dumps({"type": "point", "index": index, "status": "ok", "result": result})
+        except TypeError as exc:
+            raise TypeError(
+                f"sweep point #{index} returned a non-JSON-serializable result "
+                f"({type(result).__name__}); checkpointing requires plain "
+                "JSON-compatible results (numbers, strings, lists, dicts). "
+                "Convert in point_fn or run without checkpoint=."
+            ) from exc
+        self._fh.write(line + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
 
 
 def sweep(
@@ -52,6 +193,9 @@ def sweep(
     seed: int = 0,
     workers: Optional[int] = None,
     chunksize: int = 1,
+    on_error: str = "raise",
+    checkpoint=None,
+    retry_errors: bool = False,
 ) -> List[Any]:
     """Evaluate *point_fn* at every point; results in grid order.
 
@@ -74,24 +218,82 @@ def sweep(
         Points dispatched to a worker per IPC round trip (parallel
         mode only).  Raise it when points are cheap and numerous so
         pickling overhead stops dominating.
+    on_error:
+        ``"raise"`` (default) propagates the first point exception,
+        aborting the sweep.  ``"contain"`` catches it and puts a
+        :class:`PointError` in that point's slot instead, so one
+        pathological parameter combination cannot cost the other
+        points' work.
+    checkpoint:
+        Optional path to a JSONL checkpoint file.  Every finished
+        point is appended (and flushed) as it completes; re-running
+        the same sweep (same ``len(points)`` and ``seed``) against an
+        existing file re-runs only the points not yet on disk.  The
+        header is validated, so resuming a *different* sweep against
+        the file is a :class:`ValueError`.  Checkpointed results
+        round-trip through JSON (tuples come back as lists), and
+        results must be JSON-serializable.
+    retry_errors:
+        On resume, re-run points whose checkpoint record is an error
+        instead of reloading them as :class:`PointError`.
     """
-    points = list(points)
-    seeds = _point_seeds(seed, len(points))
-    if workers is None:
-        return [point_fn(dict(p), s) for p, s in zip(points, seeds)]
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
+    points = [dict(p) for p in points]
     if chunksize < 1:
-        raise ValueError("chunksize must be >= 1")
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    if on_error not in ("raise", "contain"):
+        raise ValueError(f'on_error must be "raise" or "contain", got {on_error!r}')
+    seeds = _point_seeds(seed, len(points))
+    contain = on_error == "contain"
+
+    results: List[Any] = [_PENDING] * len(points)
+    writer = None
+    if checkpoint is not None:
+        path = Path(checkpoint)
+        _load_checkpoint(path, len(points), seed, points, seeds, results, retry_errors)
+        writer = _CheckpointWriter(path, len(points), seed)
+    todo = [i for i, r in enumerate(results) if r is _PENDING]
+    runner = functools.partial(_run_point, point_fn, contain)
+
     try:
-        pickle.dumps(point_fn)
-    except Exception as exc:
-        raise TypeError(
-            f"point_fn {point_fn!r} is not picklable, so it cannot be shipped "
-            "to worker processes. Define it at module level (not a lambda, "
-            "closure or local function), or run with workers=None."
-        ) from exc
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(
-            pool.map(point_fn, [dict(p) for p in points], seeds, chunksize=chunksize)
-        )
+        if workers is None:
+            for i in todo:
+                result = runner(i, points[i], seeds[i])
+                results[i] = result
+                if writer is not None:
+                    writer.record(i, result)
+            return results
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        try:
+            pickle.dumps(point_fn)
+        except Exception as exc:
+            raise TypeError(
+                f"point_fn {point_fn!r} is not picklable, so it cannot be shipped "
+                "to worker processes. Define it at module level (not a lambda, "
+                "closure or local function), or run with workers=None."
+            ) from exc
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            if writer is None:
+                out = pool.map(
+                    runner,
+                    todo,
+                    [points[i] for i in todo],
+                    [seeds[i] for i in todo],
+                    chunksize=chunksize,
+                )
+                for i, result in zip(todo, out):
+                    results[i] = result
+            else:
+                # Checkpointing wants every completion on disk as soon
+                # as it happens (that is the whole point of resuming a
+                # killed run), so dispatch per-point futures instead of
+                # the chunked map.
+                futures = {pool.submit(runner, i, points[i], seeds[i]): i for i in todo}
+                for fut in as_completed(futures):
+                    i = futures[fut]
+                    results[i] = fut.result()
+                    writer.record(i, results[i])
+        return results
+    finally:
+        if writer is not None:
+            writer.close()

@@ -45,6 +45,8 @@ class UnslottedResult:
     payload_bits: int
     per_tag_offered: Dict[int, int] = field(default_factory=dict)
     per_tag_delivered: Dict[int, int] = field(default_factory=dict)
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    """``fault.*`` slug -> injections, when a fault plan was supplied."""
 
     @property
     def delivery_ratio(self) -> float:
@@ -102,17 +104,34 @@ def simulate_unslotted(
     receiver: StreamingReceiver,
     rng=None,
     tracer=None,
+    faults=None,
 ) -> UnslottedResult:
     """Run one unslotted simulation and decode the whole stream.
 
     *tracer* (a :class:`repro.obs.Tracer`) records the waveform
     synthesis and stream-decode spans plus offered/delivered counters;
     it never consumes *rng*.
+
+    *faults* (a :class:`repro.faults.FaultPlan`) injects deployment
+    failures into the round-free regime.  With no rounds to index, the
+    plan's round windows map onto frame-airtime units (one "round" =
+    one frame duration of tag 0): dropout/brownout resolve per
+    transmission at its start time, and the jammer/ADC-clip faults
+    apply per airtime window of the buffer.  The epoch-loop faults
+    (clock drift, ACK loss, stuck impedance) have no unslotted
+    equivalent and are ignored here.
     """
     tracer = as_tracer(tracer)
     rng = make_rng(rng)
     n_samples = int(scenario.duration_s * scenario.sample_rate_hz)
     buffer = scenario.noise.sample(n_samples, rng)
+    n_tags = len(scenario.tags)
+    fault_unit = scenario.frame_samples(scenario.tags[0]) if scenario.tags else 0
+    plan = faults if (faults is not None and not faults.empty and fault_unit > 0) else None
+    injected: Dict[str, int] = {}
+
+    def _count(reason: str) -> None:
+        injected[reason] = injected.get(reason, 0) + 1
 
     transmissions: List[_Transmission] = []
     for i, tag in enumerate(scenario.tags):
@@ -139,11 +158,40 @@ def simulate_unslotted(
     with tracer.span("synthesize", tags=len(scenario.tags)):
         for tx in transmissions:
             tag = scenario.tags[tx.tag_index]
-            amp = complex(scenario.amplitudes[tx.tag_index]) * tag.delta_gamma
+            # Phase draw happens for every offered transmission (even a
+            # dropped one) so the fault plan never perturbs the RNG
+            # stream of the surviving traffic.
             phase = np.exp(1j * rng.uniform(0.0, 2.0 * np.pi))
+            keep_fraction = None
+            if plan is not None:
+                rf = plan.resolve(int(tx.start_sample // fault_unit), n_tags)
+                if tx.tag_index in rf.silent:
+                    _count("fault.dropout")
+                    continue
+                keep_fraction = rf.brownout.get(tx.tag_index)
+                if keep_fraction is not None:
+                    _count("fault.brownout")
+            amp = complex(scenario.amplitudes[tx.tag_index]) * tag.delta_gamma
             signal = ook_baseband(tag.chip_stream(tx.payload, scenario.samples_per_chip), amplitude=amp * phase)
+            if keep_fraction is not None:
+                signal = signal.copy()
+                signal[int(round(keep_fraction * signal.size)):] = 0.0
             placed = fractional_delay(signal, tx.start_sample, total_length=n_samples)
             buffer += placed
+
+    if plan is not None:
+        # Shared-medium faults, one frame-airtime window at a time: the
+        # jammer adds band noise, the saturated ADC hard-limits I/Q.
+        for r in range(int(np.ceil(n_samples / fault_unit))):
+            rf = plan.resolve(r, n_tags)
+            lo, hi = r * fault_unit, min((r + 1) * fault_unit, n_samples)
+            jam = rf.jammer_samples(hi - lo, scenario.sample_rate_hz)
+            if jam is not None:
+                buffer[lo:hi] += jam
+                _count("fault.interference")
+            if rf.clip_level is not None:
+                buffer[lo:hi] = rf.clip(buffer[lo:hi])
+                _count("fault.adc_clip")
 
     with tracer.span("stream_decode"):
         decoded = receiver.process_stream(buffer)
@@ -162,7 +210,10 @@ def simulate_unslotted(
             result.per_tag_delivered[frame.user_id] = (
                 result.per_tag_delivered.get(frame.user_id, 0) + 1
             )
+    result.faults_injected = injected
     if tracer.enabled:
         tracer.count("unslotted.offered", result.offered)
         tracer.count("unslotted.delivered", result.delivered)
+        for reason, count in injected.items():
+            tracer.count(f"faults.{reason}", count)
     return result

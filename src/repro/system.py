@@ -69,6 +69,13 @@ class CbmaSystem:
     reposition_tolerance_m:
         Cached power-control results are invalidated when any group
         member moved farther than this since balancing.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` threaded into every
+        epoch's network.  The plan's round timeline is global across
+        epochs (epoch 2 continues where epoch 1 stopped), so windowed
+        faults like a mid-run jammer behave as one deployment-time
+        event.  Fault targets are *group-relative* tag slots.
+        Injections accumulate in :attr:`fault_log`.
     """
 
     def __init__(
@@ -81,6 +88,7 @@ class CbmaSystem:
         reposition_tolerance_m: float = 0.10,
         seed=None,
         tracer=None,
+        faults=None,
     ):
         population = len(deployment.tags)
         if population < config.n_tags:
@@ -99,6 +107,11 @@ class CbmaSystem:
         self.service_log = ServiceLog(n_tags=population)
         self.metrics = MetricsAccumulator()
         self._epoch = 0
+        self.faults = faults
+        #: Rounds simulated so far -- the fault plan's global timeline.
+        self._rounds_simulated = 0
+        #: Cumulative ``fault.*`` injection counts across epochs.
+        self.fault_log: Dict[str, int] = {}
         #: group composition -> (impedance states, positions at balance time)
         self._balanced: Dict[Tuple[int, ...], tuple] = {}
 
@@ -125,7 +138,11 @@ class CbmaSystem:
             room=self.deployment.room,
         )
         net = CbmaNetwork(
-            self.config, sub, tracer=self.tracer if self.tracer.enabled else None
+            self.config,
+            sub,
+            tracer=self.tracer if self.tracer.enabled else None,
+            faults=self.faults,
+            round_offset=self._rounds_simulated,
         )
         net.rng = make_rng(int(self.rng.integers(0, 2**31)))
         return net
@@ -155,6 +172,12 @@ class CbmaSystem:
                     tag.set_impedance(z)
 
             epoch_metrics = net.run_rounds(rounds)
+        # Advance the global fault timeline past everything this
+        # epoch's network simulated (power-control probing included)
+        # and fold its injection log into the system's.
+        self._rounds_simulated = net._round_index
+        for reason, count in net.fault_log.items():
+            self.fault_log[reason] = self.fault_log.get(reason, 0) + count
         delivered = {
             group[i]: epoch_metrics.per_tag_correct.get(i, 0) for i in range(len(group))
         }

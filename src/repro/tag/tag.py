@@ -90,6 +90,12 @@ class Tag:
             raise ValueError(f"impedance index {impedance_index} outside codebook")
         self.oscillator = oscillator or TagOscillator()
         self.stats = TagStats()
+        #: Fault-injection state: while True the impedance switch is
+        #: wedged and power-control commands are ignored (counted in
+        #: ``ignored_commands``).  Set by
+        #: :class:`repro.faults.StuckImpedance` via the network.
+        self.stuck = False
+        self.ignored_commands = 0
 
     # ------------------------------------------------------------------
     # Transmit pipeline
@@ -126,14 +132,26 @@ class Tag:
         return self.codebook[self.impedance_index].amplitude_gain
 
     def step_impedance(self) -> int:
-        """Algorithm 1 lines 18-22: advance ``Z`` cyclically; return new Z."""
+        """Algorithm 1 lines 18-22: advance ``Z`` cyclically; return new Z.
+
+        A :attr:`stuck` switch ignores the command and keeps its state.
+        """
+        if self.stuck:
+            self.ignored_commands += 1
+            return self.impedance_index
         self.impedance_index = (self.impedance_index + 1) % len(self.codebook)
         return self.impedance_index
 
     def set_impedance(self, index: int) -> None:
-        """Directly select an impedance state (used by tests/ablations)."""
+        """Directly select an impedance state (used by tests/ablations).
+
+        A :attr:`stuck` switch validates but ignores the command.
+        """
         if not 0 <= index < len(self.codebook):
             raise ValueError(f"impedance index {index} outside codebook of {len(self.codebook)}")
+        if self.stuck:
+            self.ignored_commands += 1
+            return
         self.impedance_index = int(index)
 
     def record_result(self, acked: bool) -> None:

@@ -1,0 +1,178 @@
+"""Integration tests: FaultPlan threaded through the network round loop."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.faults import (
+    AckLoss,
+    AdcSaturation,
+    BurstInterferer,
+    FaultPlan,
+    OscillatorDrift,
+    StuckImpedance,
+    TagBrownout,
+    TagDropout,
+)
+from repro.mac.arq import ArqSimulator
+from repro.obs import Tracer
+from repro.sim.network import CbmaConfig, CbmaNetwork
+from repro.sim.traffic import PoissonArrivals
+
+N_TAGS = 3
+ROUNDS = 10
+
+
+def _network(plan, seed=7, tracer=None, **kwargs):
+    return CbmaNetwork(
+        CbmaConfig(n_tags=N_TAGS, seed=seed),
+        Deployment.linear(N_TAGS, tag_to_rx=1.0),
+        tracer=tracer,
+        faults=plan,
+        **kwargs,
+    )
+
+
+def _stress_plan(seed=5):
+    return FaultPlan(
+        [
+            TagDropout(probability=0.3),
+            TagBrownout(tags=(1,), probability=0.5),
+            BurstInterferer(start_round=3, end_round=6, power_dbm=-60.0),
+            AckLoss(probability=0.2),
+            StuckImpedance(tags=(0,)),
+        ],
+        seed=seed,
+    )
+
+
+class TestNetworkFaultInjection:
+    def test_faulted_run_completes_and_attributes_losses(self):
+        tracer = Tracer()
+        net = _network(_stress_plan(), tracer=tracer)
+        metrics = net.run_rounds(ROUNDS)
+        assert metrics.frames_sent == N_TAGS * ROUNDS
+        # Every lost frame is attributed to *some* errors.* counter.
+        lost = metrics.frames_sent - metrics.frames_correct
+        attributed = sum(
+            v for k, v in tracer.counters.items() if k.startswith("errors.")
+        )
+        assert attributed == lost
+        # And the fault log saw injections.
+        assert net.fault_log.get("fault.dropout", 0) > 0
+        assert net.fault_log.get("fault.interference", 0) == 3
+
+    def test_bit_reproducible_under_fixed_seed(self):
+        runs = []
+        for _ in range(2):
+            tracer = Tracer()
+            net = _network(_stress_plan(), tracer=tracer)
+            metrics = net.run_rounds(ROUNDS)
+            runs.append((metrics.fer, dict(net.fault_log), dict(tracer.counters)))
+        assert runs[0] == runs[1]
+
+    def test_fault_seed_changes_outcome(self):
+        logs = []
+        for fault_seed in (1, 2):
+            net = _network(_stress_plan(seed=fault_seed))
+            net.run_rounds(ROUNDS)
+            logs.append(dict(net.fault_log))
+        assert logs[0] != logs[1]
+
+    def test_no_plan_matches_healthy_baseline(self):
+        base = _network(None).run_rounds(ROUNDS)
+        empty = _network(FaultPlan()).run_rounds(ROUNDS)
+        assert empty.fer == base.fer
+        assert empty.frames_correct == base.frames_correct
+
+    def test_round_offset_shifts_fault_windows(self):
+        plan = FaultPlan([TagDropout(start_round=0, end_round=5)], seed=3)
+        late = _network(plan, round_offset=5)
+        late.run_rounds(ROUNDS)
+        assert late.fault_log.get("fault.dropout", 0) == 0
+
+    def test_full_dropout_loses_everything_with_attribution(self):
+        tracer = Tracer()
+        net = _network(FaultPlan([TagDropout(probability=1.0)], seed=0), tracer=tracer)
+        metrics = net.run_rounds(4)
+        assert metrics.frames_correct == 0
+        assert tracer.counters["errors.fault.dropout"] == metrics.frames_sent
+
+    def test_stuck_impedance_pins_tag_state(self):
+        net = _network(FaultPlan([StuckImpedance(tags=(0,))], seed=0))
+        net.run_rounds(1)  # applies the stuck flag
+        z_before = net.tags[0].impedance_index
+        net.tags[0].step_impedance()
+        net.tags[0].set_impedance(0)
+        assert net.tags[0].impedance_index == z_before
+        assert net.tags[0].ignored_commands == 2
+
+    def test_heavy_drift_degrades_but_never_raises(self):
+        plan = FaultPlan([OscillatorDrift(probability=1.0, drift_ppm=20_000.0)], seed=0)
+        tracer = Tracer()
+        net = _network(plan, tracer=tracer)
+        metrics = net.run_rounds(4)
+        assert net.fault_log["fault.clock_drift"] == 4 * N_TAGS
+        assert metrics.frames_sent == 4 * N_TAGS
+
+    def test_hard_clipping_floors_delivery(self):
+        # Clip far below the signal scale: the buffer is destroyed, the
+        # run must still complete with every loss attributed.
+        plan = FaultPlan([AdcSaturation(full_scale=1e-9)], seed=0)
+        tracer = Tracer()
+        net = _network(plan, tracer=tracer)
+        metrics = net.run_rounds(3)
+        assert metrics.frames_correct == 0
+        assert tracer.counters["errors.fault.adc_clip"] == metrics.frames_sent
+
+
+class TestArqFaults:
+    def _arq(self, plan, **kwargs):
+        net = _network(plan, seed=4)
+        return net, ArqSimulator(net, PoissonArrivals(rate_hz=12.0), **kwargs)
+
+    def test_ack_loss_creates_duplicates_not_double_delivery(self):
+        plan = FaultPlan([AckLoss(probability=0.5)], seed=9)
+        net, arq = self._arq(plan, max_retries=6)
+        stats = arq.run(40, rng=2)
+        assert stats.acks_lost > 0
+        assert stats.duplicates > 0
+        assert stats.delivered <= stats.offered
+
+    def test_arq_backoff_defers_retransmissions(self):
+        # An always-silent tag 0: its messages only ever fail, so its
+        # transmission count reflects the backoff schedule, not
+        # one-per-round hammering.
+        plan = FaultPlan([TagDropout(probability=1.0, tags=(0,))], seed=0)
+        net, arq = self._arq(plan, max_retries=4, backoff_base_rounds=2, backoff_cap_rounds=8)
+        stats = arq.run(30, rng=3)
+        assert net.fault_log["fault.dropout"] > 0
+        # With backoff 2/4/8 the 4 attempts of one message span >= 14
+        # rounds; without backoff they would span 4.
+        assert stats.transmissions < 30
+
+    def test_ack_loss_prob_param_without_fault_plan(self):
+        net, arq = self._arq(None, max_retries=6, ack_loss_prob=0.5)
+        stats = arq.run(40, rng=2)
+        assert stats.acks_lost > 0
+        assert stats.duplicates > 0
+
+    def test_invalid_backoff_rejected(self):
+        net = _network(None)
+        with pytest.raises(ValueError):
+            ArqSimulator(net, PoissonArrivals(rate_hz=1.0), backoff_base_rounds=-1)
+        with pytest.raises(ValueError):
+            ArqSimulator(
+                net, PoissonArrivals(rate_hz=1.0), backoff_base_rounds=4, backoff_cap_rounds=2
+            )
+        with pytest.raises(ValueError):
+            ArqSimulator(net, PoissonArrivals(rate_hz=1.0), ack_loss_prob=1.5)
+
+    def test_faulted_arq_reproducible(self):
+        def run():
+            plan = FaultPlan([AckLoss(probability=0.3), TagDropout(probability=0.2)], seed=6)
+            net, arq = self._arq(plan, max_retries=5)
+            s = arq.run(30, rng=8)
+            return (s.offered, s.delivered, s.duplicates, s.acks_lost, s.dropped)
+
+        assert run() == run()

@@ -1,0 +1,148 @@
+"""System-level resilience: epochs, unslotted regime, experiment driver."""
+
+import numpy as np
+
+from repro.channel.geometry import Deployment
+from repro.codes import twonc_codes
+from repro.faults import AdcSaturation, BurstInterferer, FaultPlan, TagBrownout, TagDropout
+from repro.obs import RunProfile, Tracer
+from repro.receiver import CbmaReceiver
+from repro.receiver.streaming import StreamingReceiver
+from repro.sim.experiments import resilience_curve, run_faulted_network
+from repro.sim.network import CbmaConfig
+from repro.sim.unslotted import UnslottedScenario, simulate_unslotted
+from repro.system import CbmaSystem
+from repro.tag import FrameFormat, Tag
+
+
+class TestSystemFaults:
+    def _system(self, plan, seed=11):
+        return CbmaSystem(
+            CbmaConfig(n_tags=3, seed=seed),
+            Deployment.linear(6, tag_to_rx=1.0),
+            seed=seed,
+            faults=plan,
+        )
+
+    def test_acceptance_epoch_under_composite_faults(self):
+        """The robustness acceptance criterion: 20% dropout + burst
+        interference over a full CbmaSystem epoch completes without an
+        uncaught exception, still delivers frames from surviving tags,
+        and attributes every injected fault."""
+        plan = FaultPlan(
+            [
+                TagDropout(probability=0.2),
+                BurstInterferer(start_round=5, end_round=40, power_dbm=-62.0),
+            ],
+            seed=3,
+        )
+        system = self._system(plan)
+        reports = system.run(2, rounds_per_epoch=10)
+        assert len(reports) == 2
+        assert all(r.fer < 1.0 for r in reports)  # surviving tags deliver
+        assert system.fault_log.get("fault.dropout", 0) > 0
+        assert system.fault_log.get("fault.interference", 0) > 0
+
+    def test_fault_timeline_spans_epochs(self):
+        # Power control probes also consume rounds, so after one epoch
+        # the global timeline is far past rounds_per_epoch.
+        plan = FaultPlan([TagDropout(probability=0.1)], seed=1)
+        system = self._system(plan)
+        system.run_epoch(rounds=8)
+        after_first = system._rounds_simulated
+        assert after_first > 8
+        system.run_epoch(rounds=8)
+        assert system._rounds_simulated > after_first
+
+    def test_system_reproducible(self):
+        def run():
+            plan = FaultPlan([TagDropout(probability=0.25)], seed=5)
+            system = self._system(plan)
+            reports = system.run(2, rounds_per_epoch=8)
+            return ([r.fer for r in reports], dict(system.fault_log))
+
+        assert run() == run()
+
+
+class TestUnslottedFaults:
+    def _setup(self, payload_bytes=4):
+        codes = twonc_codes(3, 32)
+        fmt = FrameFormat()
+        tags = [Tag(i, codes[i], fmt=fmt) for i in range(3)]
+
+        def make_receiver():
+            rx = CbmaReceiver(
+                {i: codes[i] for i in range(3)}, fmt=fmt, samples_per_chip=2
+            )
+            return StreamingReceiver(rx, max_frame_bits=fmt.frame_bits(payload_bytes))
+
+        scenario = UnslottedScenario(
+            tags=tags,
+            amplitudes=[2e-6] * 3,
+            rate_hz=40.0,
+            duration_s=0.02,
+            payload_bytes=payload_bytes,
+        )
+        return scenario, make_receiver
+
+    def test_dropout_reduces_delivery_and_is_counted(self):
+        scenario, make_receiver = self._setup()
+        clean = simulate_unslotted(scenario, make_receiver(), rng=1)
+        plan = FaultPlan([TagDropout(probability=1.0)], seed=2)
+        faulty = simulate_unslotted(scenario, make_receiver(), rng=1, faults=plan)
+        assert clean.offered == faulty.offered  # offered load unchanged
+        assert faulty.delivered == 0
+        assert faulty.faults_injected["fault.dropout"] == faulty.offered
+
+    def test_unslotted_faults_reproducible(self):
+        scenario, make_receiver = self._setup()
+
+        def run():
+            plan = FaultPlan(
+                [TagDropout(probability=0.4), AdcSaturation(full_scale=5e-6)], seed=2
+            )
+            r = simulate_unslotted(scenario, make_receiver(), rng=1, faults=plan)
+            return (r.delivered, dict(r.faults_injected))
+
+        assert run() == run()
+
+    def test_empty_plan_matches_clean_run(self):
+        scenario, make_receiver = self._setup()
+        clean = simulate_unslotted(scenario, make_receiver(), rng=1)
+        empty = simulate_unslotted(scenario, make_receiver(), rng=1, faults=FaultPlan())
+        assert clean.delivered == empty.delivered
+        assert empty.faults_injected == {}
+
+
+class TestResilienceDriver:
+    def test_curve_shape_and_budget(self):
+        result = resilience_curve(
+            fault_rates=(0.0, 0.5), n_tags=2, rounds=6, seed=7, burst_power_dbm=None
+        )
+        assert result.experiment_id == "resilience"
+        assert result.x == [0.0, 0.5]
+        delivery = result.series["delivery ratio"]
+        loss = result.series["fault-attributed loss"]
+        assert len(delivery) == len(loss) == 2
+        # Healthy point delivers everything on the bench geometry.
+        assert delivery[0] == 1.0 and loss[0] == 0.0
+        # Faulted point: losses are attributed, not silently dropped.
+        assert delivery[1] < 1.0
+        assert loss[1] > 0.0
+
+    def test_single_point_profile_budget_has_fault_slugs(self):
+        plan = FaultPlan([TagDropout(probability=1.0)], seed=0)
+        metrics, profile, fault_log = run_faulted_network(
+            plan, n_tags=2, rounds=4, seed=7
+        )
+        assert isinstance(profile, RunProfile)
+        assert metrics.frames_correct == 0
+        assert profile.error_budget["fault.dropout"] == 1.0
+        assert fault_log["fault.dropout"] == 8
+
+    def test_error_budget_accepts_brownout_attribution(self):
+        plan = FaultPlan([TagBrownout(probability=1.0, keep_min=0.05, keep_max=0.2)], seed=1)
+        metrics, profile, _log = run_faulted_network(plan, n_tags=2, rounds=4, seed=7)
+        lost = metrics.frames_sent - metrics.frames_correct
+        if lost:  # brownout at <=20% kept burst should lose frames
+            assert profile.error_budget.get("fault.brownout", 0.0) > 0.0

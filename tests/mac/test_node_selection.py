@@ -89,3 +89,57 @@ class TestNodeSelector:
     def test_default_exclusion_is_half_wavelength(self):
         sel = NodeSelector(deployment=_deployment(), budget=LinkBudget())
         assert sel.exclusion_radius_m == pytest.approx(LinkBudget().wavelength_m / 2)
+
+
+class TestBlacklist:
+    """Graceful degradation: persistently-failing positions are benched
+    and readmitted after a cooling-off period."""
+
+    def _selector(self, **kwargs):
+        return NodeSelector(deployment=_deployment(), budget=LinkBudget(), **kwargs)
+
+    def test_blacklists_after_consecutive_failures(self):
+        sel = self._selector(blacklist_after=3, readmit_after=100)
+        # The same group keeps reporting dead air for three rounds.
+        for r in range(3):
+            result = sel.select_round([0, 1], ack_ratios=[0.0, 0.0],
+                                      rng=np.random.default_rng(r))
+        assert sel.blacklisted == [0, 1]
+        assert result.blacklisted == [0, 1]
+        # Benched positions never come back as idle candidates.
+        result = sel.select_round([2, 3], ack_ratios=[0.0, 0.0],
+                                  rng=np.random.default_rng(9))
+        assert not set(result.group) & {0, 1}
+
+    def test_single_bad_round_does_not_blacklist(self):
+        sel = self._selector(blacklist_after=3, readmit_after=100)
+        sel.select_round([0, 1], ack_ratios=[0.0, 0.9], rng=np.random.default_rng(0))
+        assert sel.blacklisted == []
+
+    def test_good_round_resets_streak(self):
+        sel = self._selector(blacklist_after=2, readmit_after=100)
+        sel.select_round([0, 1], ack_ratios=[0.0, 0.9], rng=np.random.default_rng(0))
+        sel.select_round([0, 1], ack_ratios=[0.9, 0.9], rng=np.random.default_rng(1))
+        sel.select_round([0, 1], ack_ratios=[0.0, 0.9], rng=np.random.default_rng(2))
+        assert sel.blacklisted == []
+
+    def test_readmission_after_cooldown(self):
+        sel = self._selector(blacklist_after=1, readmit_after=2)
+        result = sel.select_round([0, 1], ack_ratios=[0.0, 0.0],
+                                  rng=np.random.default_rng(0))
+        benched = list(sel.blacklisted)
+        assert benched
+        readmitted = []
+        for r in range(1, 5):
+            result = sel.select_round(result.group,
+                                      ack_ratios=[0.9] * len(result.group),
+                                      rng=np.random.default_rng(r))
+            readmitted.extend(result.readmitted)
+        assert set(benched) <= set(readmitted)
+        assert sel.blacklisted == []
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            self._selector(blacklist_after=0)
+        with pytest.raises(ValueError):
+            self._selector(readmit_after=0)

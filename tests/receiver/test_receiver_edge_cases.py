@@ -120,3 +120,62 @@ class TestSicEdgeCases:
         rx = SicReceiver({0: codes[0]}, samples_per_chip=2)
         report = rx.process(np.zeros(0, dtype=complex))
         assert report.frames == []
+
+
+class TestDegenerateInputs:
+    """Satellite: hostile buffers must degrade into DecodeFailure records,
+    never escape as exceptions."""
+
+    def setup_method(self):
+        self.codes = twonc_codes(2, 32)
+        self.fmt = FrameFormat()
+        self.rx = CbmaReceiver(
+            {i: self.codes[i] for i in range(2)}, fmt=self.fmt, samples_per_chip=2
+        )
+
+    def test_zero_length_buffer_reports_cleanly(self):
+        report = self.rx.process(np.zeros(0, dtype=complex))
+        assert report.frames == []
+        assert report.decoded_payloads() == {}
+
+    def test_all_zero_samples(self):
+        report = self.rx.process(np.zeros(20_000, dtype=complex))
+        assert report.decoded_payloads() == {}
+
+    def test_frame_shorter_than_one_chip(self):
+        # One chip spans samples_per_chip samples; a single sample cannot
+        # hold even one chip, with or without the energy gate.
+        report = self.rx.process(np.ones(1, dtype=complex), skip_energy_gate=True)
+        assert report.frames == []
+
+    def test_nan_buffer_is_sanitized_and_flagged(self):
+        buf = np.full(4096, np.nan + 1j * np.nan)
+        report = self.rx.process(buf, skip_energy_gate=True)
+        assert report.degraded
+        assert any(
+            f.stage == "input" and f.reason == "non_finite" for f in report.failures
+        )
+
+    def test_inf_buffer_is_sanitized_and_flagged(self):
+        buf = np.ones(4096, dtype=complex)
+        buf[100:200] = np.inf
+        report = self.rx.process(buf, skip_energy_gate=True)
+        assert any(f.reason == "non_finite" for f in report.failures)
+
+    def test_wrong_rank_buffer_is_flattened_and_flagged(self):
+        buf = np.zeros((64, 64), dtype=complex)
+        report = self.rx.process(buf)
+        assert any(f.reason == "not_1d" for f in report.failures)
+
+    def test_uninterpretable_buffer_degrades_to_empty(self):
+        report = self.rx.process(["not", "samples"])
+        assert report.frames == []
+        assert any(f.reason == "uninterpretable" for f in report.failures)
+
+    def test_sic_survives_nan_buffer(self):
+        rx = SicReceiver(
+            {i: self.codes[i] for i in range(2)}, fmt=self.fmt, samples_per_chip=2
+        )
+        report = rx.process(np.full(4096, np.nan, dtype=complex))
+        assert report.frames == []
+        assert report.degraded

@@ -82,7 +82,8 @@ class TestDriverContracts:
         assert r.x[-1] == "OFDM excitation"
 
     def test_fig5_resolution_plumbed(self):
-        xs, ys, field = fig5_signal_field(resolution=9)
+        with pytest.warns(DeprecationWarning):
+            xs, ys, field = fig5_signal_field(resolution=9)
         assert field.shape == (9, 9)
 
     def test_all_fers_are_probabilities(self):

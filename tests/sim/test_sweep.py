@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.sweep import grid, sweep
+from repro.sim.sweep import PointError, grid, sweep
 
 
 def _fer_point(params, seed):
@@ -95,3 +95,98 @@ class TestSweep:
         plain = sweep(_echo_point, points, seed=5, workers=2)
         chunked = sweep(_echo_point, points, seed=5, workers=2, chunksize=3)
         assert chunked == plain
+
+
+def _flaky_point(params, seed):
+    if params["k"] == 1:
+        raise RuntimeError("boom at k=1")
+    return params["k"] * 10
+
+
+_CALLS = []
+
+
+def _counting_point(params, seed):
+    _CALLS.append(params["k"])
+    return params["k"]
+
+
+class TestContainment:
+    def test_default_raises(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            sweep(_flaky_point, grid(k=[0, 1, 2]))
+
+    def test_contain_returns_full_grid(self):
+        results = sweep(_flaky_point, grid(k=[0, 1, 2]), on_error="contain")
+        assert len(results) == 3
+        assert results[0] == 0 and results[2] == 20
+        err = results[1]
+        assert isinstance(err, PointError)
+        assert err.index == 1
+        assert err.error_type == "RuntimeError"
+        assert "boom" in err.message
+        assert "boom" in err.traceback
+
+    def test_contain_works_in_parallel(self):
+        results = sweep(_flaky_point, grid(k=[0, 1, 2]), workers=2, on_error="contain")
+        assert isinstance(results[1], PointError)
+        assert results[0] == 0 and results[2] == 20
+
+    def test_invalid_on_error(self):
+        with pytest.raises(ValueError):
+            sweep(_echo_point, grid(k=[0]), on_error="explode")
+
+
+class TestCheckpoint:
+    def test_checkpoint_roundtrip(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        points = grid(k=[0, 1, 2])
+        first = sweep(_counting_point, points, seed=4, checkpoint=path)
+        resumed = sweep(_counting_point, points, seed=4, checkpoint=path)
+        assert first == resumed == [0, 1, 2]
+
+    def test_resume_skips_finished_points(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        points = grid(k=[0, 1, 2])
+        _CALLS.clear()
+        sweep(_counting_point, points, seed=4, checkpoint=path)
+        assert _CALLS == [0, 1, 2]
+        _CALLS.clear()
+        sweep(_counting_point, points, seed=4, checkpoint=path)
+        assert _CALLS == []  # everything served from the checkpoint
+
+    def test_resume_reruns_only_failed_points_with_retry(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        points = grid(k=[0, 1, 2])
+        contained = sweep(_flaky_point, points, on_error="contain", checkpoint=path)
+        assert isinstance(contained[1], PointError)
+        # Without retry_errors the failure is final.
+        again = sweep(_flaky_point, points, on_error="contain", checkpoint=path)
+        assert isinstance(again[1], PointError)
+        # With retry_errors only the failed slot is recomputed; here a
+        # fixed point function supplies the missing result.
+        _CALLS.clear()
+        healed = sweep(_counting_point, points, on_error="contain",
+                       checkpoint=path, retry_errors=True)
+        assert healed == [0, 1, 20]  # 0 and 20 come from the checkpoint
+        assert _CALLS == [1]
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        sweep(_echo_point, grid(k=[0, 1]), seed=4, checkpoint=path)
+        with pytest.raises(ValueError, match="checkpoint"):
+            sweep(_echo_point, grid(k=[0, 1]), seed=5, checkpoint=path)
+        with pytest.raises(ValueError, match="checkpoint"):
+            sweep(_echo_point, grid(k=[0, 1, 2]), seed=4, checkpoint=path)
+
+    def test_parallel_checkpoint_matches_serial(self, tmp_path):
+        points = grid(k=[0, 1, 2, 3])
+        serial = sweep(_counting_point, points, seed=6)
+        parallel = sweep(_counting_point, points, seed=6, workers=2,
+                         checkpoint=tmp_path / "par.jsonl")
+        assert parallel == serial
+
+    def test_unserializable_result_names_the_point(self, tmp_path):
+        with pytest.raises(TypeError, match="point #0"):
+            sweep(lambda p, s: object(), grid(k=[0]),
+                  checkpoint=tmp_path / "bad.jsonl")
