@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-quick examples report clean
+.PHONY: install test lint bench bench-quick examples report clean
 
 install:
 	pip install -e .
@@ -10,6 +10,14 @@ install:
 
 test:
 	$(PY) -m pytest tests/ -q
+
+lint:
+	$(PY) -m repro lint src tests
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping type check (pip install mypy)"; \
+	fi
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

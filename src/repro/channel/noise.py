@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.contracts import array_contract
 from repro.utils.rng import make_rng
 
 __all__ = ["NoiseModel", "thermal_noise_power_w", "BOLTZMANN"]
@@ -59,6 +60,7 @@ class NoiseModel:
         """Std-dev of each I/Q component: total power split across I and Q."""
         return math.sqrt(self.power_w / 2.0)
 
+    @array_contract(returns="(n) complex128")
     def sample(self, n: int, rng=None) -> np.ndarray:
         """*n* complex AWGN samples."""
         rng = make_rng(rng)

@@ -150,6 +150,13 @@ def _build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--output", default="report.md")
     rep_p.add_argument("--scale", type=float, default=0.25, help="round-count multiplier")
 
+    lint = sub.add_parser(
+        "lint", help="run the domain-aware static analysis (LNT001..LNT006)"
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     trace = sub.add_parser("trace", help="record or replay a channel trace")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     rec = trace_sub.add_parser("record", help="record a trace to JSON")
@@ -450,6 +457,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
     if args.command == "adapt":
         return _cmd_adapt(args)
     if args.command == "system":

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.obs.taxonomy import FAULT_KINDS
 from repro.utils.db import dbm_to_watts
 
 __all__ = [
@@ -46,13 +47,13 @@ __all__ = [
 ]
 
 #: Every loss-attribution slug a fault model can emit, in the priority
-#: order used when several faults hit the same frame.
-FAULT_REASONS = (
-    "fault.dropout",
-    "fault.brownout",
-    "fault.clock_drift",
-    "fault.adc_clip",
-    "fault.interference",
+#: order used when several faults hit the same frame.  Derived from the
+#: taxonomy's declared fault kinds (:data:`repro.obs.taxonomy.FAULT_KINDS`)
+#: so the slugs and the ``errors.fault.<kind>`` counter family cannot
+#: drift apart; ``ack_loss`` is excluded because a lost ACK never loses
+#: the *data* frame (it surfaces as ``faults.ack_lost`` instead).
+FAULT_REASONS = tuple(
+    f"fault.{kind}" for kind in FAULT_KINDS if kind != "ack_loss"
 )
 
 

@@ -1,0 +1,19 @@
+"""Rule modules of ``repro lint``; importing this package registers all.
+
+One module per rule keeps each check reviewable in isolation:
+
+========  =================  ==========================================
+Rule      Module             Checks
+========  =================  ==========================================
+LNT001    ``rng``            no unseeded/global RNG outside tests
+LNT002    ``taxonomy``       metric names parse against repro.obs.taxonomy
+LNT003    ``floateq``        no ==/!= against float literals
+LNT004    ``dtype``          no widening of @array_contract buffers
+LNT005    ``api``            __all__ and documented factories are real
+LNT006    ``excepts``        no blanket exception swallowing
+========  =================  ==========================================
+"""
+
+from repro.lint.rules import api, dtype, excepts, floateq, rng, taxonomy
+
+__all__ = ["api", "dtype", "excepts", "floateq", "rng", "taxonomy"]

@@ -1,0 +1,214 @@
+"""LNT005: public-API hygiene -- ``__all__`` and documented factories.
+
+Two drift modes this rule closes:
+
+1. **Phantom exports.**  A name listed in a module's ``__all__`` that
+   the module never binds turns ``from repro.x import *`` and every
+   API-surface test into a landmine.  The per-file pass resolves each
+   ``__all__`` entry against the names the module actually defines
+   (functions, classes, assignments, imports -- including ones inside
+   ``if``/``try`` blocks at module level).
+
+2. **Stale factory docs.**  ``docs/api.md`` documents construction
+   entry points like ``CbmaReceiver.from_config(config, *, codes=None,
+   ...)``.  The project-wide pass parses every backticked
+   ``module.Class.method(signature)`` reference in that file and
+   checks the method exists with exactly the documented parameter
+   names, in order (defaults are not compared -- renames and
+   re-orderings are the doc-rotting changes).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.core import FileContext, Project, Rule, Violation, register
+
+#: ``repro.receiver.receiver.CbmaReceiver.from_config(config, *, codes=None)``
+_FACTORY_RE = re.compile(
+    r"`(?P<module>repro(?:\.\w+)*)\.(?P<cls>[A-Z]\w*)\.(?P<method>\w+)\((?P<sig>[^)`]*)\)`"
+)
+
+
+def _module_level_names(tree: ast.Module) -> Optional[Set[str]]:
+    """Names bound at module level; ``None`` when a ``*`` import makes
+    the binding set statically unknowable."""
+    names: Set[str] = set()
+
+    def visit_body(body: List[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    _collect_targets(target, names)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                _collect_targets(stmt.target, names)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        return False
+                    names.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.If):
+                if not visit_body(stmt.body) or not visit_body(stmt.orelse):
+                    return False
+            elif isinstance(stmt, ast.Try):
+                for body in (stmt.body, stmt.orelse, stmt.finalbody):
+                    if not visit_body(body):
+                        return False
+                for handler in stmt.handlers:
+                    if not visit_body(handler.body):
+                        return False
+            elif isinstance(stmt, (ast.For, ast.While, ast.With)):
+                sub = [stmt.body, getattr(stmt, "orelse", [])]
+                if isinstance(stmt, ast.For):
+                    _collect_targets(stmt.target, names)
+                for body in sub:
+                    if not visit_body(body):
+                        return False
+        return True
+
+    if not visit_body(tree.body):
+        return None
+    return names
+
+
+def _collect_targets(target: ast.expr, names: Set[str]) -> None:
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _collect_targets(elt, names)
+
+
+def _all_entries(tree: ast.Module) -> Optional[ast.expr]:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return stmt.value
+    return None
+
+
+def _doc_params(sig: str) -> List[str]:
+    """Parameter names from a documented signature fragment (keeps the
+    ``*`` separator and ``**kwargs`` markers, drops defaults)."""
+    params: List[str] = []
+    for part in sig.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        params.append(part.split("=")[0].strip())
+    return params
+
+
+def _ast_params(fn: ast.FunctionDef) -> List[str]:
+    """Parameter names of *fn* in documentation form (no self/cls/config
+    stripping beyond the implicit first argument of methods)."""
+    a = fn.args
+    out = [arg.arg for arg in a.posonlyargs + a.args]
+    if a.vararg is not None:
+        out.append("*" + a.vararg.arg)
+    elif a.kwonlyargs:
+        out.append("*")
+    out.extend(arg.arg for arg in a.kwonlyargs)
+    if a.kwarg is not None:
+        out.append("**" + a.kwarg.arg)
+    return out
+
+
+@register
+class PublicApiRule(Rule):
+    rule_id = "LNT005"
+    name = "public-api"
+    rationale = (
+        "__all__ entries must exist and documented factories must match "
+        "their real signatures, or the public surface rots silently"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        all_node = _all_entries(ctx.tree)
+        if all_node is None or not isinstance(all_node, (ast.List, ast.Tuple)):
+            return
+        defined = _module_level_names(ctx.tree)
+        if defined is None:
+            return  # star import: not statically checkable
+        for elt in all_node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                if elt.value not in defined:
+                    yield self.violation(
+                        ctx,
+                        elt,
+                        f"__all__ exports {elt.value!r} but the module never binds it",
+                    )
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        if project.root is None:
+            return
+        doc = project.root / "docs" / "api.md"
+        if not doc.exists():
+            return
+        classes = self._collect_classes(project)
+        if not classes:
+            return  # src was not part of this run
+        text = doc.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for m in _FACTORY_RE.finditer(line):
+                module, cls, method = m.group("module"), m.group("cls"), m.group("method")
+                key = f"{module}.{cls}"
+                klass = classes.get(key)
+                where = f"docs/api.md:{lineno}"
+                if klass is None:
+                    if project.module(module) is None:
+                        continue  # module not in this lint run
+                    yield Violation(
+                        path=str(doc), line=lineno, col=m.start() + 1,
+                        rule_id=self.rule_id,
+                        message=f"documented class {key} does not exist ({where})",
+                    )
+                    continue
+                fn = next(
+                    (
+                        s for s in klass.body
+                        if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and s.name == method
+                    ),
+                    None,
+                )
+                if fn is None or isinstance(fn, ast.AsyncFunctionDef):
+                    yield Violation(
+                        path=str(doc), line=lineno, col=m.start() + 1,
+                        rule_id=self.rule_id,
+                        message=f"documented factory {key}.{method} does not exist",
+                    )
+                    continue
+                real = _ast_params(fn)
+                if real and real[0] in ("self", "cls"):
+                    real = real[1:]
+                documented = _doc_params(m.group("sig"))
+                if documented != real:
+                    yield Violation(
+                        path=str(doc), line=lineno, col=m.start() + 1,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"{key}.{method} signature drifted: docs say "
+                            f"({', '.join(documented)}), code has ({', '.join(real)})"
+                        ),
+                    )
+
+    @staticmethod
+    def _collect_classes(project: Project) -> Dict[str, ast.ClassDef]:
+        classes: Dict[str, ast.ClassDef] = {}
+        for ctx in project.files:
+            mod = ctx.module_name
+            if mod is None:
+                continue
+            for stmt in ctx.tree.body:
+                if isinstance(stmt, ast.ClassDef):
+                    classes[f"{mod}.{stmt.name}"] = stmt
+        return classes

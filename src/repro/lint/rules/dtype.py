@@ -1,0 +1,138 @@
+"""LNT004: dtype discipline inside ``@array_contract`` functions.
+
+A hot path that declares a ``complex64``/``float32`` buffer
+(:func:`repro.utils.contracts.array_contract`) must not silently widen
+it: ``buf.astype(np.complex128)`` or ``np.asarray(buf,
+dtype=np.complex128)`` doubles memory traffic and quietly changes the
+numerics the contract pinned down.  This rule reads each function's
+contract decorator and flags explicit widening operations applied to
+the declared narrow parameters:
+
+- ``param.astype(<wider dtype>)``;
+- any call receiving *param* positionally together with a
+  ``dtype=<wider dtype>`` keyword (``np.asarray``, ``np.array``,
+  ``np.zeros_like``, ...).
+
+Widening is judged against :data:`repro.utils.contracts.NARROW_DTYPES`
+(``float32 -> float64/complex128``, ``complex64 -> complex128``).
+Parameters declared ``complex128``/``float64``/``any`` impose no
+constraint here -- the runtime checker still validates them under
+``REPRO_DEBUG=1``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.core import FileContext, Rule, Violation, register
+from repro.utils.contracts import NARROW_DTYPES, ArraySpec
+
+#: Python builtins that imply a wide numpy dtype.
+_BUILTIN_DTYPES = {"float": "float64", "complex": "complex128"}
+
+
+def _contract_specs(fn: ast.AST) -> Optional[Dict[str, str]]:
+    """``param -> dtype`` from an ``@array_contract(...)`` decorator."""
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    for dec in fn.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        target = dec.func
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else None
+        )
+        if name != "array_contract":
+            continue
+        specs: Dict[str, str] = {}
+        for kw in dec.keywords:
+            if kw.arg is None or not isinstance(kw.value, ast.Constant):
+                continue
+            if not isinstance(kw.value.value, str):
+                continue
+            try:
+                parsed = ArraySpec.parse(kw.value.value)
+            except (ValueError, TypeError):
+                continue  # the decorator itself raises at import time
+            if kw.arg != "returns":
+                specs[kw.arg] = parsed.dtype
+        return specs
+    return None
+
+
+def _dtype_name(node: ast.expr) -> Optional[str]:
+    """Resolve a dtype expression to a name (``np.complex128`` ->
+    ``"complex128"``, ``"float64"`` -> ``"float64"``, ``complex`` ->
+    ``"complex128"``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return _BUILTIN_DTYPES.get(node.id, node.id)
+    return None
+
+
+@register
+class DtypeDisciplineRule(Rule):
+    rule_id = "LNT004"
+    name = "dtype-discipline"
+    rationale = (
+        "operations that widen a contracted complex64/float32 buffer "
+        "double memory traffic and change numerics silently"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in ast.walk(ctx.tree):
+            specs = _contract_specs(fn)
+            if not specs:
+                continue
+            narrow: Dict[str, Set[str]] = {
+                param: set(NARROW_DTYPES[dtype])
+                for param, dtype in specs.items()
+                if dtype in NARROW_DTYPES
+            }
+            if not narrow:
+                continue
+            assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                # param.astype(<wider>)
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "astype"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in narrow
+                    and node.args
+                ):
+                    target = _dtype_name(node.args[0])
+                    if target in narrow[func.value.id]:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"`{func.value.id}.astype({target})` widens a "
+                            f"buffer contracted as {specs[func.value.id]}",
+                        )
+                    continue
+                # f(param, ..., dtype=<wider>)
+                dtype_kw = next(
+                    (kw for kw in node.keywords if kw.arg == "dtype"), None
+                )
+                if dtype_kw is None:
+                    continue
+                target = _dtype_name(dtype_kw.value)
+                if target is None:
+                    continue
+                for arg in node.args:
+                    if isinstance(arg, ast.Name) and arg.id in narrow:
+                        if target in narrow[arg.id]:
+                            yield self.violation(
+                                ctx,
+                                node,
+                                f"dtype={target} widens `{arg.id}`, contracted "
+                                f"as {specs[arg.id]}",
+                            )
+                        break

@@ -1,0 +1,80 @@
+"""LNT006: no blanket exception swallowing outside containment sites.
+
+The degradation contract (docs/resilience.md) deliberately catches
+``Exception`` at a small number of *containment sites* -- the receiver
+pipeline and the sweep driver -- where every caught error is converted
+into an attributable record (:class:`DecodeFailure`, ``PointError``).
+Anywhere else, a bare ``except:`` or an ``except Exception: pass``
+erases the error *and* the attribution, which is precisely the failure
+mode the fault-injection subsystem exists to prevent.
+
+Flagged:
+
+- ``except:`` with no exception type, anywhere;
+- ``except Exception`` / ``except BaseException`` whose handler body
+  does nothing (only ``pass``/``...``/``continue``) -- catching broadly
+  is tolerable only when the handler *records* something.
+
+Sanctioned files (skipped entirely): ``receiver/failures.py`` and
+``sim/sweep.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.core import FileContext, Rule, Violation, register
+
+_SANCTIONED: Tuple[Tuple[str, ...], ...] = (
+    ("receiver", "failures.py"),
+    ("sim", "sweep.py"),
+)
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_sanctioned(ctx: FileContext) -> bool:
+    parts = ctx.path.parts
+    return any(parts[-len(tail):] == tail for tail in _SANCTIONED if len(parts) >= len(tail))
+
+
+def _swallows(body: list) -> bool:
+    """True when the handler body does nothing observable."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+@register
+class BareExceptRule(Rule):
+    rule_id = "LNT006"
+    name = "blanket-except"
+    rationale = (
+        "swallowed broad exceptions erase both the error and its "
+        "attribution; contain failures into records instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if _is_sanctioned(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx, node, "bare `except:` hides every error including KeyboardInterrupt"
+                )
+                continue
+            name = node.type.id if isinstance(node.type, ast.Name) else None
+            if name in _BROAD and _swallows(node.body):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`except {name}: pass` swallows errors without recording "
+                    "them; contain into a failure record or narrow the type",
+                )

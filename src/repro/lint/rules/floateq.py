@@ -1,0 +1,70 @@
+"""LNT003: no ``==``/``!=`` against float literals.
+
+Exact equality on floating-point values is almost always a latent bug
+in DSP code: ``frac == 0.1`` is false for every ``frac`` computed by
+arithmetic that *should* land on 0.1, and numpy silently broadcasts
+the comparison over arrays, turning one wrong branch into a wrong
+mask.  Compare with a tolerance (``np.isclose``, ``math.isclose``, or
+an explicit epsilon) instead.
+
+The rule flags any comparison chain where an ``==``/``!=`` operand is
+a float literal (including negated literals like ``-1.5``).  It does
+**not** attempt type inference on variables -- that keeps the false
+positive rate at zero on this codebase, at the cost of missing
+float-typed variables compared to each other.
+
+Exemptions:
+
+- comparisons against ``0.0``/``-0.0`` where the *intent* is a
+  sentinel test are still flagged; spell the sentinel test as a
+  tolerance check or suppress the line with a justification;
+- test files (``check_tests = False``): golden regressions and
+  bit-reproducibility tests compare exact values on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import FileContext, Rule, Violation, register
+
+
+def _float_literal(node: ast.expr) -> Optional[float]:
+    """The literal value when *node* is a float constant (or its negation)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return node.value
+    return None
+
+
+@register
+class FloatEqualityRule(Rule):
+    rule_id = "LNT003"
+    name = "float-equality"
+    rationale = (
+        "exact ==/!= on floats is brittle under rounding; use "
+        "np.isclose/math.isclose or an explicit tolerance"
+    )
+    check_tests = False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (left, right):
+                    value = _float_literal(side)
+                    if value is not None:
+                        sym = "==" if isinstance(op, ast.Eq) else "!="
+                        yield self.violation(
+                            ctx,
+                            side,
+                            f"float literal compared with `{sym} {value!r}`; "
+                            "use a tolerance (np.isclose) instead",
+                        )
+                        break

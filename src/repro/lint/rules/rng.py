@@ -1,0 +1,156 @@
+"""LNT001: no unseeded/global RNG outside test fixtures.
+
+Bit-reproducibility is a stated invariant of this repo (fault plans,
+trace replay, golden regressions all depend on it), and a single
+``np.random.normal(...)`` call drawing from numpy's *global* generator
+breaks it silently: the result changes run to run and, worse, other
+code's draws perturb yours.  Every random draw must come from an
+explicitly threaded :class:`numpy.random.Generator` (usually via
+:func:`repro.utils.rng.make_rng`).
+
+Flagged:
+
+- any call through the global numpy RNG: ``np.random.normal(...)``,
+  ``np.random.seed(...)``, ... (class constructors such as
+  ``Generator``/``SeedSequence``/``PCG64`` are fine);
+- ``default_rng()`` / ``RandomState()`` with **no** arguments -- an
+  OS-entropy generator nothing can reproduce;
+- any call through the stdlib ``random`` module
+  (``random.random()``, ``random.shuffle(...)``, ...) except
+  constructing a seeded ``random.Random(seed)``.
+
+Test files are exempt (``check_tests = False``): fixtures may
+legitimately draw throwaway entropy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.core import FileContext, Rule, Violation, register
+
+#: numpy.random attributes that are safe to *call* (constructors of
+#: seeded objects; ``default_rng``/``RandomState`` still need an arg).
+_NP_RANDOM_OK: Set[str] = {
+    "default_rng",
+    "RandomState",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: Callables needing at least one argument to count as seeded.
+_NEEDS_SEED_ARG: Set[str] = {"default_rng", "RandomState"}
+
+#: stdlib random attributes that are fine to call (seeded-instance
+#: constructors; ``Random()`` without a seed is still flagged).
+_STDLIB_OK: Set[str] = {"Random", "SystemRandom"}
+
+
+def _collect_aliases(tree: ast.Module):
+    """Names bound to the stdlib ``random`` module, ``numpy``,
+    ``numpy.random``, and functions imported *from* either RNG module."""
+    stdlib_random: Set[str] = set()
+    numpy_mod: Set[str] = set()
+    numpy_random: Set[str] = set()
+    from_imports: Set[str] = set()  # names imported from random/numpy.random
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if alias.name == "random":
+                    stdlib_random.add(bound)
+                elif alias.name == "numpy":
+                    numpy_mod.add(bound)
+                elif alias.name == "numpy.random":
+                    numpy_random.add(alias.asname or "numpy")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy" and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "random":
+                        numpy_random.add(alias.asname or "random")
+            elif node.module in ("random", "numpy.random") and node.level == 0:
+                for alias in node.names:
+                    from_imports.add(alias.asname or alias.name)
+    return stdlib_random, numpy_mod, numpy_random, from_imports
+
+
+def _is_argless(call: ast.Call) -> bool:
+    return not call.args and not call.keywords
+
+
+@register
+class UnseededRngRule(Rule):
+    rule_id = "LNT001"
+    name = "unseeded-rng"
+    rationale = (
+        "global/unseeded RNG calls break bit-reproducibility; thread a "
+        "seeded numpy Generator (repro.utils.rng.make_rng) instead"
+    )
+    check_tests = False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        stdlib_random, numpy_mod, numpy_random, from_imports = _collect_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # bare names imported from random / numpy.random
+            if isinstance(func, ast.Name) and func.id in from_imports:
+                fn = func.id
+                if fn in _NEEDS_SEED_ARG or fn == "Random":
+                    if _is_argless(node):
+                        yield self.violation(
+                            ctx, node, f"`{fn}()` without a seed is irreproducible"
+                        )
+                elif fn not in (_NP_RANDOM_OK | _STDLIB_OK):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"global RNG call `{fn}(...)`; draw from a seeded Generator",
+                    )
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            # np.random.<fn>(...) via the numpy module
+            if (
+                isinstance(base, ast.Attribute)
+                and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in numpy_mod
+            ) or (isinstance(base, ast.Name) and base.id in numpy_random):
+                fn = func.attr
+                if fn in _NEEDS_SEED_ARG:
+                    if _is_argless(node):
+                        yield self.violation(
+                            ctx, node, f"`{fn}()` without a seed is irreproducible"
+                        )
+                elif fn not in _NP_RANDOM_OK:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"global numpy RNG call `np.random.{fn}(...)`; "
+                        "thread a seeded Generator instead",
+                    )
+                continue
+            # random.<fn>(...) via the stdlib module
+            if isinstance(base, ast.Name) and base.id in stdlib_random:
+                fn = func.attr
+                if fn == "Random" and _is_argless(node):
+                    yield self.violation(
+                        ctx, node, "`random.Random()` without a seed is irreproducible"
+                    )
+                elif fn not in _STDLIB_OK:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"global stdlib RNG call `random.{fn}(...)`; "
+                        "use a seeded numpy Generator instead",
+                    )

@@ -1,0 +1,150 @@
+"""LNT002: every counter/gauge/span name parses against the taxonomy.
+
+The stage-attributed error budget (:mod:`repro.obs.profile`) is only
+as sound as its keys: a typo'd ``errors.pipline.decode.exception``
+opens a fresh bucket that no dashboard, test or budget reconciliation
+ever looks at.  This rule checks every *statically visible* metric
+name against the declared registry
+(:data:`repro.obs.taxonomy.TAXONOMY`):
+
+- string literals passed to ``<tracer>.count/gauge/span`` where the
+  receiver is tracer-shaped (named ``tracer``/``*_tracer``/
+  ``self.tracer`` ...) are fully validated;
+- f-strings are validated by their literal prefix: the prefix must
+  align with a declared family and the dynamic tail must fall on a
+  placeholder segment (``f"errors.{reason}"`` is checkable,
+  ``f"{x}.count"`` is not);
+- literals passed to *other* receivers (``somestring.count(".")``)
+  are only checked when they look like a metric name, i.e. their
+  first dotted segment matches a declared family root -- this keeps
+  ``str.count``/``list.count`` out of scope;
+- names built from the taxonomy's own constants/constructors are
+  correct by construction and invisible here, which is the point of
+  migrating call sites onto them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.core import FileContext, Rule, Violation, register
+from repro.obs import taxonomy as tax
+
+_KINDS = {
+    "count": tax.MetricKind.COUNTER,
+    "gauge": tax.MetricKind.GAUGE,
+    "span": tax.MetricKind.SPAN,
+}
+
+
+def _tracerish(expr: ast.expr) -> bool:
+    """Does *expr* look like a tracer reference?"""
+    if isinstance(expr, ast.Name):
+        return expr.id == "tracer" or expr.id.endswith("_tracer")
+    if isinstance(expr, ast.Attribute):
+        return expr.attr == "tracer" or expr.attr.endswith("_tracer")
+    return False
+
+
+def _fstring_prefix(node: ast.JoinedStr) -> Optional[str]:
+    """Leading literal text of an f-string (None when it starts dynamic)."""
+    parts = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        else:
+            break
+    prefix = "".join(parts)
+    return prefix or None
+
+
+def _prefix_matches_family(prefix: str, kind: tax.MetricKind) -> bool:
+    """Could some declared family produce a name starting with *prefix*
+    followed by dynamic text?  Complete segments must match the family
+    segment-for-segment (placeholders match anything); a trailing
+    partial segment must either prefix the family's fixed segment or
+    land on a placeholder."""
+    ends_on_boundary = prefix.endswith(".")
+    segs = [s for s in prefix.split(".") if s] if ends_on_boundary else prefix.split(".")
+    partial = None if ends_on_boundary else segs[-1]
+    complete = segs if ends_on_boundary else segs[:-1]
+    for fam in tax.iter_families(kind):
+        fsegs = fam.segments
+        if len(complete) + (1 if partial is not None else 0) > len(fsegs):
+            continue
+        ok = True
+        for given, expected in zip(complete, fsegs):
+            if not expected.startswith("<") and given != expected:
+                ok = False
+                break
+        if not ok:
+            continue
+        if partial is not None:
+            expected = fsegs[len(complete)]
+            if not expected.startswith("<") and not expected.startswith(partial):
+                continue
+        # the dynamic tail must have segments left to fill
+        consumed = len(complete) + (1 if partial is not None else 0)
+        if consumed < len(fsegs) or (partial is not None and fsegs[-1].startswith("<")):
+            return True
+        if consumed == len(fsegs) and partial is not None and expected.startswith("<"):
+            return True
+    return False
+
+
+def _metric_call(node: ast.Call) -> Optional[Tuple[tax.MetricKind, ast.expr, bool]]:
+    """``(kind, first_arg, receiver_is_tracer)`` for metric-shaped calls."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _KINDS:
+        return None
+    if not node.args:
+        return None
+    return _KINDS[func.attr], node.args[0], _tracerish(func.value)
+
+
+@register
+class CounterTaxonomyRule(Rule):
+    rule_id = "LNT002"
+    name = "metric-taxonomy"
+    rationale = (
+        "metric names must parse against repro.obs.taxonomy so typos "
+        "cannot open unaccounted error-budget buckets"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        roots = {
+            kind: set(tax.known_prefixes(kind)) for kind in tax.MetricKind
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            found = _metric_call(node)
+            if found is None:
+                continue
+            kind, arg, is_tracer = found
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                name = arg.value
+                looks_like_metric = name.split(".", 1)[0] in roots[kind]
+                if not is_tracer and not looks_like_metric:
+                    continue
+                err = tax.validate(name, kind)
+                if err is not None:
+                    yield self.violation(ctx, arg, f"undeclared {kind.value} name: {err}")
+            elif isinstance(arg, ast.JoinedStr):
+                prefix = _fstring_prefix(arg)
+                if prefix is None:
+                    continue  # fully dynamic; not statically checkable
+                looks_like_metric = prefix.split(".", 1)[0] in roots[kind]
+                if not is_tracer and not looks_like_metric:
+                    continue
+                if not _prefix_matches_family(prefix, kind):
+                    yield self.violation(
+                        ctx,
+                        arg,
+                        f"f-string {kind.value} name prefix {prefix!r} aligns with "
+                        "no declared family in repro.obs.taxonomy",
+                    )
+            # names from variables/attributes (e.g. taxonomy constants or
+            # DecodeFailure.counter) are validated at their construction
+            # site, not here

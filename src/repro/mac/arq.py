@@ -39,6 +39,7 @@ from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.taxonomy import C
 from repro.sim.network import CbmaNetwork
 from repro.utils.rng import make_rng
 
@@ -171,13 +172,16 @@ class ArqSimulator:
         self._round = 0
 
     def _inject_arrivals(self, stats: ArqStats, duration_s: float, rng) -> None:
+        tracer = self.network.tracer
         counts = self.traffic.draw(len(self.queues), duration_s, rng)
         data_bytes = self.network.config.payload_bytes - 1
         for tag_id, count in enumerate(counts):
             for _ in range(int(count)):
                 stats.offered += 1
+                tracer.count(C.ARQ_OFFERED)
                 if len(self.queues[tag_id]) >= self.max_queue:
                     stats.dropped += 1
+                    tracer.count(C.ARQ_DROPPED)
                     continue
                 seq = self._next_seq[tag_id]
                 self._next_seq[tag_id] = (seq + 1) % 256
@@ -246,10 +250,12 @@ class ArqSimulator:
             chip_rate_hz=cfg.chip_rate_hz,
             tx_faults=rf.tx_faults() if rf is not None else None,
         )
+        tracer = network.tracer
         payloads = {tid: self.queues[tid][0].payload for tid in active}
         for tid in active:
             self.queues[tid][0].attempts += 1
             stats.transmissions += 1
+            tracer.count(C.ARQ_TRANSMISSIONS)
         iq, _truth = simulate_round(scenario, payloads, network.rng)
         iq = network.apply_channel_faults(iq, rf)
         report = network.receiver.process(iq)
@@ -268,10 +274,12 @@ class ArqSimulator:
                 # duplicate, never a second delivery.
                 if message.seq == self._last_delivered_seq[tid]:
                     stats.duplicates += 1
+                    tracer.count(C.ARQ_DUPLICATES)
                 else:
                     self._last_delivered_seq[tid] = message.seq
                     message.delivered_time_s = self._time_s
                     stats.delivered += 1
+                    tracer.count(C.ARQ_DELIVERED)
                     stats.latencies_s.append(message.latency_s)
                 ack_lost = (rf is not None and tid in rf.ack_lost) or (
                     self.ack_loss_prob > 0.0 and rng.random() < self.ack_loss_prob
@@ -283,10 +291,12 @@ class ArqSimulator:
                 # the attempt failed, so it keeps the message and backs
                 # off like any other failure.
                 stats.acks_lost += 1
+                tracer.count(C.ARQ_ACKS_LOST)
             if message.attempts >= self.max_retries:
                 self.queues[tid].popleft()
                 if message.delivered_time_s is None:
                     stats.dropped += 1
+                    tracer.count(C.ARQ_DROPPED)
             else:
                 message.next_round = self._round + self._backoff_rounds(message.attempts)
         return report

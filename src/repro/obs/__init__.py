@@ -43,6 +43,19 @@ from repro.obs.dashboard import render_dashboard
 from repro.obs.export import jsonl_lines, read_jsonl, write_jsonl
 from repro.obs.profile import GaugeStats, RunProfile, StageStats
 from repro.obs.result import ExperimentResult
+from repro.obs.taxonomy import (
+    TAXONOMY,
+    C,
+    G,
+    MetricFamily,
+    MetricKind,
+    decode_outcome,
+    family_for,
+    fault_loss,
+    is_known,
+    pipeline_failure,
+    validate,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     PIPELINE_STAGES,
@@ -67,4 +80,15 @@ __all__ = [
     "write_jsonl",
     "read_jsonl",
     "render_dashboard",
+    "MetricKind",
+    "MetricFamily",
+    "TAXONOMY",
+    "validate",
+    "is_known",
+    "family_for",
+    "pipeline_failure",
+    "fault_loss",
+    "decode_outcome",
+    "C",
+    "G",
 ]

@@ -22,14 +22,16 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.taxonomy import C
+
 __all__ = ["StageStats", "GaugeStats", "RunProfile"]
 
 #: Counter names that attribute one lost frame to a pipeline stage
 #: (incremented by the network's truth-based scoring).
 _ERROR_COUNTERS = {
-    "errors.not_detected": "detect",
-    "errors.not_decoded": "decode",
-    "errors.wrong_payload": "payload",
+    C.ERRORS_NOT_DETECTED: "detect",
+    C.ERRORS_NOT_DECODED: "decode",
+    C.ERRORS_WRONG_PAYLOAD: "payload",
 }
 
 
@@ -147,7 +149,7 @@ class RunProfile:
 
     @staticmethod
     def _error_budget(counters: Dict[str, float]) -> Dict[str, float]:
-        sent = counters.get("round.frames_sent", 0)
+        sent = counters.get(C.ROUND_FRAMES_SENT, 0)
         if not sent:
             return {}
         budget = {
@@ -160,7 +162,7 @@ class RunProfile:
         for key, value in counters.items():
             if key.startswith("errors.") and key not in _ERROR_COUNTERS:
                 budget[key[len("errors."):]] = value / sent
-        budget["delivered"] = counters.get("round.frames_correct", 0) / sent
+        budget["delivered"] = counters.get(C.ROUND_FRAMES_CORRECT, 0) / sent
         return budget
 
     # ------------------------------------------------------------------

@@ -1,0 +1,366 @@
+"""The metric-name taxonomy: every counter, gauge and span, declared.
+
+Observability only stays trustworthy while the names stay coherent: a
+typo'd ``errors.pipline.decode.exception`` silently opens a new bucket
+and the error budget stops adding up.  This module is the single
+source of truth for every metric name the instrumentation may emit:
+
+- fixed names (``round.frames_sent``) are declared as constants;
+- parameterised families (``errors.pipeline.<stage>.<reason>``) are
+  declared as :class:`MetricFamily` patterns with the allowed value
+  set of every placeholder;
+- :func:`validate` checks an arbitrary name against the registry and
+  is what the **LNT002** lint rule (:mod:`repro.lint`) runs over every
+  literal metric name in the codebase.
+
+Instrumentation sites should build names through the constants and the
+:func:`pipeline_failure` / :func:`fault_loss` / :func:`decode_outcome`
+constructors below rather than pasting strings; the constructors raise
+on slugs the taxonomy does not know, so an unknown stage or reason
+fails at the call site instead of corrupting the budget.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+
+__all__ = [
+    "MetricKind",
+    "MetricFamily",
+    "TAXONOMY",
+    "CONTAINMENT_STAGES",
+    "PIPELINE_FAILURE_REASONS",
+    "DECODE_REASONS",
+    "FAULT_KINDS",
+    "SPAN_NAMES",
+    "validate",
+    "is_known",
+    "family_for",
+    "known_prefixes",
+    "pipeline_failure",
+    "fault_loss",
+    "decode_outcome",
+    "C",
+    "G",
+]
+
+_SLUG = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+class MetricKind(Enum):
+    """What a metric name may be used as."""
+
+    COUNTER = "counter"
+    GAUGE = "gauge"
+    SPAN = "span"
+
+
+#: Pipeline stages a contained failure may attribute itself to
+#: (:class:`repro.receiver.failures.DecodeFailure.stage`).
+CONTAINMENT_STAGES: FrozenSet[str] = frozenset(
+    {"input", "frame_sync", "user_detection", "decode", "crc", "sic", "ack"}
+)
+
+#: Reason slugs of contained pipeline failures
+#: (``errors.pipeline.<stage>.<reason>``).
+PIPELINE_FAILURE_REASONS: FrozenSet[str] = frozenset(
+    {"exception", "non_finite", "not_1d", "uninterpretable", "ghost_suppression"}
+)
+
+#: Outcome slugs of one frame decode (``decode.<reason>`` counters and
+#: :class:`~repro.receiver.decoder.DecodedFrame.reason`).
+DECODE_REASONS: FrozenSet[str] = frozenset(
+    {"ok", "length", "truncated", "crc", "exception", "ghost"}
+)
+
+#: Fault kinds, in loss-attribution priority order (the order
+#: :data:`repro.faults.models.FAULT_REASONS` derives from).  ``errors.fault.<kind>``
+#: attributes a lost frame to an injected fault; ``faults.<kind>`` counts
+#: the injection itself.
+FAULT_KINDS: Tuple[str, ...] = (
+    "dropout",
+    "brownout",
+    "clock_drift",
+    "adc_clip",
+    "interference",
+    "ack_loss",
+)
+
+#: Every legal span name (the pipeline stages of
+#: :data:`repro.obs.tracer.PIPELINE_STAGES` plus the loop/synthesis spans).
+SPAN_NAMES: FrozenSet[str] = frozenset(
+    {
+        "frame_sync",
+        "detect",
+        "decode",
+        "crc",
+        "sic",
+        "round",
+        "epoch",
+        "synthesize",
+        "stream_decode",
+    }
+)
+
+
+@dataclass(frozen=True)
+class MetricFamily:
+    """One declared metric name or parameterised name family.
+
+    ``pattern`` is a dotted name whose ``<placeholder>`` segments stand
+    for a variable slug; ``values`` restricts each placeholder to an
+    explicit set (an absent entry means any ``[a-z0-9_]`` slug).
+    """
+
+    pattern: str
+    kind: MetricKind
+    description: str
+    values: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    @property
+    def segments(self) -> Tuple[str, ...]:
+        return tuple(self.pattern.split("."))
+
+    @property
+    def literal_prefix(self) -> str:
+        """The leading dotted segments before the first placeholder."""
+        fixed = []
+        for seg in self.segments:
+            if seg.startswith("<"):
+                break
+            fixed.append(seg)
+        return ".".join(fixed)
+
+    def match(self, name: str) -> Optional[str]:
+        """``None`` when *name* parses against this family, else why not."""
+        parts = name.split(".")
+        segs = self.segments
+        if len(parts) != len(segs):
+            return f"expected {len(segs)} segments ({self.pattern}), got {len(parts)}"
+        for part, seg in zip(parts, segs):
+            if seg.startswith("<"):
+                placeholder = seg[1:-1]
+                allowed = self.values.get(placeholder)
+                if allowed is not None and part not in allowed:
+                    return (
+                        f"unknown {placeholder} {part!r} "
+                        f"(allowed: {', '.join(sorted(allowed))})"
+                    )
+                if allowed is None and not _SLUG.match(part):
+                    return f"{placeholder} segment {part!r} is not a slug"
+            elif part != seg:
+                return f"segment {part!r} does not match {seg!r} in {self.pattern}"
+        return None
+
+
+def _fixed(pattern: str, kind: MetricKind, description: str) -> MetricFamily:
+    return MetricFamily(pattern=pattern, kind=kind, description=description)
+
+
+#: The complete registry.  Adding an instrumentation point means adding
+#: its family here first -- LNT002 enforces that ordering.
+TAXONOMY: Tuple[MetricFamily, ...] = (
+    # --- round / epoch loop counters -------------------------------------
+    _fixed("round.rounds", MetricKind.COUNTER, "collision rounds simulated"),
+    _fixed("round.frames_sent", MetricKind.COUNTER, "frames offered by active tags"),
+    _fixed("round.frames_correct", MetricKind.COUNTER, "frames delivered payload-exact"),
+    _fixed("epoch.epochs", MetricKind.COUNTER, "system epochs completed"),
+    _fixed("epoch.power_control_runs", MetricKind.COUNTER, "Algorithm 1 invocations"),
+    _fixed("unslotted.offered", MetricKind.COUNTER, "unslotted transmissions offered"),
+    _fixed("unslotted.delivered", MetricKind.COUNTER, "unslotted transmissions decoded"),
+    # --- receiver stage counters -----------------------------------------
+    _fixed("frame_sync.detections", MetricKind.COUNTER, "declared frame starts"),
+    _fixed("frame_sync.crossings", MetricKind.COUNTER, "raw threshold crossings"),
+    _fixed("frame_sync.misses", MetricKind.COUNTER, "buffers with no energy detection"),
+    _fixed("detect.users", MetricKind.COUNTER, "user detections across rounds"),
+    MetricFamily(
+        "decode.<reason>",
+        MetricKind.COUNTER,
+        "frame decode outcomes by reason",
+        values={"reason": DECODE_REASONS},
+    ),
+    _fixed("crc.ok", MetricKind.COUNTER, "CRC checks passed"),
+    _fixed("crc.fail", MetricKind.COUNTER, "CRC checks failed"),
+    _fixed("sic.passes", MetricKind.COUNTER, "SIC detect-decode-cancel passes"),
+    _fixed("sic.cancellations", MetricKind.COUNTER, "frames subtracted by SIC"),
+    # --- ARQ / reliability counters --------------------------------------
+    MetricFamily(
+        "arq.<event>",
+        MetricKind.COUNTER,
+        "stop-and-wait ARQ events",
+        values={
+            "event": frozenset(
+                {"offered", "delivered", "dropped", "duplicates", "acks_lost", "transmissions"}
+            )
+        },
+    ),
+    # --- loss attribution (the error budget) -----------------------------
+    _fixed("errors.not_detected", MetricKind.COUNTER, "losses at detection"),
+    _fixed("errors.not_decoded", MetricKind.COUNTER, "losses at decode"),
+    _fixed("errors.wrong_payload", MetricKind.COUNTER, "CRC-passing wrong payloads"),
+    MetricFamily(
+        "errors.fault.<kind>",
+        MetricKind.COUNTER,
+        "losses attributed to an injected fault",
+        values={"kind": frozenset(FAULT_KINDS)},
+    ),
+    MetricFamily(
+        "errors.pipeline.<stage>.<reason>",
+        MetricKind.COUNTER,
+        "contained pipeline failures (degradation contract)",
+        values={"stage": CONTAINMENT_STAGES, "reason": PIPELINE_FAILURE_REASONS},
+    ),
+    # --- fault injections (not losses: what was injected) ----------------
+    MetricFamily(
+        "faults.<kind>",
+        MetricKind.COUNTER,
+        "fault injections by kind",
+        values={"kind": frozenset({*FAULT_KINDS, "ack_lost"})},
+    ),
+    # --- gauges ----------------------------------------------------------
+    _fixed("tag.snr_db", MetricKind.GAUGE, "per-tag SNR at the receiver"),
+    _fixed("frame_sync.lead_db", MetricKind.GAUGE, "detection margin over threshold"),
+    _fixed("detect.score", MetricKind.GAUGE, "normalised correlation of detections"),
+    _fixed("detect.peak_margin", MetricKind.GAUGE, "peak margin over runner-up"),
+    _fixed("round.n_samples", MetricKind.GAUGE, "synthesized buffer length"),
+) + tuple(
+    _fixed(name, MetricKind.SPAN, "pipeline/loop span") for name in sorted(SPAN_NAMES)
+)
+
+
+def iter_families(kind: Optional[MetricKind] = None) -> Iterator[MetricFamily]:
+    """All families, optionally restricted to one kind."""
+    for fam in TAXONOMY:
+        if kind is None or fam.kind is kind:
+            yield fam
+
+
+def validate(name: str, kind: MetricKind) -> Optional[str]:
+    """``None`` when *name* is a legal *kind* name, else an error message.
+
+    A name whose first segment matches no family at all gets the
+    generic "unknown family" message; a name that *starts* like a
+    declared family but fails its placeholder constraints gets that
+    family's specific complaint (the more actionable error).
+    """
+    root = name.split(".", 1)[0]
+    best: Optional[str] = None
+    for fam in iter_families(kind):
+        err = fam.match(name)
+        if err is None:
+            return None
+        if fam.segments[0] == root:
+            best = best or f"{name!r}: {err}"
+    if best is not None:
+        return best
+    return (
+        f"{name!r} matches no declared {kind.value} family "
+        f"(see repro.obs.taxonomy.TAXONOMY)"
+    )
+
+
+def is_known(name: str, kind: MetricKind) -> bool:
+    """True when *name* parses against the registry."""
+    return validate(name, kind) is None
+
+
+def family_for(name: str, kind: MetricKind) -> Optional[MetricFamily]:
+    """The family *name* parses against, if any."""
+    for fam in iter_families(kind):
+        if fam.match(name) is None:
+            return fam
+    return None
+
+
+def known_prefixes(kind: MetricKind) -> Tuple[str, ...]:
+    """First segments of every declared family of *kind* (for LNT002's
+    heuristics: a dotted literal starting with one of these is treated
+    as a metric name and validated)."""
+    return tuple(sorted({fam.segments[0] for fam in iter_families(kind)}))
+
+
+# ----------------------------------------------------------------------
+# Checked constructors for the parameterised families
+# ----------------------------------------------------------------------
+
+
+def pipeline_failure(stage: str, reason: str) -> str:
+    """``errors.pipeline.<stage>.<reason>`` with both slugs checked."""
+    if stage not in CONTAINMENT_STAGES:
+        raise ValueError(
+            f"unknown pipeline stage {stage!r} (allowed: {', '.join(sorted(CONTAINMENT_STAGES))})"
+        )
+    if reason not in PIPELINE_FAILURE_REASONS:
+        raise ValueError(
+            f"unknown failure reason {reason!r} "
+            f"(allowed: {', '.join(sorted(PIPELINE_FAILURE_REASONS))})"
+        )
+    return f"errors.pipeline.{stage}.{reason}"
+
+
+def fault_loss(kind: str) -> str:
+    """``errors.fault.<kind>`` with the kind checked.
+
+    Accepts either the bare kind (``"dropout"``) or the prefixed loss
+    slug a :class:`~repro.faults.plan.RoundFaults` reports
+    (``"fault.dropout"``).
+    """
+    slug = kind[len("fault."):] if kind.startswith("fault.") else kind
+    if slug not in FAULT_KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r} (allowed: {', '.join(FAULT_KINDS)})"
+        )
+    return f"errors.fault.{slug}"
+
+
+def decode_outcome(reason: str) -> str:
+    """``decode.<reason>`` with the reason checked."""
+    if reason not in DECODE_REASONS:
+        raise ValueError(
+            f"unknown decode reason {reason!r} (allowed: {', '.join(sorted(DECODE_REASONS))})"
+        )
+    return f"decode.{reason}"
+
+
+class C:
+    """Counter-name constants (the fixed members of the taxonomy)."""
+
+    ROUND_ROUNDS = "round.rounds"
+    ROUND_FRAMES_SENT = "round.frames_sent"
+    ROUND_FRAMES_CORRECT = "round.frames_correct"
+    EPOCH_EPOCHS = "epoch.epochs"
+    EPOCH_POWER_CONTROL_RUNS = "epoch.power_control_runs"
+    UNSLOTTED_OFFERED = "unslotted.offered"
+    UNSLOTTED_DELIVERED = "unslotted.delivered"
+    FRAME_SYNC_DETECTIONS = "frame_sync.detections"
+    FRAME_SYNC_CROSSINGS = "frame_sync.crossings"
+    FRAME_SYNC_MISSES = "frame_sync.misses"
+    DETECT_USERS = "detect.users"
+    CRC_OK = "crc.ok"
+    CRC_FAIL = "crc.fail"
+    SIC_PASSES = "sic.passes"
+    SIC_CANCELLATIONS = "sic.cancellations"
+    DECODE_GHOST = "decode.ghost"
+    ERRORS_NOT_DETECTED = "errors.not_detected"
+    ERRORS_NOT_DECODED = "errors.not_decoded"
+    ERRORS_WRONG_PAYLOAD = "errors.wrong_payload"
+    FAULTS_ACK_LOST = "faults.ack_lost"
+    ARQ_OFFERED = "arq.offered"
+    ARQ_DELIVERED = "arq.delivered"
+    ARQ_DROPPED = "arq.dropped"
+    ARQ_DUPLICATES = "arq.duplicates"
+    ARQ_ACKS_LOST = "arq.acks_lost"
+    ARQ_TRANSMISSIONS = "arq.transmissions"
+
+
+class G:
+    """Gauge-name constants."""
+
+    TAG_SNR_DB = "tag.snr_db"
+    FRAME_SYNC_LEAD_DB = "frame_sync.lead_db"
+    DETECT_SCORE = "detect.score"
+    DETECT_PEAK_MARGIN = "detect.peak_margin"
+    ROUND_N_SAMPLES = "round.n_samples"

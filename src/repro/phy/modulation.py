@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.phy.waveform import FIRST_HARMONIC_AMPLITUDE
 from repro.utils.bits import as_bit_array
+from repro.utils.contracts import array_contract
 
 __all__ = [
     "spread_bits",
@@ -34,6 +35,12 @@ __all__ = [
     "fractional_delay",
     "chips_per_frame",
 ]
+
+#: Fractional delays below this are treated as integer shifts.  Delays
+#: arrive as ``offset_chips * samples_per_chip`` products, so exact
+#: integers can carry ~1 ulp of rounding dust that must not flip the
+#: fast path (or grow the default output by a spurious sample).
+_FRAC_EPS = 1e-12
 
 
 def spread_bits(bits, code: np.ndarray) -> np.ndarray:
@@ -72,6 +79,7 @@ def upsample_chips(chips, samples_per_chip: int) -> np.ndarray:
     return np.repeat(arr, samples_per_chip)
 
 
+@array_contract(returns="(n) complex128")
 def ook_baseband(
     chip_samples: np.ndarray,
     amplitude: Union[float, complex] = 1.0,
@@ -105,9 +113,12 @@ def fractional_delay(signal: np.ndarray, delay_samples: float, total_length: int
     n_int = int(np.floor(delay_samples))
     frac = float(delay_samples - n_int)
     if total_length is None:
-        total_length = sig.size + n_int + (1 if frac > 0 else 0)
+        total_length = sig.size + n_int + (1 if frac > _FRAC_EPS else 0)
     out = np.zeros(total_length, dtype=np.result_type(sig.dtype, np.float64))
-    if frac == 0.0:
+    if frac <= _FRAC_EPS:
+        # Integer-delay fast path; a sub-epsilon fractional residue
+        # (floating-point dust from e.g. `offset * spc`) would otherwise
+        # trigger a full interpolation that only smears rounding noise.
         end = min(n_int + sig.size, total_length)
         out[n_int:end] = sig[: end - n_int]
         return out

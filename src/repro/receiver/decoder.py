@@ -21,10 +21,12 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.taxonomy import C
 from repro.obs.tracer import as_tracer
 from repro.phy.modulation import upsample_chips
 from repro.tag.framing import FrameError, FrameFormat, MAX_PAYLOAD_BYTES
 from repro.utils.bits import bits_to_bipolar, bits_to_bytes, pack_bits
+from repro.utils.contracts import array_contract
 
 __all__ = ["ChipDecoder", "DecodedFrame"]
 
@@ -101,6 +103,7 @@ class ChipDecoder:
         decisions = (np.real(np.conj(channel) * stats) > 0).astype(np.uint8)
         return decisions
 
+    @array_contract(window="(n) complex128")
     def decode_frame(self, window: np.ndarray, preamble_start: int, channel: complex, user_id: int = -1) -> DecodedFrame:
         """Progressively decode a full frame.
 
@@ -130,11 +133,11 @@ class ChipDecoder:
             with tracer.span("crc"):
                 frame = self.fmt.parse(frame_bits, check_preamble=False)
         except FrameError:
-            tracer.count("crc.fail")
+            tracer.count(C.CRC_FAIL)
             return DecodedFrame(
                 user_id, False, None, "crc", raw_bits=pack_bits(length_bits, rest_bits)
             )
-        tracer.count("crc.ok")
+        tracer.count(C.CRC_OK)
         return DecodedFrame(
             user_id, True, frame.payload, "ok", raw_bits=pack_bits(length_bits, rest_bits)
         )

@@ -24,6 +24,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.taxonomy import pipeline_failure
+
 __all__ = ["DecodeFailure", "sanitize_buffer"]
 
 
@@ -53,8 +55,13 @@ class DecodeFailure:
 
     @property
     def counter(self) -> str:
-        """The tracer/error-budget counter slug for this failure."""
-        return f"errors.pipeline.{self.stage}.{self.reason}"
+        """The tracer/error-budget counter slug for this failure.
+
+        Built via the taxonomy's checked constructor, so a stage or
+        reason the registry does not declare raises here instead of
+        opening an unaccounted error-budget bucket.
+        """
+        return pipeline_failure(self.stage, self.reason)
 
 
 def sanitize_buffer(iq) -> Tuple[np.ndarray, List[DecodeFailure]]:

@@ -20,7 +20,9 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs.taxonomy import C, G
 from repro.phy.sampling import moving_average
+from repro.utils.contracts import array_contract
 
 __all__ = ["EnergyDetector", "FrameSyncResult"]
 
@@ -67,6 +69,7 @@ class EnergyDetector:
     """Optional :class:`repro.obs.Tracer`; set automatically when the
     owning receiver is constructed with one."""
 
+    @array_contract(iq="(n) any")
     def detect(self, iq: np.ndarray) -> FrameSyncResult:
         """Run the detector over a complex sample buffer."""
         x = np.asarray(iq)
@@ -97,11 +100,11 @@ class EnergyDetector:
                 last = int(idx)
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
-            tracer.count("frame_sync.detections", len(detections))
-            tracer.count("frame_sync.crossings", int(crossings.size))
+            tracer.count(C.FRAME_SYNC_DETECTIONS, len(detections))
+            tracer.count(C.FRAME_SYNC_CROSSINGS, int(crossings.size))
             for idx in detections:
                 # Detection margin: how far above the 3 dB threshold the
                 # short-window power actually crossed (dB).
                 lead = current[idx] / max(baseline_lagged[idx] * factor, 1e-30)
-                tracer.gauge("frame_sync.lead_db", 10.0 * np.log10(max(lead, 1e-30)))
+                tracer.gauge(G.FRAME_SYNC_LEAD_DB, 10.0 * np.log10(max(lead, 1e-30)))
         return FrameSyncResult(detections=detections)

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.taxonomy import C, G, decode_outcome
 from repro.obs.tracer import as_tracer
 from repro.receiver.ack import AckMessage
 from repro.receiver.decoder import ChipDecoder, DecodedFrame
@@ -201,7 +202,7 @@ class CbmaReceiver:
             self._contain(report, DecodeFailure("frame_sync", "exception", detail=str(exc)))
         sync = report.sync
         if not sync.detected and not skip_energy_gate:
-            tracer.count("frame_sync.misses")
+            tracer.count(C.FRAME_SYNC_MISSES)
             report.ack = AckMessage.for_ids([], round_index)
             return report
 
@@ -211,14 +212,14 @@ class CbmaReceiver:
         except Exception as exc:
             self._contain(report, DecodeFailure("user_detection", "exception", detail=str(exc)))
         if tracer.enabled:
-            tracer.count("detect.users", len(report.detections))
+            tracer.count(C.DETECT_USERS, len(report.detections))
             for det in report.detections:
-                tracer.gauge("detect.score", det.score)
+                tracer.gauge(G.DETECT_SCORE, det.score)
                 if det.candidates and len(det.candidates) > 1:
                     # Margin of the chosen correlation peak over the
                     # runner-up alignment hypothesis.
                     scores = sorted((s for _o, s, _c in det.candidates), reverse=True)
-                    tracer.gauge("detect.peak_margin", scores[0] - scores[1])
+                    tracer.gauge(G.DETECT_PEAK_MARGIN, scores[0] - scores[1])
         for det in report.detections:
             decoder = self._decoders[det.user_id]
             # Multi-hypothesis decoding: the alternating preamble has
@@ -248,7 +249,7 @@ class CbmaReceiver:
                 frame = DecodedFrame(
                     user_id=det.user_id, success=False, payload=None, reason="exception"
                 )
-            tracer.count(f"decode.{frame.reason}")
+            tracer.count(decode_outcome(frame.reason))
             report.frames.append(frame)
 
         try:
@@ -290,7 +291,7 @@ class CbmaReceiver:
             for i in indices:
                 if i == keep:
                     continue
-                self.tracer.count("decode.ghost")
+                self.tracer.count(C.DECODE_GHOST)
                 ghost = report.frames[i]
                 report.frames[i] = DecodedFrame(
                     user_id=ghost.user_id,

@@ -21,6 +21,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.obs.taxonomy import C, decode_outcome
 from repro.phy.modulation import spread_bits, upsample_chips
 from repro.receiver.ack import AckMessage
 from repro.receiver.decoder import DecodedFrame
@@ -29,6 +30,7 @@ from repro.receiver.frame_sync import FrameSyncResult
 from repro.receiver.receiver import CbmaReceiver, ReceptionReport
 from repro.tag.framing import FrameFormat
 from repro.utils.bits import pack_bits
+from repro.utils.contracts import array_contract
 
 __all__ = ["SicReceiver"]
 
@@ -65,7 +67,7 @@ class SicReceiver(CbmaReceiver):
         except Exception as exc:
             self._contain(report, DecodeFailure("frame_sync", "exception", detail=str(exc)))
         if not report.sync.detected and not skip_energy_gate:
-            tracer.count("frame_sync.misses")
+            tracer.count(C.FRAME_SYNC_MISSES)
             report.ack = AckMessage.for_ids([], round_index)
             return report
 
@@ -116,7 +118,7 @@ class SicReceiver(CbmaReceiver):
         """One detect-decode-cancel pass; returns ``(residual, progressed)``."""
         tracer = self.tracer
         with tracer.span("sic", sic_pass=_pass):
-            tracer.count("sic.passes")
+            tracer.count(C.SIC_PASSES)
             with tracer.span("detect"):
                 detections = self.user_detector.detect(residual)
             for det in detections:
@@ -147,7 +149,7 @@ class SicReceiver(CbmaReceiver):
                     frame = DecodedFrame(
                         user_id=det.user_id, success=False, payload=None, reason="exception"
                     )
-                tracer.count(f"decode.{frame.reason}")
+                tracer.count(decode_outcome(frame.reason))
                 if frame.success:
                     new_successes.append((det, frame, used))
                 else:
@@ -174,10 +176,11 @@ class SicReceiver(CbmaReceiver):
             for det, frame, (offset, channel) in committed:
                 succeeded[det.user_id] = frame
                 failed.pop(det.user_id, None)
-                tracer.count("sic.cancellations")
+                tracer.count(C.SIC_CANCELLATIONS)
                 residual = self._cancel(residual, det.user_id, frame, offset, channel)
         return residual, True
 
+    @array_contract(residual="(n) complex128", returns="(n) complex128")
     def _cancel(
         self,
         residual: np.ndarray,

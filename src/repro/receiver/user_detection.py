@@ -25,6 +25,7 @@ import numpy as np
 from repro.phy.modulation import spread_bits, upsample_chips
 from repro.tag.framing import FrameFormat
 from repro.utils.bits import bits_to_bipolar
+from repro.utils.contracts import array_contract
 from repro.utils.correlation import correlation_peaks, sliding_correlation
 
 __all__ = ["UserDetector", "UserDetection"]
@@ -109,6 +110,7 @@ class UserDetector:
     def template_length(self, user_id: int) -> int:
         return self._templates[int(user_id)].size
 
+    @array_contract(window="(n) complex128")
     def detect(self, window: np.ndarray, max_users: Optional[int] = None) -> List[UserDetection]:
         """Detect users inside *window* (complex samples).
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.channel.interference import NoInterference, OfdmExcitationGate
 from repro.channel.noise import NoiseModel
+from repro.obs.taxonomy import G
 from repro.obs.tracer import as_tracer
 from repro.phy.modulation import fractional_delay, ook_baseband, waveform_from_edges
 from repro.tag.tag import Tag
@@ -135,7 +136,7 @@ def simulate_round(
     with tracer.span("synthesize", tags=len(payloads)):
         iq, truth = _synthesize_round(scenario, payloads, rng)
     if tracer.enabled:
-        tracer.gauge("round.n_samples", truth.n_samples)
+        tracer.gauge(G.ROUND_N_SAMPLES, truth.n_samples)
     return iq, truth
 
 

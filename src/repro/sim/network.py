@@ -31,6 +31,7 @@ from repro.channel.pathloss import LinkBudget
 from repro.codes.registry import make_codes
 from repro.faults.plan import FaultPlan, RoundFaults
 from repro.mac.power_control import PowerController, PowerControlResult
+from repro.obs.taxonomy import C, G, fault_loss
 from repro.obs.tracer import as_tracer
 from repro.phy.impedance import default_codebook
 from repro.receiver.receiver import CbmaReceiver
@@ -353,7 +354,7 @@ class CbmaNetwork:
         }
         tracer = self.tracer
         with tracer.span("round", tags=len(payloads)):
-            tracer.count("round.rounds")
+            tracer.count(C.ROUND_ROUNDS)
             iq, truth = simulate_round(scenario, payloads, self.rng, tracer=tracer)
             iq = self.apply_channel_faults(iq, rf)
             report = self.receiver.process(iq)
@@ -362,7 +363,7 @@ class CbmaNetwork:
                 noise_w = max(cfg.noise.power_w, 1e-30)
                 for tag_id, amp in truth.amplitudes.items():
                     snr = (abs(amp) ** 2) / noise_w
-                    tracer.gauge("tag.snr_db", 10.0 * np.log10(max(snr, 1e-30)))
+                    tracer.gauge(G.TAG_SNR_DB, 10.0 * np.log10(max(snr, 1e-30)))
             detected_ids = {d.user_id for d in report.detections}
             for i, tag in enumerate(self.tags):
                 sent = payloads.get(i)
@@ -384,7 +385,7 @@ class CbmaNetwork:
                     if acked and rf is not None and i in rf.ack_lost:
                         acked = False
                         if tracer.enabled:
-                            tracer.count("faults.ack_lost")
+                            tracer.count(C.FAULTS_ACK_LOST)
                     tag.record_result(acked)
                     if tracer.enabled:
                         # Truth-scored error budget: which stage lost
@@ -393,18 +394,18 @@ class CbmaNetwork:
                         # fault that explains the loss takes the blame
                         # instead, so operators can separate deployment
                         # failures from algorithmic ones.
-                        tracer.count("round.frames_sent")
+                        tracer.count(C.ROUND_FRAMES_SENT)
                         fault_reason = rf.loss_reason(i) if rf is not None else None
                         if outcome.payload_correct:
-                            tracer.count("round.frames_correct")
+                            tracer.count(C.ROUND_FRAMES_CORRECT)
                         elif fault_reason is not None:
-                            tracer.count(f"errors.{fault_reason}")
+                            tracer.count(fault_loss(fault_reason))
                         elif not outcome.detected:
-                            tracer.count("errors.not_detected")
+                            tracer.count(C.ERRORS_NOT_DETECTED)
                         elif decoded_payload is None:
-                            tracer.count("errors.not_decoded")
+                            tracer.count(C.ERRORS_NOT_DECODED)
                         else:
-                            tracer.count("errors.wrong_payload")
+                            tracer.count(C.ERRORS_WRONG_PAYLOAD)
             metrics.add_time(cfg.frame_duration_s())
         return metrics
 

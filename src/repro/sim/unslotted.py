@@ -19,6 +19,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.channel.noise import NoiseModel
+from repro.obs.taxonomy import C
 from repro.obs.tracer import as_tracer
 from repro.phy.modulation import fractional_delay, ook_baseband
 from repro.receiver.streaming import StreamingReceiver
@@ -212,8 +213,11 @@ def simulate_unslotted(
             )
     result.faults_injected = injected
     if tracer.enabled:
-        tracer.count("unslotted.offered", result.offered)
-        tracer.count("unslotted.delivered", result.delivered)
+        tracer.count(C.UNSLOTTED_OFFERED, result.offered)
+        tracer.count(C.UNSLOTTED_DELIVERED, result.delivered)
         for reason, count in injected.items():
-            tracer.count(f"faults.{reason}", count)
+            # ``injected`` keys carry the plan's "fault." prefix; the
+            # taxonomy's injection family is ``faults.<kind>``.
+            kind = reason[len("fault."):] if reason.startswith("fault.") else reason
+            tracer.count(f"faults.{kind}", count)
     return result

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.channel.geometry import Deployment
 from repro.mac.fairness import RotatingGroupScheduler, ServiceLog
 from repro.mac.power_control import PowerController
+from repro.obs.taxonomy import C
 from repro.obs.tracer import as_tracer
 from repro.sim.metrics import MetricsAccumulator
 from repro.sim.network import CbmaConfig, CbmaNetwork
@@ -151,7 +152,7 @@ class CbmaSystem:
         """One full epoch: select, balance (if needed), transfer, move."""
         tracer = self.tracer
         with tracer.span("epoch", epoch=self._epoch):
-            tracer.count("epoch.epochs")
+            tracer.count(C.EPOCH_EPOCHS)
             # Sorted so the same composition hits the same balance cache
             # regardless of the order the scheduler emitted it.
             group = tuple(sorted(self.scheduler.next_group(self.rng)))
@@ -165,7 +166,7 @@ class CbmaSystem:
                     self._positions_of(group),
                 )
                 ran_pc = True
-                tracer.count("epoch.power_control_runs")
+                tracer.count(C.EPOCH_POWER_CONTROL_RUNS)
             else:
                 states, _ = self._balanced[group]
                 for tag, z in zip(net.tags, states):

@@ -25,6 +25,9 @@ from repro.utils.rng import make_rng
 
 __all__ = ["TagOscillator"]
 
+#: Drift/jitter magnitudes below this count as an ideal clock.
+_IDEAL_EPS = 1e-9
+
 
 @dataclass
 class TagOscillator:
@@ -68,8 +71,14 @@ class TagOscillator:
 
     @property
     def is_ideal(self) -> bool:
-        """True when the clock has no drift or jitter (fast path)."""
-        return self.drift_ppm == 0.0 and self.jitter_chips_rms == 0.0
+        """True when the clock has no drift or jitter (fast path).
+
+        Tolerance-based: drift below ~1e-9 ppm stretches a thousand-chip
+        frame by under 1e-18 chips -- indistinguishable from ideal, and
+        an exact ``== 0.0`` here would punish callers whose drift came
+        out of a float computation.
+        """
+        return abs(self.drift_ppm) < _IDEAL_EPS and self.jitter_chips_rms < _IDEAL_EPS
 
     def total_delay_samples(self, samples_per_chip: int) -> float:
         """Static start offset converted to samples."""

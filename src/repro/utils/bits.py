@@ -140,11 +140,17 @@ def hamming_distance(a: Union[Iterable[int], np.ndarray], b: Union[Iterable[int]
 
 
 def random_bits(n: int, rng: Optional[np.random.Generator] = None) -> BitArray:
-    """Generate *n* uniformly random bits."""
+    """Generate *n* uniformly random bits.
+
+    Callers that care about reproducibility must pass a seeded
+    generator; with ``rng=None`` the draw comes from OS entropy (the
+    one sanctioned unseeded path, via :func:`repro.utils.rng.make_rng`).
+    """
     if n < 0:
         raise ValueError("n must be non-negative")
-    rng = rng if rng is not None else np.random.default_rng()
-    return rng.integers(0, 2, size=n, dtype=np.uint8)
+    from repro.utils.rng import make_rng
+
+    return make_rng(rng).integers(0, 2, size=n, dtype=np.uint8)
 
 
 def bits_to_bipolar(bits: Union[Iterable[int], np.ndarray]) -> np.ndarray:

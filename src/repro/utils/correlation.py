@@ -19,6 +19,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.utils.contracts import array_contract
+
 __all__ = [
     "normalized_correlation",
     "sliding_correlation",
@@ -27,6 +29,7 @@ __all__ = [
 ]
 
 
+@array_contract(x="(n) any", template="(n) any")
 def normalized_correlation(x: np.ndarray, template: np.ndarray) -> float:
     """Normalised correlation of two equal-length sequences.
 
@@ -45,6 +48,7 @@ def normalized_correlation(x: np.ndarray, template: np.ndarray) -> float:
     return float(np.abs(np.vdot(template, x)) / denom)
 
 
+@array_contract(signal="(n) any", template="(m) any")
 def sliding_correlation(signal: np.ndarray, template: np.ndarray, normalize: bool = True) -> np.ndarray:
     """Correlate *template* against every alignment of *signal*.
 

@@ -1,0 +1,7 @@
+"""LNT005 fixture: ``__all__`` exporting a name the module never binds."""
+
+__all__ = ["real_thing", "phantom"]  # `phantom` does not exist  (line 3)
+
+
+def real_thing():
+    return 1

@@ -1,0 +1,14 @@
+"""LNT004 fixture: widening ops on contracted narrow buffers."""
+
+import numpy as np
+
+from repro.utils.contracts import array_contract
+
+
+@array_contract(x="(n_tags, n_chips) complex64", w="(n_chips) float32")
+def widen(x, w):
+    a = x.astype(np.complex128)  # widens complex64            (line 10)
+    b = np.asarray(w, dtype=np.float64)  # widens float32      (line 11)
+    c = np.array(x, dtype="complex128")  # string dtype        (line 12)
+    d = np.asarray(w, dtype=complex)  # builtin alias          (line 13)
+    return a, b, c, d

@@ -1,0 +1,16 @@
+"""LNT006 fixture: blanket exception swallowing."""
+
+
+def risky(work):
+    try:
+        work()
+    except:  # bare                                             (line 7)
+        pass
+    try:
+        work()
+    except Exception:  # broad + silent                         (line 11)
+        pass
+    try:
+        work()
+    except Exception:  # broad + ellipsis-only body              (line 15)
+        ...

@@ -1,0 +1,9 @@
+"""LNT003 fixture: exact ==/!= against float literals."""
+
+
+def branch(frac, x):
+    if frac == 0.0:  # (line 5)
+        return 1
+    if x != 2.5:  # (line 7)
+        return 2
+    return -1.5 == frac  # negated literal  (line 9)

@@ -1,0 +1,16 @@
+"""LNT001 fixture: every flavour of unseeded / global RNG call."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng, standard_normal
+
+
+def draw():
+    a = np.random.normal(0.0, 1.0, 8)  # global numpy RNG          (line 10)
+    rng = np.random.default_rng()  # argless default_rng           (line 11)
+    b = random.random()  # global stdlib RNG                       (line 12)
+    c = default_rng()  # argless from-import                       (line 13)
+    d = standard_normal(4)  # global via from-import               (line 14)
+    e = random.Random()  # argless stdlib constructor              (line 15)
+    return a, rng, b, c, d, e

@@ -1,0 +1,10 @@
+"""LNT002 fixture: metric names the taxonomy does not declare."""
+
+
+def run(tracer, reason):
+    tracer.count("errors.pipline.decode.exception")  # typo'd family  (line 5)
+    tracer.gauge("detect.scor", 1.0)  # unknown gauge                 (line 6)
+    tracer.count(f"errors.bogus.{reason}")  # bad f-string prefix     (line 7)
+    with tracer.span("not_a_stage"):  # undeclared span               (line 8)
+        pass
+    tracer.count("errors.pipeline.decode.made_up")  # bad placeholder (line 10)

@@ -1,0 +1,17 @@
+"""LNT004 fixture: contracted buffers that stay in their lane."""
+
+import numpy as np
+
+from repro.utils.contracts import array_contract
+
+
+@array_contract(x="(n) complex64", y="(n) complex128")
+def stay_narrow(x, y):
+    a = x.astype(np.complex64)  # same-width astype is fine
+    b = np.asarray(y, dtype=np.complex128)  # y is contracted wide already
+    c = np.abs(x).astype(np.float32)  # derived value, not the parameter
+    return a, b, c
+
+
+def no_contract(x):
+    return x.astype(np.complex128)  # undeclared function: out of scope

@@ -1,0 +1,13 @@
+"""LNT006 fixture: narrow catches and recording broad handlers."""
+
+
+def careful(work, log, failures):
+    try:
+        work()
+    except ValueError:
+        pass  # narrow type: the swallow is a deliberate, bounded choice
+    try:
+        work()
+    except Exception as exc:  # broad but *recorded*: allowed
+        failures.append(exc)
+        log(str(exc))

@@ -1,0 +1,15 @@
+"""LNT003 fixture: tolerance comparisons and non-float equality."""
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def branch(frac, x, n):
+    if abs(frac) < _EPS:
+        return 1
+    if np.isclose(x, 2.5):
+        return 2
+    if n == 0:  # int literal: exact equality is fine
+        return 3
+    return frac < 0.5  # ordering against a float literal is fine

@@ -1,0 +1,16 @@
+"""LNT001 fixture: every draw is seeded or explicitly threaded."""
+
+import random
+
+import numpy as np
+from numpy.random import PCG64, default_rng
+
+
+def draw(seed, rng):
+    a = np.random.default_rng(seed).normal(0.0, 1.0, 8)
+    gen = np.random.Generator(np.random.PCG64(seed))
+    b = default_rng(seed).integers(0, 2, 4)
+    c = PCG64(seed)
+    d = random.Random(seed).random()
+    e = rng.normal(0.0, 1.0, 8)  # a threaded Generator is the idiom
+    return a, gen, b, c, d, e

@@ -1,0 +1,14 @@
+"""LNT002 fixture: declared names, checkable f-strings, non-metric `.count`."""
+
+
+def run(tracer, reason, kind):
+    tracer.count("round.frames_sent")
+    tracer.count(f"errors.fault.{kind}")
+    tracer.count(f"decode.{reason}")
+    tracer.gauge("tag.snr_db", 3.0)
+    with tracer.span("frame_sync"):
+        pass
+    text = "a.b.c"
+    dots = text.count(".")  # str.count is not a metric call
+    spans = [(0, 1)]
+    return dots, spans[0].count(0)

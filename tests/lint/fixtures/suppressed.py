@@ -1,0 +1,16 @@
+"""Suppression-comment fixture: violations silenced line- and file-wide."""
+# repro-lint: disable-file=LNT006
+
+import numpy as np
+
+
+def sentinel(frac, work):
+    if frac == 0.25:  # repro-lint: disable=LNT003
+        return 1
+    if frac == 0.5:  # repro-lint: disable=all
+        return 2
+    try:
+        work()
+    except Exception:  # silenced by the disable-file above
+        pass
+    return np.random.normal()  # LNT001 still fires: not suppressed

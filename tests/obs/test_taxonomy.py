@@ -1,0 +1,117 @@
+"""Tests for the metric-name taxonomy registry (repro.obs.taxonomy)."""
+
+import pytest
+
+from repro.faults.models import FAULT_REASONS
+from repro.obs.taxonomy import (
+    C,
+    DECODE_REASONS,
+    FAULT_KINDS,
+    G,
+    MetricKind,
+    SPAN_NAMES,
+    TAXONOMY,
+    decode_outcome,
+    family_for,
+    fault_loss,
+    is_known,
+    pipeline_failure,
+    validate,
+)
+from repro.receiver.failures import DecodeFailure
+
+
+def _constants(namespace):
+    return [
+        value
+        for key, value in vars(namespace).items()
+        if key.isupper() and isinstance(value, str)
+    ]
+
+
+def test_every_counter_constant_is_declared():
+    for name in _constants(C):
+        assert validate(name, MetricKind.COUNTER) is None, name
+
+
+def test_every_gauge_constant_is_declared():
+    for name in _constants(G):
+        assert validate(name, MetricKind.GAUGE) is None, name
+
+
+def test_every_span_name_is_declared():
+    for name in SPAN_NAMES:
+        assert validate(name, MetricKind.SPAN) is None, name
+
+
+def test_validate_rejects_unknown_names():
+    assert validate("detect.scor", MetricKind.GAUGE) is not None
+    assert validate("errors.pipline.decode.crc", MetricKind.COUNTER) is not None
+    assert validate("made.up.entirely", MetricKind.COUNTER) is not None
+
+
+def test_validate_rejects_kind_mismatch():
+    # A declared gauge name used as a counter is still an error.
+    assert validate(G.DETECT_SCORE, MetricKind.GAUGE) is None
+    assert validate(G.DETECT_SCORE, MetricKind.COUNTER) is not None
+
+
+def test_validate_rejects_placeholder_outside_allowed_set():
+    msg = validate("errors.pipeline.decode.made_up", MetricKind.COUNTER)
+    assert msg is not None
+    assert "made_up" in msg
+
+
+def test_is_known_and_family_for_agree():
+    assert is_known(C.CRC_OK, MetricKind.COUNTER)
+    family = family_for(C.CRC_OK, MetricKind.COUNTER)
+    assert family is not None
+    assert family.kind is MetricKind.COUNTER
+    assert family_for("nope.nope", MetricKind.COUNTER) is None
+
+
+def test_taxonomy_families_have_descriptions():
+    for family in TAXONOMY:
+        assert family.description, family.pattern
+
+
+def test_pipeline_failure_constructor():
+    name = pipeline_failure("decode", "exception")
+    assert name == "errors.pipeline.decode.exception"
+    assert is_known(name, MetricKind.COUNTER)
+    with pytest.raises(ValueError):
+        pipeline_failure("decode", "bogus_reason")
+    with pytest.raises(ValueError):
+        pipeline_failure("bogus_stage", "exception")
+
+
+def test_fault_loss_accepts_bare_and_prefixed_kinds():
+    assert fault_loss("dropout") == "errors.fault.dropout"
+    assert fault_loss("fault.dropout") == "errors.fault.dropout"
+    with pytest.raises(ValueError):
+        fault_loss("made_up")
+
+
+def test_decode_outcome_constructor():
+    for reason in DECODE_REASONS:
+        assert is_known(decode_outcome(reason), MetricKind.COUNTER)
+    with pytest.raises(ValueError):
+        decode_outcome("nonsense")
+
+
+def test_fault_reasons_mirror_fault_kinds():
+    # repro.faults derives its injectable reasons from the taxonomy's
+    # kind list; the two must never drift apart.
+    assert FAULT_REASONS == tuple(
+        f"fault.{kind}" for kind in FAULT_KINDS if kind != "ack_loss"
+    )
+    for reason in FAULT_REASONS:
+        assert is_known(fault_loss(reason), MetricKind.COUNTER)
+
+
+def test_decode_failure_counter_uses_checked_constructor():
+    failure = DecodeFailure(stage="decode", reason="exception", user_id=1)
+    assert failure.counter == "errors.pipeline.decode.exception"
+    bogus = DecodeFailure(stage="decode", reason="bogus", user_id=1)
+    with pytest.raises(ValueError):
+        _ = bogus.counter

@@ -130,3 +130,35 @@ class TestChipsPerFrame:
             chips_per_frame(-1, 64)
         with pytest.raises(ValueError):
             chips_per_frame(10, 0)
+
+
+class TestFractionalDelayBoundary:
+    """Regression tests for the epsilon-tolerant integer fast path.
+
+    ``offset_chips * samples_per_chip`` can leave ~1e-16 of rounding
+    dust on a logically-integer delay; comparing ``frac == 0.0``
+    exactly used to push those calls down the interpolation path and
+    grow the output by one smeared sample.
+    """
+
+    def test_exact_integer_delay_fast_path(self):
+        out = fractional_delay(np.array([1.0, 2.0, 3.0]), 2.0)
+        assert out.size == 5
+        assert out.tolist() == [0.0, 0.0, 1.0, 2.0, 3.0]
+
+    def test_rounding_dust_takes_same_fast_path(self):
+        clean = fractional_delay(np.array([1.0, 2.0, 3.0]), 2.0)
+        dusty = fractional_delay(np.array([1.0, 2.0, 3.0]), 2.0 + 1e-14)
+        assert dusty.size == clean.size
+        assert dusty.tolist() == clean.tolist()
+
+    def test_real_fraction_still_interpolates(self):
+        out = fractional_delay(np.array([1.0]), 2.5)
+        assert out.size == 4
+        assert out[2] == pytest.approx(0.5)
+        assert out[3] == pytest.approx(0.5)
+
+    def test_fraction_just_above_epsilon_interpolates(self):
+        out = fractional_delay(np.array([1.0]), 1.0 + 1e-9)
+        assert out.size == 3
+        assert out[2] == pytest.approx(1e-9)

@@ -125,3 +125,22 @@ class TestTag:
         fmt = FrameFormat.with_preamble_bits(16)
         tag = self._tag(fmt=fmt)
         assert tag.encode(b"").size == fmt.frame_bits(0) * tag.code.size
+
+
+class TestIsIdealBoundary:
+    """Regression tests for tolerance-based is_ideal (was ``== 0.0``)."""
+
+    def test_default_oscillator_is_ideal(self):
+        assert TagOscillator().is_ideal
+
+    def test_rounding_dust_still_ideal(self):
+        assert TagOscillator(drift_ppm=1e-12, jitter_chips_rms=1e-12).is_ideal
+
+    def test_negative_dust_still_ideal(self):
+        assert TagOscillator(drift_ppm=-1e-12).is_ideal
+
+    def test_real_drift_not_ideal(self):
+        assert not TagOscillator(drift_ppm=20.0).is_ideal
+
+    def test_real_jitter_not_ideal(self):
+        assert not TagOscillator(jitter_chips_rms=0.05).is_ideal
