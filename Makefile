@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint bench bench-quick examples report clean
+.PHONY: install test lint bench bench-quick bench-perf examples report clean
 
 install:
 	pip install -e .
@@ -24,6 +24,12 @@ bench:
 
 bench-quick:
 	REPRO_BENCH_SCALE=0.25 $(PY) -m pytest benchmarks/ --benchmark-only -q
+
+# Correlation hot-path latency trajectory, gated vs the committed
+# baseline (docs/performance.md).
+bench-perf:
+	$(PY) -m repro bench --quick --output BENCH_0004.json \
+		--baseline benchmarks/BENCH_0004.json
 
 examples:
 	$(PY) examples/quickstart.py

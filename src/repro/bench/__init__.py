@@ -1,0 +1,28 @@
+"""Microbenchmark harness for the receiver hot path (``repro bench``).
+
+The ROADMAP's "as fast as the hardware allows" goal is only real while
+it is *measured*: this package times the correlation kernel (direct
+vs. batched-FFT), the multi-user detector and an end-to-end 10-tag
+decode, summarises each operation's per-rep latency as p50/p95 via the
+:mod:`repro.obs` gauge machinery (``bench.*`` metric families), and
+writes the trajectory file ``BENCH_XXXX.json`` that CI tracks for
+regressions (see ``docs/performance.md``).
+"""
+
+from repro.bench.runner import (
+    BENCH_ID,
+    SCHEMA,
+    BenchReport,
+    OpResult,
+    compare_to_baseline,
+    run_bench,
+)
+
+__all__ = [
+    "BENCH_ID",
+    "SCHEMA",
+    "BenchReport",
+    "OpResult",
+    "compare_to_baseline",
+    "run_bench",
+]

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro field --resolution 41
     python -m repro profile --tags 10 --rounds 20
     python -m repro profile --tags 4 --rounds 5 --json
+    python -m repro bench --quick --output BENCH_0004.json
     python -m repro trace record out.json --tags 3 --rounds 50
     python -m repro trace replay out.json --seed 9
 
@@ -149,6 +150,26 @@ def _build_parser() -> argparse.ArgumentParser:
     rep_p = sub.add_parser("report", help="run all experiments, write a markdown report")
     rep_p.add_argument("--output", default="report.md")
     rep_p.add_argument("--scale", type=float, default=0.25, help="round-count multiplier")
+
+    bench = sub.add_parser(
+        "bench", help="micro-benchmark the correlation hot path, write BENCH_*.json"
+    )
+    bench.add_argument("--quick", action="store_true", help="CI smoke scale (small windows, few reps)")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--output", default="BENCH_0004.json", metavar="PATH", help="trajectory file to write")
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="committed BENCH_*.json to compare against; exits 1 on regression",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        metavar="FACTOR",
+        help="fail when an op's p50 exceeds FACTOR x the baseline (default 2.0)",
+    )
+    bench.add_argument("--json", action="store_true", help="print the report JSON to stdout")
 
     lint = sub.add_parser(
         "lint", help="run the domain-aware static analysis (LNT001..LNT006)"
@@ -292,6 +313,46 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"replayed {len(trace)} rounds: FER {format_percent(metrics.fer)}, "
         f"mean power difference {format_percent(trace.mean_power_difference())}"
     )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import BenchReport, compare_to_baseline, run_bench
+
+    report = run_bench(quick=args.quick, seed=args.seed)
+    if args.json:
+        print(report.to_json())
+    else:
+        rows = [
+            [
+                op.op,
+                str(op.reps),
+                f"{op.p50_s * 1e3:.3f}",
+                f"{op.p95_s * 1e3:.3f}",
+            ]
+            for op in report.ops
+        ]
+        mode = "quick" if report.quick else "full"
+        print(
+            render_table(
+                ["op", "reps", "p50 (ms)", "p95 (ms)"],
+                rows,
+                title=f"repro bench ({mode}, seed {report.seed})",
+            )
+        )
+        for name, value in sorted(report.derived.items()):
+            print(f"  {name:<36} {value:6.2f}x")
+    path = report.save(args.output)
+    print(f"benchmark trajectory written to {path}")
+    if args.baseline:
+        baseline = BenchReport.load(args.baseline)
+        regressions = compare_to_baseline(report, baseline, args.max_regression)
+        if regressions:
+            print(f"PERF REGRESSION vs {args.baseline} (>{args.max_regression:.1f}x):")
+            for regression in regressions:
+                print(f"  {regression}")
+            return 1
+        print(f"no regression vs {args.baseline} (gate: {args.max_regression:.1f}x p50)")
     return 0
 
 
@@ -457,6 +518,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "lint":
         from repro.lint.cli import run_lint
 

@@ -102,6 +102,7 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "epoch",
         "synthesize",
         "stream_decode",
+        "bench",
     }
 )
 
@@ -219,6 +220,17 @@ TAXONOMY: Tuple[MetricFamily, ...] = (
         MetricKind.COUNTER,
         "fault injections by kind",
         values={"kind": frozenset({*FAULT_KINDS, "ack_lost"})},
+    ),
+    # --- microbenchmarks (repro bench) ------------------------------------
+    MetricFamily(
+        "bench.<op>.reps",
+        MetricKind.COUNTER,
+        "timed repetitions per benchmark operation",
+    ),
+    MetricFamily(
+        "bench.<op>.op_s",
+        MetricKind.GAUGE,
+        "per-repetition latency samples of one benchmark operation",
     ),
     # --- gauges ----------------------------------------------------------
     _fixed("tag.snr_db", MetricKind.GAUGE, "per-tag SNR at the receiver"),

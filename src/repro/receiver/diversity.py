@@ -17,6 +17,7 @@ at the knee.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -27,7 +28,7 @@ from repro.receiver.receiver import CbmaReceiver, ReceptionReport
 from repro.receiver.user_detection import UserDetection
 from repro.tag.framing import FrameError, FrameFormat, MAX_PAYLOAD_BYTES
 from repro.utils.bits import bits_to_bytes, pack_bits
-from repro.utils.correlation import correlation_peaks, sliding_correlation
+from repro.utils.correlation import correlation_peaks
 
 __all__ = ["DiversityReceiver"]
 
@@ -50,21 +51,33 @@ class DiversityReceiver(CbmaReceiver):
     # Branch-combining pipeline
     # ------------------------------------------------------------------
 
+    def _combined_correlations(
+        self, branches: Sequence[np.ndarray]
+    ) -> "OrderedDict[int, np.ndarray]":
+        """Square-law-combined correlation per user, batched per branch.
+
+        Each branch takes **one** batched FFT pass over the stacked
+        template bank (shared branch FFT, shared window-energy cumsum)
+        instead of one ``np.convolve`` per user per branch; the
+        per-user rows are then combined non-coherently across branches.
+        """
+        combined: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        for x in branches:
+            for uid, corr in self.user_detector.correlation_rows(x):
+                prev = combined.get(uid)
+                combined[uid] = corr**2 if prev is None else prev + corr**2
+        # Root-SUM, not root-mean: a deeply faded branch must never
+        # drag the detection statistic below what the good branch
+        # alone would give (non-coherent square-law combining).
+        return OrderedDict((uid, np.sqrt(acc)) for uid, acc in combined.items())
+
     def _detect_combined(self, branches: Sequence[np.ndarray]) -> List[UserDetection]:
         """User detection on non-coherently combined correlations."""
         out: List[UserDetection] = []
-        for uid in self.codes:
+        for uid, combined in self._combined_correlations(branches).items():
             template = self.user_detector.template(uid)
-            if branches[0].size < template.size:
+            if combined.size == 0:
                 continue
-            combined = None
-            for x in branches:
-                corr = sliding_correlation(x, template, normalize=True)
-                combined = corr**2 if combined is None else combined + corr**2
-            # Root-SUM, not root-mean: a deeply faded branch must never
-            # drag the detection statistic below what the good branch
-            # alone would give (non-coherent square-law combining).
-            combined = np.sqrt(combined)
             best = int(np.argmax(combined))
             score = float(combined[best])
             if score < self.user_detector.threshold:

@@ -23,6 +23,13 @@ from repro.receiver.receiver import CbmaReceiver
 
 __all__ = ["StreamingReceiver", "StreamFrame"]
 
+#: Live-window pre-gate margin: a window is handed to the full
+#: pipeline when any user's batched correlation reaches this fraction
+#: of the detection threshold.  Kept fractionally below 1.0 so FFT
+#: rounding (~1e-12 relative) can never gate out a window the direct
+#: per-user path would have decoded.
+_PREGATE_MARGIN = 0.999
+
 
 @dataclass(frozen=True)
 class StreamFrame:
@@ -72,9 +79,34 @@ class StreamingReceiver:
     def hop_samples(self) -> int:
         return self._frame_samples
 
+    def _window_is_live(self, window: np.ndarray) -> bool:
+        """Cheap batched pre-gate: could any user clear the detection
+        threshold inside *window*?
+
+        One batched FFT pass over the stacked template bank replaces
+        the full per-window pipeline for silent stretches -- the
+        common case of a sparse unslotted stream.  The gate uses the
+        same kernel and normalisation as the detector itself (margin
+        :data:`_PREGATE_MARGIN` below threshold), so a window it skips
+        is one the detector would have returned no users for.
+        """
+        threshold = self.receiver.user_detector.threshold * _PREGATE_MARGIN
+        for _uid, corr in self.receiver.user_detector.correlation_rows(window):
+            if corr.size and float(corr.max()) >= threshold:
+                return True
+        return False
+
     def process_stream(self, iq: np.ndarray) -> List[StreamFrame]:
-        """Decode every recoverable frame in *iq* (absolute positions)."""
+        """Decode every recoverable frame in *iq* (absolute positions).
+
+        The window walk is two-tier: every hop first runs the batched
+        correlation pre-gate (:meth:`_window_is_live`), and only live
+        windows pay for the full detect/decode pipeline.  With a
+        tracer attached to the underlying receiver, each live window
+        is timed under a ``stream_decode`` span.
+        """
         x = np.asarray(iq)
+        tracer = self.receiver.tracer
         frames: List[StreamFrame] = []
         seen: Dict[tuple, int] = {}
         pos = 0
@@ -82,7 +114,11 @@ class StreamingReceiver:
             window = x[pos : pos + self.window_samples]
             if window.size < self.window_samples // 4:
                 break
-            report = self.receiver.process(window, skip_energy_gate=True)
+            if not self._window_is_live(window):
+                pos += self.hop_samples
+                continue
+            with tracer.span("stream_decode"):
+                report = self.receiver.process(window, skip_energy_gate=True)
             det_offsets = {d.user_id: d.offset for d in report.detections}
             for frame in report.frames:
                 if not frame.success:

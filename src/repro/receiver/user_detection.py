@@ -18,15 +18,14 @@ consumed by the decoder.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.phy.modulation import spread_bits, upsample_chips
 from repro.tag.framing import FrameFormat
-from repro.utils.bits import bits_to_bipolar
 from repro.utils.contracts import array_contract
 from repro.utils.correlation import correlation_peaks, sliding_correlation
+from repro.utils.correlation_batch import TemplateBank, template_bank
 
 __all__ = ["UserDetector", "UserDetection"]
 
@@ -96,12 +95,34 @@ class UserDetector:
         self.codes = {int(uid): np.asarray(code, dtype=np.uint8) for uid, code in codes.items()}
         # Bipolar spread-preamble templates: zero-mean-ish, so the
         # correlation rejects the DC offset contributed by other tags'
-        # unipolar chip activity.
-        self._templates: Dict[int, np.ndarray] = {}
-        for uid, code in self.codes.items():
-            chips = spread_bits(self.fmt.preamble, code)
-            template = upsample_chips(bits_to_bipolar(chips), samples_per_chip)
-            self._templates[uid] = template
+        # unipolar chip activity.  The stacked bank is memoised per
+        # (format, codes, oversampling) and feeds the batched FFT
+        # kernel; a ragged code book (no supported family produces one)
+        # falls back to the per-user direct loop.
+        self._bank: Optional[TemplateBank] = None
+        try:
+            self._bank = template_bank(self.fmt, self.codes, samples_per_chip)
+        except ValueError:
+            self._bank = None
+        if self._bank is not None:
+            self._templates: Dict[int, np.ndarray] = {
+                uid: self._bank.template(uid) for uid in self.codes
+            }
+        else:
+            from repro.phy.modulation import spread_bits, upsample_chips
+            from repro.utils.bits import bits_to_bipolar
+
+            self._templates = {
+                uid: upsample_chips(
+                    bits_to_bipolar(spread_bits(self.fmt.preamble, code)), samples_per_chip
+                )
+                for uid, code in self.codes.items()
+            }
+
+    @property
+    def bank(self) -> Optional[TemplateBank]:
+        """The stacked template bank (``None`` for a ragged code book)."""
+        return self._bank
 
     def template(self, user_id: int) -> np.ndarray:
         """The spread-preamble template for *user_id* (bipolar, upsampled)."""
@@ -109,6 +130,32 @@ class UserDetector:
 
     def template_length(self, user_id: int) -> int:
         return self._templates[int(user_id)].size
+
+    def correlation_rows(
+        self, window: np.ndarray, backend: Optional[str] = None
+    ) -> Iterable[Tuple[int, np.ndarray]]:
+        """``(user_id, normalised sliding correlation)`` per user.
+
+        One batched FFT pass over the stacked bank when available (the
+        hot path: shared window FFT + shared window-energy cumsum),
+        otherwise the legacy per-user direct loop.  Users whose
+        template is longer than the window yield nothing.
+        """
+        x = np.asarray(window)
+        if self._bank is not None:
+            if x.size < self._bank.template_samples:
+                return
+            corr = self._bank.correlate(x, backend=backend)
+            # Emit in this detector's code order (the cached bank may
+            # have been built by a detector with another dict order).
+            row_of = {uid: row for row, uid in enumerate(self._bank.user_ids)}
+            for uid in self.codes:
+                yield uid, corr[row_of[uid]]
+            return
+        for uid, template in self._templates.items():
+            if x.size < template.size:
+                continue
+            yield uid, sliding_correlation(x, template, normalize=True)
 
     @array_contract(window="(n) complex128")
     def detect(self, window: np.ndarray, max_users: Optional[int] = None) -> List[UserDetection]:
@@ -121,10 +168,8 @@ class UserDetector:
         """
         x = np.asarray(window)
         out: List[UserDetection] = []
-        for uid, template in self._templates.items():
-            if x.size < template.size:
-                continue
-            corr = sliding_correlation(x, template, normalize=True)
+        for uid, corr in self.correlation_rows(x):
+            template = self._templates[uid]
             if corr.size == 0:
                 continue
             best = int(np.argmax(corr))

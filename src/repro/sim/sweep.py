@@ -32,26 +32,33 @@ import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 __all__ = ["grid", "sweep", "PointError"]
 
 
-def grid(**axes: Sequence) -> List[Dict[str, Any]]:
+def grid(**axes: Iterable) -> List[Dict[str, Any]]:
     """Cartesian product of named parameter axes, in document order.
+
+    Axes may be any iterable -- lists, ranges, numpy arrays or one-shot
+    generators (each axis is materialised exactly once).
 
     >>> grid(n_tags=[2, 3], d=[1.0])
     [{'n_tags': 2, 'd': 1.0}, {'n_tags': 3, 'd': 1.0}]
     """
     if not axes:
         return [{}]
-    names = list(axes)
-    for name, values in axes.items():
-        if len(values) == 0:
+    # Materialise every axis first: generators/iterators have no len()
+    # and would be consumed by the product anyway.  Only a truly empty
+    # axis (after materialisation) is an error.
+    materialized = {name: list(values) for name, values in axes.items()}
+    for name, values in materialized.items():
+        if not values:
             raise ValueError(f"axis {name!r} is empty")
-    combos = itertools.product(*(axes[name] for name in names))
+    names = list(materialized)
+    combos = itertools.product(*(materialized[name] for name in names))
     return [dict(zip(names, combo)) for combo in combos]
 
 

@@ -22,11 +22,37 @@ import numpy as np
 from repro.utils.contracts import array_contract
 
 __all__ = [
+    "DENOM_FLOOR",
+    "guard_denominator",
     "normalized_correlation",
     "sliding_correlation",
     "correlation_peaks",
     "best_alignment",
 ]
+
+#: Smallest denominator treated as carrying signal: the smallest
+#: *positive normal* float64 (~2.2e-308).  Any representable window
+#: energy or norm sits at or above it, while a numerically zero (or
+#: cancellation-negative, or underflowed-subnormal) value falls below,
+#: so clamping to this floor turns 0/0 into exactly 0 without ever
+#: distorting a real normalisation -- even for denormal-scale signals.
+DENOM_FLOOR: float = float(np.finfo(np.float64).tiny)
+
+
+def guard_denominator(denom, floor: float = DENOM_FLOOR):
+    """Clamp a non-negative denominator away from zero.
+
+    The single epsilon-guard for every correlation normalisation: all
+    zero/near-zero-energy handling routes through here instead of
+    ad-hoc ``== 0`` sentinel tests or magic clamps, so the degenerate
+    behaviour (zero numerator over floored denominator -> exactly 0) is
+    uniform across the direct and batched kernels.  Also repairs tiny
+    *negative* energies produced by cumulative-sum cancellation, which
+    would otherwise turn into NaN under ``sqrt``.
+
+    Accepts a scalar or an array; returns the same shape.
+    """
+    return np.maximum(denom, floor)
 
 
 @array_contract(x="(n) any", template="(n) any")
@@ -42,9 +68,7 @@ def normalized_correlation(x: np.ndarray, template: np.ndarray) -> float:
     template = np.asarray(template)
     if x.shape != template.shape:
         raise ValueError(f"shape mismatch: {x.shape} vs {template.shape}")
-    denom = np.linalg.norm(x) * np.linalg.norm(template)
-    if denom == 0:
-        return 0.0
+    denom = guard_denominator(np.linalg.norm(x) * np.linalg.norm(template))
     return float(np.abs(np.vdot(template, x)) / denom)
 
 
@@ -75,29 +99,50 @@ def sliding_correlation(signal: np.ndarray, template: np.ndarray, normalize: boo
     # Local energy of each length-m window, computed with a cumulative sum.
     power = np.abs(signal) ** 2
     csum = np.concatenate(([0.0], np.cumsum(power)))
-    window_energy = csum[m:] - csum[:-m]
-    denom = np.sqrt(np.maximum(window_energy, 1e-30)) * np.linalg.norm(template)
+    window_energy = guard_denominator(csum[m:] - csum[:-m])
+    denom = guard_denominator(np.sqrt(window_energy) * np.linalg.norm(template))
     return mags / denom
 
 
 def correlation_peaks(corr: np.ndarray, threshold: float, min_spacing: int = 1) -> np.ndarray:
     """Indices of local maxima in *corr* that exceed *threshold*.
 
-    Greedy non-maximum suppression: peaks are taken in descending height
-    order and any candidate within *min_spacing* samples of an accepted
-    peak is dropped.  Used by the frame synchroniser to avoid declaring
-    one frame twice.
+    Greedy non-maximum suppression: peaks are taken in descending
+    height order -- ties broken by the *earliest* index, so the result
+    is deterministic across platforms and numpy versions -- and any
+    candidate within *min_spacing* samples of an accepted peak is
+    dropped.  Used by the frame synchroniser to avoid declaring one
+    frame twice.
+
+    The suppression works on the position-sorted candidate array with
+    ``searchsorted`` range kills, so a pathological plateau of P
+    above-threshold samples costs O(P log P) rather than the O(P^2) of
+    an all-pairs distance check.
     """
     corr = np.asarray(corr, dtype=np.float64)
     candidates = np.flatnonzero(corr >= threshold)
     if candidates.size == 0:
-        return candidates
-    order = candidates[np.argsort(corr[candidates])[::-1]]
-    accepted: list = []
-    for idx in order:
-        if all(abs(int(idx) - a) >= min_spacing for a in accepted):
-            accepted.append(int(idx))
-    return np.array(sorted(accepted), dtype=np.int64)
+        return candidates.astype(np.int64)
+    if min_spacing <= 1:
+        # Distinct indices are always >= 1 apart: nothing to suppress.
+        return candidates.astype(np.int64)
+    heights = corr[candidates]
+    # Height-descending with an ascending-index tie-break: lexsort's
+    # last key is primary, and both keys impose a total order, so the
+    # visit order is fully deterministic even on tied plateaus (the
+    # default argsort is an unstable quicksort whose tie order is
+    # platform-dependent).
+    order = np.lexsort((candidates, -heights))
+    alive = np.ones(candidates.size, dtype=bool)
+    accepted = np.zeros(candidates.size, dtype=bool)
+    for i in order:
+        if not alive[i]:
+            continue
+        accepted[i] = True
+        lo = int(np.searchsorted(candidates, candidates[i] - min_spacing + 1, side="left"))
+        hi = int(np.searchsorted(candidates, candidates[i] + min_spacing, side="left"))
+        alive[lo:hi] = False
+    return candidates[accepted].astype(np.int64)
 
 
 def best_alignment(signal: np.ndarray, template: np.ndarray) -> Tuple[int, float]:

@@ -38,6 +38,23 @@ class TestGrid:
         with pytest.raises(ValueError):
             grid(a=[])
 
+    def test_generator_axis(self):
+        """Generator/iterator axes are materialised, not crashed on."""
+        points = grid(n=(i * 2 for i in range(3)), d=iter([1.0]))
+        assert points == [
+            {"n": 0, "d": 1.0},
+            {"n": 2, "d": 1.0},
+            {"n": 4, "d": 1.0},
+        ]
+
+    def test_range_and_map_axes(self):
+        points = grid(a=range(2), b=map(str, [7]))
+        assert points == [{"a": 0, "b": "7"}, {"a": 1, "b": "7"}]
+
+    def test_empty_generator_axis_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            grid(a=(x for x in ()))
+
 
 class TestSweep:
     def test_results_in_order(self):

@@ -5,11 +5,31 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.utils.correlation import (
+    DENOM_FLOOR,
     best_alignment,
     correlation_peaks,
+    guard_denominator,
     normalized_correlation,
     sliding_correlation,
 )
+
+
+class TestGuardDenominator:
+    def test_scalar_zero_is_floored(self):
+        assert guard_denominator(0.0) == DENOM_FLOOR
+
+    def test_negative_cancellation_residue_is_floored(self):
+        """Cumsum cancellation can leave tiny negative energies; the
+        guard must repair them before sqrt turns them into NaN."""
+        assert guard_denominator(-1e-18) == DENOM_FLOOR
+
+    def test_real_denominators_pass_through(self):
+        energy = np.array([1e-30, 1e-3, 2.5])
+        out = guard_denominator(energy)
+        assert np.array_equal(out, energy)
+
+    def test_floor_is_below_every_normal_float(self):
+        assert 0.0 < DENOM_FLOOR < 1e-300
 
 
 class TestNormalizedCorrelation:
@@ -76,6 +96,39 @@ class TestSlidingCorrelation:
         b = sliding_correlation(1000.0 * signal, template)
         assert np.allclose(a, b)
 
+    def test_zero_energy_windows_score_zero(self):
+        """Silent stretches normalise to exactly 0 -- never NaN/inf."""
+        template = np.sign(np.random.default_rng(1).normal(size=8))
+        signal = np.concatenate([np.zeros(20), template, np.zeros(20)])
+        corr = sliding_correlation(signal, template)
+        assert np.all(np.isfinite(corr))
+        assert corr[0] == 0.0 and corr[-1] == 0.0
+        assert corr[20] == pytest.approx(1.0)
+
+    def test_near_zero_energy_window_regression(self):
+        """Windows of denormal-scale noise stay finite and bounded.
+
+        Regression for the old ad-hoc ``1e-30`` clamp: an amplitude of
+        1e-80 gives window energies ~1e-160 -- far below the old clamp,
+        which would have crushed the normalisation and reported ~0 for
+        a perfect template match.  The scale-free guard normalises it
+        like any other window.
+        """
+        rng = np.random.default_rng(2)
+        template = np.sign(rng.normal(size=16))
+        signal = 1e-80 * np.concatenate(
+            [rng.normal(size=8), template, rng.normal(size=8)]
+        )
+        corr = sliding_correlation(signal, template)
+        assert np.all(np.isfinite(corr))
+        assert np.all(corr <= 1.0 + 1e-9)
+        assert int(np.argmax(corr)) == 8
+        assert corr[8] == pytest.approx(1.0, abs=1e-6)
+
+    def test_all_zero_signal_normalized(self):
+        corr = sliding_correlation(np.zeros(64), np.ones(16))
+        assert np.array_equal(corr, np.zeros(49))
+
 
 class TestCorrelationPeaks:
     def test_finds_isolated_peaks(self):
@@ -98,6 +151,56 @@ class TestCorrelationPeaks:
 
     def test_empty_input(self):
         assert correlation_peaks(np.zeros(0), 0.5).size == 0
+
+    def test_tied_peaks_resolve_to_earliest_deterministically(self):
+        """Equal-height peaks inside one suppression radius must keep
+        the *earliest* index -- every platform, every numpy build."""
+        corr = np.zeros(50)
+        corr[12] = 0.9
+        corr[10] = 0.9  # deliberate tie, later assignment earlier index
+        peaks = correlation_peaks(corr, threshold=0.5, min_spacing=5)
+        assert peaks.tolist() == [10]
+
+    def test_tied_plateau_keeps_spaced_earliest_peaks(self):
+        corr = np.zeros(40)
+        corr[10:20] = 0.8  # 10-sample plateau of exact ties
+        peaks = correlation_peaks(corr, threshold=0.5, min_spacing=4)
+        assert peaks.tolist() == [10, 14, 18]
+
+    def test_tie_with_distinct_heights_unaffected(self):
+        corr = np.zeros(50)
+        corr[10] = 0.7
+        corr[12] = 0.9  # strictly higher: wins despite later index
+        peaks = correlation_peaks(corr, threshold=0.5, min_spacing=5)
+        assert peaks.tolist() == [12]
+
+    def test_matches_greedy_reference_on_random_input(self):
+        """The vectorised suppression is the same greedy NMS."""
+
+        def greedy_reference(corr, threshold, min_spacing):
+            candidates = np.flatnonzero(corr >= threshold)
+            heights = corr[candidates]
+            order = candidates[np.lexsort((candidates, -heights))]
+            accepted = []
+            for idx in order:
+                if all(abs(int(idx) - a) >= min_spacing for a in accepted):
+                    accepted.append(int(idx))
+            return sorted(accepted)
+
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            corr = rng.uniform(size=rng.integers(1, 200))
+            # Quantise to force plenty of exact ties.
+            corr = np.round(corr, 1)
+            spacing = int(rng.integers(1, 12))
+            got = correlation_peaks(corr, threshold=0.5, min_spacing=spacing)
+            assert got.tolist() == greedy_reference(corr, 0.5, spacing)
+
+    def test_large_plateau_is_fast_and_correct(self):
+        """O(P log P) NMS on a pathological all-above-threshold input."""
+        corr = np.full(20000, 0.9)
+        peaks = correlation_peaks(corr, threshold=0.5, min_spacing=100)
+        assert peaks.tolist() == list(range(0, 20000, 100))
 
 
 class TestBestAlignment:
