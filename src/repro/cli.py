@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro profile --tags 10 --rounds 20
     python -m repro profile --tags 4 --rounds 5 --json
     python -m repro bench --quick --output BENCH_0004.json
+    python -m repro soak --windows 500 --campaigns 3 --artifact shrunk.json
     python -m repro trace record out.json --tags 3 --rounds 50
     python -m repro trace replay out.json --seed 9
 
@@ -131,6 +132,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--curve",
         action="store_true",
         help="sweep dropout probability and plot delivery vs fault rate instead",
+    )
+
+    soak = sub.add_parser(
+        "soak", help="chaos-soak a supervised streaming session under random faults"
+    )
+    soak.add_argument("--windows", type=int, default=500, help="stream length in hop windows")
+    soak.add_argument("--tags", type=int, default=2)
+    soak.add_argument("--seed", type=int, default=7)
+    soak.add_argument("--campaigns", type=int, default=3, help="randomized fault campaigns to run")
+    soak.add_argument(
+        "--artifact",
+        metavar="PATH",
+        help="where to write the shrunken reproducing fault plan on violation",
+    )
+    soak.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report violations without shrinking the fault plan",
     )
 
     adapt = sub.add_parser("adapt", help="auto-select the spreading factor for a channel")
@@ -462,6 +481,64 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sim.experiments import SoakConfig, run_campaign
+
+    cfg = SoakConfig(n_windows=args.windows, n_tags=args.tags, seed=args.seed)
+    outcomes = run_campaign(cfg, n_campaigns=args.campaigns, shrink=not args.no_shrink)
+    failed = [o for o in outcomes if o.result.violations]
+    rows = []
+    for o in outcomes:
+        r = o.result
+        rows.append(
+            [
+                str(o.campaign),
+                str(len(o.plan.faults)),
+                f"{r.delivered}/{r.offered}",
+                r.final_state,
+                str(r.stats["resyncs"]),
+                str(r.stats["windows_shed"]),
+                str(len(r.violations)),
+            ]
+        )
+    print(
+        render_table(
+            ["campaign", "faults", "delivered", "final state", "resyncs", "shed", "violations"],
+            rows,
+            title=f"repro soak: {args.windows} windows x {args.tags} tags, seed {args.seed}",
+        )
+    )
+    if not failed:
+        print(f"all {len(outcomes)} campaigns passed every invariant")
+        return 0
+    for o in failed:
+        print(f"\ncampaign {o.campaign} VIOLATED invariants:")
+        for v in o.result.violations:
+            print(f"  [{v.name}] {v.detail}")
+        if o.shrunken is not None:
+            print("minimal reproducing fault plan:")
+            print(o.shrunken.describe())
+            if args.artifact:
+                payload = {
+                    "config": {
+                        "n_windows": args.windows,
+                        "n_tags": args.tags,
+                        "seed": args.seed,
+                    },
+                    "campaign": o.campaign,
+                    "violations": [
+                        {"name": v.name, "detail": v.detail} for v in o.result.violations
+                    ],
+                    "plan": o.shrunken.to_dict(),
+                }
+                with open(args.artifact, "w") as fh:
+                    json.dump(payload, fh, indent=2)
+                print(f"shrunken plan written to {args.artifact}")
+    return 1
+
+
 def _cmd_system(args: argparse.Namespace) -> int:
     from repro.channel.geometry import Room
     from repro.channel.mobility import RandomWalk
@@ -524,6 +601,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint.cli import run_lint
 
         return run_lint(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     if args.command == "adapt":
         return _cmd_adapt(args)
     if args.command == "system":

@@ -23,6 +23,7 @@ Typical use::
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
@@ -153,6 +154,22 @@ class RoundFaults:
 #: The no-fault singleton returned for rounds nothing touches.
 _CLEAN = RoundFaults(round_index=-1)
 
+#: Fault model classes a serialised plan may reference, by class name.
+#: Keeping this an explicit registry (rather than getattr on the module)
+#: means a checkpoint can never instantiate an arbitrary symbol.
+_MODEL_REGISTRY = {
+    cls.__name__: cls
+    for cls in (
+        TagDropout,
+        TagBrownout,
+        OscillatorDrift,
+        BurstInterferer,
+        AdcSaturation,
+        AckLoss,
+        StuckImpedance,
+    )
+}
+
 
 class FaultPlan:
     """A deterministic schedule of faults for one run.
@@ -210,6 +227,53 @@ class FaultPlan:
                 f"[{i}] {type(f).__name__} rounds [{f.start_round}, {end}) tags {tags}"
             )
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialisation (checkpoints, shrunken-plan artifacts)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form: ``{"seed": ..., "faults": [...]}``.
+
+        Each fault is its class name plus its dataclass fields, so the
+        round-trip through :meth:`from_dict` reconstructs a plan that
+        resolves bit-identically -- what lets a chaos-soak artifact
+        replay a shrunken fault schedule on another machine.
+        """
+        return {
+            "seed": self.seed,
+            "faults": [
+                {
+                    "kind": type(f).__name__,
+                    "params": {
+                        fld.name: (
+                            list(value) if isinstance(value, tuple) else value
+                        )
+                        for fld in dataclasses.fields(f)
+                        for value in (getattr(f, fld.name),)
+                    },
+                }
+                for f in self.faults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`; unknown kinds raise ValueError."""
+        faults = []
+        for rec in data.get("faults", []):
+            kind = rec.get("kind")
+            model = _MODEL_REGISTRY.get(kind)
+            if model is None:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} (known: {sorted(_MODEL_REGISTRY)})"
+                )
+            params = {
+                key: tuple(value) if isinstance(value, list) else value
+                for key, value in rec.get("params", {}).items()
+            }
+            faults.append(model(**params))
+        return cls(faults, seed=int(data.get("seed", 0)))
 
     # ------------------------------------------------------------------
 

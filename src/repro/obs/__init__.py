@@ -54,6 +54,7 @@ from repro.obs.taxonomy import (
     fault_loss,
     is_known,
     pipeline_failure,
+    session_transition,
     validate,
 )
 from repro.obs.tracer import (
@@ -89,6 +90,7 @@ __all__ = [
     "pipeline_failure",
     "fault_loss",
     "decode_outcome",
+    "session_transition",
     "C",
     "G",
 ]

@@ -36,6 +36,7 @@ __all__ = [
     "DECODE_REASONS",
     "FAULT_KINDS",
     "SPAN_NAMES",
+    "SESSION_STATES",
     "validate",
     "is_known",
     "family_for",
@@ -43,6 +44,7 @@ __all__ = [
     "pipeline_failure",
     "fault_loss",
     "decode_outcome",
+    "session_transition",
     "C",
     "G",
 ]
@@ -89,6 +91,11 @@ FAULT_KINDS: Tuple[str, ...] = (
     "ack_loss",
 )
 
+#: Health states of a supervised streaming session
+#: (:class:`repro.receiver.session.HealthState` values; the
+#: ``session.transition.<state>`` counter family).
+SESSION_STATES: FrozenSet[str] = frozenset({"healthy", "degraded", "resync", "failed"})
+
 #: Every legal span name (the pipeline stages of
 #: :data:`repro.obs.tracer.PIPELINE_STAGES` plus the loop/synthesis spans).
 SPAN_NAMES: FrozenSet[str] = frozenset(
@@ -102,6 +109,7 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "epoch",
         "synthesize",
         "stream_decode",
+        "session_window",
         "bench",
     }
 )
@@ -221,6 +229,25 @@ TAXONOMY: Tuple[MetricFamily, ...] = (
         "fault injections by kind",
         values={"kind": frozenset({*FAULT_KINDS, "ack_lost"})},
     ),
+    # --- supervised streaming sessions (repro.receiver.session) -----------
+    _fixed("session.windows", MetricKind.COUNTER, "windows walked by the supervisor"),
+    _fixed("session.windows_live", MetricKind.COUNTER, "windows past the pre-gate (full decode)"),
+    _fixed("session.windows_skipped", MetricKind.COUNTER, "dark windows skipped by the pre-gate"),
+    _fixed("session.windows_shed", MetricKind.COUNTER, "oldest windows dropped by backlog shedding"),
+    _fixed("session.frames", MetricKind.COUNTER, "stream frames emitted by the session"),
+    _fixed("session.duplicates", MetricKind.COUNTER, "cross-window duplicate decodes suppressed"),
+    _fixed("session.dedup_evictions", MetricKind.COUNTER, "dedup entries evicted past the horizon"),
+    _fixed("session.resyncs", MetricKind.COUNTER, "re-synchronisation passes entered"),
+    _fixed("session.watchdog_trips", MetricKind.COUNTER, "per-window latency watchdog trips"),
+    _fixed("session.quarantined", MetricKind.COUNTER, "ingested chunks needing sanitisation"),
+    _fixed("session.checkpoints", MetricKind.COUNTER, "session checkpoints written"),
+    _fixed("session.restores", MetricKind.COUNTER, "sessions restored from a checkpoint"),
+    MetricFamily(
+        "session.transition.<state>",
+        MetricKind.COUNTER,
+        "health state machine transitions by destination state",
+        values={"state": SESSION_STATES},
+    ),
     # --- microbenchmarks (repro bench) ------------------------------------
     MetricFamily(
         "bench.<op>.reps",
@@ -238,6 +265,9 @@ TAXONOMY: Tuple[MetricFamily, ...] = (
     _fixed("detect.score", MetricKind.GAUGE, "normalised correlation of detections"),
     _fixed("detect.peak_margin", MetricKind.GAUGE, "peak margin over runner-up"),
     _fixed("round.n_samples", MetricKind.GAUGE, "synthesized buffer length"),
+    _fixed("session.backlog_windows", MetricKind.GAUGE, "pending windows after each feed"),
+    _fixed("session.dedup_size", MetricKind.GAUGE, "dedup table size after each window"),
+    _fixed("session.window_latency_s", MetricKind.GAUGE, "wall-clock latency per live window"),
 ) + tuple(
     _fixed(name, MetricKind.SPAN, "pipeline/loop span") for name in sorted(SPAN_NAMES)
 )
@@ -328,6 +358,15 @@ def fault_loss(kind: str) -> str:
     return f"errors.fault.{slug}"
 
 
+def session_transition(state: str) -> str:
+    """``session.transition.<state>`` with the state checked."""
+    if state not in SESSION_STATES:
+        raise ValueError(
+            f"unknown session state {state!r} (allowed: {', '.join(sorted(SESSION_STATES))})"
+        )
+    return f"session.transition.{state}"
+
+
 def decode_outcome(reason: str) -> str:
     """``decode.<reason>`` with the reason checked."""
     if reason not in DECODE_REASONS:
@@ -366,6 +405,18 @@ class C:
     ARQ_DUPLICATES = "arq.duplicates"
     ARQ_ACKS_LOST = "arq.acks_lost"
     ARQ_TRANSMISSIONS = "arq.transmissions"
+    SESSION_WINDOWS = "session.windows"
+    SESSION_WINDOWS_LIVE = "session.windows_live"
+    SESSION_WINDOWS_SKIPPED = "session.windows_skipped"
+    SESSION_WINDOWS_SHED = "session.windows_shed"
+    SESSION_FRAMES = "session.frames"
+    SESSION_DUPLICATES = "session.duplicates"
+    SESSION_DEDUP_EVICTIONS = "session.dedup_evictions"
+    SESSION_RESYNCS = "session.resyncs"
+    SESSION_WATCHDOG_TRIPS = "session.watchdog_trips"
+    SESSION_QUARANTINED = "session.quarantined"
+    SESSION_CHECKPOINTS = "session.checkpoints"
+    SESSION_RESTORES = "session.restores"
 
 
 class G:
@@ -376,3 +427,6 @@ class G:
     DETECT_SCORE = "detect.score"
     DETECT_PEAK_MARGIN = "detect.peak_margin"
     ROUND_N_SAMPLES = "round.n_samples"
+    SESSION_BACKLOG_WINDOWS = "session.backlog_windows"
+    SESSION_DEDUP_SIZE = "session.dedup_size"
+    SESSION_WINDOW_LATENCY_S = "session.window_latency_s"

@@ -10,6 +10,8 @@
   extension (receiver-side near-far mitigation).
 - :mod:`repro.receiver.diversity` -- multi-antenna MRC extension.
 - :mod:`repro.receiver.streaming` -- continuous-stream reception.
+- :mod:`repro.receiver.session` -- supervised long-run sessions
+  (health state machine, checkpoint/restore).
 - :mod:`repro.receiver.phase_tracking` -- CFO-tolerant decoding.
 """
 
@@ -20,8 +22,9 @@ from repro.receiver.frame_sync import EnergyDetector, FrameSyncResult
 from repro.receiver.diversity import DiversityReceiver
 from repro.receiver.receiver import CbmaReceiver, ReceptionReport
 from repro.receiver.phase_tracking import PhaseTrackingReceiver
+from repro.receiver.session import HealthState, SessionConfig, SessionSupervisor
 from repro.receiver.sic import SicReceiver
-from repro.receiver.streaming import StreamFrame, StreamingReceiver
+from repro.receiver.streaming import DedupTable, StreamFrame, StreamingReceiver
 from repro.receiver.user_detection import UserDetection, UserDetector
 
 __all__ = [
@@ -39,6 +42,10 @@ __all__ = [
     "DiversityReceiver",
     "StreamFrame",
     "StreamingReceiver",
+    "DedupTable",
+    "HealthState",
+    "SessionConfig",
+    "SessionSupervisor",
     "UserDetection",
     "UserDetector",
 ]

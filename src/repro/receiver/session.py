@@ -1,0 +1,671 @@
+"""Supervised long-run streaming sessions.
+
+:class:`~repro.receiver.streaming.StreamingReceiver` is a one-shot
+batch walk: hand it a complete capture, get the frames back.  A
+deployed receiver instead listens for hours -- samples arrive in
+chunks, the decoder occasionally falls behind, tags drift off the chip
+grid, and the process hosting the receiver gets killed and restarted.
+:class:`SessionSupervisor` wraps the streaming walk with the
+operational machinery such a deployment needs:
+
+- **Chunked ingestion with a bounded backlog.**  ``feed(chunk)``
+  accepts arbitrarily sized sample chunks; complete windows are
+  processed as they become available.  When processing is
+  rate-limited (``max_windows_per_feed``) and the backlog exceeds
+  ``max_backlog_windows``, the *oldest* pending windows are shed --
+  an explicit, counted policy (``session.windows_shed``) instead of
+  unbounded buffering.
+
+- **A health state machine** (:class:`HealthState`)::
+
+      HEALTHY ⇄ DEGRADED        (decode-failure rate, latency watchdog)
+         │          │
+         └────┬─────┘  sustained live-but-undecodable streak
+              ▼
+           RESYNC ──(recovers)──▶ HEALTHY
+              │
+              └──(fail_after_resyncs exhausted)──▶ FAILED
+
+  Transitions are driven by the decode-failure rate over recent
+  *attempts* (windows where a user detection scored strongly -- see
+  ``SessionConfig.attempt_score``) and a per-window latency watchdog.
+  The watchdog uses wall-clock time and therefore only ever influences
+  the HEALTHY/DEGRADED distinction -- never which frames are decoded --
+  so session output stays bit-deterministic.
+
+- **Automatic re-synchronisation.**  A sustained run of windows where
+  a user detects strongly but nothing decodes (the signature of
+  accumulated timing drift) enters RESYNC: the next acquisition re-runs the
+  :class:`~repro.receiver.user_detection.UserDetector` over a window
+  widened by ``resync_widen_factor`` so the correlation search covers
+  offsets far beyond the normal hop.  Corrupt ingest (NaN/Inf samples,
+  wrong rank) is quarantined at the boundary through
+  :func:`repro.receiver.failures.sanitize_buffer` and counted.
+
+- **Checkpoint/restore.**  :meth:`checkpoint` serialises the full
+  session state -- stream position, bounded dedup table, health
+  machine, pending frames, counters -- as JSONL behind a validated
+  header line (the same header-validated resume format
+  :mod:`repro.sim.sweep` uses for sweep checkpoints).
+  :meth:`restore` refuses a checkpoint whose geometry does not match
+  the receiver it is being attached to.  A killed session restored
+  from its checkpoint and re-fed from ``position`` emits exactly the
+  frames the uninterrupted run would have.
+
+Frames are emitted in globally non-decreasing ``start_sample`` order:
+a decoded frame is held in a small reorder buffer until the walk
+position has passed it, at which point no later window can decode an
+earlier frame.  The chaos-soak harness
+(:mod:`repro.sim.experiments.soak`) checks that ordering -- along with
+duplicate-freedom, bounded memory and shed/quarantine accounting -- as
+machine-verifiable invariants over multi-thousand-window fault
+campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.taxonomy import C, G, session_transition
+from repro.obs.tracer import as_tracer
+from repro.receiver.failures import sanitize_buffer
+from repro.receiver.streaming import DedupTable, StreamFrame, StreamingReceiver
+
+__all__ = ["HealthState", "SessionConfig", "SessionSupervisor", "CHECKPOINT_FORMAT"]
+
+#: ``format`` field of the checkpoint header line.
+CHECKPOINT_FORMAT = "cbma-session"
+_CHECKPOINT_VERSION = 1
+
+
+class HealthState(Enum):
+    """Operational state of a supervised session."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    RESYNC = "resync"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Tuning knobs of a :class:`SessionSupervisor`.
+
+    Attributes
+    ----------
+    max_backlog_windows:
+        Pending (complete, unprocessed) windows tolerated before the
+        shedding policy drops the oldest.
+    max_windows_per_feed:
+        Windows processed per :meth:`SessionSupervisor.feed` call
+        (``None`` = drain everything available).  Modelling a
+        real-time budget; anything beyond it accumulates as backlog.
+    health_window:
+        Sliding window (in decode *attempts*, not raw windows -- soak
+        traffic is sparse, and a window-indexed rate would never
+        accumulate a sample) over which the failure rate is estimated.
+    attempt_score:
+        Detection score above which a window counts as an *attempt*: a
+        user looked strongly present, so decoding nothing is a decode
+        failure.  Deliberately above the detector's acceptance
+        threshold -- short templates false-alarm on pure noise just
+        over the threshold, and a health machine keyed to those would
+        spiral on silence.
+    min_attempts:
+        Attempts required in the sliding window before rate-based
+        transitions fire (avoids flapping on tiny samples).
+    degrade_failure_rate / recover_failure_rate:
+        Fraction of recent attempts decoding nothing above which
+        HEALTHY degrades, and at-or-below which DEGRADED heals.
+    resync_after:
+        Consecutive failed attempts (strong detection, no decode --
+        the signature of accumulated timing drift) that trigger RESYNC.
+    fail_after_resyncs:
+        RESYNC acquisitions allowed (without a successful decode)
+        before the session declares FAILED.
+    resync_widen_factor:
+        Window-length multiplier for the widened RESYNC acquisition.
+    watchdog_budget_s:
+        Per-window wall-clock latency budget; a live window exceeding
+        it trips the watchdog (``session.watchdog_trips``) and
+        degrades health, but never alters decode output.
+    """
+
+    max_backlog_windows: int = 64
+    max_windows_per_feed: Optional[int] = None
+    health_window: int = 16
+    attempt_score: float = 0.3
+    min_attempts: int = 4
+    degrade_failure_rate: float = 0.5
+    recover_failure_rate: float = 0.25
+    resync_after: int = 3
+    fail_after_resyncs: int = 3
+    resync_widen_factor: int = 2
+    watchdog_budget_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_backlog_windows < 1:
+            raise ValueError("max_backlog_windows must be >= 1")
+        if self.max_windows_per_feed is not None and self.max_windows_per_feed < 1:
+            raise ValueError("max_windows_per_feed must be >= 1 (or None)")
+        if not 0.0 < self.attempt_score <= 1.0:
+            raise ValueError("attempt_score must be in (0, 1]")
+        if self.health_window < 1 or self.min_attempts < 1:
+            raise ValueError("health_window and min_attempts must be >= 1")
+        if not 0.0 <= self.recover_failure_rate <= self.degrade_failure_rate <= 1.0:
+            raise ValueError(
+                "need 0 <= recover_failure_rate <= degrade_failure_rate <= 1"
+            )
+        if self.resync_after < 1 or self.fail_after_resyncs < 1:
+            raise ValueError("resync_after and fail_after_resyncs must be >= 1")
+        if self.resync_widen_factor < 1:
+            raise ValueError("resync_widen_factor must be >= 1")
+        if self.watchdog_budget_s <= 0:
+            raise ValueError("watchdog_budget_s must be positive")
+
+
+#: One entry per decode attempt in the sliding health window: did it
+#: yield a successful decode?
+_Outcome = bool
+
+
+class SessionSupervisor:
+    """Long-run supervisor around a :class:`StreamingReceiver`.
+
+    Parameters
+    ----------
+    streaming:
+        The window-sliding receiver to supervise.
+    config:
+        Supervision policy (:class:`SessionConfig`).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; session counters and
+        gauges land under the ``session.*`` taxonomy family.
+    clock:
+        Monotonic time source for the latency watchdog (injectable for
+        tests; defaults to :func:`time.perf_counter`).
+    """
+
+    def __init__(
+        self,
+        streaming: StreamingReceiver,
+        config: Optional[SessionConfig] = None,
+        tracer=None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.streaming = streaming
+        self.config = config or SessionConfig()
+        self.tracer = as_tracer(tracer)
+        self.clock = clock
+
+        self._buf = np.zeros(0, dtype=np.complex128)
+        self._base = 0  # absolute sample index of _buf[0]
+        self._pos = 0  # absolute sample index of the next window
+        self._fed = 0  # absolute samples ingested so far
+        self._finished = False
+
+        self.dedup = streaming.make_dedup()
+        self._pending: List[StreamFrame] = []
+        self._window_index = 0
+
+        self._state = HealthState.HEALTHY
+        self._recent: Deque[_Outcome] = deque(maxlen=self.config.health_window)
+        self._nodecode_streak = 0
+        self._resync_attempts = 0
+        self.health_history: List[Tuple[int, str]] = [(0, HealthState.HEALTHY.value)]
+
+        #: Session accounting, independent of the tracer (the soak
+        #: invariants reconcile against these even with tracing off).
+        self.stats: Dict[str, int] = {
+            "windows": 0,
+            "windows_live": 0,
+            "windows_skipped": 0,
+            "windows_shed": 0,
+            "frames": 0,
+            "duplicates": 0,
+            "dedup_evictions": 0,
+            "resyncs": 0,
+            "watchdog_trips": 0,
+            "quarantined": 0,
+        }
+        self.peak_backlog_windows = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> HealthState:
+        return self._state
+
+    @property
+    def position(self) -> int:
+        """Absolute sample index of the next window to process.
+
+        After :meth:`restore`, re-feed the capture from this index.
+        """
+        return self._pos
+
+    @property
+    def samples_fed(self) -> int:
+        return self._fed
+
+    @property
+    def backlog_windows(self) -> int:
+        """Complete windows buffered but not yet processed."""
+        available = self._base + self._buf.size - self._pos
+        if available < self.streaming.window_samples:
+            return 0
+        return 1 + (available - self.streaming.window_samples) // self.streaming.hop_samples
+
+    @property
+    def pending_frames(self) -> int:
+        """Decoded frames held back for ordered emission."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def feed(self, chunk) -> List[StreamFrame]:
+        """Ingest *chunk* and return the frames whose order is final.
+
+        Corrupt chunks (NaN/Inf, wrong rank, uninterpretable) are
+        quarantined through :func:`sanitize_buffer` -- repaired where
+        possible, counted under ``session.quarantined`` -- so poisoned
+        samples can never silently dark out the pre-gate.  In FAILED
+        state the session stops decoding: everything fed is shed (and
+        counted), never silently buffered.
+        """
+        if self._finished:
+            raise RuntimeError("session is finished; create a new supervisor")
+        x, failures = sanitize_buffer(chunk)
+        if failures:
+            self._count("quarantined", C.SESSION_QUARANTINED)
+        self._buf = np.concatenate([self._buf, x]) if self._buf.size else x
+        self._fed += x.size
+
+        if self._state is HealthState.FAILED:
+            return self._shed_all()
+
+        emitted = self._process_available(drain_tail=False)
+        self._shed_backlog()
+        self._trim_buffer()
+        if self.tracer.enabled:
+            self.tracer.gauge(G.SESSION_BACKLOG_WINDOWS, self.backlog_windows)
+        if self.backlog_windows > self.peak_backlog_windows:
+            self.peak_backlog_windows = self.backlog_windows
+        return emitted
+
+    def finish(self) -> List[StreamFrame]:
+        """End of capture: process the truncated tail window (if any)
+        and flush every frame still held for ordering."""
+        if self._finished:
+            return []
+        self._finished = True
+        emitted: List[StreamFrame] = []
+        if self._state is not HealthState.FAILED:
+            emitted.extend(self._process_available(drain_tail=True))
+        remaining = sorted(self._pending, key=lambda f: (f.start_sample, f.user_id))
+        self._pending.clear()
+        return emitted + remaining
+
+    # ------------------------------------------------------------------
+    # The window walk
+    # ------------------------------------------------------------------
+
+    def _required_samples(self) -> int:
+        """Samples the next acquisition wants available past ``_pos``.
+
+        RESYNC widens the window so the correlation search covers
+        offsets far beyond one hop.  Making the walk wait for the full
+        span (instead of processing whatever happens to be buffered)
+        keeps decode output independent of chunking cadence -- the
+        property checkpoint/restore equality rests on.
+        """
+        widen = self.config.resync_widen_factor if self._state is HealthState.RESYNC else 1
+        return self.streaming.window_samples * widen
+
+    def _process_available(self, drain_tail: bool) -> List[StreamFrame]:
+        emitted: List[StreamFrame] = []
+        processed = 0
+        limit = self.config.max_windows_per_feed
+        while self._state is not HealthState.FAILED:
+            if limit is not None and processed >= limit:
+                break
+            available = self._base + self._buf.size - self._pos
+            if available < self._required_samples() and not drain_tail:
+                break
+            if available <= 0:
+                break
+            self._process_one_window()
+            processed += 1
+            emitted.extend(self._release_ordered())
+        return emitted
+
+    def _process_one_window(self) -> None:
+        lo = self._pos - self._base
+        window = self._buf[lo : lo + self._required_samples()]
+        self._count("windows", C.SESSION_WINDOWS)
+        t0 = self.clock()
+        live = self.streaming.window_is_live(window)
+        decoded_any = False
+        attempted = False
+        if live:
+            self._count("windows_live", C.SESSION_WINDOWS_LIVE)
+            with self.tracer.span("session_window", index=self._window_index):
+                new_frames, report = self.streaming.decode_window(window, self._pos, self.dedup)
+            # Health judges the *pipeline*, not emission novelty: a
+            # window that re-decodes a frame already emitted through
+            # the previous (overlapping) window decoded fine -- the
+            # dedup suppressing it is correct operation, not failure.
+            decoded_any = any(f.success for f in report.frames)
+            # And it only counts as a decode *attempt* when some user
+            # looked strongly present (short templates false-alarm on
+            # noise just above the acceptance threshold), at an offset
+            # whose frame fits inside the window (a frame straddling
+            # the trailing edge is the next window's job), and without
+            # a just-decoded frame of the same user still overlapping
+            # this window -- whose payload correlation images would
+            # otherwise read as failures on every healthy decode.
+            fs = self.streaming.frame_samples
+            attempted = any(
+                d.score >= self.config.attempt_score
+                and d.offset + fs <= window.size
+                and not self.dedup.user_active_since(d.user_id, self._pos - fs)
+                for d in report.detections
+            )
+            duplicates = sum(1 for f in report.frames if f.success) - len(new_frames)
+            if duplicates > 0:
+                self._count("duplicates", C.SESSION_DUPLICATES, duplicates)
+            if new_frames:
+                self._count("frames", C.SESSION_FRAMES, len(new_frames))
+                self._pending.extend(new_frames)
+        else:
+            self._count("windows_skipped", C.SESSION_WINDOWS_SKIPPED)
+        latency = self.clock() - t0
+        watchdog_tripped = live and latency > self.config.watchdog_budget_s
+        if watchdog_tripped:
+            self._count("watchdog_trips", C.SESSION_WATCHDOG_TRIPS)
+        if self.tracer.enabled:
+            if live:
+                self.tracer.gauge(G.SESSION_WINDOW_LATENCY_S, latency)
+            self.tracer.gauge(G.SESSION_DEDUP_SIZE, len(self.dedup))
+
+        self._advance()
+        self._update_health(attempted, decoded_any, watchdog_tripped)
+
+    def _advance(self) -> None:
+        self._pos += self.streaming.hop_samples
+        self._window_index += 1
+        evicted = self.dedup.evict_before(self._pos - self.streaming.window_samples)
+        if evicted:
+            self._count("dedup_evictions", C.SESSION_DEDUP_EVICTIONS, evicted)
+
+    def _release_ordered(self) -> List[StreamFrame]:
+        """Frames whose global order is now final (start < ``_pos``).
+
+        Every future decode starts at or after ``_pos``, so releasing
+        the pending frames below it -- sorted -- yields a globally
+        non-decreasing ``start_sample`` emission order.
+        """
+        ready = [f for f in self._pending if f.start_sample < self._pos]
+        if not ready:
+            return []
+        self._pending = [f for f in self._pending if f.start_sample >= self._pos]
+        ready.sort(key=lambda f: (f.start_sample, f.user_id))
+        return ready
+
+    # ------------------------------------------------------------------
+    # Backlog shedding
+    # ------------------------------------------------------------------
+
+    def _shed_backlog(self) -> None:
+        while self.backlog_windows > self.config.max_backlog_windows:
+            self._pos += self.streaming.hop_samples
+            self._window_index += 1
+            self._count("windows_shed", C.SESSION_WINDOWS_SHED)
+            self.dedup.evict_before(self._pos - self.streaming.window_samples)
+
+    def _shed_all(self) -> List[StreamFrame]:
+        """FAILED state: count every pending window as shed, keep nothing."""
+        while self.backlog_windows > 0:
+            self._pos += self.streaming.hop_samples
+            self._window_index += 1
+            self._count("windows_shed", C.SESSION_WINDOWS_SHED)
+        self._trim_buffer()
+        return []
+
+    def _trim_buffer(self) -> None:
+        """Drop samples before ``_pos`` (never needed again)."""
+        cut = self._pos - self._base
+        if cut > 0:
+            self._buf = self._buf[cut:]
+            self._base = self._pos
+
+    # ------------------------------------------------------------------
+    # Health state machine
+    # ------------------------------------------------------------------
+
+    def _update_health(self, attempted: bool, decoded_any: bool, watchdog_tripped: bool) -> None:
+        if attempted or decoded_any:
+            self._recent.append(decoded_any)
+        if attempted and not decoded_any:
+            self._nodecode_streak += 1
+        elif decoded_any:
+            self._nodecode_streak = 0
+
+        state = self._state
+        if state is HealthState.FAILED:
+            return
+
+        if state is HealthState.RESYNC:
+            if decoded_any:
+                self._resync_attempts = 0
+                self._transition(HealthState.HEALTHY)
+            elif attempted:
+                self._resync_attempts += 1
+                if self._resync_attempts >= self.config.fail_after_resyncs:
+                    self._transition(HealthState.FAILED)
+            return
+
+        if self._nodecode_streak >= self.config.resync_after:
+            self._resync_attempts = 0
+            self._count("resyncs", C.SESSION_RESYNCS)
+            self._transition(HealthState.RESYNC)
+            return
+
+        n_attempts = len(self._recent)
+        failure_rate = (
+            sum(1 for ok in self._recent if not ok) / n_attempts if n_attempts else 0.0
+        )
+        if watchdog_tripped or (
+            n_attempts >= self.config.min_attempts
+            and failure_rate >= self.config.degrade_failure_rate
+        ):
+            if state is HealthState.HEALTHY:
+                self._transition(HealthState.DEGRADED)
+        elif (
+            state is HealthState.DEGRADED
+            and n_attempts >= self.config.min_attempts
+            and failure_rate <= self.config.recover_failure_rate
+        ):
+            self._transition(HealthState.HEALTHY)
+
+    def _transition(self, to: HealthState) -> None:
+        if to is self._state:
+            return
+        self._state = to
+        self.health_history.append((self._window_index, to.value))
+        if self.tracer.enabled:
+            self.tracer.count(session_transition(to.value))
+
+    def _count(self, stat: str, counter: str, n: int = 1) -> None:
+        self.stats[stat] += n
+        if self.tracer.enabled:
+            self.tracer.count(counter, n)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def _geometry(self) -> Dict[str, int]:
+        return {
+            "window_samples": self.streaming.window_samples,
+            "hop_samples": self.streaming.hop_samples,
+            "max_frame_bits": self.streaming.max_frame_bits,
+            "n_users": len(self.streaming.receiver.codes),
+        }
+
+    def checkpoint(self, path) -> Path:
+        """Write the full session state as header-validated JSONL.
+
+        Layout (one JSON object per line, same pattern as
+        :mod:`repro.sim.sweep` checkpoints): a ``header`` record
+        pinning format, version and receiver geometry; one ``state``
+        record with position, health machine and counters; one
+        ``dedup`` record per live dedup entry; one ``pending`` record
+        per frame held for ordered emission; one ``history`` record
+        per health transition.  The write is atomic (temp file +
+        rename), so a kill mid-checkpoint leaves the previous
+        checkpoint intact.
+        """
+        path = Path(path)
+        lines = [
+            {
+                "type": "header",
+                "format": CHECKPOINT_FORMAT,
+                "version": _CHECKPOINT_VERSION,
+                **self._geometry(),
+            },
+            {
+                "type": "state",
+                "pos": self._pos,
+                "window_index": self._window_index,
+                "samples_fed": self._fed,
+                "health": self._state.value,
+                "recent": [bool(v) for v in self._recent],
+                "nodecode_streak": self._nodecode_streak,
+                "resync_attempts": self._resync_attempts,
+                "stats": dict(self.stats),
+                "peak_dedup": self.dedup.peak_size,
+                "dedup_evictions": self.dedup.evictions,
+                "peak_backlog_windows": self.peak_backlog_windows,
+            },
+        ]
+        lines.extend({"type": "dedup", **rec} for rec in self.dedup.to_records())
+        lines.extend(
+            {
+                "type": "pending",
+                "user": f.user_id,
+                "payload": f.payload.hex(),
+                "start": f.start_sample,
+            }
+            for f in self._pending
+        )
+        lines.extend(
+            {"type": "history", "window": w, "state": s} for w, s in self.health_history
+        )
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w") as fh:
+            for rec in lines:
+                fh.write(json.dumps(rec) + "\n")
+        os.replace(tmp, path)
+        if self.tracer.enabled:
+            self.tracer.count(C.SESSION_CHECKPOINTS)
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        path,
+        streaming: StreamingReceiver,
+        config: Optional[SessionConfig] = None,
+        tracer=None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> "SessionSupervisor":
+        """Rebuild a supervisor from :meth:`checkpoint` output.
+
+        The header is validated against *streaming*'s geometry --
+        restoring a checkpoint onto a receiver with a different
+        window/hop/code-book shape is a :class:`ValueError`, exactly
+        like resuming a mismatched sweep checkpoint.  Resume by
+        re-feeding the capture from :attr:`position`.
+        """
+        path = Path(path)
+        with open(path, "r") as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        if not records or records[0].get("type") != "header":
+            raise ValueError(f"checkpoint {path} has no header line; refusing to restore")
+        header = records[0]
+        if header.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"checkpoint {path} is not a session checkpoint "
+                f"(format={header.get('format')!r})"
+            )
+        if header.get("version") != _CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint {path} has version {header.get('version')}, "
+                f"expected {_CHECKPOINT_VERSION}"
+            )
+        session = cls(streaming, config=config, tracer=tracer, clock=clock)
+        geometry = session._geometry()
+        for key, expected in geometry.items():
+            got = header.get(key)
+            if got != expected:
+                raise ValueError(
+                    f"checkpoint {path} belongs to a different session geometry "
+                    f"({key}={got}, this receiver has {key}={expected})"
+                )
+
+        states = [rec for rec in records if rec.get("type") == "state"]
+        if len(states) != 1:
+            raise ValueError(f"checkpoint {path} has {len(states)} state records, expected 1")
+        state = states[0]
+        session._pos = int(state["pos"])
+        session._base = session._pos
+        session._fed = int(state["samples_fed"])
+        session._window_index = int(state["window_index"])
+        session._state = HealthState(state["health"])
+        session._recent = deque(
+            (bool(v) for v in state.get("recent", [])),
+            maxlen=session.config.health_window,
+        )
+        session._nodecode_streak = int(state.get("nodecode_streak", 0))
+        session._resync_attempts = int(state.get("resync_attempts", 0))
+        session.stats.update({k: int(v) for k, v in state.get("stats", {}).items()})
+        session.peak_backlog_windows = int(state.get("peak_backlog_windows", 0))
+
+        session.dedup = DedupTable.from_records(
+            streaming.frame_samples // 2,
+            (rec for rec in records if rec.get("type") == "dedup"),
+            evictions=int(state.get("dedup_evictions", 0)),
+            peak_size=int(state.get("peak_dedup", 0)),
+        )
+        session._pending = [
+            StreamFrame(
+                user_id=int(rec["user"]),
+                payload=bytes.fromhex(rec["payload"]),
+                start_sample=int(rec["start"]),
+            )
+            for rec in records
+            if rec.get("type") == "pending"
+        ]
+        session.health_history = [
+            (int(rec["window"]), str(rec["state"]))
+            for rec in records
+            if rec.get("type") == "history"
+        ] or [(0, HealthState.HEALTHY.value)]
+        tr = session.tracer
+        if tr.enabled:
+            tr.count(C.SESSION_RESTORES)
+        return session

@@ -10,18 +10,25 @@ same frame seen through neighbouring windows.
 This is what makes fully **unslotted** CBMA (``repro.sim.unslotted``)
 measurable: the paper's "distributed manner" requirement taken to its
 logical end, where not even round boundaries are shared.
+
+:class:`StreamingReceiver.process_stream` remains the one-shot batch
+walk over a complete capture; long-run *supervised* operation (chunked
+ingestion, health state machine, checkpoint/restore) lives in
+:mod:`repro.receiver.session`, which builds on the shared
+:meth:`StreamingReceiver.decode_window` and :class:`DedupTable`
+primitives defined here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.receiver.receiver import CbmaReceiver
+from repro.receiver.receiver import CbmaReceiver, ReceptionReport
 
-__all__ = ["StreamingReceiver", "StreamFrame"]
+__all__ = ["StreamingReceiver", "StreamFrame", "DedupTable"]
 
 #: Live-window pre-gate margin: a window is handed to the full
 #: pipeline when any user's batched correlation reaches this fraction
@@ -39,6 +46,85 @@ class StreamFrame:
     payload: bytes
     start_sample: int
     """Absolute sample index where the frame's preamble begins."""
+
+
+@dataclass
+class DedupTable:
+    """Bounded ``(user, payload) -> last start`` dedup table.
+
+    The same frame decoded through two overlapping windows lands at
+    (nearly) the same absolute start; the table rejects a decode whose
+    key was already seen within *tolerance* samples of its start.
+
+    Unlike the plain dict it replaces, the table is **bounded**: once
+    the window walk has advanced past an entry by more than the
+    eviction horizon, no future window can produce a duplicate of it
+    (every future decode starts at or after the walk position), so
+    :meth:`evict_before` drops it.  ``peak_size`` tracks the high-water
+    mark so long-run memory stays provably flat.
+    """
+
+    tolerance: int
+    """Maximum |start - previous| (samples) still considered the same frame."""
+
+    entries: Dict[Tuple[int, bytes], int] = field(default_factory=dict)
+    evictions: int = 0
+    peak_size: int = 0
+
+    def seen(self, user_id: int, payload: bytes, start: int) -> bool:
+        """True (duplicate) when the frame was already recorded nearby;
+        otherwise records it and returns False."""
+        key = (int(user_id), bytes(payload))
+        prev = self.entries.get(key)
+        if prev is not None and abs(int(start) - prev) < self.tolerance:
+            return True
+        self.entries[key] = int(start)
+        if len(self.entries) > self.peak_size:
+            self.peak_size = len(self.entries)
+        return False
+
+    def user_active_since(self, user_id: int, watermark: int) -> bool:
+        """Whether *user_id* has a recorded frame starting after *watermark*.
+
+        Lets a supervisor tell correlation residue of an
+        already-decoded frame (still overlapping the current window)
+        from a genuinely failed decode attempt.
+        """
+        uid = int(user_id)
+        return any(
+            user == uid and start > watermark
+            for (user, _payload), start in self.entries.items()
+        )
+
+    def evict_before(self, watermark: int) -> int:
+        """Drop entries whose start lies before *watermark*; returns count."""
+        stale = [key for key, start in self.entries.items() if start < watermark]
+        for key in stale:
+            del self.entries[key]
+        self.evictions += len(stale)
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # --- checkpoint plumbing (repro.receiver.session) -------------------
+
+    def to_records(self) -> List[dict]:
+        """JSON-serialisable entry records (payloads hex-encoded)."""
+        return [
+            {"user": user, "payload": payload.hex(), "start": start}
+            for (user, payload), start in sorted(self.entries.items())
+        ]
+
+    @classmethod
+    def from_records(
+        cls, tolerance: int, records, evictions: int = 0, peak_size: int = 0
+    ) -> "DedupTable":
+        table = cls(tolerance=int(tolerance), evictions=int(evictions), peak_size=int(peak_size))
+        for rec in records:
+            table.entries[(int(rec["user"]), bytes.fromhex(rec["payload"]))] = int(rec["start"])
+        table.peak_size = max(table.peak_size, len(table.entries))
+        return table
 
 
 @dataclass
@@ -70,6 +156,9 @@ class StreamingReceiver:
         self._frame_samples = (
             self.max_frame_bits * code_len * self.receiver.samples_per_chip
         )
+        #: Dedup table of the most recent :meth:`process_stream` call
+        #: (exposed so long-stream tests can assert bounded memory).
+        self.last_dedup: Optional[DedupTable] = None
 
     @property
     def window_samples(self) -> int:
@@ -79,7 +168,16 @@ class StreamingReceiver:
     def hop_samples(self) -> int:
         return self._frame_samples
 
-    def _window_is_live(self, window: np.ndarray) -> bool:
+    @property
+    def frame_samples(self) -> int:
+        """Samples per maximum-length frame (the hop unit)."""
+        return self._frame_samples
+
+    def make_dedup(self) -> DedupTable:
+        """A dedup table with this receiver's duplicate tolerance."""
+        return DedupTable(tolerance=self._frame_samples // 2)
+
+    def window_is_live(self, window: np.ndarray) -> bool:
         """Cheap batched pre-gate: could any user clear the detection
         threshold inside *window*?
 
@@ -96,48 +194,68 @@ class StreamingReceiver:
                 return True
         return False
 
+    # Backwards-compatible private alias (pre-session internal name).
+    _window_is_live = window_is_live
+
+    def decode_window(
+        self, window: np.ndarray, pos: int, dedup: DedupTable
+    ) -> Tuple[List[StreamFrame], ReceptionReport]:
+        """Full-pipeline decode of one live window starting at absolute
+        sample *pos*.
+
+        Returns the newly decoded (non-duplicate) frames plus the raw
+        :class:`~repro.receiver.receiver.ReceptionReport`, and records
+        every accepted frame in *dedup*.  Shared by the batch walk
+        (:meth:`process_stream`) and the supervised session
+        (:class:`repro.receiver.session.SessionSupervisor`) so the two
+        paths can never drift apart.
+        """
+        report = self.receiver.process(window, skip_energy_gate=True)
+        det_offsets = {d.user_id: d.offset for d in report.detections}
+        frames: List[StreamFrame] = []
+        for frame in report.frames:
+            if not frame.success:
+                continue
+            start = pos + det_offsets.get(frame.user_id, 0)
+            if dedup.seen(frame.user_id, frame.payload, start):
+                continue
+            frames.append(
+                StreamFrame(user_id=frame.user_id, payload=frame.payload, start_sample=start)
+            )
+        return frames, report
+
     def process_stream(self, iq: np.ndarray) -> List[StreamFrame]:
         """Decode every recoverable frame in *iq* (absolute positions).
 
         The window walk is two-tier: every hop first runs the batched
-        correlation pre-gate (:meth:`_window_is_live`), and only live
+        correlation pre-gate (:meth:`window_is_live`), and only live
         windows pay for the full detect/decode pipeline.  With a
         tracer attached to the underlying receiver, each live window
         is timed under a ``stream_decode`` span.
+
+        Tail windows truncated by the capture edge are processed like
+        any other (a frame ending at the edge of a short capture is
+        still a frame; the pipeline tolerates short buffers, and the
+        pre-gate keeps sub-template tails free).  Cross-window
+        duplicates are tracked in a bounded :class:`DedupTable`:
+        entries more than one window behind the walk are evicted, so
+        memory stays flat however long the stream.
         """
         x = np.asarray(iq)
         tracer = self.receiver.tracer
         frames: List[StreamFrame] = []
-        seen: Dict[tuple, int] = {}
+        dedup = self.make_dedup()
+        self.last_dedup = dedup
         pos = 0
         while pos < x.size:
             window = x[pos : pos + self.window_samples]
-            if window.size < self.window_samples // 4:
-                break
-            if not self._window_is_live(window):
-                pos += self.hop_samples
-                continue
-            with tracer.span("stream_decode"):
-                report = self.receiver.process(window, skip_energy_gate=True)
-            det_offsets = {d.user_id: d.offset for d in report.detections}
-            for frame in report.frames:
-                if not frame.success:
-                    continue
-                offset = det_offsets.get(frame.user_id, 0)
-                start = pos + offset
-                # The same frame decoded through two overlapping windows
-                # lands at (nearly) the same absolute start: dedup on
-                # (user, payload) within half a frame of a previous hit.
-                key = (frame.user_id, frame.payload)
-                prev = seen.get(key)
-                if prev is not None and abs(start - prev) < self._frame_samples // 2:
-                    continue
-                seen[key] = start
-                frames.append(
-                    StreamFrame(
-                        user_id=frame.user_id, payload=frame.payload, start_sample=start
-                    )
-                )
+            if self.window_is_live(window):
+                with tracer.span("stream_decode"):
+                    new_frames, _report = self.decode_window(window, pos, dedup)
+                frames.extend(new_frames)
             pos += self.hop_samples
+            # No future decode can start before pos, so entries more
+            # than one window behind it can never match again.
+            dedup.evict_before(pos - self.window_samples)
         frames.sort(key=lambda f: f.start_sample)
         return frames

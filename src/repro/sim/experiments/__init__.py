@@ -56,10 +56,30 @@ from repro.sim.experiments.micro import (
     fig9a_bitrate,
 )
 from repro.sim.experiments.resilience import resilience_curve, run_faulted_network
+from repro.sim.experiments.soak import (
+    CampaignOutcome,
+    InvariantViolation,
+    SoakConfig,
+    SoakResult,
+    check_invariants,
+    random_fault_plan,
+    run_campaign,
+    run_soak,
+    shrink_fault_plan,
+)
 
 __all__ = [
     "resilience_curve",
     "run_faulted_network",
+    "SoakConfig",
+    "SoakResult",
+    "CampaignOutcome",
+    "InvariantViolation",
+    "check_invariants",
+    "random_fault_plan",
+    "run_campaign",
+    "run_soak",
+    "shrink_fault_plan",
     "fig5_signal_field",
     "fig8a_distance",
     "fig8b_power",

@@ -1,5 +1,7 @@
 """Unit tests for repro.faults: models, plan resolution, determinism."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -134,6 +136,51 @@ class TestDeterminism:
         state_before = np.random.get_state()[1].copy()
         rf.jammer_samples(64, 2e6)
         np.testing.assert_array_equal(np.random.get_state()[1], state_before)
+
+
+class TestSerialization:
+    def _plan(self):
+        return FaultPlan(
+            [
+                TagDropout(probability=0.4, tags=(0, 2), start_round=3, end_round=9),
+                BurstInterferer(duty=0.6, power_dbm=-55.0),
+                OscillatorDrift(probability=0.3, drift_ppm=5000.0, start_round=1),
+                AdcSaturation(full_scale=1e-6, start_round=4),
+            ],
+            seed=13,
+        )
+
+    def test_round_trip_is_json_safe_and_stable(self):
+        plan = self._plan()
+        wire = json.loads(json.dumps(plan.to_dict()))
+        back = FaultPlan.from_dict(wire)
+        assert back.to_dict() == plan.to_dict()
+        assert back.seed == plan.seed
+        assert [type(f).__name__ for f in back.faults] == [
+            type(f).__name__ for f in plan.faults
+        ]
+        assert back.faults[0].tags == (0, 2)  # lists re-normalised to tuples
+
+    def test_round_trip_resolves_bit_identically(self):
+        plan = self._plan()
+        back = FaultPlan.from_dict(plan.to_dict())
+        for r in range(20):
+            ra, rb = plan.resolve(r, 4), back.resolve(r, 4)
+            assert ra.silent == rb.silent
+            assert ra.brownout == rb.brownout
+            assert ra.drift_ppm == rb.drift_ppm
+            assert ra.jammers == rb.jammers
+            assert ra.clip_level == rb.clip_level
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_dict(
+                {"seed": 0, "faults": [{"kind": "EvilFault", "params": {}}]}
+            )
+
+    def test_empty_plan_round_trip(self):
+        back = FaultPlan.from_dict(FaultPlan().to_dict())
+        assert back.empty
 
 
 class TestRoundFaults:

@@ -4,14 +4,28 @@ import numpy as np
 import pytest
 
 from repro.channel.geometry import Deployment
+from repro.faults import AckLoss, FaultPlan
 from repro.mac.arq import ArqSimulator, ArqStats, Message
 from repro.sim.network import CbmaConfig, CbmaNetwork
 from repro.sim.traffic import PoissonArrivals
 
 
-def _network(n_tags=2, distance=1.0, seed=11, payload_bytes=8):
+def _network(n_tags=2, distance=1.0, seed=11, payload_bytes=8, faults=None):
     cfg = CbmaConfig(n_tags=n_tags, seed=seed, payload_bytes=payload_bytes)
-    return CbmaNetwork(cfg, Deployment.linear(n_tags, tag_to_rx=distance))
+    return CbmaNetwork(cfg, Deployment.linear(n_tags, tag_to_rx=distance), faults=faults)
+
+
+class SingleBurst:
+    """Deterministic traffic: *count* messages at tag 0 on the first
+    draw, silence afterwards."""
+
+    def __init__(self, count=1):
+        self._pending = count
+
+    def draw(self, n_tags, duration_s, rng):
+        counts = [0] * n_tags
+        counts[0], self._pending = self._pending, 0
+        return counts
 
 
 class TestMessage:
@@ -96,3 +110,99 @@ class TestArqSimulator:
         sim = ArqSimulator(_network(), PoissonArrivals(1.0))
         with pytest.raises(ValueError):
             sim.run(-1)
+
+
+class TestBackoffBoundaries:
+    """Exponential-backoff and retry-limit edge cases (exact counts)."""
+
+    def test_backoff_schedule_doubles_then_caps(self):
+        sim = ArqSimulator(
+            _network(),
+            PoissonArrivals(0.0),
+            backoff_base_rounds=2,
+            backoff_cap_rounds=16,
+        )
+        assert [sim._backoff_rounds(a) for a in (1, 2, 3, 4, 5)] == [2, 4, 8, 16, 16]
+
+    def test_zero_base_disables_backoff(self):
+        sim = ArqSimulator(_network(), PoissonArrivals(0.0), backoff_base_rounds=0)
+        assert sim._backoff_rounds(1) == 0
+        assert sim._backoff_rounds(10) == 0
+
+    def test_invalid_backoff_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ArqSimulator(_network(), PoissonArrivals(0.0), backoff_base_rounds=-1)
+        with pytest.raises(ValueError):
+            ArqSimulator(
+                _network(),
+                PoissonArrivals(0.0),
+                backoff_base_rounds=4,
+                backoff_cap_rounds=2,
+            )
+        with pytest.raises(ValueError):
+            ArqSimulator(_network(), PoissonArrivals(0.0), ack_loss_prob=1.1)
+
+    def test_every_ack_lost_still_delivers_exactly_once(self):
+        """ack_loss_prob=1.0 on a clean channel: the receiver dedupes
+        each retransmission, so retries to the cap cost duplicates --
+        never a second delivery, never a drop."""
+        sim = ArqSimulator(
+            _network(),
+            SingleBurst(),
+            max_retries=3,
+            backoff_base_rounds=0,
+            ack_loss_prob=1.0,
+        )
+        stats = sim.run(8, rng=np.random.default_rng(0))
+        assert stats.offered == 1
+        assert stats.delivered == 1
+        assert stats.transmissions == 3  # all retries spent
+        assert stats.duplicates == 2
+        assert stats.acks_lost == 3
+        assert stats.dropped == 0
+        assert all(not q for q in sim.queues.values())
+
+    def test_delivery_on_final_attempt_is_not_a_drop(self):
+        """attempts == max_retries with the data already delivered must
+        retire the message as delivered, not dropped."""
+        sim = ArqSimulator(
+            _network(), SingleBurst(), max_retries=1, ack_loss_prob=1.0
+        )
+        stats = sim.run(4, rng=np.random.default_rng(1))
+        assert stats.delivered == 1
+        assert stats.duplicates == 0
+        assert stats.acks_lost == 1
+        assert stats.dropped == 0
+
+    def test_fault_injected_ack_loss_costs_one_duplicate(self):
+        """AckLoss active only in round 0: exactly one retransmission,
+        deduped into exactly one duplicate."""
+        plan = FaultPlan(
+            [AckLoss(probability=1.0, start_round=0, end_round=1)], seed=0
+        )
+        sim = ArqSimulator(
+            _network(faults=plan),
+            SingleBurst(),
+            max_retries=4,
+            backoff_base_rounds=0,
+        )
+        stats = sim.run(6, rng=np.random.default_rng(2))
+        assert stats.delivered == 1
+        assert stats.duplicates == 1
+        assert stats.acks_lost == 1
+        assert stats.transmissions == 2
+
+    def test_drop_exactly_at_retry_limit(self):
+        """A dead link spends precisely max_retries transmissions."""
+        sim = ArqSimulator(
+            _network(distance=25.0, seed=3),
+            SingleBurst(),
+            max_retries=2,
+            backoff_base_rounds=0,
+        )
+        stats = sim.run(6, rng=np.random.default_rng(3))
+        assert stats.offered == 1
+        assert stats.delivered == 0
+        assert stats.transmissions == 2
+        assert stats.dropped == 1
+        assert all(not q for q in sim.queues.values())

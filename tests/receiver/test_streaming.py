@@ -7,7 +7,7 @@ from repro.channel.noise import NoiseModel
 from repro.codes import twonc_codes
 from repro.phy.modulation import fractional_delay, ook_baseband
 from repro.receiver import CbmaReceiver
-from repro.receiver.streaming import StreamingReceiver
+from repro.receiver.streaming import DedupTable, StreamFrame, StreamingReceiver
 from repro.sim.unslotted import UnslottedScenario, simulate_unslotted
 from repro.tag import FrameFormat, Tag
 
@@ -88,6 +88,77 @@ class TestStreamingReceiver:
     def test_empty_stream(self, stack):
         _, _, _, _, stream = stack
         assert stream.process_stream(np.zeros(100, dtype=complex)) == []
+
+    def test_short_capture_tail_frame_decoded(self, stack):
+        """A capture much shorter than one window still decodes its
+        frame -- the old walk's end-of-buffer guard skipped it."""
+        codes, fmt, tags, rx, stream = stack
+        rng = np.random.default_rng(5)
+        sig = ook_baseband(tags[0].chip_stream(b"hi", SPC))
+        total = sig.size + 200
+        assert total < stream.window_samples // 4
+        buf = 1e-6 * (rng.normal(size=total) + 1j * rng.normal(size=total))
+        buf = buf + _place(tags[0], b"hi", 100, total)
+        frames = stream.process_stream(buf)
+        assert any(f.user_id == 0 and f.payload == b"hi" for f in frames)
+
+
+class TestDedupTable:
+    def test_seen_within_tolerance_only(self):
+        t = DedupTable(tolerance=100)
+        assert not t.seen(0, b"a", 1000)
+        assert t.seen(0, b"a", 1050)  # same frame through the next window
+        assert not t.seen(0, b"a", 1200)  # a genuinely new frame
+        assert not t.seen(1, b"a", 1000)  # different user
+
+    def test_evictions_and_peak_tracked(self):
+        t = DedupTable(tolerance=10)
+        for i in range(5):
+            t.seen(0, bytes([i]), i * 100)
+        assert t.peak_size == 5
+        assert t.evict_before(250) == 3
+        assert len(t) == 2
+        assert t.evictions == 3
+
+    def test_user_active_since(self):
+        t = DedupTable(tolerance=10)
+        t.seen(0, b"x", 500)
+        assert t.user_active_since(0, 400)
+        assert not t.user_active_since(0, 500)
+        assert not t.user_active_since(1, 0)
+
+    def test_records_round_trip(self):
+        t = DedupTable(tolerance=10)
+        t.seen(0, b"x", 500)
+        t.seen(1, b"y", 700)
+        back = DedupTable.from_records(10, t.to_records(), evictions=3, peak_size=4)
+        assert back.entries == t.entries
+        assert back.evictions == 3
+        assert back.peak_size == 4
+
+    def test_long_stream_memory_stays_flat(self, stack, monkeypatch):
+        """1000 frames through the walk: the bounded dedup table must
+        evict behind the walk instead of growing without bound."""
+        codes, fmt, tags, rx, _ = stack
+        stream = StreamingReceiver(rx, max_frame_bits=4)
+        decoded = {"n": 0}
+
+        def fake_decode(window, pos, dedup):
+            decoded["n"] += 1
+            payload = decoded["n"].to_bytes(4, "big")
+            if dedup.seen(0, payload, pos):
+                return [], None
+            return [StreamFrame(user_id=0, payload=payload, start_sample=pos)], None
+
+        monkeypatch.setattr(stream, "window_is_live", lambda window: True)
+        monkeypatch.setattr(stream, "decode_window", fake_decode)
+        frames = stream.process_stream(
+            np.zeros(1000 * stream.hop_samples, dtype=complex)
+        )
+        assert len(frames) == 1000
+        assert stream.last_dedup.peak_size <= 4
+        assert len(stream.last_dedup) <= 4
+        assert stream.last_dedup.evictions >= 990
 
 
 class TestUnslotted:
