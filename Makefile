@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint bench bench-quick bench-perf examples report clean
+.PHONY: install test lint bench bench-quick bench-perf farm-bench examples report clean
 
 install:
 	pip install -e .
@@ -25,11 +25,16 @@ bench:
 bench-quick:
 	REPRO_BENCH_SCALE=0.25 $(PY) -m pytest benchmarks/ --benchmark-only -q
 
-# Correlation hot-path latency trajectory, gated vs the committed
+# Hot-path latency trajectory (all tiers), gated vs the committed
 # baseline (docs/performance.md).
 bench-perf:
-	$(PY) -m repro bench --quick --output BENCH_0004.json \
-		--baseline benchmarks/BENCH_0004.json
+	$(PY) -m repro bench --quick --output BENCH_0006.json \
+		--baseline benchmarks/BENCH_0006.json
+
+# Parallel decode farm only: sessions-per-core / real-time factor.
+farm-bench:
+	$(PY) -m repro bench --tier farm --quick --output BENCH_0006_farm.json \
+		--baseline benchmarks/BENCH_0006.json
 
 examples:
 	$(PY) examples/quickstart.py

@@ -17,10 +17,12 @@ from repro.bench.runner import (
     compare_to_baseline,
     run_bench,
 )
+from repro.bench.workloads import TIERS
 
 __all__ = [
     "BENCH_ID",
     "SCHEMA",
+    "TIERS",
     "BenchReport",
     "OpResult",
     "compare_to_baseline",

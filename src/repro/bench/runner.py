@@ -12,7 +12,7 @@ Schema (``repro.bench/1``)::
 
     {
       "schema":   "repro.bench/1",
-      "bench_id": "BENCH_0004",
+      "bench_id": "BENCH_0006",
       "quick":    true,
       "seed":     7,
       "env":      {"python": "...", "numpy": "...", "platform": "..."},
@@ -58,7 +58,7 @@ __all__ = [
 
 SCHEMA = "repro.bench/1"
 #: Identifier of the current trajectory file (bumped per tracked era).
-BENCH_ID = "BENCH_0004"
+BENCH_ID = "BENCH_0006"
 
 
 @dataclass(frozen=True)
@@ -212,6 +212,25 @@ def _derive(ops: List[OpResult]) -> Dict[str, float]:
             partner = by_name.get(f"corr_fft_w{suffix}")
             if partner is not None and partner.p50_s > 0:
                 derived[f"corr_speedup_w{suffix}"] = op.p50_s / partner.p50_s
+    # Farm tier: scaling across worker counts plus the two capacity
+    # figures -- real-time factor (aggregate decoded airtime seconds
+    # per wall second) and sessions-per-core (real-time factor per
+    # worker: how many live streams one core can carry).
+    one_worker = by_name.get("farm_decode_w1")
+    for op in ops:
+        if op.group != "farm" or op.p50_s <= 0:
+            continue
+        n_workers = int(op.params.get("n_workers", 1))
+        if one_worker is not None and n_workers > 1:
+            derived[f"farm_speedup_{n_workers}w_over_1w"] = (
+                one_worker.p50_s / op.p50_s
+            )
+        stream_seconds = float(op.params.get("stream_seconds", 0.0))
+        n_sessions = int(op.params.get("n_sessions", 0))
+        if stream_seconds > 0 and n_sessions > 0:
+            realtime = n_sessions * stream_seconds / op.p50_s
+            derived[f"farm_realtime_factor_w{n_workers}"] = realtime
+            derived[f"farm_sessions_per_core_w{n_workers}"] = realtime / n_workers
     return derived
 
 
@@ -220,16 +239,19 @@ def run_bench(
     seed: int = 7,
     tracer: Optional[Tracer] = None,
     workloads: Optional[List[Workload]] = None,
+    tier: str = "all",
 ) -> BenchReport:
     """Run the benchmark suite and summarise it as a :class:`BenchReport`.
 
-    *workloads* overrides the standard suite (tests use tiny custom
-    ones); *tracer* receives every per-rep sample for callers that want
-    the raw event stream alongside the summary.
+    *tier* selects one workload tier (``micro`` | ``detect`` | ``e2e``
+    | ``farm``; default everything); *workloads* overrides the standard
+    suite entirely (tests use tiny custom ones); *tracer* receives
+    every per-rep sample for callers that want the raw event stream
+    alongside the summary.
     """
     tracer = tracer if tracer is not None else Tracer()
     if workloads is None:
-        workloads = build_workloads(quick=quick, seed=seed)
+        workloads = build_workloads(quick=quick, seed=seed, tier=tier)
     ops = [_time_workload(tracer, workload) for workload in workloads]
     return BenchReport(
         ops=ops,

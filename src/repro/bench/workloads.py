@@ -23,7 +23,10 @@ from repro.tag.tag import Tag
 from repro.utils.correlation import sliding_correlation
 from repro.utils.correlation_batch import sliding_correlation_batch
 
-__all__ = ["Workload", "build_workloads"]
+__all__ = ["TIERS", "Workload", "build_workloads"]
+
+#: Selectable workload tiers (``all`` = every tier).
+TIERS = ("micro", "detect", "e2e", "farm", "all")
 
 
 @dataclass(frozen=True)
@@ -36,7 +39,7 @@ class Workload:
     fn: Callable[[], object]
     reps: int
     group: str = "micro"
-    """Report grouping: ``micro`` | ``detect`` | ``e2e``."""
+    """Report grouping: ``micro`` | ``detect`` | ``e2e`` | ``farm``."""
 
 
 def _bipolar_templates(rng: np.random.Generator, n_templates: int, m: int) -> np.ndarray:
@@ -65,10 +68,84 @@ def _collision_buffer(
     return np.asarray(iq), code_map, fmt
 
 
-def build_workloads(quick: bool = False, seed: int = 7) -> List[Workload]:
+def _farm_workloads(quick: bool, seed: int) -> List[Workload]:
+    """The parallel-decode tier: one 4-session farm per worker count.
+
+    The timed region is the farm's whole life -- construct, feed every
+    chunk with the sequential cadence, pump, finish, close -- because
+    that is what a deployment pays per capture: worker startup and
+    shared-memory setup are part of the cost the ``process`` backend
+    must amortise.  The derived sessions-per-core / real-time-factor
+    metrics come from the ``stream_seconds`` param recorded here.
+    """
+    # Imported lazily: the micro tiers must not pay for the farm stack.
+    from repro.farm import DecodeFarm, FarmConfig
+    from repro.sim.experiments.soak import (
+        SoakConfig,
+        build_soak_stack,
+        build_soak_stream,
+    )
+    from repro.sim.network import CbmaConfig
+
+    n_windows = 10 if quick else 24
+    n_sessions = 4
+    soak = SoakConfig(n_windows=n_windows, n_tags=4, seed=seed, traffic_rate=0.3)
+    tags, stream = build_soak_stack(soak)
+    buffer, _offered = build_soak_stream(soak, None, stream, tags)
+    chunk = 3 * stream.hop_samples
+    chunks = [buffer[lo : lo + chunk] for lo in range(0, buffer.size, chunk)]
+    net = CbmaConfig(
+        n_tags=4,
+        seed=seed,
+        payload_bytes=4,
+        code_length=32,
+        samples_per_chip=1,
+        user_threshold=0.25,
+    )
+    # Wall-clock seconds of airtime each session decodes, at the
+    # config's sample rate -- the real-time yardstick.
+    stream_seconds = buffer.size / (net.samples_per_chip * net.chip_rate_hz)
+    reps = 2 if quick else 4
+    workloads: List[Workload] = []
+    for n_workers in (1, 2, 4):
+        params = {
+            "n_sessions": n_sessions,
+            "n_workers": n_workers,
+            "n_tags": 4,
+            "n_windows": n_windows,
+            "n_samples": int(buffer.size),
+            "stream_seconds": stream_seconds,
+            "backend": "process",
+        }
+
+        def run(n_workers: int = n_workers) -> object:
+            farm = DecodeFarm.from_config(
+                net,
+                n_sessions=n_sessions,
+                farm=FarmConfig(n_workers=n_workers, ring_slot_samples=chunk),
+                backend="process",
+            )
+            try:
+                for piece in chunks:
+                    for sid in farm.session_ids:
+                        farm.feed(sid, piece)
+                    farm.pump()
+                return farm.finish()
+            finally:
+                farm.close()
+
+        workloads.append(
+            Workload(f"farm_decode_w{n_workers}", params, run, reps, "farm")
+        )
+    return workloads
+
+
+def build_workloads(
+    quick: bool = False, seed: int = 7, tier: str = "all"
+) -> List[Workload]:
     """The standard benchmark suite.
 
-    Three tiers, mirroring how the correlation kernel is consumed:
+    Four tiers, mirroring how the decode machinery is consumed:
 
     - ``micro``: raw sliding correlation, direct loop vs. batched FFT,
       across window sizes (10 stacked templates);
@@ -76,14 +153,21 @@ def build_workloads(quick: bool = False, seed: int = 7) -> List[Workload]:
       10-tag / 4-samples-per-chip collision, per backend -- the
       acceptance benchmark for the batched kernel;
     - ``e2e``: the full :meth:`CbmaReceiver.process` pipeline on the
-      same class of buffer, at two payload sizes (two buffer lengths).
+      same class of buffer, at two payload sizes (two buffer lengths);
+    - ``farm``: :class:`~repro.farm.DecodeFarm` over a multi-session
+      soak capture at 1/2/4 workers (sessions-per-core and real-time
+      factor land in ``derived``).
 
-    *quick* shrinks window sizes and repetition counts for CI smoke
-    runs; op names stay identical so a quick run compares against a
-    quick baseline.
+    *tier* selects one tier (or ``"all"``); *quick* shrinks window
+    sizes and repetition counts for CI smoke runs; op names stay
+    identical so a quick run compares against a quick baseline.
     """
+    if tier not in TIERS:
+        raise ValueError(f"unknown bench tier {tier!r} (allowed: {TIERS})")
     rng = np.random.default_rng(seed)
     workloads: List[Workload] = []
+    if tier == "farm":
+        return _farm_workloads(quick, seed)
 
     # --- micro: sliding correlation, 10 templates --------------------------
     window_sizes = (4096, 16384) if quick else (8192, 32768, 131072)
@@ -171,4 +255,8 @@ def build_workloads(quick: bool = False, seed: int = 7) -> List[Workload]:
                 "e2e",
             )
         )
+    if tier == "all":
+        workloads.extend(_farm_workloads(quick, seed))
+    else:
+        workloads = [w for w in workloads if w.group == tier]
     return workloads

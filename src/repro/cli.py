@@ -8,7 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro field --resolution 41
     python -m repro profile --tags 10 --rounds 20
     python -m repro profile --tags 4 --rounds 5 --json
-    python -m repro bench --quick --output BENCH_0004.json
+    python -m repro bench --quick --output BENCH_0006.json
+    python -m repro bench --tier farm --quick
     python -m repro soak --windows 500 --campaigns 3 --artifact shrunk.json
     python -m repro trace record out.json --tags 3 --rounds 50
     python -m repro trace replay out.json --seed 9
@@ -175,7 +176,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--quick", action="store_true", help="CI smoke scale (small windows, few reps)")
     bench.add_argument("--seed", type=int, default=7)
-    bench.add_argument("--output", default="BENCH_0004.json", metavar="PATH", help="trajectory file to write")
+    bench.add_argument(
+        "--tier",
+        choices=["micro", "detect", "e2e", "farm", "all"],
+        default="all",
+        help="workload tier to run (default: all)",
+    )
+    bench.add_argument("--output", default="BENCH_0006.json", metavar="PATH", help="trajectory file to write")
     bench.add_argument(
         "--baseline",
         metavar="PATH",
@@ -338,7 +345,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import BenchReport, compare_to_baseline, run_bench
 
-    report = run_bench(quick=args.quick, seed=args.seed)
+    report = run_bench(quick=args.quick, seed=args.seed, tier=args.tier)
     if args.json:
         print(report.to_json())
     else:

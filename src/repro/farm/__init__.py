@@ -1,0 +1,26 @@
+"""Parallel decode farm: many supervised sessions, many cores.
+
+Public surface:
+
+- :class:`DecodeFarm` -- shard sessions over a worker pool; the
+  construction entry points are ``DecodeFarm(specs, ...)`` and
+  :meth:`DecodeFarm.from_config`.
+- :class:`FarmConfig` / :class:`SessionSpec` -- the picklable
+  configuration records.
+- :class:`WorkerCore` and :class:`ShmRing` -- the scheduling core and
+  the shared-memory transport, exported for tests and for embedding
+  the co-scheduler without the process pool.
+"""
+
+from repro.farm.config import FarmConfig, SessionSpec
+from repro.farm.farm import DecodeFarm
+from repro.farm.ring import ShmRing
+from repro.farm.worker import WorkerCore
+
+__all__ = [
+    "DecodeFarm",
+    "FarmConfig",
+    "SessionSpec",
+    "ShmRing",
+    "WorkerCore",
+]

@@ -1,0 +1,115 @@
+"""Construction-time configuration of the parallel decode farm.
+
+Two small, picklable records cross the process boundary at startup:
+
+- :class:`SessionSpec` -- everything a worker needs to (re)build one
+  supervised session: its id, the :class:`~repro.sim.network.CbmaConfig`
+  that pins the PHY/code book, and the optional supervision policy.
+  IQ samples never travel this way (they go through the shared-memory
+  ring); specs do, once, at placement time.
+- :class:`FarmConfig` -- the farm's own knobs: worker count, ring
+  geometry, buffer dtype and whether cross-session gate batching is
+  enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.receiver.session import SessionConfig
+from repro.sim.network import CbmaConfig
+
+__all__ = ["FarmConfig", "SessionSpec"]
+
+_FARM_DTYPES = ("complex128", "complex64")
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One session to place on the farm.
+
+    Attributes
+    ----------
+    session_id:
+        Unique integer id; also the key frames and stats come back
+        under.
+    config:
+        The :class:`~repro.sim.network.CbmaConfig` the worker hands to
+        :meth:`SessionSupervisor.from_config`.  Sessions whose configs
+        produce the same code book and frame format share one memoised
+        :class:`~repro.utils.correlation_batch.TemplateBank` inside a
+        worker, which is what makes cross-session gate batching kick
+        in.
+    session:
+        Optional :class:`~repro.receiver.session.SessionConfig`
+        supervision policy (``None`` = defaults).
+    window_frames:
+        Window length passed through to the streaming receiver.
+    """
+
+    session_id: int
+    config: CbmaConfig
+    session: Optional[SessionConfig] = None
+    window_frames: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.session_id < 0:
+            raise ValueError("session_id must be >= 0")
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Tuning knobs of a :class:`~repro.farm.DecodeFarm`.
+
+    Attributes
+    ----------
+    n_workers:
+        Worker processes (or inline worker cores).
+    ring_slots:
+        Shared-memory ring slots per worker.  The free-slot pool is
+        the farm's ingest backpressure: when every slot of a worker's
+        ring holds an unconsumed chunk, ``feed`` blocks (counted under
+        ``farm.slot_waits``) until the worker frees one.
+    ring_slot_samples:
+        Samples per ring slot.  Chunks larger than one slot are split
+        across slots -- safe because session decode output is
+        invariant to chunking cadence -- but per-chunk stats
+        (``session.quarantined``) then follow the split cadence, so
+        size slots to your chunk size when comparing stats against a
+        sequential run.
+    dtype:
+        Complex dtype of the sample path (ring slots, session ingest
+        buffers, the pre-gate): ``"complex128"`` (default, the decode
+        oracle) or ``"complex64"`` (the opt-in fast path -- half the
+        shared-memory bandwidth; decode itself still runs complex128).
+    coschedule:
+        Batch the pre-gate FFT across co-resident sessions that share
+        a template bank and window length.  Bit-identical to per-window
+        gating (the batched kernel computes rows independently); off
+        turns the farm into plain per-session round-robin.
+    """
+
+    n_workers: int = 2
+    ring_slots: int = 8
+    ring_slot_samples: int = 1 << 16
+    dtype: str = "complex128"
+    coschedule: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.ring_slots < 2:
+            raise ValueError("ring_slots must be >= 2 (one in flight, one filling)")
+        if self.ring_slot_samples < 1:
+            raise ValueError("ring_slot_samples must be >= 1")
+        if str(self.dtype) not in _FARM_DTYPES:
+            raise ValueError(
+                f"dtype must be one of {_FARM_DTYPES}, got {self.dtype!r}"
+            )
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)

@@ -1,0 +1,499 @@
+"""DecodeFarm: shard supervised sessions across a process pool.
+
+The farm is the orchestration layer above
+:class:`~repro.receiver.session.SessionSupervisor`: N sessions are
+placed round-robin on W workers, IQ chunks travel through per-worker
+shared-memory rings (:mod:`repro.farm.ring`), the window walk is
+co-scheduled so sessions sharing a template bank gate through one
+stacked FFT (:mod:`repro.farm.worker`), and results flow back as
+ordered :class:`~repro.receiver.streaming.StreamFrame` batches with
+per-session stats.  Checkpoint/restore is the rebalance primitive:
+:meth:`DecodeFarm.drain` lifts a session off its worker as checkpoint
+records and :meth:`DecodeFarm.restore` resumes it -- bit-identically
+-- on another.
+
+Two backends share every line of scheduling logic
+(:class:`~repro.farm.worker.WorkerCore`):
+
+- ``"process"`` -- one OS process per worker, shared-memory ingest,
+  the real thing;
+- ``"inline"`` -- the same worker cores driven synchronously in the
+  parent: the equivalence oracle for tests, and the sensible choice on
+  a single-core host.
+
+The feed protocol is cycle-based: :meth:`feed` only *buffers* (the
+worker ingests the chunk and frees the ring slot; nothing decodes),
+and :meth:`pump` runs one co-scheduled decode cycle on every worker
+with dirty sessions.  Per session the cadence is therefore
+ingest-then-pump per chunk -- exactly ``SessionSupervisor.feed`` --
+which is why farm output and stats are byte-identical to a sequential
+run over the same chunks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.farm.config import FarmConfig, SessionSpec
+from repro.farm.ring import ShmRing
+from repro.farm.worker import WorkerCore, worker_main
+from repro.obs.taxonomy import C, G
+from repro.obs.tracer import as_tracer
+from repro.receiver.streaming import StreamFrame
+
+__all__ = ["DecodeFarm"]
+
+_BACKENDS = ("process", "inline")
+
+#: An idle farm whose worker takes longer than this to answer is
+#: declared dead rather than hanging the parent forever.
+_HARVEST_TIMEOUT_S = 120.0
+
+
+class DecodeFarm:
+    """N supervised sessions sharded over W workers.
+
+    Parameters
+    ----------
+    specs:
+        The sessions to place (:class:`~repro.farm.config.SessionSpec`),
+        distributed round-robin in session-id order.
+    farm:
+        :class:`~repro.farm.config.FarmConfig` (``None`` = defaults).
+    tracer:
+        Optional tracer; farm-level counters/gauges land under the
+        ``farm.*`` taxonomy families.
+    backend:
+        ``"process"`` (default) or ``"inline"`` (same scheduling, no
+        processes -- the equivalence oracle).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SessionSpec],
+        farm: Optional[FarmConfig] = None,
+        tracer=None,
+        backend: str = "process",
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown farm backend {backend!r} (allowed: {_BACKENDS})")
+        specs = sorted(specs, key=lambda s: s.session_id)
+        sids = [s.session_id for s in specs]
+        if len(set(sids)) != len(sids):
+            raise ValueError("session ids must be unique")
+        if not specs:
+            raise ValueError("a farm needs at least one session")
+        self.config = farm or FarmConfig()
+        self.backend = backend
+        self.tracer = as_tracer(tracer)
+        self._specs: Dict[int, SessionSpec] = {s.session_id: s for s in specs}
+        self._placement: Dict[int, int] = {
+            s.session_id: i % self.config.n_workers for i, s in enumerate(specs)
+        }
+        self._dirty_workers: set = set()
+        self._pump_seq = 0
+        self._outstanding_pumps: Dict[int, int] = {
+            w: 0 for w in range(self.config.n_workers)
+        }
+        self._closed = False
+        self._finished: Dict[int, bool] = {}
+
+        #: Full per-session frame streams, in emission order.
+        self.frames: Dict[int, List[StreamFrame]] = {sid: [] for sid in sids}
+        #: Per-session stats dicts (populated by :meth:`finish`).
+        self.session_stats: Dict[int, Dict[str, int]] = {}
+        #: Per-session health histories (populated by :meth:`finish`).
+        self.session_health: Dict[int, list] = {}
+        #: Per-worker busy fraction (populated when workers stop).
+        self.worker_utilization: Dict[int, float] = {}
+        #: Windows gated through a cross-session batch (lifetime).
+        self.batched_windows = 0
+        self._fresh: Dict[int, List[StreamFrame]] = {}
+        self._drained: Dict[int, List[dict]] = {}
+
+        if backend == "inline":
+            self._cores = [
+                WorkerCore(self.config.numpy_dtype, coschedule=self.config.coschedule)
+                for _ in range(self.config.n_workers)
+            ]
+            for spec in specs:
+                self._cores[self._placement[spec.session_id]].add(spec)
+        else:
+            ctx = multiprocessing.get_context("fork")
+            self._rings: List[ShmRing] = []
+            self._cmd_queues = []
+            self._result_queue = ctx.Queue()
+            self._procs = []
+            try:
+                for w in range(self.config.n_workers):
+                    ring = ShmRing(
+                        self.config.ring_slots,
+                        self.config.ring_slot_samples,
+                        self.config.numpy_dtype,
+                    )
+                    self._rings.append(ring)
+                    cmd_q = ctx.Queue()
+                    self._cmd_queues.append(cmd_q)
+                    proc = ctx.Process(
+                        target=worker_main,
+                        args=(
+                            w,
+                            cmd_q,
+                            self._result_queue,
+                            ring.name,
+                            self.config.ring_slots,
+                            self.config.ring_slot_samples,
+                            self.config.dtype,
+                            self.config.coschedule,
+                        ),
+                        daemon=True,
+                    )
+                    proc.start()
+                    self._procs.append(proc)
+                for spec in specs:
+                    self._cmd_queues[self._placement[spec.session_id]].put(("add", spec))
+            except Exception:
+                self.close()
+                raise
+        self._count(C.FARM_SESSIONS_OPENED, len(specs))
+        self._gauge(G.FARM_SESSIONS_LIVE, len(self._placement))
+
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        *,
+        n_sessions: int,
+        farm: Optional[FarmConfig] = None,
+        session=None,
+        window_frames: float = 2.0,
+        tracer=None,
+        backend: str = "process",
+    ) -> "DecodeFarm":
+        """Build a farm of *n_sessions* identical sessions from one
+        :class:`~repro.sim.network.CbmaConfig`.
+
+        The one construction path from PHY config to farm: each
+        session gets the same config (ids ``0..n_sessions-1``), so all
+        sessions on a worker share one memoised template bank and the
+        cross-session batched gate engages.  *session* is the shared
+        :class:`~repro.receiver.session.SessionConfig` policy.
+        """
+        if n_sessions < 1:
+            raise ValueError("n_sessions must be >= 1")
+        specs = [
+            SessionSpec(
+                session_id=i,
+                config=config,
+                session=session,
+                window_frames=window_frames,
+            )
+            for i in range(n_sessions)
+        ]
+        return cls(specs, farm=farm, tracer=tracer, backend=backend)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def session_ids(self) -> List[int]:
+        """Sessions currently resident on a worker (sorted)."""
+        return sorted(self._placement)
+
+    def worker_of(self, session_id: int) -> int:
+        return self._placement[session_id]
+
+    # ------------------------------------------------------------------
+    # The data path
+    # ------------------------------------------------------------------
+
+    def feed(self, session_id: int, chunk) -> None:
+        """Ship *chunk* to *session_id*'s worker (buffering only).
+
+        The chunk is written into the worker's shared-memory ring --
+        split across slots when larger than one -- and the worker
+        ingests it into the session's buffer.  No windows are decoded
+        until :meth:`pump`.  Blocks only when every ring slot is in
+        flight (``farm.slot_waits``).
+        """
+        self._check_open()
+        worker = self._placement[session_id]
+        x = np.asarray(chunk)
+        if x.ndim != 1:
+            raise ValueError(f"farm feed requires 1-D sample chunks, got ndim={x.ndim}")
+        self._count(C.FARM_CHUNKS)
+        if self.backend == "inline":
+            self._cores[worker].ingest(session_id, x)
+        else:
+            ring = self._rings[worker]
+            for lo in range(0, x.size, ring.slot_samples) or [0]:
+                piece = x[lo : lo + ring.slot_samples]
+                while ring.free_slots == 0:
+                    self._count(C.FARM_SLOT_WAITS)
+                    self._harvest(block=True)
+                slot = ring.claim()
+                n = ring.write(slot, piece)
+                self._cmd_queues[worker].put(("feed", session_id, slot, n))
+            self._gauge(G.FARM_RING_OCCUPANCY, ring.occupancy)
+        self._dirty_workers.add(worker)
+
+    def pump(self, wait: bool = True) -> Dict[int, List[StreamFrame]]:
+        """Run one co-scheduled decode cycle on every dirty worker.
+
+        With ``wait=True`` (default) blocks until every outstanding
+        cycle -- including earlier ``wait=False`` ones -- has reported,
+        and returns the newly finalised frames per session.  With
+        ``wait=False`` the cycle runs in the background; harvest its
+        frames later via :meth:`poll`, a waiting :meth:`pump`, or
+        :meth:`finish`.
+        """
+        self._check_open()
+        dirty = sorted(self._dirty_workers)
+        self._dirty_workers.clear()
+        if self.backend == "inline":
+            for worker in dirty:
+                core = self._cores[worker]
+                before = core.batched_windows
+                for sid, frames in core.pump():
+                    self._collect(sid, frames)
+                self._record_batched(core.batched_windows - before)
+            return self._take_fresh()
+        for worker in dirty:
+            self._pump_seq += 1
+            self._cmd_queues[worker].put(("pump", self._pump_seq))
+            self._outstanding_pumps[worker] += 1
+        self._gauge(
+            G.FARM_QUEUE_DEPTH, sum(self._outstanding_pumps.values())
+        )
+        if wait:
+            while any(self._outstanding_pumps.values()):
+                self._harvest(block=True)
+        else:
+            self._harvest_available()
+        return self._take_fresh()
+
+    def poll(self) -> Dict[int, List[StreamFrame]]:
+        """Harvest whatever workers have reported without blocking."""
+        self._check_open()
+        if self.backend == "process":
+            self._harvest_available()
+        return self._take_fresh()
+
+    def finish(self) -> Dict[int, List[StreamFrame]]:
+        """Finish every session, stop the workers, return tail frames.
+
+        Flushes outstanding cycles first (worker queues are FIFO), then
+        ends each session -- the truncated tail window plus the ordered
+        flush of held-back frames -- and collects its final stats and
+        health history into :attr:`session_stats` / :attr:`session_health`.
+        The farm is closed afterwards; full streams stay in
+        :attr:`frames`.
+        """
+        self._check_open()
+        if self._dirty_workers:
+            self.pump(wait=True)
+        tails: Dict[int, List[StreamFrame]] = {}
+        if self.backend == "inline":
+            for sid in self.session_ids:
+                frames, stats, history = self._cores[self._placement[sid]].finish(sid)
+                self._collect(sid, frames)
+                self.session_stats[sid] = stats
+                self.session_health[sid] = history
+                tails[sid] = frames
+            for w, core in enumerate(self._cores):
+                self.worker_utilization[w] = 1.0
+            self._count(C.FARM_SESSIONS_CLOSED, len(tails))
+            self._gauge(G.FARM_SESSIONS_LIVE, 0)
+            self._placement.clear()
+            self._closed = True
+            return tails
+        pending = list(self.session_ids)
+        for sid in pending:
+            self._cmd_queues[self._placement[sid]].put(("finish", sid))
+        while not all(self._finished.get(sid) for sid in pending):
+            self._harvest(block=True)
+        for sid in pending:
+            tails[sid] = self._fresh.pop(sid, [])
+            del self._placement[sid]
+        self._count(C.FARM_SESSIONS_CLOSED, len(pending))
+        self._gauge(G.FARM_SESSIONS_LIVE, 0)
+        self._shutdown_workers()
+        self._closed = True
+        return tails
+
+    # ------------------------------------------------------------------
+    # Rebalancing (checkpoint/restore as the primitive)
+    # ------------------------------------------------------------------
+
+    def drain(self, session_id: int) -> List[dict]:
+        """Lift a session off its worker as checkpoint records.
+
+        The session is checkpointed (position, dedup, health machine,
+        pending frames) and removed.  Resume it with :meth:`restore`
+        and re-feed the sample stream from the checkpoint's
+        ``position`` -- buffered-but-unprocessed samples are *not*
+        part of the records, exactly like an on-disk checkpoint.
+        """
+        self._check_open()
+        worker = self._placement[session_id]
+        if self.backend == "inline":
+            records = self._cores[worker].drain(session_id)
+        else:
+            self._cmd_queues[worker].put(("drain", session_id))
+            while session_id not in self._drained:
+                self._harvest(block=True)
+            records = self._drained.pop(session_id)
+        del self._placement[session_id]
+        self._count(C.FARM_SESSIONS_CLOSED)
+        self._gauge(G.FARM_SESSIONS_LIVE, len(self._placement))
+        return records
+
+    def restore(
+        self, session_id: int, records: List[dict], worker: Optional[int] = None
+    ) -> None:
+        """Resume a drained session on *worker* (default: round-robin)."""
+        self._check_open()
+        if session_id in self._placement:
+            raise ValueError(f"session {session_id} is already live")
+        spec = self._specs[session_id]
+        if worker is None:
+            worker = len(self._placement) % self.config.n_workers
+        if not 0 <= worker < self.config.n_workers:
+            raise ValueError(f"worker {worker} out of range")
+        if self.backend == "inline":
+            self._cores[worker].restore(spec, records)
+        else:
+            self._cmd_queues[worker].put(("restore", spec, records))
+        self._placement[session_id] = worker
+        self.frames.setdefault(session_id, [])
+        self._count(C.FARM_SESSIONS_OPENED)
+        self._gauge(G.FARM_SESSIONS_LIVE, len(self._placement))
+
+    def migrate(self, session_id: int, worker: int) -> List[dict]:
+        """Drain a session and resume it on another worker.
+
+        Returns the checkpoint records (the caller re-feeds the stream
+        from their ``position``).  Bit-identical continuation is the
+        checkpoint/restore guarantee, so rebalancing never changes
+        decode output.
+        """
+        records = self.drain(session_id)
+        self.restore(session_id, records, worker=worker)
+        self._count(C.FARM_MIGRATIONS)
+        return records
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear the farm down without finishing sessions (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.backend == "process":
+            for proc in getattr(self, "_procs", []):
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in getattr(self, "_procs", []):
+                proc.join(timeout=5.0)
+            for ring in getattr(self, "_rings", []):
+                ring.close()
+                ring.unlink()
+
+    def __enter__(self) -> "DecodeFarm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Result harvesting (process backend)
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("farm is closed; create a new DecodeFarm")
+
+    def _collect(self, session_id: int, frames: List[StreamFrame]) -> None:
+        if not frames:
+            return
+        self.frames[session_id].extend(frames)
+        self._fresh.setdefault(session_id, []).extend(frames)
+        self._count(C.FARM_FRAMES, len(frames))
+
+    def _take_fresh(self) -> Dict[int, List[StreamFrame]]:
+        fresh = {sid: frames for sid, frames in self._fresh.items() if frames}
+        self._fresh = {}
+        return fresh
+
+    def _record_batched(self, n: int) -> None:
+        if n:
+            self.batched_windows += n
+            self._count(C.FARM_BATCHED_WINDOWS, n)
+
+    def _harvest_available(self) -> None:
+        while True:
+            try:
+                msg = self._result_queue.get_nowait()
+            except Exception:
+                return
+            self._dispatch(msg)
+
+    def _harvest(self, block: bool) -> None:
+        msg = self._result_queue.get(timeout=_HARVEST_TIMEOUT_S if block else 0.0)
+        self._dispatch(msg)
+
+    def _dispatch(self, msg) -> None:
+        worker, tag = msg[0], msg[1]
+        if tag == "free":
+            self._rings[worker].release(msg[2])
+        elif tag == "pumped":
+            _seq, results, batched = msg[2], msg[3], msg[4]
+            self._outstanding_pumps[worker] -= 1
+            for sid, frames in results:
+                self._collect(sid, frames)
+            self._record_batched(batched)
+        elif tag == "finished":
+            sid, frames, stats, history = msg[2], msg[3], msg[4], msg[5]
+            self._collect(sid, frames)
+            self.session_stats[sid] = stats
+            self.session_health[sid] = history
+            self._finished[sid] = True
+        elif tag == "drained":
+            self._drained[msg[2]] = msg[3]
+        elif tag == "stopped":
+            busy, wall = msg[2], msg[3]
+            util = busy / wall if wall > 0 else 0.0
+            self.worker_utilization[worker] = util
+            self._gauge(G.FARM_WORKER_UTILIZATION, util)
+        elif tag == "error":
+            raise RuntimeError(f"farm worker {worker} failed: {msg[2]}")
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown farm worker reply {tag!r}")
+
+    def _shutdown_workers(self) -> None:
+        for cmd_q in self._cmd_queues:
+            cmd_q.put(("stop",))
+        stopped = 0
+        while stopped < len(self._procs):
+            before = len(self.worker_utilization)
+            self._harvest(block=True)
+            stopped += len(self.worker_utilization) - before
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
+
+    def _count(self, counter: str, n: int = 1) -> None:
+        if self.tracer.enabled:
+            self.tracer.count(counter, n)
+
+    def _gauge(self, gauge: str, value) -> None:
+        if self.tracer.enabled:
+            self.tracer.gauge(gauge, value)

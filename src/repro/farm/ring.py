@@ -1,0 +1,129 @@
+"""Shared-memory sample ring: zero-copy IQ transport to workers.
+
+Pickling a multi-megabyte complex chunk per feed would serialise the
+whole sample stream through a pipe.  Instead each worker owns one
+:class:`ShmRing` -- a ``multiprocessing.shared_memory`` slab carved
+into fixed-size slots.  The parent writes a chunk into a free slot and
+sends only ``(slot, n_samples)`` over the command queue; the worker
+maps the same slab and hands the session a numpy **view** of the slot.
+``SessionSupervisor.ingest`` copies the view into its own buffer (its
+documented contract), so the slot is free for reuse the moment the
+worker acknowledges the feed.
+
+Slot lifecycle (parent-owned free list, no shared locks):
+
+1. parent: ``claim()`` a free slot index, ``write(slot, chunk)``;
+2. parent -> worker: ``("feed", sid, slot, n)`` over the command queue;
+3. worker: ``view(slot, n)`` -> ``session.ingest`` (copies);
+4. worker -> parent: ``("free", slot)`` over the result queue;
+5. parent: ``release(slot)`` returns it to the free list.
+
+When no slot is free the parent blocks harvesting worker results
+(that is the farm's ingest backpressure, counted under
+``farm.slot_waits``).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import List
+
+import numpy as np
+
+__all__ = ["ShmRing"]
+
+
+class ShmRing:
+    """One worker's shared-memory slot ring.
+
+    Create in the parent (allocates the segment), :meth:`attach` in
+    the worker (maps the same segment by name).  Only the parent may
+    :meth:`unlink`; workers just :meth:`close` their mapping.
+    """
+
+    def __init__(self, slots: int, slot_samples: int, dtype) -> None:
+        self.slots = int(slots)
+        self.slot_samples = int(slot_samples)
+        self.dtype = np.dtype(dtype)
+        nbytes = self.slots * self.slot_samples * self.dtype.itemsize
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._owner = True
+        self._grid = np.ndarray(
+            (self.slots, self.slot_samples), dtype=self.dtype, buffer=self._shm.buf
+        )
+        self._free: List[int] = list(range(self.slots))
+
+    @property
+    def name(self) -> str:
+        """OS name of the segment (workers attach by this)."""
+        return self._shm.name
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    @property
+    def occupancy(self) -> int:
+        """Slots currently claimed (in flight to a worker)."""
+        return self.slots - len(self._free)
+
+    @classmethod
+    def attach(cls, name: str, slots: int, slot_samples: int, dtype) -> "ShmRing":
+        """Map an existing ring by name (worker side)."""
+        ring = cls.__new__(cls)
+        ring.slots = int(slots)
+        ring.slot_samples = int(slot_samples)
+        ring.dtype = np.dtype(dtype)
+        ring._shm = shared_memory.SharedMemory(name=name)
+        ring._owner = False
+        ring._grid = np.ndarray(
+            (ring.slots, ring.slot_samples), dtype=ring.dtype, buffer=ring._shm.buf
+        )
+        ring._free = []
+        return ring
+
+    # --- parent side ----------------------------------------------------
+
+    def claim(self) -> int:
+        """Take a free slot index; raises if none (caller harvests first)."""
+        if not self._free:
+            raise RuntimeError("no free ring slot (harvest worker results first)")
+        return self._free.pop()
+
+    def write(self, slot: int, chunk: np.ndarray) -> int:
+        """Copy *chunk* (1-D, <= slot_samples) into *slot*; returns n."""
+        n = int(chunk.size)
+        if n > self.slot_samples:
+            raise ValueError(
+                f"chunk of {n} samples exceeds slot size {self.slot_samples}"
+            )
+        self._grid[slot, :n] = chunk
+        return n
+
+    def release(self, slot: int) -> None:
+        """Return a worker-acknowledged slot to the free list."""
+        self._free.append(int(slot))
+
+    # --- worker side ----------------------------------------------------
+
+    def view(self, slot: int, n: int) -> np.ndarray:
+        """Zero-copy view of the first *n* samples of *slot*.
+
+        Valid only until the slot is freed; consumers must copy
+        (``SessionSupervisor.ingest`` does).
+        """
+        return self._grid[slot, :n]
+
+    # --- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        self._grid = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment (parent only, after workers exited)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close
+                pass

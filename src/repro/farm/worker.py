@@ -1,0 +1,229 @@
+"""Farm worker: co-scheduled session execution on one process.
+
+:class:`WorkerCore` is the scheduling logic, deliberately free of any
+process machinery: the process backend runs it behind a command queue
+(:func:`worker_main`), and the inline backend -- the equivalence
+oracle and the 1-core fallback -- calls the same methods directly in
+the parent.  One code path, two transports, so the backends cannot
+drift apart.
+
+The co-scheduled pump is where cross-session batching happens.  Each
+pump cycle:
+
+1. every dirty session exposes its next complete window
+   (:meth:`SessionSupervisor.peek_window`);
+2. windows are grouped by (template bank, window length, detector
+   threshold) -- sessions built from the same
+   :class:`~repro.sim.network.CbmaConfig` share a memoised bank, so
+   their groups merge;
+3. each group of >= 2 windows runs **one** stacked pre-gate FFT
+   (:meth:`StreamingReceiver.windows_are_live`, bit-identical per row
+   to the per-window gate) and primes each session's gate with its
+   row's decision;
+4. sessions then pump exactly one window each, in session-id order,
+   and the cycle repeats until no session has a complete window (or
+   every session hit its ``max_windows_per_feed`` budget);
+5. one housekeeping pump per session runs the backlog shedding, buffer
+   trim and gauges -- equivalent to ``feed``'s ordering because
+   shedding happens only after the walk drained everything it was
+   allowed to.
+
+Because sessions are independent and the batched gate decision is
+bit-identical to the sequential one, the frames and stats each session
+produces are byte-identical to running it alone through
+``SessionSupervisor.feed`` with the same chunk cadence.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.farm.config import SessionSpec
+from repro.farm.ring import ShmRing
+from repro.receiver.session import SessionSupervisor
+from repro.receiver.streaming import StreamFrame, StreamingReceiver
+
+__all__ = ["WorkerCore", "worker_main"]
+
+
+class WorkerCore:
+    """Sessions resident on one worker, plus the co-scheduled pump."""
+
+    def __init__(self, dtype, coschedule: bool = True) -> None:
+        self.dtype = np.dtype(dtype)
+        self.coschedule = bool(coschedule)
+        self.sessions: Dict[int, SessionSupervisor] = {}
+        self._dirty: Set[int] = set()
+        #: Windows gated through a cross-session batch (lifetime total).
+        self.batched_windows = 0
+
+    # --- session lifecycle ----------------------------------------------
+
+    def add(self, spec: SessionSpec) -> None:
+        if spec.session_id in self.sessions:
+            raise ValueError(f"session {spec.session_id} already on this worker")
+        self.sessions[spec.session_id] = SessionSupervisor.from_config(
+            spec.config,
+            session=spec.session,
+            window_frames=spec.window_frames,
+            dtype=self.dtype,
+        )
+
+    def restore(self, spec: SessionSpec, records: List[dict]) -> None:
+        """Resume a drained session from its checkpoint records."""
+        if spec.session_id in self.sessions:
+            raise ValueError(f"session {spec.session_id} already on this worker")
+        streaming = StreamingReceiver.from_config(
+            spec.config, window_frames=spec.window_frames, dtype=self.dtype
+        )
+        self.sessions[spec.session_id] = SessionSupervisor.from_checkpoint_records(
+            records, streaming, config=spec.session,
+            source=f"migration records for session {spec.session_id}",
+        )
+
+    def drain(self, session_id: int) -> List[dict]:
+        """Checkpoint a session's state and remove it from this worker.
+
+        The records are the migration payload: re-create the session
+        elsewhere with :meth:`restore` and re-feed the stream from its
+        checkpointed ``position``.
+        """
+        session = self.sessions.pop(session_id)
+        self._dirty.discard(session_id)
+        return session.checkpoint_records()
+
+    def finish(self, session_id: int) -> Tuple[List[StreamFrame], Dict[str, int], list]:
+        """End one session; returns (tail frames, stats, health history)."""
+        session = self.sessions.pop(session_id)
+        self._dirty.discard(session_id)
+        frames = session.finish()
+        return frames, dict(session.stats), list(session.health_history)
+
+    # --- the data path --------------------------------------------------
+
+    def ingest(self, session_id: int, chunk: np.ndarray) -> None:
+        """Buffer *chunk* into one session (no window processing)."""
+        self.sessions[session_id].ingest(chunk)
+        self._dirty.add(session_id)
+
+    def pump(self) -> List[Tuple[int, List[StreamFrame]]]:
+        """Co-scheduled pump of every dirty session.
+
+        Returns ``(session_id, frames)`` pairs in session-id order;
+        the dirty set is cleared.
+        """
+        sids = sorted(self._dirty)
+        self._dirty.clear()
+        emitted: Dict[int, List[StreamFrame]] = {sid: [] for sid in sids}
+        counts = {sid: 0 for sid in sids}
+        while True:
+            ready: List[Tuple[int, np.ndarray]] = []
+            for sid in sids:
+                session = self.sessions[sid]
+                limit = session.config.max_windows_per_feed
+                if limit is not None and counts[sid] >= limit:
+                    continue
+                window = session.peek_window()
+                if window is not None:
+                    ready.append((sid, window))
+            if not ready:
+                break
+            if self.coschedule and len(ready) >= 2:
+                self._prime_batched(ready)
+            for sid, _window in ready:
+                emitted[sid].extend(
+                    self.sessions[sid].pump(max_windows=1, housekeep=False)
+                )
+                counts[sid] += 1
+        for sid in sids:
+            emitted[sid].extend(self.sessions[sid].pump(max_windows=0))
+        return [(sid, emitted[sid]) for sid in sids]
+
+    def _prime_batched(self, ready: List[Tuple[int, np.ndarray]]) -> None:
+        """Gate groups of same-geometry windows with one stacked FFT."""
+        groups: Dict[tuple, List[Tuple[int, np.ndarray]]] = {}
+        for sid, window in ready:
+            detector = self.sessions[sid].streaming.receiver.user_detector
+            if detector.bank is None:
+                continue  # ragged code book: per-window gate
+            key = (id(detector.bank), window.size, detector.threshold)
+            groups.setdefault(key, []).append((sid, window))
+        for group in groups.values():
+            if len(group) < 2:
+                continue
+            stack = np.stack([window for _sid, window in group])
+            live = self.sessions[group[0][0]].streaming.windows_are_live(stack)
+            for (sid, _window), decision in zip(group, live):
+                self.sessions[sid].prime_gate(bool(decision))
+            self.batched_windows += len(group)
+
+
+def worker_main(
+    worker_id: int,
+    cmd_queue,
+    result_queue,
+    ring_name: str,
+    ring_slots: int,
+    ring_slot_samples: int,
+    dtype_name: str,
+    coschedule: bool,
+) -> None:
+    """Process entry point: drive a :class:`WorkerCore` from a queue.
+
+    Commands arrive as tagged tuples; every feed is acknowledged with
+    ``("free", slot)`` the moment the session copied the slot, and any
+    exception is reported as ``("error", repr)`` before the worker
+    exits -- a farm never hangs on a dead worker silently.
+
+    Replies per command (all tagged with *worker_id*):
+
+    - ``("add"|"restore", sid, ...)`` -> no reply (errors only)
+    - ``("feed", sid, slot, n)``      -> ``("free", slot)``
+    - ``("pump", seq)``               -> ``("pumped", seq, results, batched)``
+    - ``("finish", sid)``             -> ``("finished", sid, frames, stats, history)``
+    - ``("drain", sid)``              -> ``("drained", sid, records)``
+    - ``("stop",)``                   -> ``("stopped", busy_s, wall_s)``
+    """
+    ring = ShmRing.attach(ring_name, ring_slots, ring_slot_samples, dtype_name)
+    core = WorkerCore(dtype_name, coschedule=coschedule)
+    started = time.perf_counter()
+    busy = 0.0
+    try:
+        while True:
+            cmd = cmd_queue.get()
+            t0 = time.perf_counter()
+            op = cmd[0]
+            if op == "stop":
+                busy += time.perf_counter() - t0
+                wall = time.perf_counter() - started
+                result_queue.put((worker_id, "stopped", busy, wall))
+                break
+            elif op == "add":
+                core.add(cmd[1])
+            elif op == "restore":
+                core.restore(cmd[1], cmd[2])
+            elif op == "feed":
+                _op, sid, slot, n = cmd
+                core.ingest(sid, ring.view(slot, n))
+                result_queue.put((worker_id, "free", slot))
+            elif op == "pump":
+                before = core.batched_windows
+                results = core.pump()
+                result_queue.put(
+                    (worker_id, "pumped", cmd[1], results, core.batched_windows - before)
+                )
+            elif op == "finish":
+                frames, stats, history = core.finish(cmd[1])
+                result_queue.put((worker_id, "finished", cmd[1], frames, stats, history))
+            elif op == "drain":
+                result_queue.put((worker_id, "drained", cmd[1], core.drain(cmd[1])))
+            else:
+                raise ValueError(f"unknown farm worker command {op!r}")
+            busy += time.perf_counter() - t0
+    except Exception as exc:  # pragma: no cover - exercised via process backend
+        result_queue.put((worker_id, "error", repr(exc)))
+    finally:
+        ring.close()

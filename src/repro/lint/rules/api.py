@@ -16,13 +16,19 @@ Two drift modes this rule closes:
    checks the method exists with exactly the documented parameter
    names, in order (defaults are not compared -- renames and
    re-orderings are the doc-rotting changes).
+
+3. **Undocumented factories.**  The reverse direction of (2): any
+   public class that *defines* a ``from_config`` classmethod must be
+   listed in docs/api.md with its full dotted path.  This is what
+   keeps the Factories section complete as new subsystems (streaming,
+   sessions, the decode farm) grow construction entry points.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, NamedTuple, Optional, Set
 
 from repro.lint.core import FileContext, Project, Rule, Violation, register
 
@@ -30,6 +36,13 @@ from repro.lint.core import FileContext, Project, Rule, Violation, register
 _FACTORY_RE = re.compile(
     r"`(?P<module>repro(?:\.\w+)*)\.(?P<cls>[A-Z]\w*)\.(?P<method>\w+)\((?P<sig>[^)`]*)\)`"
 )
+
+
+class _FoundClass(NamedTuple):
+    """A module-level class definition and the file it came from."""
+
+    ctx: FileContext
+    node: ast.ClassDef
 
 
 def _module_level_names(tree: ast.Module) -> Optional[Set[str]]:
@@ -157,13 +170,15 @@ class PublicApiRule(Rule):
         if not classes:
             return  # src was not part of this run
         text = doc.read_text(encoding="utf-8")
+        documented: Set[str] = set()
         for lineno, line in enumerate(text.splitlines(), start=1):
             for m in _FACTORY_RE.finditer(line):
+                documented.add(f"{m.group('module')}.{m.group('cls')}.{m.group('method')}")
                 module, cls, method = m.group("module"), m.group("cls"), m.group("method")
                 key = f"{module}.{cls}"
-                klass = classes.get(key)
+                found = classes.get(key)
                 where = f"docs/api.md:{lineno}"
-                if klass is None:
+                if found is None:
                     if project.module(module) is None:
                         continue  # module not in this lint run
                     yield Violation(
@@ -174,7 +189,7 @@ class PublicApiRule(Rule):
                     continue
                 fn = next(
                     (
-                        s for s in klass.body
+                        s for s in found.node.body
                         if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
                         and s.name == method
                     ),
@@ -190,25 +205,46 @@ class PublicApiRule(Rule):
                 real = _ast_params(fn)
                 if real and real[0] in ("self", "cls"):
                     real = real[1:]
-                documented = _doc_params(m.group("sig"))
-                if documented != real:
+                doc_sig = _doc_params(m.group("sig"))
+                if doc_sig != real:
                     yield Violation(
                         path=str(doc), line=lineno, col=m.start() + 1,
                         rule_id=self.rule_id,
                         message=(
                             f"{key}.{method} signature drifted: docs say "
-                            f"({', '.join(documented)}), code has ({', '.join(real)})"
+                            f"({', '.join(doc_sig)}), code has ({', '.join(real)})"
                         ),
                     )
+        yield from self._undocumented_factories(classes, documented)
+
+    def _undocumented_factories(
+        self,
+        classes: Dict[str, "_FoundClass"],
+        documented: Set[str],
+    ) -> Iterator[Violation]:
+        for key, found in classes.items():
+            if any(part.startswith("_") for part in key.split(".")):
+                continue  # private module or class: not public surface
+            defines = any(
+                isinstance(s, ast.FunctionDef) and s.name == "from_config"
+                for s in found.node.body
+            )
+            if defines and f"{key}.from_config" not in documented:
+                yield self.violation(
+                    found.ctx,
+                    found.node,
+                    f"public factory {key}.from_config is not documented "
+                    "in docs/api.md (Factories section)",
+                )
 
     @staticmethod
-    def _collect_classes(project: Project) -> Dict[str, ast.ClassDef]:
-        classes: Dict[str, ast.ClassDef] = {}
+    def _collect_classes(project: Project) -> Dict[str, "_FoundClass"]:
+        classes: Dict[str, _FoundClass] = {}
         for ctx in project.files:
             mod = ctx.module_name
             if mod is None:
                 continue
             for stmt in ctx.tree.body:
                 if isinstance(stmt, ast.ClassDef):
-                    classes[f"{mod}.{stmt.name}"] = stmt
+                    classes[f"{mod}.{stmt.name}"] = _FoundClass(ctx, stmt)
         return classes

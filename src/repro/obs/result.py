@@ -7,23 +7,18 @@ around -- the parameters that produced the run, the root seed, scalar
 summary metrics, the wall-clock time, and (when the run was traced) a
 :class:`~repro.obs.profile.RunProfile`.
 
-Backwards compatibility is kept through two deprecation shims, both of
-which emit :class:`DeprecationWarning` and will be removed one release
-after 1.x:
-
-- attribute access falling through to ``metrics`` (the old
-  ``ThroughputComparison`` attributes: ``result.cbma_bps`` ==
-  ``result.metrics["cbma_bps"]``);
-- tuple unpacking for drivers that used to return bare tuples
-  (``xs, ys, field = fig5_signal_field()``), backed by the
-  ``legacy_tuple`` field.
+This type is the whole contract: scalar summaries live in
+``metrics`` (``result.metrics["cbma_bps"]``), bulk arrays in
+``artifacts``.  The transitional shims that let results masquerade as
+the pre-1.x shapes (attribute fall-through to ``metrics``, tuple
+unpacking via a ``legacy_tuple`` field) were removed after their one
+deprecation release.
 """
 
 from __future__ import annotations
 
 import json
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -71,8 +66,6 @@ class ExperimentResult:
     profile: Optional[RunProfile] = None
     artifacts: Dict[str, Any] = field(default_factory=dict, repr=False)
     """Bulk outputs that are not series (e.g. the Fig. 5 field array)."""
-    legacy_tuple: Optional[tuple] = field(default=None, repr=False, compare=False)
-    """Deprecated tuple shape of drivers that predate this class."""
 
     # ------------------------------------------------------------------
     # Convenience
@@ -132,39 +125,3 @@ class ExperimentResult:
     @classmethod
     def from_json(cls, text: str) -> "ExperimentResult":
         return cls.from_dict(json.loads(text))
-
-    # ------------------------------------------------------------------
-    # Deprecation shims (one release)
-    # ------------------------------------------------------------------
-
-    def __getattr__(self, name: str):
-        # Only reached for attributes that are NOT regular fields.
-        if name.startswith("_"):
-            raise AttributeError(name)
-        metrics = self.__dict__.get("metrics") or {}
-        if name in metrics:
-            warnings.warn(
-                f"ExperimentResult.{name} attribute access is deprecated; "
-                f"use result.metrics[{name!r}] instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            return metrics[name]
-        raise AttributeError(
-            f"{type(self).__name__!r} object has no attribute {name!r}"
-        )
-
-    def __iter__(self):
-        legacy = self.__dict__.get("legacy_tuple")
-        if legacy is None:
-            raise TypeError(
-                "ExperimentResult is not iterable; access .x/.series/"
-                ".metrics/.artifacts explicitly"
-            )
-        warnings.warn(
-            "unpacking this driver's result as a tuple is deprecated; "
-            "use result.artifacts instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return iter(legacy)

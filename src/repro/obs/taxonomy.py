@@ -248,6 +248,14 @@ TAXONOMY: Tuple[MetricFamily, ...] = (
         "health state machine transitions by destination state",
         values={"state": SESSION_STATES},
     ),
+    # --- parallel decode farm (repro.farm) ---------------------------------
+    _fixed("farm.chunks", MetricKind.COUNTER, "sample chunks fanned out to workers"),
+    _fixed("farm.frames", MetricKind.COUNTER, "stream frames collected from workers"),
+    _fixed("farm.sessions_opened", MetricKind.COUNTER, "sessions placed on a worker"),
+    _fixed("farm.sessions_closed", MetricKind.COUNTER, "sessions finished or drained away"),
+    _fixed("farm.migrations", MetricKind.COUNTER, "sessions drained and resumed on another worker"),
+    _fixed("farm.batched_windows", MetricKind.COUNTER, "windows pre-gated through a cross-session batch"),
+    _fixed("farm.slot_waits", MetricKind.COUNTER, "feeds that blocked for a free ring slot"),
     # --- microbenchmarks (repro bench) ------------------------------------
     MetricFamily(
         "bench.<op>.reps",
@@ -268,6 +276,10 @@ TAXONOMY: Tuple[MetricFamily, ...] = (
     _fixed("session.backlog_windows", MetricKind.GAUGE, "pending windows after each feed"),
     _fixed("session.dedup_size", MetricKind.GAUGE, "dedup table size after each window"),
     _fixed("session.window_latency_s", MetricKind.GAUGE, "wall-clock latency per live window"),
+    _fixed("farm.sessions_live", MetricKind.GAUGE, "sessions currently resident on workers"),
+    _fixed("farm.queue_depth", MetricKind.GAUGE, "commands in flight to workers"),
+    _fixed("farm.worker_utilization", MetricKind.GAUGE, "busy fraction per worker over its lifetime"),
+    _fixed("farm.ring_occupancy", MetricKind.GAUGE, "occupied shared-memory ring slots after each feed"),
 ) + tuple(
     _fixed(name, MetricKind.SPAN, "pipeline/loop span") for name in sorted(SPAN_NAMES)
 )
@@ -417,6 +429,13 @@ class C:
     SESSION_QUARANTINED = "session.quarantined"
     SESSION_CHECKPOINTS = "session.checkpoints"
     SESSION_RESTORES = "session.restores"
+    FARM_CHUNKS = "farm.chunks"
+    FARM_FRAMES = "farm.frames"
+    FARM_SESSIONS_OPENED = "farm.sessions_opened"
+    FARM_SESSIONS_CLOSED = "farm.sessions_closed"
+    FARM_MIGRATIONS = "farm.migrations"
+    FARM_BATCHED_WINDOWS = "farm.batched_windows"
+    FARM_SLOT_WAITS = "farm.slot_waits"
 
 
 class G:
@@ -430,3 +449,7 @@ class G:
     SESSION_BACKLOG_WINDOWS = "session.backlog_windows"
     SESSION_DEDUP_SIZE = "session.dedup_size"
     SESSION_WINDOW_LATENCY_S = "session.window_latency_s"
+    FARM_SESSIONS_LIVE = "farm.sessions_live"
+    FARM_QUEUE_DEPTH = "farm.queue_depth"
+    FARM_WORKER_UTILIZATION = "farm.worker_utilization"
+    FARM_RING_OCCUPANCY = "farm.ring_occupancy"

@@ -64,14 +64,18 @@ class DecodeFailure:
         return pipeline_failure(self.stage, self.reason)
 
 
-def sanitize_buffer(iq) -> Tuple[np.ndarray, List[DecodeFailure]]:
-    """Coerce *iq* into a finite 1-D complex buffer.
+def sanitize_buffer(iq, dtype=np.complex128) -> Tuple[np.ndarray, List[DecodeFailure]]:
+    """Coerce *iq* into a finite 1-D complex buffer of *dtype*.
 
     Returns the cleaned buffer plus the :class:`DecodeFailure` records
     describing what had to be repaired (empty list for healthy input).
     Inputs that cannot be interpreted as samples at all (wrong dtype,
     wrong rank) degrade to an empty buffer rather than raising.
+    *dtype* defaults to ``complex128``; a session running the
+    ``complex64`` fast path passes its own dtype so hygiene does not
+    silently widen the buffer at the ingest boundary.
     """
+    dtype = np.dtype(dtype)
     failures: List[DecodeFailure] = []
     try:
         x = np.asarray(iq)
@@ -80,10 +84,10 @@ def sanitize_buffer(iq) -> Tuple[np.ndarray, List[DecodeFailure]]:
                 DecodeFailure("input", "not_1d", detail=f"ndim={x.ndim}, coerced via ravel")
             )
             x = x.ravel()
-        x = np.asarray(x, dtype=np.complex128)
+        x = np.asarray(x, dtype=dtype)
     except (TypeError, ValueError) as exc:
         failures.append(DecodeFailure("input", "uninterpretable", detail=str(exc)))
-        return np.zeros(0, dtype=np.complex128), failures
+        return np.zeros(0, dtype=dtype), failures
 
     bad = ~np.isfinite(x.real) | ~np.isfinite(x.imag)
     if bad.any():

@@ -132,11 +132,10 @@ class CbmaReceiver:
     ) -> "CbmaReceiver":
         """Build a receiver from a :class:`~repro.sim.network.CbmaConfig`.
 
-        This is the supported construction path: frame format,
+        This is the one supported construction path: frame format,
         oversampling and detection threshold come straight from the
         config instead of being re-typed as loose kwargs at every call
-        site (those constructor paths are deprecated and kept for one
-        release).  *codes* defaults to the config's code family over
+        site.  *codes* defaults to the config's code family over
         tag ids ``0..n_tags-1``; subclass-specific options (e.g.
         ``max_passes`` for :class:`~repro.receiver.sic.SicReceiver`)
         pass through ``**kwargs``.

@@ -84,7 +84,9 @@ __all__ = ["HealthState", "SessionConfig", "SessionSupervisor", "CHECKPOINT_FORM
 
 #: ``format`` field of the checkpoint header line.
 CHECKPOINT_FORMAT = "cbma-session"
-_CHECKPOINT_VERSION = 1
+#: Version 2 added the buffer dtype to the geometry header (the
+#: complex64 fast path must not resume onto a complex128 stack).
+_CHECKPOINT_VERSION = 2
 
 
 class HealthState(Enum):
@@ -207,11 +209,16 @@ class SessionSupervisor:
         self.tracer = as_tracer(tracer)
         self.clock = clock
 
-        self._buf = np.zeros(0, dtype=np.complex128)
+        # The ingest buffer follows the streaming stack's dtype (the
+        # complex64 fast path must not silently widen here); stand-in
+        # streams without a dtype attribute get the default.
+        self._dtype = np.dtype(getattr(streaming, "dtype", np.complex128))
+        self._buf = np.zeros(0, dtype=self._dtype)
         self._base = 0  # absolute sample index of _buf[0]
         self._pos = 0  # absolute sample index of the next window
         self._fed = 0  # absolute samples ingested so far
         self._finished = False
+        self._gate_primed: Optional[bool] = None
 
         self.dedup = streaming.make_dedup()
         self._pending: List[StreamFrame] = []
@@ -238,6 +245,36 @@ class SessionSupervisor:
             "quarantined": 0,
         }
         self.peak_backlog_windows = 0
+
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        *,
+        codes=None,
+        session: Optional[SessionConfig] = None,
+        window_frames: float = 2.0,
+        dtype=np.complex128,
+        tracer=None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> "SessionSupervisor":
+        """Build a supervised session from one :class:`~repro.sim.network.CbmaConfig`.
+
+        The full construction chain -- ``CbmaConfig`` ->
+        :meth:`CbmaReceiver.from_config` ->
+        :meth:`StreamingReceiver.from_config` -> supervisor -- in one
+        call.  *session* is the supervision policy
+        (:class:`SessionConfig`), *dtype* the ingest-buffer dtype
+        (``complex64`` opts into the fast path).
+        """
+        streaming = StreamingReceiver.from_config(
+            config,
+            codes=codes,
+            window_frames=window_frames,
+            dtype=dtype,
+            tracer=tracer,
+        )
+        return cls(streaming, config=session, tracer=tracer, clock=clock)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -285,26 +322,87 @@ class SessionSupervisor:
         samples can never silently dark out the pre-gate.  In FAILED
         state the session stops decoding: everything fed is shed (and
         counted), never silently buffered.
+
+        ``feed`` is exactly :meth:`ingest` followed by a full
+        :meth:`pump`; the farm worker calls the two halves separately
+        so it can co-schedule the window walk across sessions.
+        """
+        self.ingest(chunk)
+        return self.pump()
+
+    def ingest(self, chunk) -> int:
+        """Sanitise and buffer *chunk* without processing any windows.
+
+        Returns the number of samples accepted.  The chunk is always
+        **copied** into the session's own buffer (never aliased), so
+        callers may hand in views of shared or reused memory -- the
+        farm's shared-memory ring slots -- and recycle them as soon as
+        this returns.
         """
         if self._finished:
             raise RuntimeError("session is finished; create a new supervisor")
-        x, failures = sanitize_buffer(chunk)
+        x, failures = sanitize_buffer(chunk, dtype=self._dtype)
         if failures:
             self._count("quarantined", C.SESSION_QUARANTINED)
-        self._buf = np.concatenate([self._buf, x]) if self._buf.size else x
+        self._buf = np.concatenate([self._buf, x])
         self._fed += x.size
+        return int(x.size)
 
+    def pump(
+        self,
+        max_windows: Optional[int] = None,
+        drain_tail: bool = False,
+        housekeep: bool = True,
+    ) -> List[StreamFrame]:
+        """Process buffered windows; return frames whose order is final.
+
+        *max_windows* caps this call (``None`` defers to
+        ``config.max_windows_per_feed``; ``0`` processes nothing, which
+        with *housekeep* runs only shedding/trim/gauges).  *housekeep*
+        =False skips backlog shedding and buffer trimming -- the farm's
+        co-schedule loop pumps one window at a time across sessions and
+        runs a single housekeeping pass per cycle, which is equivalent
+        because shedding only looks at the backlog after the walk has
+        drained every window it is allowed to.
+        """
         if self._state is HealthState.FAILED:
-            return self._shed_all()
-
-        emitted = self._process_available(drain_tail=False)
-        self._shed_backlog()
-        self._trim_buffer()
-        if self.tracer.enabled:
-            self.tracer.gauge(G.SESSION_BACKLOG_WINDOWS, self.backlog_windows)
-        if self.backlog_windows > self.peak_backlog_windows:
-            self.peak_backlog_windows = self.backlog_windows
+            return self._shed_all() if housekeep else []
+        emitted = self._process_available(drain_tail=drain_tail, limit=max_windows)
+        if housekeep:
+            self._shed_backlog()
+            self._trim_buffer()
+            if self.tracer.enabled:
+                self.tracer.gauge(G.SESSION_BACKLOG_WINDOWS, self.backlog_windows)
+            if self.backlog_windows > self.peak_backlog_windows:
+                self.peak_backlog_windows = self.backlog_windows
         return emitted
+
+    def peek_window(self) -> Optional[np.ndarray]:
+        """The next complete window the walk would process, or ``None``.
+
+        A view into the internal buffer (do not mutate), exactly the
+        slice :meth:`pump` would hand the pre-gate next.  ``None`` when
+        the session is finished, FAILED, or lacks a complete window --
+        the farm uses this to stack gate-ready windows across sessions.
+        """
+        if self._finished or self._state is HealthState.FAILED:
+            return None
+        available = self._base + self._buf.size - self._pos
+        if available < self._required_samples():
+            return None
+        lo = self._pos - self._base
+        return self._buf[lo : lo + self._required_samples()]
+
+    def prime_gate(self, live: bool) -> None:
+        """Pre-supply the next window's pre-gate decision.
+
+        The next window processed consumes *live* instead of calling
+        ``streaming.window_is_live`` -- one-shot, cleared on use.  Only
+        correct when the caller computed the decision over exactly the
+        window :meth:`peek_window` returned (the farm's batched gate is
+        bit-identical per row, so priming never changes output).
+        """
+        self._gate_primed = bool(live)
 
     def finish(self) -> List[StreamFrame]:
         """End of capture: process the truncated tail window (if any)
@@ -335,10 +433,13 @@ class SessionSupervisor:
         widen = self.config.resync_widen_factor if self._state is HealthState.RESYNC else 1
         return self.streaming.window_samples * widen
 
-    def _process_available(self, drain_tail: bool) -> List[StreamFrame]:
+    def _process_available(
+        self, drain_tail: bool, limit: Optional[int] = None
+    ) -> List[StreamFrame]:
         emitted: List[StreamFrame] = []
         processed = 0
-        limit = self.config.max_windows_per_feed
+        if limit is None:
+            limit = self.config.max_windows_per_feed
         while self._state is not HealthState.FAILED:
             if limit is not None and processed >= limit:
                 break
@@ -357,7 +458,11 @@ class SessionSupervisor:
         window = self._buf[lo : lo + self._required_samples()]
         self._count("windows", C.SESSION_WINDOWS)
         t0 = self.clock()
-        live = self.streaming.window_is_live(window)
+        if self._gate_primed is not None:
+            live = self._gate_primed
+            self._gate_primed = None
+        else:
+            live = self.streaming.window_is_live(window)
         decoded_any = False
         attempted = False
         if live:
@@ -518,29 +623,30 @@ class SessionSupervisor:
     # Checkpoint / restore
     # ------------------------------------------------------------------
 
-    def _geometry(self) -> Dict[str, int]:
+    def _geometry(self) -> Dict[str, object]:
         return {
             "window_samples": self.streaming.window_samples,
             "hop_samples": self.streaming.hop_samples,
             "max_frame_bits": self.streaming.max_frame_bits,
             "n_users": len(self.streaming.receiver.codes),
+            "dtype": self._dtype.name,
         }
 
-    def checkpoint(self, path) -> Path:
-        """Write the full session state as header-validated JSONL.
+    def checkpoint_records(self) -> List[dict]:
+        """The full session state as JSON-serialisable records.
 
-        Layout (one JSON object per line, same pattern as
-        :mod:`repro.sim.sweep` checkpoints): a ``header`` record
-        pinning format, version and receiver geometry; one ``state``
-        record with position, health machine and counters; one
-        ``dedup`` record per live dedup entry; one ``pending`` record
-        per frame held for ordered emission; one ``history`` record
-        per health transition.  The write is atomic (temp file +
-        rename), so a kill mid-checkpoint leaves the previous
-        checkpoint intact.
+        Layout (same pattern as :mod:`repro.sim.sweep` checkpoints): a
+        ``header`` record pinning format, version and receiver
+        geometry; one ``state`` record with position, health machine
+        and counters; one ``dedup`` record per live dedup entry; one
+        ``pending`` record per frame held for ordered emission; one
+        ``history`` record per health transition.  This is the
+        farm's migration payload -- records travel over a queue and
+        rebuild bit-identically on another worker through
+        :meth:`from_checkpoint_records` without touching disk;
+        :meth:`checkpoint` is the same records written to a file.
         """
-        path = Path(path)
-        lines = [
+        lines: List[dict] = [
             {
                 "type": "header",
                 "format": CHECKPOINT_FORMAT,
@@ -575,46 +681,53 @@ class SessionSupervisor:
         lines.extend(
             {"type": "history", "window": w, "state": s} for w, s in self.health_history
         )
-        tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "w") as fh:
-            for rec in lines:
-                fh.write(json.dumps(rec) + "\n")
-        os.replace(tmp, path)
         if self.tracer.enabled:
             self.tracer.count(C.SESSION_CHECKPOINTS)
+        return lines
+
+    def checkpoint(self, path) -> Path:
+        """Write :meth:`checkpoint_records` as header-validated JSONL.
+
+        The write is atomic (temp file + rename), so a kill
+        mid-checkpoint leaves the previous checkpoint intact.
+        """
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w") as fh:
+            for rec in self.checkpoint_records():
+                fh.write(json.dumps(rec) + "\n")
+        os.replace(tmp, path)
         return path
 
     @classmethod
-    def restore(
+    def from_checkpoint_records(
         cls,
-        path,
+        records: List[dict],
         streaming: StreamingReceiver,
         config: Optional[SessionConfig] = None,
         tracer=None,
         clock: Callable[[], float] = time.perf_counter,
+        source: str = "checkpoint records",
     ) -> "SessionSupervisor":
-        """Rebuild a supervisor from :meth:`checkpoint` output.
+        """Rebuild a supervisor from :meth:`checkpoint_records` output.
 
         The header is validated against *streaming*'s geometry --
-        restoring a checkpoint onto a receiver with a different
-        window/hop/code-book shape is a :class:`ValueError`, exactly
-        like resuming a mismatched sweep checkpoint.  Resume by
-        re-feeding the capture from :attr:`position`.
+        restoring onto a receiver with a different window/hop/code-book
+        shape (or buffer dtype) is a :class:`ValueError`, exactly like
+        resuming a mismatched sweep checkpoint.  Resume by re-feeding
+        the capture from :attr:`position`.
         """
-        path = Path(path)
-        with open(path, "r") as fh:
-            records = [json.loads(line) for line in fh if line.strip()]
         if not records or records[0].get("type") != "header":
-            raise ValueError(f"checkpoint {path} has no header line; refusing to restore")
+            raise ValueError(f"{source} has no header line; refusing to restore")
         header = records[0]
         if header.get("format") != CHECKPOINT_FORMAT:
             raise ValueError(
-                f"checkpoint {path} is not a session checkpoint "
+                f"{source} is not a session checkpoint "
                 f"(format={header.get('format')!r})"
             )
         if header.get("version") != _CHECKPOINT_VERSION:
             raise ValueError(
-                f"checkpoint {path} has version {header.get('version')}, "
+                f"{source} has version {header.get('version')}, "
                 f"expected {_CHECKPOINT_VERSION}"
             )
         session = cls(streaming, config=config, tracer=tracer, clock=clock)
@@ -623,13 +736,13 @@ class SessionSupervisor:
             got = header.get(key)
             if got != expected:
                 raise ValueError(
-                    f"checkpoint {path} belongs to a different session geometry "
+                    f"{source} belongs to a different session geometry "
                     f"({key}={got}, this receiver has {key}={expected})"
                 )
 
         states = [rec for rec in records if rec.get("type") == "state"]
         if len(states) != 1:
-            raise ValueError(f"checkpoint {path} has {len(states)} state records, expected 1")
+            raise ValueError(f"{source} has {len(states)} state records, expected 1")
         state = states[0]
         session._pos = int(state["pos"])
         session._base = session._pos
@@ -669,3 +782,25 @@ class SessionSupervisor:
         if tr.enabled:
             tr.count(C.SESSION_RESTORES)
         return session
+
+    @classmethod
+    def restore(
+        cls,
+        path,
+        streaming: StreamingReceiver,
+        config: Optional[SessionConfig] = None,
+        tracer=None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> "SessionSupervisor":
+        """Rebuild a supervisor from a :meth:`checkpoint` file."""
+        path = Path(path)
+        with open(path, "r") as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        return cls.from_checkpoint_records(
+            records,
+            streaming,
+            config=config,
+            tracer=tracer,
+            clock=clock,
+            source=f"checkpoint {path}",
+        )

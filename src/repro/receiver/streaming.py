@@ -22,13 +22,21 @@ primitives defined here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.receiver.receiver import CbmaReceiver, ReceptionReport
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import CbmaConfig
+
 __all__ = ["StreamingReceiver", "StreamFrame", "DedupTable"]
+
+#: Complex dtypes a streaming stack may buffer samples in.  complex128
+#: is the default and the decode oracle; complex64 is the opt-in fast
+#: path (half the memory bandwidth through the ingest ring and gate).
+_STREAM_DTYPES = (np.dtype(np.complex128), np.dtype(np.complex64))
 
 #: Live-window pre-gate margin: a window is handed to the full
 #: pipeline when any user's batched correlation reaches this fraction
@@ -141,17 +149,32 @@ class StreamingReceiver:
         when the hop is one frame.
     max_frame_bits:
         Upper bound on frame length in bits (sets the window size).
+    dtype:
+        Complex dtype sample buffers are kept in upstream of the full
+        decode (ingest, backlog, pre-gate).  ``complex128`` (default)
+        or ``complex64`` -- the opt-in fast path.  The decode pipeline
+        itself always runs in ``complex128`` (the receiver front end
+        widens at its boundary), so the fast path trades gate-score
+        precision (~1e-7 relative, absorbed by the pre-gate margin)
+        for ingest bandwidth without touching decode numerics.
     """
 
     receiver: CbmaReceiver
     max_frame_bits: int = 160
     window_frames: float = 2.0
+    dtype: np.dtype = np.complex128
 
     def __post_init__(self) -> None:
         if self.max_frame_bits < 1:
             raise ValueError("max_frame_bits must be >= 1")
         if self.window_frames < 1.5:
             raise ValueError("window must cover at least 1.5 frames")
+        self.dtype = np.dtype(self.dtype)
+        if self.dtype not in _STREAM_DTYPES:
+            raise ValueError(
+                f"dtype must be one of {[d.name for d in _STREAM_DTYPES]}, "
+                f"got {self.dtype.name}"
+            )
         code_len = next(iter(self.receiver.codes.values())).size
         self._frame_samples = (
             self.max_frame_bits * code_len * self.receiver.samples_per_chip
@@ -159,6 +182,35 @@ class StreamingReceiver:
         #: Dedup table of the most recent :meth:`process_stream` call
         #: (exposed so long-stream tests can assert bounded memory).
         self.last_dedup: Optional[DedupTable] = None
+
+    @classmethod
+    def from_config(
+        cls,
+        config: "CbmaConfig",
+        *,
+        codes: Optional[Dict[int, np.ndarray]] = None,
+        receiver: Optional[CbmaReceiver] = None,
+        window_frames: float = 2.0,
+        dtype=np.complex128,
+        tracer=None,
+    ) -> "StreamingReceiver":
+        """Build a streaming receiver from one :class:`CbmaConfig`.
+
+        The single construction path from config to stream: the
+        underlying :class:`CbmaReceiver` comes from
+        :meth:`CbmaReceiver.from_config` (pass *receiver* to reuse an
+        existing one), and ``max_frame_bits`` is pinned to the config's
+        actual frame length so the window geometry matches the
+        waveforms the config synthesises.
+        """
+        if receiver is None:
+            receiver = CbmaReceiver.from_config(config, codes=codes, tracer=tracer)
+        return cls(
+            receiver=receiver,
+            max_frame_bits=config.frame_bits(),
+            window_frames=window_frames,
+            dtype=dtype,
+        )
 
     @property
     def window_samples(self) -> int:
@@ -196,6 +248,36 @@ class StreamingReceiver:
 
     # Backwards-compatible private alias (pre-session internal name).
     _window_is_live = window_is_live
+
+    def windows_are_live(self, windows: np.ndarray) -> np.ndarray:
+        """Vectorised pre-gate over a stack of equal-length windows.
+
+        *windows* is ``(S, n)``; returns a boolean ``(S,)`` array where
+        ``out[s] == self.window_is_live(windows[s])`` **bit-identically**
+        -- the stacked FFT kernel computes each row independently
+        (:func:`repro.utils.correlation_batch.sliding_correlation_many`),
+        so the farm's cross-session batched gating can never flip a
+        decision the per-window gate would have made.  Falls back to
+        the per-window gate when the detector has no stacked bank
+        (ragged code book).
+        """
+        windows = np.asarray(windows)
+        if windows.ndim != 2:
+            raise ValueError(f"windows must be a 2-D stack, got shape {windows.shape}")
+        detector = self.receiver.user_detector
+        bank = detector.bank
+        if bank is None:
+            return np.array([self.window_is_live(w) for w in windows], dtype=bool)
+        if windows.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        if windows.shape[1] < bank.template_samples:
+            # correlation_rows yields nothing for sub-template windows.
+            return np.zeros(windows.shape[0], dtype=bool)
+        threshold = detector.threshold * _PREGATE_MARGIN
+        corr = bank.correlate_many(windows)
+        if corr.shape[2] == 0:
+            return np.zeros(windows.shape[0], dtype=bool)
+        return corr.max(axis=(1, 2)) >= threshold
 
     def decode_window(
         self, window: np.ndarray, pos: int, dedup: DedupTable

@@ -39,7 +39,6 @@ from repro.sim.experiments.common import (
 )
 from repro.sim.experiments.comparative import (
     PRIOR_SYSTEMS_TABLE1,
-    ThroughputComparison,
     headline_throughput,
     table1_system_comparison,
     user_detection_accuracy,
@@ -94,7 +93,6 @@ __all__ = [
     "table2_power_difference",
     "user_detection_accuracy",
     "headline_throughput",
-    "ThroughputComparison",
     "PRIOR_SYSTEMS_TABLE1",
     "ExperimentResult",
     "BENCH_ROOM",
@@ -109,9 +107,7 @@ def fig5_signal_field(resolution: int = 41, d_meters: float = 0.5) -> Experiment
 
     Evaluates Friis eq. (1) on a grid with the ES at ``(-D, 0)`` and
     the receiver at ``(+D, 0)``.  Returns an :class:`ExperimentResult`
-    whose ``artifacts`` hold ``xs``, ``ys`` and ``field_dbm``.  The old
-    ``xs, ys, field = fig5_signal_field()`` tuple unpacking still works
-    (with a :class:`DeprecationWarning`).
+    whose ``artifacts`` hold ``xs``, ``ys`` and ``field_dbm``.
     """
     t0 = time.perf_counter()
     budget = LinkBudget()
@@ -128,7 +124,6 @@ def fig5_signal_field(resolution: int = 41, d_meters: float = 0.5) -> Experiment
         notes=f"ES at (-{d_meters}, 0), RX at (+{d_meters}, 0), {resolution}x{resolution} grid",
         params={"resolution": resolution, "d_meters": d_meters},
         artifacts={"xs": xs, "ys": ys, "field_dbm": field_dbm},
-        legacy_tuple=(xs, ys, field_dbm),
     )
     result.metrics = {
         "peak_dbm": float(field_dbm.max()),

@@ -13,7 +13,6 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from typing import Dict, Sequence
 
 
@@ -109,53 +108,6 @@ def user_detection_accuracy(
     return result.finish(t0)
 
 
-@dataclass
-class ThroughputComparison:
-    """Aggregate goodputs of CBMA and the baselines (bits per second).
-
-    .. deprecated:: 1.0
-        :func:`headline_throughput` now returns an
-        :class:`~repro.obs.result.ExperimentResult` whose ``metrics``
-        dict carries these values (plus the derived ratios).  The old
-        attribute spellings keep working on the new result through its
-        deprecation shim.  This class remains for one release for code
-        that constructs it directly.
-    """
-
-    cbma_bps: float
-    single_tag_bps: float
-    fsa_bps: float
-    fdma_bps: float
-    n_tags: int
-    chip_rate_hz: float
-    cbma_fer: float = 0.0
-
-    @property
-    def aggregate_raw_bps(self) -> float:
-        """Raw on-air OOK bit rate summed over concurrent tags.
-
-        This is the paper's headline "multi-tag bit rate": with 10
-        tags keying at 800 kchip/s each, 8 Mbps of concurrent OOK
-        symbols are on the air.
-        """
-        return self.n_tags * self.chip_rate_hz
-
-    @property
-    def speedup_vs_single(self) -> float:
-        """CBMA goodput over ideal (genie-scheduled) single-tag TDMA."""
-        return self.cbma_bps / self.single_tag_bps if self.single_tag_bps else float("inf")
-
-    @property
-    def speedup_vs_fsa(self) -> float:
-        """CBMA goodput over framed-slotted-ALOHA single-tag access.
-
-        The paper's ">10x over single-tag solutions" holds against
-        this baseline: without collision decoding, distributed tags
-        must contend via FSA, whose slot efficiency is capped at 1/e.
-        """
-        return self.cbma_bps / self.fsa_bps if self.fsa_bps else float("inf")
-
-
 def _solo_success_probability(cfg: CbmaConfig, deployment, rounds: int = 40) -> Dict[int, float]:
     """Per-tag solo (no collision) frame success probability."""
     net = CbmaNetwork(cfg, deployment)
@@ -189,9 +141,7 @@ def headline_throughput(
     Returns an :class:`ExperimentResult` whose ``metrics`` carry the
     goodputs and derived ratios (``cbma_bps``, ``single_tag_bps``,
     ``fsa_bps``, ``fdma_bps``, ``cbma_fer``, ``aggregate_raw_bps``,
-    ``speedup_vs_single``, ``speedup_vs_fsa``).  The old
-    :class:`ThroughputComparison` attribute spellings still resolve on
-    the result (with a :class:`DeprecationWarning`).
+    ``speedup_vs_single``, ``speedup_vs_fsa``).
     """
     t0 = time.perf_counter()
     cfg = CbmaConfig(

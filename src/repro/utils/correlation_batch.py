@@ -44,6 +44,7 @@ __all__ = [
     "BACKEND_ENV",
     "corr_backend",
     "sliding_correlation_batch",
+    "sliding_correlation_many",
     "TemplateBank",
     "template_bank",
     "clear_template_cache",
@@ -214,6 +215,85 @@ def sliding_correlation_batch(
     return mags / denom
 
 
+@array_contract(signals="(s, n) any", templates="(u, m) any")
+def sliding_correlation_many(
+    signals: np.ndarray,
+    templates: np.ndarray,
+    normalize: bool = True,
+    backend: Optional[str] = None,
+) -> np.ndarray:
+    """Correlate every template row against every alignment of a whole
+    *stack* of equal-length windows in one pass.
+
+    This is the cross-session extension of
+    :func:`sliding_correlation_batch`: the farm co-schedules sessions
+    that share one :class:`TemplateBank`, stacks their pending windows
+    into ``signals`` of shape ``(S, n)``, and gates them all with a
+    single batched FFT.  Each output row ``out[s]`` is **bit-identical**
+    to ``sliding_correlation_batch(signals[s], templates, ...)`` with
+    the same backend: the FFT, the cumulative-sum normalisation and the
+    epsilon guard are all computed row-independently, so batching
+    windows together never changes any single window's scores.
+
+    Returns
+    -------
+    ``(S, U, n - m + 1)`` float64 array of correlation magnitudes.
+    """
+    signals = np.asarray(signals)
+    templates = np.asarray(templates)
+    if signals.ndim != 2:
+        raise ValueError(f"signals must be a 2-D stack, got shape {signals.shape}")
+    if templates.ndim != 2:
+        raise ValueError(f"templates must be a 2-D stack, got shape {templates.shape}")
+    n_signals, n = signals.shape
+    n_templates, m = templates.shape
+    if m == 0:
+        raise ValueError("templates must be non-empty")
+    if n < m:
+        return np.zeros((n_signals, n_templates, 0), dtype=np.float64)
+
+    mode = corr_backend(backend)
+    if mode == "direct" or n > _OVERLAP_SAVE_THRESHOLD:
+        # The direct backend and the overlap-save regime stay per-row
+        # loops through the single-window kernel -- equivalence with
+        # the oracle is then true by construction.
+        return np.stack(
+            [
+                sliding_correlation_batch(
+                    row, templates, normalize=normalize, backend=mode
+                )
+                for row in signals
+            ]
+        )
+
+    nfft = _next_fast_len(n)
+    kernels = np.conj(templates[:, ::-1])
+    if not np.iscomplexobj(signals) and not np.iscomplexobj(kernels):
+        spec = np.fft.rfft(signals, nfft, axis=1)
+        kspec = np.fft.rfft(kernels.real, nfft, axis=1)
+        full = np.fft.irfft(spec[:, None, :] * kspec[None, :, :], nfft, axis=2)
+    else:
+        spec = np.fft.fft(signals, nfft, axis=1)
+        kspec = np.fft.fft(kernels, nfft, axis=1)
+        full = np.fft.ifft(spec[:, None, :] * kspec[None, :, :], axis=2)
+    mags = np.abs(full[:, :, m - 1 : n])
+
+    if not normalize:
+        return mags
+    # Row-wise cumsum reproduces each window's shared-energy
+    # normalisation exactly as the single-window kernel computes it.
+    power = np.abs(signals) ** 2
+    csum = np.concatenate(
+        [np.zeros((n_signals, 1), dtype=np.float64), np.cumsum(power, axis=1)], axis=1
+    )
+    window_energy = guard_denominator(csum[:, m:] - csum[:, :-m])
+    template_norms = np.linalg.norm(templates, axis=1)
+    denom = guard_denominator(
+        np.sqrt(window_energy)[:, None, :] * template_norms[None, :, None]
+    )
+    return mags / denom
+
+
 class TemplateBank:
     """The stacked spread-preamble templates of one receiver code book.
 
@@ -255,6 +335,18 @@ class TemplateBank:
         """Batched sliding correlation of every user template."""
         return sliding_correlation_batch(
             window, self.matrix, normalize=normalize, backend=backend
+        )
+
+    def correlate_many(
+        self,
+        windows: np.ndarray,
+        normalize: bool = True,
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Sliding correlation of every user template against a stack
+        of equal-length windows (one ``(U, n-m+1)`` plane per window)."""
+        return sliding_correlation_many(
+            windows, self.matrix, normalize=normalize, backend=backend
         )
 
 

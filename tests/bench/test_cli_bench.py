@@ -15,25 +15,39 @@ def tiny_suite(monkeypatch):
     from repro.bench import runner
     from repro.bench.workloads import Workload
 
-    def fake_build(quick=False, seed=7):
-        return [
+    def fake_build(quick=False, seed=7, tier="all"):
+        workloads = [
             Workload("detect_direct", {"n_tags": 2}, lambda: None, reps=2, group="detect"),
             Workload("detect_fft", {"n_tags": 2}, lambda: None, reps=2, group="detect"),
+            Workload("farm_decode_w1", {"n_workers": 1}, lambda: None, reps=2, group="farm"),
         ]
+        if tier != "all":
+            workloads = [w for w in workloads if w.group == tier]
+        return workloads
 
     monkeypatch.setattr(runner, "build_workloads", fake_build)
 
 
 class TestBenchCommand:
     def test_writes_trajectory_file(self, tiny_suite, tmp_path, capsys):
-        out = tmp_path / "BENCH_0004.json"
+        out = tmp_path / "BENCH_0006.json"
         assert main(["bench", "--quick", "--output", str(out)]) == 0
         report = BenchReport.load(out)
         assert report.quick is True
-        assert {op.op for op in report.ops} == {"detect_direct", "detect_fft"}
+        assert {op.op for op in report.ops} == {
+            "detect_direct",
+            "detect_fft",
+            "farm_decode_w1",
+        }
         stdout = capsys.readouterr().out
         assert "detect_fft" in stdout
         assert str(out) in stdout
+
+    def test_tier_flag_filters_workloads(self, tiny_suite, tmp_path):
+        out = tmp_path / "farm.json"
+        assert main(["bench", "--tier", "farm", "--output", str(out)]) == 0
+        report = BenchReport.load(out)
+        assert {op.op for op in report.ops} == {"farm_decode_w1"}
 
     def test_json_output_parses(self, tiny_suite, tmp_path, capsys):
         out = tmp_path / "b.json"

@@ -75,12 +75,44 @@ class TestRunBench:
         assert report.derived["detect_speedup_fft_over_direct"] > 0
 
     def test_standard_quick_suite_shape(self):
-        """The quick suite covers all three tiers with the acceptance
+        """The quick suite covers all four tiers with the acceptance
         detect ops present (without timing it here -- just the build)."""
         ops = {w.op for w in build_workloads(quick=True, seed=7)}
         assert {"detect_direct", "detect_fft", "detect_pipeline"} <= ops
         assert any(op.startswith("corr_fft_w") for op in ops)
         assert any(op.startswith("e2e_decode_10tag_p") for op in ops)
+        assert {"farm_decode_w1", "farm_decode_w2", "farm_decode_w4"} <= ops
+
+    @pytest.mark.parametrize("tier", ["micro", "detect", "e2e", "farm"])
+    def test_tier_selection(self, tier):
+        workloads = build_workloads(quick=True, seed=7, tier=tier)
+        assert workloads
+        assert {w.group for w in workloads} == {tier}
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="tier"):
+            build_workloads(quick=True, tier="nano")
+
+    def test_farm_derived_metrics(self):
+        """Scaling ratios and the capacity figures come from params,
+        not from running a real farm."""
+        workloads = [
+            Workload(
+                f"farm_decode_w{w}",
+                {"n_workers": w, "n_sessions": 4, "stream_seconds": 0.5},
+                lambda: None,
+                reps=2,
+                group="farm",
+            )
+            for w in (1, 2)
+        ]
+        report = run_bench(workloads=workloads)
+        d = report.derived
+        assert d["farm_speedup_2w_over_1w"] > 0
+        assert d["farm_realtime_factor_w1"] > 0
+        assert d["farm_sessions_per_core_w2"] == pytest.approx(
+            d["farm_realtime_factor_w2"] / 2
+        )
 
 
 class TestReportPersistence:
@@ -110,10 +142,12 @@ class TestReportPersistence:
 
     def test_committed_baseline_parses(self):
         """The checked-in trajectory file must always stay loadable."""
-        baseline = BenchReport.load("benchmarks/BENCH_0004.json")
+        baseline = BenchReport.load("benchmarks/BENCH_0006.json")
         assert baseline.bench_id == BENCH_ID
         assert baseline.op("detect_fft") is not None
         assert baseline.derived["detect_speedup_fft_over_direct"] >= 3.0
+        assert baseline.op("farm_decode_w4") is not None
+        assert "farm_sessions_per_core_w1" in baseline.derived
 
 
 class TestBaselineGate:

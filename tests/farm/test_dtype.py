@@ -1,0 +1,65 @@
+"""The complex64 fast path: dtype threading and checkpoint geometry."""
+
+import numpy as np
+import pytest
+
+from repro.farm import DecodeFarm, FarmConfig
+from repro.receiver.session import SessionSupervisor
+from repro.receiver.streaming import StreamingReceiver
+from tests.farm.conftest import run_farm
+
+
+class TestSessionDtype:
+    def test_ingest_buffer_narrows(self, net_config):
+        sup = SessionSupervisor.from_config(net_config, dtype=np.complex64)
+        sup.ingest(np.ones(32, dtype=np.complex128))
+        assert sup._buf.dtype == np.dtype(np.complex64)
+
+    def test_checkpoint_geometry_records_dtype(self, net_config):
+        sup = SessionSupervisor.from_config(net_config, dtype=np.complex64)
+        header = sup.checkpoint_records()[0]
+        assert header["version"] == 2
+        assert header["dtype"] == "complex64"
+
+    def test_restore_rejects_dtype_mismatch(self, net_config):
+        records = SessionSupervisor.from_config(net_config).checkpoint_records()
+        narrow = StreamingReceiver.from_config(net_config, dtype=np.complex64)
+        with pytest.raises(ValueError, match="geometry"):
+            SessionSupervisor.from_checkpoint_records(records, narrow)
+
+    def test_restore_accepts_matching_dtype(self, net_config):
+        source = SessionSupervisor.from_config(net_config, dtype=np.complex64)
+        records = source.checkpoint_records()
+        narrow = StreamingReceiver.from_config(net_config, dtype=np.complex64)
+        resumed = SessionSupervisor.from_checkpoint_records(records, narrow)
+        assert resumed.position == source.position
+
+
+class TestFarmDtype:
+    def test_complex64_farm_runs_end_to_end(self, net_config, soak_capture):
+        _buffer, chunks, chunk = soak_capture
+        farm = DecodeFarm.from_config(
+            net_config,
+            n_sessions=2,
+            farm=FarmConfig(
+                n_workers=2, ring_slot_samples=chunk, dtype="complex64"
+            ),
+            backend="inline",
+        )
+        out = run_farm(farm, chunks)
+        # Same high-SNR capture: narrowing the ingest path must not
+        # cost deliveries (decode itself still runs in complex128).
+        assert all(frames for frames, _stats in out.values())
+
+    def test_process_farm_complex64_ring(self, net_config, soak_capture):
+        _buffer, chunks, chunk = soak_capture
+        farm = DecodeFarm.from_config(
+            net_config,
+            n_sessions=1,
+            farm=FarmConfig(
+                n_workers=1, ring_slot_samples=chunk, dtype="complex64"
+            ),
+            backend="process",
+        )
+        out = run_farm(farm, chunks[:6])
+        assert 0 in out

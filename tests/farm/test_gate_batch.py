@@ -1,0 +1,113 @@
+"""Cross-session batched gating: bit-identity of the stacked kernels.
+
+``sliding_correlation_many`` must equal per-row
+``sliding_correlation_batch`` to the last bit (both backends), and
+``StreamingReceiver.windows_are_live`` must agree with the scalar
+``window_is_live`` on every window -- that identity is what makes the
+farm's co-scheduled gate an optimisation rather than a behaviour
+change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.receiver.streaming import StreamingReceiver
+from repro.utils.correlation_batch import (
+    TemplateBank,
+    sliding_correlation_batch,
+    sliding_correlation_many,
+)
+
+
+def _stack(rng, n_signals, n, complex_signals=True):
+    x = rng.normal(size=(n_signals, n))
+    if complex_signals:
+        x = x + 1j * rng.normal(size=(n_signals, n))
+    return x
+
+
+class TestStackedKernel:
+    @pytest.mark.parametrize("backend", ["fft", "direct"])
+    @pytest.mark.parametrize("complex_signals", [True, False])
+    def test_matches_per_row_batch(self, backend, complex_signals):
+        rng = np.random.default_rng(5)
+        signals = _stack(rng, 3, 200, complex_signals)
+        templates = rng.normal(size=(4, 24))
+        many = sliding_correlation_many(signals, templates, backend=backend)
+        rows = np.stack(
+            [
+                sliding_correlation_batch(row, templates, backend=backend)
+                for row in signals
+            ]
+        )
+        assert many.shape == (3, 4, 200 - 24 + 1)
+        np.testing.assert_array_equal(many, rows)
+
+    @pytest.mark.parametrize("backend", ["fft", "direct"])
+    def test_unnormalized_matches_per_row(self, backend):
+        rng = np.random.default_rng(6)
+        signals = _stack(rng, 2, 120)
+        templates = rng.normal(size=(3, 16))
+        many = sliding_correlation_many(
+            signals, templates, normalize=False, backend=backend
+        )
+        rows = np.stack(
+            [
+                sliding_correlation_batch(
+                    row, templates, normalize=False, backend=backend
+                )
+                for row in signals
+            ]
+        )
+        np.testing.assert_array_equal(many, rows)
+
+    def test_short_signals_empty_lag_axis(self):
+        signals = np.zeros((2, 10), dtype=np.complex128)
+        templates = np.ones((3, 24))
+        out = sliding_correlation_many(signals, templates)
+        assert out.shape == (2, 3, 0)
+
+    def test_empty_templates_rejected(self):
+        with pytest.raises(ValueError):
+            sliding_correlation_many(np.zeros((1, 8)), np.zeros((2, 0)))
+
+    def test_requires_2d_signals(self):
+        with pytest.raises(ValueError):
+            sliding_correlation_many(np.zeros(16), np.ones((2, 4)))
+
+    def test_bank_correlate_many(self):
+        rng = np.random.default_rng(7)
+        templates = rng.normal(size=(4, 20))
+        bank = TemplateBank((0, 1, 2, 3), templates, samples_per_chip=1)
+        windows = _stack(rng, 3, 90)
+        np.testing.assert_array_equal(
+            bank.correlate_many(windows),
+            sliding_correlation_many(windows, bank.matrix),
+        )
+
+
+class TestBatchedGate:
+    @pytest.fixture(scope="class")
+    def stream(self, net_config):
+        return StreamingReceiver.from_config(net_config)
+
+    def test_matches_scalar_gate(self, stream, soak_capture):
+        buffer, _chunks, _chunk = soak_capture
+        w = stream.window_samples
+        windows = np.stack([buffer[i * w : (i + 1) * w] for i in range(12)])
+        batched = stream.windows_are_live(windows)
+        scalar = np.array([stream.window_is_live(win) for win in windows])
+        np.testing.assert_array_equal(batched, scalar)
+        # The capture is busy enough that both branches are exercised.
+        assert batched.any() and not batched.all()
+
+    def test_empty_stack(self, stream):
+        out = stream.windows_are_live(
+            np.zeros((0, stream.window_samples), dtype=np.complex128)
+        )
+        assert out.shape == (0,)
+        assert out.dtype == np.bool_
+
+    def test_rejects_1d(self, stream):
+        with pytest.raises(ValueError):
+            stream.windows_are_live(np.zeros(stream.window_samples))

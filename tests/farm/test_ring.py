@@ -1,0 +1,81 @@
+"""ShmRing: slot lifecycle, bounds, and cross-mapping visibility."""
+
+import numpy as np
+import pytest
+
+from repro.farm import ShmRing
+
+
+@pytest.fixture()
+def ring():
+    r = ShmRing(slots=4, slot_samples=16, dtype=np.complex128)
+    yield r
+    r.close()
+    r.unlink()
+
+
+class TestLifecycle:
+    def test_claim_write_view_roundtrip(self, ring):
+        chunk = np.arange(10, dtype=np.complex128) + 1j
+        slot = ring.claim()
+        n = ring.write(slot, chunk)
+        assert n == 10
+        np.testing.assert_array_equal(ring.view(slot, n), chunk)
+
+    def test_view_is_zero_copy(self, ring):
+        slot = ring.claim()
+        ring.write(slot, np.ones(4, dtype=np.complex128))
+        view = ring.view(slot, 4)
+        assert view.base is not None  # a view into the slab, not a copy
+
+    def test_free_slot_accounting(self, ring):
+        assert ring.free_slots == 4
+        assert ring.occupancy == 0
+        slot = ring.claim()
+        assert ring.free_slots == 3
+        assert ring.occupancy == 1
+        ring.release(slot)
+        assert ring.free_slots == 4
+
+    def test_claim_exhausted_raises(self, ring):
+        for _ in range(4):
+            ring.claim()
+        with pytest.raises(RuntimeError, match="no free ring slot"):
+            ring.claim()
+
+    def test_oversized_write_raises(self, ring):
+        slot = ring.claim()
+        with pytest.raises(ValueError, match="exceeds slot size"):
+            ring.write(slot, np.zeros(17, dtype=np.complex128))
+
+
+class TestAttach:
+    def test_attached_mapping_sees_parent_writes(self, ring):
+        chunk = np.linspace(0, 1, 8).astype(np.complex128) * (1 - 2j)
+        slot = ring.claim()
+        ring.write(slot, chunk)
+        other = ShmRing.attach(ring.name, 4, 16, np.complex128)
+        try:
+            np.testing.assert_array_equal(other.view(slot, 8), chunk)
+        finally:
+            other.close()
+
+    def test_attached_ring_does_not_unlink(self, ring):
+        other = ShmRing.attach(ring.name, 4, 16, np.complex128)
+        other.close()
+        other.unlink()  # non-owner: must be a no-op
+        # The segment must still be writable through the owner.
+        slot = ring.claim()
+        assert ring.write(slot, np.zeros(1, dtype=np.complex128)) == 1
+
+
+class TestDtype:
+    def test_complex64_slots(self):
+        r = ShmRing(slots=2, slot_samples=8, dtype=np.complex64)
+        try:
+            slot = r.claim()
+            r.write(slot, np.ones(3, dtype=np.complex64))
+            assert r.view(slot, 3).dtype == np.dtype(np.complex64)
+        finally:
+            r.close()
+            r.unlink()

@@ -29,8 +29,8 @@ from repro.sim.experiments import (
 
 class TestFieldAndTables:
     def test_fig5_field(self):
-        with pytest.warns(DeprecationWarning):
-            xs, ys, field = fig5_signal_field(resolution=11)
+        r = fig5_signal_field(resolution=11)
+        field = r.artifacts["field_dbm"]
         assert field.shape == (11, 11)
         assert np.isfinite(field).all()
 
@@ -106,10 +106,7 @@ class TestComparative:
         assert 0 <= acc <= 1
 
     def test_headline(self):
-        tc = headline_throughput(rounds=8)
-        with pytest.warns(DeprecationWarning):
-            assert tc.aggregate_raw_bps == pytest.approx(8e6)
-        with pytest.warns(DeprecationWarning):
-            assert tc.cbma_bps > 0
-        with pytest.warns(DeprecationWarning):
-            assert tc.speedup_vs_fsa > tc.speedup_vs_single
+        r = headline_throughput(rounds=8)
+        assert r.metrics["aggregate_raw_bps"] == pytest.approx(8e6)
+        assert r.metrics["cbma_bps"] > 0
+        assert r.metrics["speedup_vs_fsa"] > r.metrics["speedup_vs_single"]

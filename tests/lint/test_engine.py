@@ -103,6 +103,58 @@ def test_lnt005_finalizer_flags_factory_missing_from_code(tmp_path):
     assert any("from_json" in v.message for v in violations)
 
 
+def test_lnt005_flags_undocumented_from_config(tmp_path):
+    root = make_project(tmp_path)
+    farm = root / "src" / "repro" / "farm.py"
+    farm.write_text(
+        "class Farm:\n"
+        "    @classmethod\n"
+        "    def from_config(cls, config):\n"
+        "        return cls()\n"
+    )
+    violations, errors = lint_paths([root / "src"], select=["LNT005"])
+    assert errors == []
+    (violation,) = violations
+    assert "repro.farm.Farm.from_config" in violation.message
+    assert "not documented" in violation.message
+    assert violation.path.endswith("farm.py")
+
+
+def test_lnt005_documented_from_config_is_clean(tmp_path):
+    root = make_project(tmp_path)
+    farm = root / "src" / "repro" / "farm.py"
+    farm.write_text(
+        "class Farm:\n"
+        "    @classmethod\n"
+        "    def from_config(cls, config):\n"
+        "        return cls()\n"
+    )
+    api = root / "docs" / "api.md"
+    api.write_text(api.read_text() + "- `repro.farm.Farm.from_config(config)`\n")
+    violations, errors = lint_paths([root / "src"], select=["LNT005"])
+    assert errors == []
+    assert violations == []
+
+
+def test_lnt005_private_from_config_not_required_in_docs(tmp_path):
+    root = make_project(tmp_path)
+    hidden = root / "src" / "repro" / "_internal.py"
+    hidden.write_text(
+        "class Helper:\n"
+        "    @classmethod\n"
+        "    def from_config(cls, config):\n"
+        "        return cls()\n"
+        "\n"
+        "class _Private:\n"
+        "    @classmethod\n"
+        "    def from_config(cls, config):\n"
+        "        return cls()\n"
+    )
+    violations, errors = lint_paths([root / "src"], select=["LNT005"])
+    assert errors == []
+    assert violations == []
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""ExperimentResult: serialisation and deprecation shims."""
+"""ExperimentResult: serialisation and the post-shim access contract."""
 
 import numpy as np
 import pytest
@@ -60,50 +60,44 @@ class TestSerialisation:
         assert r.metrics["mean:fer"] == pytest.approx(0.2)
 
 
-class TestDeprecationShims:
-    def test_metrics_attribute_fallthrough_warns(self):
-        r = _result()
-        with pytest.warns(DeprecationWarning, match="cbma_bps"):
-            assert r.cbma_bps == 1234.5
+class TestRemovedShims:
+    """The one-release deprecation shims are gone: the explicit
+    ``metrics``/``artifacts`` access paths are the whole contract."""
+
+    def test_metrics_attribute_fallthrough_removed(self):
+        with pytest.raises(AttributeError):
+            _result().cbma_bps
 
     def test_unknown_attribute_raises(self):
         with pytest.raises(AttributeError):
             _result().no_such_thing
 
-    def test_real_fields_do_not_warn(self):
-        import warnings
-
+    def test_real_fields_resolve(self):
         r = _result()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert r.metrics["cbma_bps"] == 1234.5
-            assert r.seed == 7
+        assert r.metrics["cbma_bps"] == 1234.5
+        assert r.seed == 7
 
-    def test_legacy_tuple_unpacking_warns(self):
-        r = _result()
-        r.legacy_tuple = (1, 2, 3)
-        with pytest.warns(DeprecationWarning, match="artifacts"):
-            a, b, c = r
-        assert (a, b, c) == (1, 2, 3)
-
-    def test_not_iterable_without_legacy_tuple(self):
+    def test_not_iterable(self):
         with pytest.raises(TypeError):
             iter(_result())
+
+    def test_no_legacy_tuple_field(self):
+        with pytest.raises(TypeError):
+            ExperimentResult(experiment_id="x", legacy_tuple=(1, 2, 3))
 
 
 class TestDriverContract:
     """Every migrated driver returns the unified shape."""
 
-    def test_fig5_artifacts_and_legacy(self):
+    def test_fig5_artifacts(self):
         from repro.sim.experiments import fig5_signal_field
 
         r = fig5_signal_field(resolution=9)
         assert set(r.artifacts) == {"xs", "ys", "field_dbm"}
         assert r.params["resolution"] == 9
         assert r.wall_time_s > 0
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError):
             xs, ys, field = r
-        assert xs is r.artifacts["xs"]
 
     def test_headline_metrics_complete(self):
         from repro.sim.experiments import headline_throughput
@@ -121,5 +115,5 @@ class TestDriverContract:
         ):
             assert key in r.metrics, key
         assert r.seed is not None and r.wall_time_s > 0
-        with pytest.warns(DeprecationWarning):
-            assert r.cbma_bps == r.metrics["cbma_bps"]
+        with pytest.raises(AttributeError):
+            r.cbma_bps

@@ -113,9 +113,11 @@ class TestKernelEquivalence:
         rng = np.random.default_rng(seed)
         m = 32
         templates = np.sign(rng.normal(size=(5, m))) + 0.0
-        # Embed each template somewhere in a noisy buffer.
+        # Embed each template in its own 300-sample stratum: distinct
+        # offsets alone allow plants to overlap and corrupt each other,
+        # which would move a row's global peak off its planted copy.
         signal = 0.05 * rng.normal(size=1500)
-        offsets = rng.choice(1500 - m, size=5, replace=False)
+        offsets = rng.permutation(5) * 300 + rng.integers(0, 300 - m, size=5)
         for row, k in enumerate(offsets):
             signal[k : k + m] += templates[row]
         direct = sliding_correlation_batch(signal, templates, backend="direct")

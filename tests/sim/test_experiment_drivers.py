@@ -82,9 +82,8 @@ class TestDriverContracts:
         assert r.x[-1] == "OFDM excitation"
 
     def test_fig5_resolution_plumbed(self):
-        with pytest.warns(DeprecationWarning):
-            xs, ys, field = fig5_signal_field(resolution=9)
-        assert field.shape == (9, 9)
+        r = fig5_signal_field(resolution=9)
+        assert r.artifacts["field_dbm"].shape == (9, 9)
 
     def test_all_fers_are_probabilities(self):
         r = fig8b_power(tx_powers_dbm=(0.0, 20.0), tag_counts=(2,), rounds=6)
