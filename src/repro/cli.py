@@ -198,7 +198,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", action="store_true", help="print the report JSON to stdout")
 
     lint = sub.add_parser(
-        "lint", help="run the domain-aware static analysis (LNT001..LNT006)"
+        "lint", help="run the domain-aware static analysis (LNT001..LNT012)"
     )
     from repro.lint.cli import add_lint_arguments
 

@@ -33,13 +33,13 @@ run over the same chunks.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.farm.config import FarmConfig, SessionSpec
 from repro.farm.ring import ShmRing
-from repro.farm.worker import WorkerCore, worker_main
+from repro.farm.worker import HealthHistory, Record, WorkerCore, worker_main
 from repro.obs.taxonomy import C, G
 from repro.obs.tracer import as_tracer
 from repro.receiver.streaming import StreamFrame
@@ -93,7 +93,7 @@ class DecodeFarm:
         self._placement: Dict[int, int] = {
             s.session_id: i % self.config.n_workers for i, s in enumerate(specs)
         }
-        self._dirty_workers: set = set()
+        self._dirty_workers: Set[int] = set()
         self._pump_seq = 0
         self._outstanding_pumps: Dict[int, int] = {
             w: 0 for w in range(self.config.n_workers)
@@ -106,13 +106,13 @@ class DecodeFarm:
         #: Per-session stats dicts (populated by :meth:`finish`).
         self.session_stats: Dict[int, Dict[str, int]] = {}
         #: Per-session health histories (populated by :meth:`finish`).
-        self.session_health: Dict[int, list] = {}
+        self.session_health: Dict[int, HealthHistory] = {}
         #: Per-worker busy fraction (populated when workers stop).
         self.worker_utilization: Dict[int, float] = {}
         #: Windows gated through a cross-session batch (lifetime).
         self.batched_windows = 0
         self._fresh: Dict[int, List[StreamFrame]] = {}
-        self._drained: Dict[int, List[dict]] = {}
+        self._drained: Dict[int, List[Record]] = {}
 
         if backend == "inline":
             self._cores = [
@@ -211,7 +211,7 @@ class DecodeFarm:
     # The data path
     # ------------------------------------------------------------------
 
-    def feed(self, session_id: int, chunk) -> None:
+    def feed(self, session_id: int, chunk: np.ndarray) -> None:
         """Ship *chunk* to *session_id*'s worker (buffering only).
 
         The chunk is written into the worker's shared-memory ring --
@@ -329,7 +329,7 @@ class DecodeFarm:
     # Rebalancing (checkpoint/restore as the primitive)
     # ------------------------------------------------------------------
 
-    def drain(self, session_id: int) -> List[dict]:
+    def drain(self, session_id: int) -> List[Record]:
         """Lift a session off its worker as checkpoint records.
 
         The session is checkpointed (position, dedup, health machine,
@@ -353,7 +353,7 @@ class DecodeFarm:
         return records
 
     def restore(
-        self, session_id: int, records: List[dict], worker: Optional[int] = None
+        self, session_id: int, records: List[Record], worker: Optional[int] = None
     ) -> None:
         """Resume a drained session on *worker* (default: round-robin)."""
         self._check_open()
@@ -373,7 +373,7 @@ class DecodeFarm:
         self._count(C.FARM_SESSIONS_OPENED)
         self._gauge(G.FARM_SESSIONS_LIVE, len(self._placement))
 
-    def migrate(self, session_id: int, worker: int) -> List[dict]:
+    def migrate(self, session_id: int, worker: int) -> List[Record]:
         """Drain a session and resume it on another worker.
 
         Returns the checkpoint records (the caller re-feeds the stream
@@ -408,7 +408,7 @@ class DecodeFarm:
     def __enter__(self) -> "DecodeFarm":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -448,7 +448,7 @@ class DecodeFarm:
         msg = self._result_queue.get(timeout=_HARVEST_TIMEOUT_S if block else 0.0)
         self._dispatch(msg)
 
-    def _dispatch(self, msg) -> None:
+    def _dispatch(self, msg: Tuple[object, ...]) -> None:
         worker, tag = msg[0], msg[1]
         if tag == "free":
             self._rings[worker].release(msg[2])
@@ -494,6 +494,6 @@ class DecodeFarm:
         if self.tracer.enabled:
             self.tracer.count(counter, n)
 
-    def _gauge(self, gauge: str, value) -> None:
+    def _gauge(self, gauge: str, value: float) -> None:
         if self.tracer.enabled:
             self.tracer.gauge(gauge, value)

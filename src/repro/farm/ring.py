@@ -41,7 +41,7 @@ class ShmRing:
     :meth:`unlink`; workers just :meth:`close` their mapping.
     """
 
-    def __init__(self, slots: int, slot_samples: int, dtype) -> None:
+    def __init__(self, slots: int, slot_samples: int, dtype: "np.typing.DTypeLike") -> None:
         self.slots = int(slots)
         self.slot_samples = int(slot_samples)
         self.dtype = np.dtype(dtype)
@@ -68,7 +68,7 @@ class ShmRing:
         return self.slots - len(self._free)
 
     @classmethod
-    def attach(cls, name: str, slots: int, slot_samples: int, dtype) -> "ShmRing":
+    def attach(cls, name: str, slots: int, slot_samples: int, dtype: "np.typing.DTypeLike") -> "ShmRing":
         """Map an existing ring by name (worker side)."""
         ring = cls.__new__(cls)
         ring.slots = int(slots)

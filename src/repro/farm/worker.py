@@ -36,6 +36,8 @@ produces are byte-identical to running it alone through
 
 from __future__ import annotations
 
+import multiprocessing
+import queue
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -46,13 +48,26 @@ from repro.farm.ring import ShmRing
 from repro.receiver.session import SessionSupervisor
 from repro.receiver.streaming import StreamFrame, StreamingReceiver
 
-__all__ = ["WorkerCore", "worker_main"]
+__all__ = ["WorkerCore", "worker_main", "Record"]
+
+#: One checkpoint record, as produced by
+#: :meth:`SessionSupervisor.checkpoint_records` -- the migration
+#: currency between farm and workers.
+Record = Dict[str, object]
+
+#: ``(window_index, health state)`` entries of a session's history.
+HealthHistory = List[Tuple[int, str]]
+
+#: Command-poll interval of :func:`worker_main`.  The loop never blocks
+#: longer than this: on every Empty it re-checks that the parent is
+#: still alive, so a crashed farm cannot strand its workers forever.
+_CMD_POLL_S = 1.0
 
 
 class WorkerCore:
     """Sessions resident on one worker, plus the co-scheduled pump."""
 
-    def __init__(self, dtype, coschedule: bool = True) -> None:
+    def __init__(self, dtype: "np.typing.DTypeLike", coschedule: bool = True) -> None:
         self.dtype = np.dtype(dtype)
         self.coschedule = bool(coschedule)
         self.sessions: Dict[int, SessionSupervisor] = {}
@@ -72,7 +87,7 @@ class WorkerCore:
             dtype=self.dtype,
         )
 
-    def restore(self, spec: SessionSpec, records: List[dict]) -> None:
+    def restore(self, spec: SessionSpec, records: List[Record]) -> None:
         """Resume a drained session from its checkpoint records."""
         if spec.session_id in self.sessions:
             raise ValueError(f"session {spec.session_id} already on this worker")
@@ -84,7 +99,7 @@ class WorkerCore:
             source=f"migration records for session {spec.session_id}",
         )
 
-    def drain(self, session_id: int) -> List[dict]:
+    def drain(self, session_id: int) -> List[Record]:
         """Checkpoint a session's state and remove it from this worker.
 
         The records are the migration payload: re-create the session
@@ -95,7 +110,7 @@ class WorkerCore:
         self._dirty.discard(session_id)
         return session.checkpoint_records()
 
-    def finish(self, session_id: int) -> Tuple[List[StreamFrame], Dict[str, int], list]:
+    def finish(self, session_id: int) -> Tuple[List[StreamFrame], Dict[str, int], HealthHistory]:
         """End one session; returns (tail frames, stats, health history)."""
         session = self.sessions.pop(session_id)
         self._dirty.discard(session_id)
@@ -144,7 +159,7 @@ class WorkerCore:
 
     def _prime_batched(self, ready: List[Tuple[int, np.ndarray]]) -> None:
         """Gate groups of same-geometry windows with one stacked FFT."""
-        groups: Dict[tuple, List[Tuple[int, np.ndarray]]] = {}
+        groups: Dict[Tuple[int, int, float], List[Tuple[int, np.ndarray]]] = {}
         for sid, window in ready:
             detector = self.sessions[sid].streaming.receiver.user_detector
             if detector.bank is None:
@@ -163,8 +178,8 @@ class WorkerCore:
 
 def worker_main(
     worker_id: int,
-    cmd_queue,
-    result_queue,
+    cmd_queue: "multiprocessing.queues.Queue[Tuple[object, ...]]",
+    result_queue: "multiprocessing.queues.Queue[Tuple[object, ...]]",
     ring_name: str,
     ring_slots: int,
     ring_slot_samples: int,
@@ -176,7 +191,12 @@ def worker_main(
     Commands arrive as tagged tuples; every feed is acknowledged with
     ``("free", slot)`` the moment the session copied the slot, and any
     exception is reported as ``("error", repr)`` before the worker
-    exits -- a farm never hangs on a dead worker silently.
+    exits -- a farm never hangs on a dead worker silently.  The queue
+    is polled with a :data:`_CMD_POLL_S` timeout rather than blocked on
+    forever: each idle tick re-checks the parent process, so a worker
+    orphaned by a crashed farm shuts itself down instead of waiting on
+    a queue nobody will ever fill again (the symmetric guarantee --
+    a dead farm never strands a live worker).
 
     Replies per command (all tagged with *worker_id*):
 
@@ -193,7 +213,13 @@ def worker_main(
     busy = 0.0
     try:
         while True:
-            cmd = cmd_queue.get()
+            try:
+                cmd = cmd_queue.get(timeout=_CMD_POLL_S)
+            except queue.Empty:
+                parent = multiprocessing.parent_process()
+                if parent is not None and not parent.is_alive():
+                    break  # orphaned: the farm died without sending "stop"
+                continue
             t0 = time.perf_counter()
             op = cmd[0]
             if op == "stop":

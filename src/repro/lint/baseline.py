@@ -1,0 +1,79 @@
+"""Finding baselines: land a new rule before the tree is clean.
+
+A baseline file records the findings that existed when it was written
+(``repro lint --write-baseline lint-baseline.json``); subsequent runs
+with ``--baseline lint-baseline.json`` report and fail **only on new
+findings**.  Keys are ``(path, rule id, message)`` -- deliberately not
+line numbers, so unrelated edits above a known finding do not
+resurrect it, while any change to the finding's own message (a
+different variable, a different state) counts as new.
+
+The file is plain JSON with a version field so the format can grow::
+
+    {"version": 1, "findings": [{"path": ..., "rule": ..., "message": ...}]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.lint.core import Violation
+
+__all__ = ["baseline_key", "write_baseline", "load_baseline", "partition"]
+
+_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def baseline_key(violation: Violation) -> Key:
+    return (violation.path, violation.rule_id, violation.message)
+
+
+def write_baseline(violations: Sequence[Violation], path: Path) -> None:
+    """Record *violations* as the accepted baseline at *path*."""
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"path": v.path, "rule": v.rule_id, "message": v.message}
+            for v in sorted(violations)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Set[Key]:
+    """Keys accepted by the baseline at *path*.
+
+    Raises ``ValueError`` on a malformed or future-versioned file --
+    a truncated baseline silently accepting nothing (or everything)
+    would defeat its purpose.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(f"{path}: unsupported baseline format")
+    findings = payload.get("findings")
+    if not isinstance(findings, list):
+        raise ValueError(f"{path}: malformed baseline (no findings list)")
+    keys: Set[Key] = set()
+    for entry in findings:
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: malformed baseline entry {entry!r}")
+        keys.add((str(entry.get("path")), str(entry.get("rule")), str(entry.get("message"))))
+    return keys
+
+
+def partition(
+    violations: Iterable[Violation], accepted: Set[Key]
+) -> Tuple[List[Violation], List[Violation]]:
+    """Split into ``(new, baselined)`` against the accepted key set."""
+    new: List[Violation] = []
+    baselined: List[Violation] = []
+    for v in violations:
+        (baselined if baseline_key(v) in accepted else new).append(v)
+    return new, baselined

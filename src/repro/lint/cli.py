@@ -1,8 +1,11 @@
 """The ``repro lint`` subcommand (also ``python -m repro.lint``).
 
-Exit codes: 0 clean, 1 violations found, 2 usage/IO errors.  Output is
-one ``path:line:col: LNTxxx message`` line per finding -- the format
-editors and CI annotations already understand.
+Exit codes: 0 clean, 1 new violations found, 2 parse/internal errors.
+Output is one ``path:line:col: LNTxxx message`` line per finding -- the
+format editors and CI annotations already understand -- or a machine
+document via ``--format json|sarif``.  With ``--baseline FILE`` only
+findings absent from the baseline count; ``--write-baseline FILE``
+records the current findings and exits clean.
 """
 
 from __future__ import annotations
@@ -10,9 +13,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.lint.core import iter_rules, lint_paths
+from repro.lint.baseline import load_baseline, partition, write_baseline
+from repro.lint.core import find_project_root, iter_rules, lint_paths
+from repro.lint.sarif import to_sarif
 
 __all__ = ["main", "add_lint_arguments", "run_lint"]
 
@@ -32,10 +38,21 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         dest="output_format",
         help="finding output format",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline; fail only on new ones",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        dest="write_baseline",
+        help="record the current findings as the accepted baseline and exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
@@ -58,6 +75,25 @@ def run_lint(args: argparse.Namespace) -> int:
         return 2
     for err in errors:
         print(f"repro lint: {err}", file=sys.stderr)
+
+    if getattr(args, "write_baseline", None):
+        write_baseline(violations, Path(args.write_baseline))
+        print(
+            f"repro lint: wrote baseline with {len(violations)} finding(s)"
+            f" to {args.write_baseline}"
+        )
+        return 2 if errors else 0
+
+    baselined = 0
+    if getattr(args, "baseline", None):
+        try:
+            accepted = load_baseline(Path(args.baseline))
+        except (OSError, ValueError) as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        violations, old = partition(violations, accepted)
+        baselined = len(old)
+
     if args.output_format == "json":
         print(
             json.dumps(
@@ -74,11 +110,21 @@ def run_lint(args: argparse.Namespace) -> int:
                 indent=2,
             )
         )
+    elif args.output_format == "sarif":
+        root = None
+        for p in args.paths:
+            root = find_project_root(Path(p))
+            if root is not None:
+                break
+        print(json.dumps(to_sarif(violations, iter_rules(), root=root), indent=2))
     else:
         for v in violations:
             print(v.format())
-        if violations:
-            print(f"\n{len(violations)} finding(s)")
+        if violations or errors or baselined:
+            summary = f"\n{len(violations)} finding(s), {len(errors)} error(s)"
+            if baselined:
+                summary += f" ({baselined} baselined)"
+            print(summary)
     if errors:
         return 2
     return 1 if violations else 0
@@ -87,7 +133,7 @@ def run_lint(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="domain-aware static analysis (LNT001..LNT006)",
+        description="domain-aware static analysis (LNT001..LNT012)",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

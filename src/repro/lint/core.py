@@ -120,12 +120,31 @@ class Project:
 
     files: List[FileContext] = field(default_factory=list)
     root: Optional[Path] = None
+    _index: Optional["ProjectIndex"] = field(default=None, repr=False, compare=False)
 
     def module(self, dotted: str) -> Optional[FileContext]:
         for ctx in self.files:
             if ctx.module_name == dotted:
                 return ctx
         return None
+
+    @property
+    def index(self) -> "ProjectIndex":
+        """Cross-module symbol/import/call-graph index, built lazily.
+
+        Per-file summaries are cached on content hash
+        (:func:`repro.lint.engine.symbols.summarize`), so repeated
+        project passes only re-derive summaries for changed files.
+        """
+        if self._index is None:
+            from repro.lint.engine.symbols import ProjectIndex, summarize
+
+            summaries = [
+                summarize(ctx.path, ctx.source, ctx.module_name, ctx.tree)
+                for ctx in self.files
+            ]
+            self._index = ProjectIndex(summaries)
+        return self._index
 
 
 class Rule:
@@ -268,16 +287,27 @@ def lint_paths(
             if project.root is not None:
                 break
 
+    by_path: Dict[str, FileContext] = {str(ctx.path): ctx for ctx in project.files}
     out: List[Violation] = []
     for ctx in project.files:
         for rule in rules:
             if ctx.is_test and not rule.check_tests:
                 continue
-            out.extend(
-                v for v in rule.check(ctx) if not ctx.suppressed(v.rule_id, v.line)
-            )
+            try:
+                out.extend(
+                    v for v in rule.check(ctx) if not ctx.suppressed(v.rule_id, v.line)
+                )
+            except Exception as exc:  # internal rule bug: reported, never swallowed
+                errors.append(f"{ctx.path}: internal error in {rule.rule_id}: {exc!r}")
     for rule in rules:
-        out.extend(rule.finalize(project))
+        try:
+            for v in rule.finalize(project):
+                ctx_for = by_path.get(v.path)
+                if ctx_for is not None and ctx_for.suppressed(v.rule_id, v.line):
+                    continue
+                out.append(v)
+        except Exception as exc:  # internal rule bug: reported, never swallowed
+            errors.append(f"internal error in {rule.rule_id}.finalize: {exc!r}")
     return sorted(out), errors
 
 

@@ -1,0 +1,372 @@
+"""Intraprocedural control-flow graphs over function ASTs.
+
+A :class:`CFG` is a set of :class:`Block` nodes -- straight-line
+statement sequences -- connected by directed edges.  It is the
+substrate the dataflow solver (:mod:`repro.lint.engine.dataflow`) and
+the typestate walker (:mod:`repro.lint.engine.typestate`) iterate
+over, and it is deliberately *conservative*: where precise modelling
+would need runtime information (which statement of a ``try`` body
+raises, whether a loop runs zero times), the builder adds every edge
+that could exist, so path-sensitive rules over-approximate rather than
+miss a path.
+
+Modelled control flow:
+
+- ``if``/``elif``/``else`` -- both arms, with an implicit fall-through
+  arm when ``else`` is absent;
+- ``while``/``for`` -- loop entry, back edge, zero-iteration exit and
+  the ``else`` clause; ``break``/``continue`` edges to the right
+  targets;
+- ``try``/``except``/``else``/``finally`` -- an edge from every
+  statement of the body into each handler (any statement may raise),
+  handlers and ``else`` joining through ``finally``;
+- ``return``/``raise`` -- terminate the path into the synthetic
+  :attr:`CFG.exit` block (``raise`` also edges into enclosing
+  handlers);
+- ``with``/``match`` and any other compound statement -- treated as
+  sequential / all-arms-possible.
+
+Nested function and class definitions are *not* descended into (they
+are separate CFGs); the definition statement itself lands in the
+enclosing block like any other statement.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Block", "CFG", "build_cfg", "scope_nodes"]
+
+#: Nodes owning a separate execution scope: never descended into when
+#: collecting the nodes a statement evaluates itself.
+_SCOPE_OWNERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def scope_nodes(stmt: ast.AST) -> Iterator[ast.AST]:
+    """AST nodes evaluated by *stmt* in its own CFG block.
+
+    Compound statements (``if``/``while``/``for``/``try``/``with``)
+    appear in a block as their *header* only -- their bodies are
+    threaded into separate blocks by the builder -- so walking the full
+    subtree with ``ast.walk`` would double-count body effects.  This
+    yields just the header expressions (test, iterable, context
+    managers, match subject), and for plain statements the whole
+    subtree minus nested function/class/lambda scopes (which execute
+    later, if ever).
+    """
+    roots: List[ast.AST]
+    if isinstance(stmt, (ast.If, ast.While)):
+        roots = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        roots = [stmt.target, stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots = []
+        for item in stmt.items:
+            roots.append(item.context_expr)
+            if item.optional_vars is not None:
+                roots.append(item.optional_vars)
+    elif isinstance(stmt, ast.ExceptHandler):
+        roots = [stmt.type] if stmt.type is not None else []
+    elif hasattr(ast, "Match") and isinstance(stmt, getattr(ast, "Match")):
+        roots = [stmt.subject]
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        roots = list(stmt.decorator_list)
+    elif isinstance(stmt, ast.Try):
+        roots = []
+    else:
+        roots = [stmt]
+    for root in roots:
+        stack: List[ast.AST] = [root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, _SCOPE_OWNERS) and node is not root:
+                continue
+            if isinstance(node, _SCOPE_OWNERS):
+                stack.extend(node.decorator_list if hasattr(node, "decorator_list") else [])
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class Block:
+    """One straight-line run of statements."""
+
+    block_id: int
+    statements: List[ast.stmt] = field(default_factory=list)
+    successors: Set[int] = field(default_factory=set)
+    predecessors: Set[int] = field(default_factory=set)
+    #: Loop-nesting depth of this block (0 = outside any loop).
+    loop_depth: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(type(s).__name__ for s in self.statements)
+        return f"Block({self.block_id}, [{kinds}], -> {sorted(self.successors)})"
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    blocks: Dict[int, Block]
+    entry: int
+    exit: int
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks.values())
+
+    def reverse_postorder(self) -> List[int]:
+        """Block ids in reverse postorder from the entry (a good
+        iteration order for forward dataflow)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+
+        def visit(bid: int) -> None:
+            stack: List[Tuple[int, Iterator[int]]] = [(bid, iter(sorted(self.blocks[bid].successors)))]
+            seen.add(bid)
+            while stack:
+                cur, succ_iter = stack[-1]
+                advanced = False
+                for nxt in succ_iter:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, iter(sorted(self.blocks[nxt].successors))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(cur)
+                    stack.pop()
+
+        visit(self.entry)
+        return list(reversed(order))
+
+    def statements(self) -> Iterator[Tuple[int, ast.stmt]]:
+        """Every ``(block_id, statement)`` pair in the graph."""
+        for block in self.blocks.values():
+            for stmt in block.statements:
+                yield block.block_id, stmt
+
+
+class _Builder:
+    """Stateful CFG construction over one statement list."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Block] = {}
+        self._next_id = 0
+        self.exit = self._new_block().block_id
+        #: (continue_target, break_target) stack of enclosing loops.
+        self._loops: List[Tuple[int, int]] = []
+        #: Handler-entry blocks of enclosing ``try`` statements: any
+        #: statement inside the body may transfer there.
+        self._handlers: List[List[int]] = []
+        self._loop_depth = 0
+
+    def _new_block(self) -> Block:
+        block = Block(block_id=self._next_id, loop_depth=getattr(self, "_loop_depth", 0))
+        self.blocks[block.block_id] = block
+        self._next_id += 1
+        return block
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.blocks[src].successors.add(dst)
+        self.blocks[dst].predecessors.add(src)
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        entry = self._new_block()
+        tail = self._sequence(body, entry.block_id)
+        if tail is not None:
+            self._edge(tail, self.exit)
+        return CFG(blocks=self.blocks, entry=entry.block_id, exit=self.exit)
+
+    # ------------------------------------------------------------------
+
+    def _sequence(self, body: Sequence[ast.stmt], current: Optional[int]) -> Optional[int]:
+        """Thread *body* onto block *current*; returns the live tail
+        block (``None`` when every path has left, e.g. after return)."""
+        for stmt in body:
+            if current is None:
+                # Unreachable statements still get a block so rules can
+                # inspect them, but it has no predecessors.
+                current = self._new_block().block_id
+            current = self._statement(stmt, current)
+        return current
+
+    def _statement(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.blocks[current].statements.append(stmt)
+            return self._sequence(stmt.body, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.blocks[current].statements.append(stmt)
+            if isinstance(stmt, ast.Raise):
+                for handlers in self._handlers:
+                    for h in handlers:
+                        self._edge(current, h)
+            self._edge(current, self.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            self.blocks[current].statements.append(stmt)
+            if self._loops:
+                self._edge(current, self._loops[-1][1])
+            else:  # pragma: no cover - syntactically invalid source
+                self._edge(current, self.exit)
+            return None
+        if isinstance(stmt, ast.Continue):
+            self.blocks[current].statements.append(stmt)
+            if self._loops:
+                self._edge(current, self._loops[-1][0])
+            else:  # pragma: no cover - syntactically invalid source
+                self._edge(current, self.exit)
+            return None
+        if hasattr(ast, "Match") and isinstance(stmt, getattr(ast, "Match")):
+            return self._match(stmt, current)
+        # Plain statement (including nested def/class): straight line.
+        self.blocks[current].statements.append(stmt)
+        if self._handlers and self._may_raise(stmt):
+            for handlers in self._handlers:
+                for h in handlers:
+                    self._edge(current, h)
+        return current
+
+    @staticmethod
+    def _may_raise(stmt: ast.stmt) -> bool:
+        """Could *stmt* transfer into an enclosing handler?  Anything
+        with a call or subscript can; cheap literals cannot."""
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Call, ast.Subscript, ast.Attribute, ast.BinOp)):
+                return True
+        return False
+
+    def _if(self, stmt: ast.If, current: int) -> Optional[int]:
+        self.blocks[current].statements.append(stmt)
+        then_entry = self._new_block()
+        self._edge(current, then_entry.block_id)
+        then_tail = self._sequence(stmt.body, then_entry.block_id)
+        if stmt.orelse:
+            else_entry = self._new_block()
+            self._edge(current, else_entry.block_id)
+            else_tail = self._sequence(stmt.orelse, else_entry.block_id)
+        else:
+            else_tail = current  # fall through when the test is false
+        if then_tail is None and else_tail is None:
+            return None
+        join = self._new_block()
+        for tail in (then_tail, else_tail):
+            if tail is not None:
+                self._edge(tail, join.block_id)
+        return join.block_id
+
+    def _loop(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        # The loop head holds the While/For statement itself (its test /
+        # iterable evaluate once per iteration).
+        head = self._new_block()
+        head.statements.append(stmt)
+        self._edge(current, head.block_id)
+        after = self._new_block()
+        self._loops.append((head.block_id, after.block_id))
+        self._loop_depth += 1
+        body_entry = self._new_block()
+        self._edge(head.block_id, body_entry.block_id)
+        body_tail = self._sequence(stmt.body, body_entry.block_id)  # type: ignore[attr-defined]
+        if body_tail is not None:
+            self._edge(body_tail, head.block_id)  # back edge
+        self._loop_depth -= 1
+        self._loops.pop()
+        orelse = getattr(stmt, "orelse", [])
+        infinite = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        if not infinite:
+            # Zero-iteration / loop-done exit (via orelse when present).
+            if orelse:
+                else_entry = self._new_block()
+                self._edge(head.block_id, else_entry.block_id)
+                else_tail = self._sequence(orelse, else_entry.block_id)
+                if else_tail is not None:
+                    self._edge(else_tail, after.block_id)
+            else:
+                self._edge(head.block_id, after.block_id)
+        if not self.blocks[after.block_id].predecessors:
+            return None  # while True with no break: nothing follows
+        return after.block_id
+
+    def _try(self, stmt: ast.Try, current: int) -> Optional[int]:
+        handler_entries: List[int] = []
+        handler_blocks: List[Block] = []
+        for handler in stmt.handlers:
+            hb = self._new_block()
+            hb.statements.append(handler)  # the except clause itself
+            handler_entries.append(hb.block_id)
+            handler_blocks.append(hb)
+
+        body_entry = self._new_block()
+        self._edge(current, body_entry.block_id)
+        # The first statement of the body may raise before running, so
+        # the body entry edges into every handler too.
+        self._handlers.append(handler_entries)
+        for h in handler_entries:
+            self._edge(body_entry.block_id, h)
+        body_tail = self._sequence(stmt.body, body_entry.block_id)
+        self._handlers.pop()
+
+        tails: List[Optional[int]] = []
+        if stmt.orelse:
+            if body_tail is not None:
+                else_entry = self._new_block()
+                self._edge(body_tail, else_entry.block_id)
+                tails.append(self._sequence(stmt.orelse, else_entry.block_id))
+        else:
+            tails.append(body_tail)
+        for handler, hb in zip(stmt.handlers, handler_blocks):
+            tails.append(self._sequence(handler.body, hb.block_id))
+
+        live = [t for t in tails if t is not None]
+        if stmt.finalbody:
+            fin_entry = self._new_block()
+            for t in live:
+                self._edge(t, fin_entry.block_id)
+            if not live:
+                # finally still runs on the exceptional path
+                self._edge(current, fin_entry.block_id)
+            return self._sequence(stmt.finalbody, fin_entry.block_id)
+        if not live:
+            return None
+        join = self._new_block()
+        for t in live:
+            self._edge(t, join.block_id)
+        return join.block_id
+
+    def _match(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        self.blocks[current].statements.append(stmt)
+        tails: List[Optional[int]] = [current]  # no case may match
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            arm = self._new_block()
+            self._edge(current, arm.block_id)
+            tails.append(self._sequence(case.body, arm.block_id))
+        live = [t for t in tails if t is not None]
+        if not live:
+            return None  # pragma: no cover - every arm returned
+        join = self._new_block()
+        for t in live:
+            self._edge(t, join.block_id)
+        return join.block_id
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """CFG of a function definition (or any statement list owner)."""
+    body = getattr(fn, "body", None)
+    if body is None:  # pragma: no cover - defensive
+        raise TypeError(f"cannot build a CFG over {type(fn).__name__}")
+    return _Builder().build(body)

@@ -1,0 +1,160 @@
+"""Generic forward dataflow over a CFG, plus reaching definitions.
+
+:class:`ForwardAnalysis` is the worklist solver every flow-sensitive
+rule shares: subclasses provide the lattice (``initial``/``join``) and
+the per-block ``transfer`` function, and :meth:`solve` iterates to a
+fixpoint in reverse postorder.  States must be immutable-ish values
+with ``==`` (frozensets, tuples, dicts compared by value) so the
+solver can detect convergence.
+
+:class:`ReachingDefinitions` is the classic instance: which
+``(variable, statement)`` definition pairs may reach each block.  The
+typestate walker (:mod:`repro.lint.engine.typestate`) is a second
+instance built on the same solver.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Any, Deque, Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.lint.engine.cfg import CFG, Block, scope_nodes
+
+__all__ = ["ForwardAnalysis", "ReachingDefinitions", "assigned_names"]
+
+
+def assigned_names(stmt: ast.stmt) -> List[str]:
+    """Variable names *stmt* (re)binds, in source order.
+
+    Covers plain/augmented/annotated assignment, ``for`` targets,
+    ``with ... as`` bindings and walrus expressions anywhere inside.
+    """
+    names: List[str] = []
+
+    def collect(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                collect(elt)
+        elif isinstance(target, ast.Starred):
+            collect(target.value)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            collect(target)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        collect(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        collect(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                collect(item.optional_vars)
+    for node in scope_nodes(stmt):
+        if isinstance(node, ast.NamedExpr):
+            collect(node.target)
+    return names
+
+
+class ForwardAnalysis:
+    """Worklist fixpoint solver for forward dataflow problems."""
+
+    def initial(self) -> Any:
+        """State at the CFG entry."""
+        raise NotImplementedError
+
+    def join(self, states: Sequence[Any]) -> Any:
+        """Merge predecessor out-states at a block boundary."""
+        raise NotImplementedError
+
+    def transfer(self, block: Block, state: Any) -> Any:
+        """Out-state of *block* given its in-state."""
+        raise NotImplementedError
+
+    def solve(self, cfg: CFG) -> Tuple[Dict[int, Any], Dict[int, Any]]:
+        """Returns ``(in_states, out_states)`` by block id."""
+        order = cfg.reverse_postorder()
+        position = {bid: i for i, bid in enumerate(order)}
+        in_states: Dict[int, Any] = {}
+        out_states: Dict[int, Any] = {}
+        worklist: Deque[int] = deque(order)
+        queued: Set[int] = set(order)
+        while worklist:
+            bid = worklist.popleft()
+            queued.discard(bid)
+            block = cfg.block(bid)
+            preds = [out_states[p] for p in block.predecessors if p in out_states]
+            if bid == cfg.entry:
+                state = self.initial()
+                if preds:  # loop back into the entry block
+                    state = self.join([state, *preds])
+            elif preds:
+                state = self.join(preds)
+            else:
+                state = self.initial()
+            in_states[bid] = state
+            new_out = self.transfer(block, state)
+            if out_states.get(bid) != new_out or bid not in out_states:
+                out_states[bid] = new_out
+                for succ in block.successors:
+                    if succ not in queued and succ in position:
+                        worklist.append(succ)
+                        queued.add(succ)
+                    elif succ not in position:  # pragma: no cover - defensive
+                        worklist.append(succ)
+                        queued.add(succ)
+        return in_states, out_states
+
+
+#: One definition: (variable name, id of the defining statement).
+Definition = Tuple[str, int]
+
+
+class ReachingDefinitions(ForwardAnalysis):
+    """Which definitions of each variable may reach a block.
+
+    States are frozensets of ``(name, stmt_id)`` pairs, where
+    ``stmt_id`` is the ``id()`` of the defining AST statement --
+    stable within one analysed tree.  :meth:`definitions_of` maps a
+    name to the statements that may define it at block entry.
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._stmts: Dict[int, ast.stmt] = {}
+        for _bid, stmt in cfg.statements():
+            self._stmts[id(stmt)] = stmt
+        self.in_states: Dict[int, FrozenSet[Definition]] = {}
+        self.out_states: Dict[int, FrozenSet[Definition]] = {}
+        self.in_states, self.out_states = self.solve(cfg)
+
+    def initial(self) -> FrozenSet[Definition]:
+        return frozenset()
+
+    def join(self, states: Sequence[FrozenSet[Definition]]) -> FrozenSet[Definition]:
+        merged: Set[Definition] = set()
+        for state in states:
+            merged |= state
+        return frozenset(merged)
+
+    def transfer(
+        self, block: Block, state: FrozenSet[Definition]
+    ) -> FrozenSet[Definition]:
+        live = set(state)
+        for stmt in block.statements:
+            killed = set(assigned_names(stmt))
+            if killed:
+                live = {(name, sid) for name, sid in live if name not in killed}
+                for name in killed:
+                    live.add((name, id(stmt)))
+        return frozenset(live)
+
+    def definitions_of(self, block_id: int, name: str) -> List[ast.stmt]:
+        """Statements that may define *name* at entry of *block_id*."""
+        return [
+            self._stmts[sid]
+            for n, sid in sorted(self.in_states.get(block_id, frozenset()))
+            if n == name and sid in self._stmts
+        ]

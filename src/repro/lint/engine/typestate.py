@@ -1,0 +1,190 @@
+"""Typestate checking over a CFG: state machines on tracked values.
+
+A :class:`StateMachine` declares the legal lifecycle of one kind of
+value -- for the ``ShmRing`` slot protocol: ``claimed -> written ->
+released`` with an ``escaped`` state for ownership hand-offs.  The
+:class:`TypestateChecker` runs the machine over every path of a
+function's CFG via the shared forward solver
+(:mod:`repro.lint.engine.dataflow`): a variable may be in *several*
+states where paths merge, an event legal in none of them is a
+bad-transition issue, and a variable that can leave the function in a
+non-accepting state is a leak.
+
+The checker is syntax-driven and rule-parameterised: the rule supplies
+``births(stmt)`` (which names this statement binds to a fresh tracked
+value) and ``events(stmt)`` (``(name, event, node)`` triples the
+statement performs).  Simple renames (``a = b``) transfer tracking to
+the new name; rebinding or ``del`` of a tracked name in a
+non-accepting state is reported as a leak at that statement.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine.cfg import CFG, Block
+from repro.lint.engine.dataflow import ForwardAnalysis, assigned_names
+
+__all__ = ["StateMachine", "TypestateIssue", "TypestateChecker"]
+
+
+@dataclass(frozen=True)
+class StateMachine:
+    """One value lifecycle: states, event transitions, accepting set."""
+
+    initial: str
+    transitions: Mapping[Tuple[str, str], str]
+    accepting: FrozenSet[str]
+
+    def on(self, state: str, event: str) -> Optional[str]:
+        """Destination state, or ``None`` when *event* is illegal in *state*."""
+        return self.transitions.get((state, event))
+
+
+@dataclass(frozen=True, order=True)
+class TypestateIssue:
+    """One lifecycle violation, anchored to a source location."""
+
+    line: int
+    col: int
+    kind: str  # "bad-transition" | "leak"
+    name: str
+    state: str
+    event: Optional[str] = None
+
+
+#: Checker state: tracked name -> set of possible machine states.
+_State = Tuple[Tuple[str, FrozenSet[str]], ...]
+
+
+def _freeze(mapping: Dict[str, FrozenSet[str]]) -> _State:
+    return tuple(sorted(mapping.items()))
+
+
+def _thaw(state: _State) -> Dict[str, FrozenSet[str]]:
+    return dict(state)
+
+
+class TypestateChecker(ForwardAnalysis):
+    """Run one :class:`StateMachine` over a function CFG.
+
+    Parameters
+    ----------
+    machine:
+        The lifecycle to enforce.
+    births:
+        ``stmt -> iterable of names`` this statement binds to a fresh
+        tracked value (e.g. the target of ``slot = ring.claim()``).
+    events:
+        ``stmt -> iterable of (name, event, node)`` the statement
+        performs, in evaluation order.  Events on untracked names are
+        ignored, so the callback may over-report.
+    """
+
+    def __init__(
+        self,
+        machine: StateMachine,
+        births: Callable[[ast.stmt], Iterable[str]],
+        events: Callable[[ast.stmt], Iterable[Tuple[str, str, ast.AST]]],
+    ) -> None:
+        self.machine = machine
+        self._births = births
+        self._events = events
+        self._issues: Set[TypestateIssue] = set()
+
+    # -- lattice -------------------------------------------------------
+
+    def initial(self) -> _State:
+        return ()
+
+    def join(self, states: Sequence[_State]) -> _State:
+        merged: Dict[str, FrozenSet[str]] = {}
+        for state in states:
+            for name, machine_states in state:
+                merged[name] = merged.get(name, frozenset()) | machine_states
+        return _freeze(merged)
+
+    # -- transfer ------------------------------------------------------
+
+    def transfer(self, block: Block, state: _State) -> _State:
+        tracked = _thaw(state)
+        for stmt in block.statements:
+            for name, event, node in self._events(stmt):
+                current = tracked.get(name)
+                if current is None:
+                    continue
+                nxt: Set[str] = set()
+                for machine_state in current:
+                    dest = self.machine.on(machine_state, event)
+                    if dest is None:
+                        self._issues.add(
+                            TypestateIssue(
+                                line=getattr(node, "lineno", 1),
+                                col=getattr(node, "col_offset", 0) + 1,
+                                kind="bad-transition",
+                                name=name,
+                                state=machine_state,
+                                event=event,
+                            )
+                        )
+                    else:
+                        nxt.add(dest)
+                if nxt:
+                    tracked[name] = frozenset(nxt)
+                else:
+                    del tracked[name]
+            born = set(self._births(stmt))
+            killed = set(assigned_names(stmt)) | born
+            if isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        killed.add(target.id)
+            # A plain rename `a = b` transfers tracking to `a`.
+            rename = self._rename(stmt)
+            for name in killed:
+                old = tracked.pop(name, None)
+                if old is not None and name not in born:
+                    self._report_leak(stmt, name, old)
+            if rename is not None and rename[1] in tracked:
+                tracked[rename[0]] = tracked.pop(rename[1])
+            for name in born:
+                tracked[name] = frozenset({self.machine.initial})
+        return _freeze(tracked)
+
+    @staticmethod
+    def _rename(stmt: ast.stmt) -> Optional[Tuple[str, str]]:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Name)
+        ):
+            return stmt.targets[0].id, stmt.value.id
+        return None
+
+    def _report_leak(self, node: ast.AST, name: str, states: FrozenSet[str]) -> None:
+        for machine_state in sorted(states - self.machine.accepting):
+            self._issues.add(
+                TypestateIssue(
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    kind="leak",
+                    name=name,
+                    state=machine_state,
+                )
+            )
+
+    # -- entry point ---------------------------------------------------
+
+    def check(self, cfg: CFG, fn: Optional[ast.AST] = None) -> List[TypestateIssue]:
+        """All issues over *cfg*; leaks are anchored to the function
+        definition line (*fn*) when given, else line 1."""
+        self._issues.clear()
+        in_states, _out = self.solve(cfg)
+        exit_state = in_states.get(cfg.exit, ())
+        anchor = fn if fn is not None else ast.Pass()
+        for name, states in exit_state:
+            self._report_leak(anchor, name, states)
+        return sorted(self._issues)

@@ -2,18 +2,54 @@
 
 One module per rule keeps each check reviewable in isolation:
 
-========  =================  ==========================================
-Rule      Module             Checks
-========  =================  ==========================================
-LNT001    ``rng``            no unseeded/global RNG outside tests
-LNT002    ``taxonomy``       metric names parse against repro.obs.taxonomy
-LNT003    ``floateq``        no ==/!= against float literals
-LNT004    ``dtype``          no widening of @array_contract buffers
-LNT005    ``api``            __all__ and documented factories are real
-LNT006    ``excepts``        no blanket exception swallowing
-========  =================  ==========================================
+========  =====================  ==========================================
+Rule      Module                 Checks
+========  =====================  ==========================================
+LNT001    ``rng``                no unseeded/global RNG outside tests
+LNT002    ``taxonomy``           metric names parse against repro.obs.taxonomy
+LNT003    ``floateq``            no ==/!= against float literals
+LNT004    ``dtype``              no widening of @array_contract buffers
+LNT005    ``api``                __all__ and documented factories are real
+LNT006    ``excepts``            no blanket exception swallowing
+LNT007    ``forksafety``         no fork-unsafe module state in worker closure
+LNT008    ``shmring``            ShmRing slot lifecycle typestate on all paths
+LNT009    ``checkpoint``         serializer/deserializer schema symmetry
+LNT010    ``taxonomy_coverage``  every constant emitted; every emission a constant
+LNT011    ``queues``             no unbounded blocking get() in worker loops
+LNT012    ``dtypeflow``          contracted buffers stay narrow across calls
+========  =====================  ==========================================
+
+LNT001-LNT006 are per-file AST rules; LNT007-LNT012 run in the
+project-wide ``finalize`` phase on the cross-module engine
+(:mod:`repro.lint.engine`).
 """
 
-from repro.lint.rules import api, dtype, excepts, floateq, rng, taxonomy
+from repro.lint.rules import (
+    api,
+    checkpoint,
+    dtype,
+    dtypeflow,
+    excepts,
+    floateq,
+    forksafety,
+    queues,
+    rng,
+    shmring,
+    taxonomy,
+    taxonomy_coverage,
+)
 
-__all__ = ["api", "dtype", "excepts", "floateq", "rng", "taxonomy"]
+__all__ = [
+    "api",
+    "checkpoint",
+    "dtype",
+    "dtypeflow",
+    "excepts",
+    "floateq",
+    "forksafety",
+    "queues",
+    "rng",
+    "shmring",
+    "taxonomy",
+    "taxonomy_coverage",
+]

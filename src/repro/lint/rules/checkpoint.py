@@ -1,0 +1,235 @@
+"""LNT009: checkpoint schema symmetry between serializer pairs.
+
+A checkpoint that writes a field nobody reads is dead weight that
+rots; a restore that reads a field nobody writes is a latent
+``KeyError`` on the next real checkpoint.  Both failure modes have
+bitten streaming-session formats before, and neither is visible to a
+per-file rule once serializer and deserializer live in different
+modules (a base class serialises, a subclass restores).
+
+For every class in the project, this rule pairs serializer and
+deserializer methods **through the cross-module MRO** of the project
+index:
+
+========================  ============================
+writer                    paired reader
+========================  ============================
+``to_dict``               ``from_dict``
+``to_records``            ``from_records``
+``checkpoint_records``    ``from_checkpoint_records``
+``to_json``               ``from_json``
+========================  ============================
+
+Written keys are string constants used as dict-literal keys or
+subscript-store keys inside the writer (same-class ``self._helper()``
+calls are inlined one level, so ``{**self._geometry()}`` contributes
+the helper's keys).  Read keys are constant subscripts,
+``.get("key")`` and ``.pop("key")`` inside the reader (same
+inlining).  A side with *dynamic* access -- non-constant keys,
+``.update(...)``, ``**kwargs`` of unknown shape, iteration over the
+record -- is treated as open: only the opposite direction is checked,
+so a reader that loops over a key list suppresses written-but-unread
+findings without hiding read-but-unwritten ones.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.core import Project, Rule, Violation, register
+from repro.lint.engine.symbols import ClassInfo, FunctionInfo, ModuleSummary, ProjectIndex
+
+_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("to_dict", "from_dict"),
+    ("to_records", "from_records"),
+    ("checkpoint_records", "from_checkpoint_records"),
+    ("to_json", "from_json"),
+)
+
+#: Keys every serializer may write without a reader consuming them --
+#: self-describing envelope fields checked by generic validation.
+_ENVELOPE_KEYS = {"format", "version", "type"}
+
+
+class _KeySet:
+    """Constant keys touched by one side, plus an 'open' dynamic flag."""
+
+    def __init__(self) -> None:
+        self.keys: Set[str] = set()
+        self.dynamic = False
+
+
+def _self_call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("self", "cls")
+    ):
+        return func.attr
+    return None
+
+
+def _collect_written(fn: ast.AST, resolve_helper) -> _KeySet:
+    out = _KeySet()
+    _written_into(fn, out, resolve_helper, depth=0)
+    return out
+
+
+def _written_into(fn: ast.AST, out: _KeySet, resolve_helper, depth: int) -> None:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    out.keys.add(key.value)
+                elif key is None:  # {**expr} splat
+                    helper = _maybe_inline(value, resolve_helper, depth)
+                    if helper is not None:
+                        _written_into(helper, out, resolve_helper, depth + 1)
+                    else:
+                        out.dynamic = True
+                else:
+                    out.dynamic = True
+        elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store):
+            key = node.slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                out.keys.add(key.value)
+            else:
+                out.dynamic = True
+        elif isinstance(node, ast.Call):
+            name = node.func.attr if isinstance(node.func, ast.Attribute) else None
+            if name == "update":
+                out.dynamic = True
+            helper = _maybe_inline(node, resolve_helper, depth)
+            if helper is not None:
+                _written_into(helper, out, resolve_helper, depth + 1)
+
+
+def _collect_read(fn: ast.AST, resolve_helper) -> _KeySet:
+    out = _KeySet()
+    _read_into(fn, out, resolve_helper, depth=0)
+    return out
+
+
+def _read_into(fn: ast.AST, out: _KeySet, resolve_helper, depth: int) -> None:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+            key = node.slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                out.keys.add(key.value)
+            elif not isinstance(key, ast.Constant):
+                out.dynamic = True
+        elif isinstance(node, ast.Call):
+            name = node.func.attr if isinstance(node.func, ast.Attribute) else None
+            if name in ("get", "pop"):
+                if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+                    node.args[0].value, str
+                ):
+                    out.keys.add(node.args[0].value)
+                else:
+                    out.dynamic = True
+            helper = _maybe_inline(node, resolve_helper, depth)
+            if helper is not None:
+                _read_into(helper, out, resolve_helper, depth + 1)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            # Iterating the record consumes arbitrary keys.
+            iter_expr = node.iter
+            for sub in ast.walk(iter_expr):
+                if isinstance(sub, ast.Call):
+                    attr = sub.func.attr if isinstance(sub.func, ast.Attribute) else None
+                    if attr in ("items", "keys", "values"):
+                        out.dynamic = True
+
+
+def _maybe_inline(node: ast.expr, resolve_helper, depth: int) -> Optional[ast.AST]:
+    """Body of a same-class ``self._helper()`` call, one level deep."""
+    if depth >= 1 or not isinstance(node, ast.Call):
+        return None
+    name = _self_call_name(node)
+    if name is None:
+        return None
+    return resolve_helper(name)
+
+
+@register
+class CheckpointSymmetryRule(Rule):
+    rule_id = "LNT009"
+    name = "checkpoint-symmetry"
+    rationale = (
+        "asymmetric serializer pairs either ship dead fields or crash "
+        "on restore; the pair often spans modules via inheritance"
+    )
+    check_tests = False
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        index = project.index
+        test_paths = {str(ctx.path) for ctx in project.files if ctx.is_test}
+        seen: Set[Tuple[str, str]] = set()
+        for summary in index.summaries:
+            if summary.path in test_paths:
+                continue
+            for cls in summary.classes.values():
+                for wname, rname in _PAIRS:
+                    writer = index.find_method(cls, wname)
+                    reader = index.find_method(cls, rname)
+                    if writer is None or reader is None:
+                        continue
+                    if writer.path in test_paths or reader.path in test_paths:
+                        continue
+                    pair_key = (writer.key, reader.key)
+                    if pair_key in seen:
+                        continue
+                    seen.add(pair_key)
+                    yield from self._compare(index, cls, writer, reader)
+
+    def _compare(
+        self,
+        index: ProjectIndex,
+        cls: ClassInfo,
+        writer: FunctionInfo,
+        reader: FunctionInfo,
+    ) -> Iterator[Violation]:
+        def resolver_for(method: FunctionInfo):
+            owner_cls = None
+            owner = index.by_path.get(method.path)
+            if owner is not None and method.class_name in owner.classes:
+                owner_cls = owner.classes[method.class_name]
+
+            def resolve(name: str) -> Optional[ast.AST]:
+                base = owner_cls if owner_cls is not None else cls
+                found = index.find_method(base, name)
+                return found.node if found is not None else None
+
+            return resolve
+
+        written = _collect_written(writer.node, resolver_for(writer))
+        read = _collect_read(reader.node, resolver_for(reader))
+        if not read.dynamic:
+            unread = sorted(written.keys - read.keys - _ENVELOPE_KEYS)
+            if unread:
+                yield Violation(
+                    path=writer.path,
+                    line=getattr(writer.node, "lineno", 1),
+                    col=getattr(writer.node, "col_offset", 0) + 1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"`{writer.qualname}` writes {', '.join(repr(k) for k in unread)} "
+                        f"but `{reader.qualname}` never reads them: dead "
+                        f"checkpoint fields (or a missing restore path)"
+                    ),
+                )
+        if not written.dynamic:
+            unwritten = sorted(read.keys - written.keys)
+            if unwritten:
+                yield Violation(
+                    path=reader.path,
+                    line=getattr(reader.node, "lineno", 1),
+                    col=getattr(reader.node, "col_offset", 0) + 1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"`{reader.qualname}` reads {', '.join(repr(k) for k in unwritten)} "
+                        f"that `{writer.qualname}` never writes: restore will "
+                        f"miss them on a fresh checkpoint"
+                    ),
+                )

@@ -26,39 +26,11 @@ import ast
 from typing import Dict, Iterator, Optional, Set
 
 from repro.lint.core import FileContext, Rule, Violation, register
-from repro.utils.contracts import NARROW_DTYPES, ArraySpec
+from repro.lint.engine.symbols import contract_specs as _contract_specs
+from repro.utils.contracts import NARROW_DTYPES
 
 #: Python builtins that imply a wide numpy dtype.
 _BUILTIN_DTYPES = {"float": "float64", "complex": "complex128"}
-
-
-def _contract_specs(fn: ast.AST) -> Optional[Dict[str, str]]:
-    """``param -> dtype`` from an ``@array_contract(...)`` decorator."""
-    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
-        return None
-    for dec in fn.decorator_list:
-        if not isinstance(dec, ast.Call):
-            continue
-        target = dec.func
-        name = target.id if isinstance(target, ast.Name) else (
-            target.attr if isinstance(target, ast.Attribute) else None
-        )
-        if name != "array_contract":
-            continue
-        specs: Dict[str, str] = {}
-        for kw in dec.keywords:
-            if kw.arg is None or not isinstance(kw.value, ast.Constant):
-                continue
-            if not isinstance(kw.value.value, str):
-                continue
-            try:
-                parsed = ArraySpec.parse(kw.value.value)
-            except (ValueError, TypeError):
-                continue  # the decorator itself raises at import time
-            if kw.arg != "returns":
-                specs[kw.arg] = parsed.dtype
-        return specs
-    return None
 
 
 def _dtype_name(node: ast.expr) -> Optional[str]:

@@ -1,0 +1,170 @@
+"""LNT012: cross-module dtype flow out of ``@array_contract`` functions.
+
+LNT004 stops a contracted ``complex64``/``float32`` buffer from
+widening *inside* the function that declares the contract.  The leak
+it cannot see: the contracted function passes the buffer to a helper
+-- often in another module -- and the *helper* widens it.  The memory
+and numerics cost is identical, but no single file shows both the
+contract and the ``astype``.
+
+Using the project index's call resolution, this rule follows each
+narrow contracted parameter through direct calls (bare names,
+``from``-imports, module aliases, ``self.`` methods) to the callee's
+parameter, and flags the **call site** when the callee
+
+- re-declares that parameter with a *wider* ``@array_contract`` dtype
+  (``complex64`` handed to a ``complex128`` contract), or
+- widens it in its body: ``q.astype(<wider>)``, or any call receiving
+  ``q`` together with ``dtype=<wider>``.
+
+Only unambiguous resolutions (exactly one callee) are followed --
+virtual dispatch is skipped rather than guessed.  Widening is judged
+against :data:`repro.utils.contracts.NARROW_DTYPES`, same as LNT004.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.core import FileContext, Project, Rule, Violation, register
+from repro.lint.engine.symbols import FunctionInfo, call_target, contract_specs
+from repro.utils.contracts import NARROW_DTYPES
+
+#: Python builtins that imply a wide numpy dtype.
+_BUILTIN_DTYPES = {"float": "float64", "complex": "complex128"}
+
+
+def _dtype_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return _BUILTIN_DTYPES.get(node.id, node.id)
+    return None
+
+
+def _body_widens(fn: ast.AST, param: str, wider: Set[str]) -> Optional[ast.AST]:
+    """First node in *fn* that widens *param* into one of *wider*."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "astype"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == param
+            and node.args
+            and _dtype_name(node.args[0]) in wider
+        ):
+            return node
+        dtype_kw = next((kw for kw in node.keywords if kw.arg == "dtype"), None)
+        if dtype_kw is not None and _dtype_name(dtype_kw.value) in wider:
+            for arg in node.args:
+                if isinstance(arg, ast.Name) and arg.id == param:
+                    return node
+    return None
+
+
+def _callee_param(callee: FunctionInfo, position: int, keyword: Optional[str]) -> Optional[str]:
+    if keyword is not None:
+        return keyword if keyword in callee.params else None
+    if 0 <= position < len(callee.params):
+        return callee.params[position]
+    return None
+
+
+@register
+class DtypeFlowRule(Rule):
+    rule_id = "LNT012"
+    name = "dtype-flow"
+    rationale = (
+        "a contracted complex64 buffer that widens inside a helper "
+        "doubles memory traffic invisibly to the per-file dtype rule"
+    )
+    check_tests = False
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        index = project.index
+        for ctx in project.files:
+            if ctx.is_test:
+                continue
+            summary = index.by_path.get(str(ctx.path))
+            if summary is None:
+                continue
+            for fn in summary.functions.values():
+                specs = contract_specs(fn.node)
+                if not specs:
+                    continue
+                narrow = {
+                    param: (dtype, set(NARROW_DTYPES[dtype]))
+                    for param, dtype in specs.items()
+                    if dtype in NARROW_DTYPES
+                }
+                if not narrow:
+                    continue
+                yield from self._check_calls(ctx, index, summary, fn, narrow)
+
+    def _check_calls(
+        self,
+        ctx: FileContext,
+        index,
+        summary,
+        fn: FunctionInfo,
+        narrow: Dict[str, Tuple[str, Set[str]]],
+    ) -> Iterator[Violation]:
+        node = fn.node
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            target = call_target(call)
+            if target is None:
+                continue
+            passed: List[Tuple[str, int, Optional[str]]] = []
+            for i, arg in enumerate(call.args):
+                if isinstance(arg, ast.Name) and arg.id in narrow:
+                    passed.append((arg.id, i, None))
+            for kw in call.keywords:
+                if kw.arg is not None and isinstance(kw.value, ast.Name) and kw.value.id in narrow:
+                    passed.append((kw.value.id, -1, kw.arg))
+            if not passed:
+                continue
+            callees = index.resolve_call(summary, target, fn.class_name)
+            if len(callees) != 1:
+                continue  # ambiguous / virtual / external: don't guess
+            callee = callees[0]
+            if callee.key == fn.key:
+                continue
+            for param, position, keyword in passed:
+                dtype, wider = narrow[param]
+                q = _callee_param(callee, position, keyword)
+                if q is None:
+                    continue
+                callee_specs = contract_specs(callee.node) or {}
+                declared = callee_specs.get(q)
+                if declared in wider:
+                    yield self.violation(
+                        ctx,
+                        call,
+                        f"`{param}` is contracted {dtype} but flows into "
+                        f"`{callee.qualname}` (param `{q}` contracted "
+                        f"{declared}): widening crosses the call boundary",
+                    )
+                    continue
+                if declared is not None:
+                    continue  # callee pins it at least as narrow: fine
+                widening = _body_widens(callee.node, q, wider)
+                if widening is not None:
+                    yield self.violation(
+                        ctx,
+                        call,
+                        f"`{param}` is contracted {dtype} but "
+                        f"`{callee.qualname}` widens its `{q}` (line "
+                        f"{getattr(widening, 'lineno', '?')} of "
+                        f"{callee.path}); keep the helper {dtype} or copy "
+                        f"at an explicit boundary",
+                    )
+        return

@@ -1,0 +1,237 @@
+"""LNT007: fork-unsafe module state reachable from farm workers.
+
+``DecodeFarm`` forks its workers: every module imported by
+``repro.farm.worker`` at fork time is *duplicated* into each child.
+Module-global mutable state and live OS handles are the two classic
+fork hazards this rule hunts, project-wide:
+
+- a **module-level live handle** -- ``open(...)``, ``SharedMemory``,
+  ``Tracer``, ``Popen``, multiprocessing ``Queue``/``Lock``/``Pool``,
+  temp files -- created at import time in any module transitively
+  imported by ``repro.farm.worker``: after fork, parent and children
+  share (or fight over) the same descriptor;
+- a **module-level RNG instance** in that import closure: each forked
+  worker inherits the identical generator state and replays the same
+  stream, silently correlating "independent" sessions;
+- **in-function mutation of a module global** (subscript/attribute
+  stores, ``+=``, mutating method calls like ``append``/``update``)
+  in any function call-graph-reachable from the functions and methods
+  of ``repro.farm.worker``: the mutation is per-process after fork,
+  so the parent's view and the workers' views diverge without any
+  error.
+
+Import-time mutation (registries populated by decorators) is fork-safe
+-- every process replays the same imports -- and is not flagged.  Test
+files are exempt.  Fork-safe caches (deterministic, content-addressed
+memos) should carry a line suppression explaining why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.core import FileContext, Project, Rule, Violation, register
+from repro.lint.engine.symbols import FunctionInfo, ModuleSummary
+
+#: The fork boundary: everything importable/callable from here runs in
+#: forked worker processes.
+_ENTRY_MODULE = "repro.farm.worker"
+
+#: Constructors whose results hold OS/IPC state a fork duplicates.
+_HANDLE_CONSTRUCTORS = {
+    "open",
+    "SharedMemory",
+    "Popen",
+    "TemporaryFile",
+    "NamedTemporaryFile",
+    "Lock",
+    "RLock",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Condition",
+    "Barrier",
+    "Queue",
+    "SimpleQueue",
+    "JoinableQueue",
+    "Pool",
+    "Tracer",
+    "socket",
+}
+
+#: Constructors producing stateful random generators.
+_RNG_CONSTRUCTORS = {"default_rng", "RandomState", "Random", "make_rng", "Generator"}
+
+#: Method calls that mutate their receiver in place.
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "update",
+    "setdefault",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "pop",
+    "popleft",
+    "popitem",
+    "clear",
+    "sort",
+    "reverse",
+    "put",
+    "put_nowait",
+}
+
+
+def _call_name(node: ast.expr) -> Optional[str]:
+    """Bare constructor name of a call expression's callee."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _locally_bound(fn: ast.AST, name: str) -> bool:
+    """Does *fn* rebind *name* as a plain local (shadowing the global)?"""
+    declared_global = False
+    bound = False
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)) and name in node.names:
+            declared_global = True
+        if isinstance(node, ast.Name) and node.id == name and isinstance(node.ctx, ast.Store):
+            bound = True
+        if isinstance(node, ast.arg) and node.arg == name:
+            bound = True
+    return bound and not declared_global
+
+
+@register
+class ForkSafetyRule(Rule):
+    rule_id = "LNT007"
+    name = "fork-safety"
+    rationale = (
+        "module-global mutable state and live handles reachable from "
+        "forked farm workers diverge or collide across processes"
+    )
+    check_tests = False
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        index = project.index
+        if _ENTRY_MODULE not in index.by_module:
+            return
+        worker_modules = {
+            mod for mod in index.reachable_modules([_ENTRY_MODULE]) if mod in index.by_module
+        }
+        contexts = {str(ctx.path): ctx for ctx in project.files}
+
+        # Pass 1: import-time hazards in every module the fork clones.
+        for mod in sorted(worker_modules):
+            summary = index.by_module[mod]
+            ctx = contexts.get(summary.path)
+            if ctx is None or ctx.is_test:
+                continue
+            yield from self._module_level(ctx, summary)
+
+        # Pass 2: global mutation in functions a worker can execute.
+        entries = index.entry_functions(_ENTRY_MODULE)
+        for fn in sorted(index.reachable_functions(entries).values(), key=lambda f: f.key):
+            summary = index.by_path.get(fn.path)
+            ctx = contexts.get(fn.path)
+            if summary is None or ctx is None or ctx.is_test:
+                continue
+            yield from self._function_mutations(ctx, summary, fn)
+
+    # -- import-time hazards -------------------------------------------
+
+    def _module_level(self, ctx: FileContext, summary: ModuleSummary) -> Iterator[Violation]:
+        for name, stmt in summary.module_globals.items():
+            value = getattr(stmt, "value", None)
+            if value is None:
+                continue
+            called = _call_name(value)
+            if called in _HANDLE_CONSTRUCTORS:
+                yield self.violation(
+                    ctx,
+                    stmt,
+                    f"module-level `{name} = {called}(...)` is a live handle "
+                    f"duplicated into every forked worker (imported via "
+                    f"{_ENTRY_MODULE}); construct it per-process instead",
+                )
+            elif called in _RNG_CONSTRUCTORS:
+                yield self.violation(
+                    ctx,
+                    stmt,
+                    f"module-level RNG `{name} = {called}(...)` is cloned by "
+                    f"fork: every worker replays the same stream; create the "
+                    f"generator after fork (per session/worker) instead",
+                )
+
+    # -- runtime mutation of globals -----------------------------------
+
+    def _function_mutations(
+        self, ctx: FileContext, summary: ModuleSummary, fn: FunctionInfo
+    ) -> Iterator[Violation]:
+        node = fn.node
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        globals_here = set(summary.module_globals) - {"__all__"}
+        if not globals_here:
+            return
+        declared: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Global):
+                declared.update(sub.names)
+        seen: Set[Tuple[int, str]] = set()
+
+        def hit(target_name: str, where: ast.AST, how: str) -> Optional[Violation]:
+            key = (getattr(where, "lineno", 0), target_name)
+            if key in seen:
+                return None
+            seen.add(key)
+            return self.violation(
+                ctx,
+                where,
+                f"`{fn.qualname}` {how} module global `{target_name}`; after "
+                f"fork each worker mutates its own copy and the parent never "
+                f"sees it (reachable from {_ENTRY_MODULE})",
+            )
+
+        for sub in ast.walk(node):
+            # global X; X = ...  (rebinding shared state at runtime)
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in declared & globals_here:
+                        v = hit(target.id, sub, "rebinds")
+                        if v is not None:
+                            yield v
+                    # X[...] = ... / X.attr = ... on an unshadowed global
+                    inner = target
+                    while isinstance(inner, (ast.Subscript, ast.Attribute)):
+                        inner = inner.value
+                    if (
+                        isinstance(inner, ast.Name)
+                        and inner.id in globals_here
+                        and isinstance(target, (ast.Subscript, ast.Attribute))
+                        and not _locally_bound(node, inner.id)
+                    ):
+                        v = hit(inner.id, sub, "writes into")
+                        if v is not None:
+                            yield v
+            # X.append(...) and friends on an unshadowed global
+            if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                base = sub.func.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in globals_here
+                    and sub.func.attr in _MUTATORS
+                    and not _locally_bound(node, base.id)
+                ):
+                    v = hit(base.id, sub, f"calls `.{sub.func.attr}()` on")
+                    if v is not None:
+                        yield v

@@ -1,0 +1,145 @@
+"""LNT011: queue discipline in worker loops.
+
+A worker that blocks on ``queue.get()`` with no timeout can never
+observe anything but the queue: not a dead parent, not a poisoned
+sibling, not a supervisor deadline.  The chaos-soak harness kills
+processes on purpose, and an untimed ``get()`` is exactly the call
+that turns one injected fault into a hung farm (the child survives
+its parent and waits forever).
+
+Flagged: a ``get()`` call on a queue-like receiver with neither a
+``timeout=`` keyword, a positional timeout, nor ``block=False`` --
+when the call is
+
+- inside a function **call-graph-reachable from**
+  ``repro.farm.worker`` (resolved cross-module through the project
+  index: the helper may live anywhere), or
+- lexically inside a ``while True:`` loop in any non-test module (an
+  intentionally-infinite loop is a worker loop wherever it lives).
+
+Not flagged: ``get_nowait()``; calls in functions whose name marks the
+supervised shutdown path (``shutdown``/``stop``/``close``/``join``/
+``drain``/``terminate``) -- there, blocking until the peer drains is
+the contract; test files.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.core import FileContext, Project, Rule, Violation, register
+
+_ENTRY_MODULE = "repro.farm.worker"
+_SHUTDOWN_MARKERS = ("shutdown", "stop", "close", "join", "drain", "terminate")
+
+
+def _queueish(receiver: ast.expr) -> bool:
+    parts: List[str] = []
+    cur = receiver
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+    if isinstance(cur, ast.Subscript):  # e.g. self._cmd_queues[w]
+        inner = cur.value
+        while isinstance(inner, ast.Attribute):
+            parts.append(inner.attr)
+            inner = inner.value
+        if isinstance(inner, ast.Name):
+            parts.append(inner.id)
+    for part in parts:
+        low = part.lower()
+        if "queue" in low or low == "q" or low.endswith("_q"):
+            return True
+    return False
+
+
+def _unbounded_get(node: ast.Call) -> bool:
+    """Is this a blocking ``get()`` with no way back?"""
+    if not (isinstance(node.func, ast.Attribute) and node.func.attr == "get"):
+        return False
+    if not _queueish(node.func.value):
+        return False
+    if len(node.args) >= 2:  # get(block, timeout)
+        return False
+    if node.args:
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and first.value is False:
+            return False  # get(False) raises Empty immediately
+    for kw in node.keywords:
+        if kw.arg == "timeout":
+            return False
+        if kw.arg == "block" and isinstance(kw.value, ast.Constant) and kw.value.value is False:
+            return False
+    return True
+
+
+def _in_while_true(fn: ast.AST, call: ast.Call) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.While)
+            and isinstance(node.test, ast.Constant)
+            and bool(node.test.value)
+        ):
+            for sub in ast.walk(node):
+                if sub is call:
+                    return True
+    return False
+
+
+def _is_shutdown_path(qualname: str) -> bool:
+    leaf = qualname.rsplit(".", 1)[-1].lower()
+    return any(marker in leaf for marker in _SHUTDOWN_MARKERS)
+
+
+@register
+class QueueDisciplineRule(Rule):
+    rule_id = "LNT011"
+    name = "queue-discipline"
+    rationale = (
+        "an untimed queue.get() in a worker loop turns one injected "
+        "fault into a hung farm; poll with a timeout and re-check liveness"
+    )
+    check_tests = False
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        index = project.index
+        worker_reachable: Set[str] = set()
+        if _ENTRY_MODULE in index.by_module:
+            entries = index.entry_functions(_ENTRY_MODULE)
+            worker_reachable = set(index.reachable_functions(entries))
+        for ctx in project.files:
+            if ctx.is_test:
+                continue
+            summary = index.by_path.get(str(ctx.path))
+            if summary is None:
+                continue
+            for fn in summary.functions.values():
+                if _is_shutdown_path(fn.qualname):
+                    continue
+                node = fn.node
+                assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                reachable = fn.key in worker_reachable
+                for call in ast.walk(node):
+                    if not isinstance(call, ast.Call) or not _unbounded_get(call):
+                        continue
+                    if reachable:
+                        yield self.violation(
+                            ctx,
+                            call,
+                            f"unbounded blocking `get()` in `{fn.qualname}`, "
+                            f"reachable from {_ENTRY_MODULE}: a dead peer "
+                            f"hangs the worker; pass timeout= and re-check "
+                            f"liveness on Empty",
+                        )
+                    elif _in_while_true(node, call):
+                        yield self.violation(
+                            ctx,
+                            call,
+                            f"unbounded blocking `get()` inside `while True` "
+                            f"in `{fn.qualname}`: the loop can never observe "
+                            f"shutdown; pass timeout= and re-check liveness "
+                            f"on Empty",
+                        )

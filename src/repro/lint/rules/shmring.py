@@ -1,0 +1,281 @@
+"""LNT008: ShmRing slot lifecycle typestate.
+
+The shared-memory ring protocol (``repro.farm.ring``) is
+``claim -> write -> (hand off | release)`` with ``release`` exactly
+once per slot and nothing touching a slot afterwards.  A leaked slot
+permanently shrinks ring capacity; a write or view after release races
+the next claimant of the same slot.  This rule checks the protocol on
+*every CFG path* of every function, via the typestate framework
+(:mod:`repro.lint.engine.typestate`):
+
+- each ``slot = <ring>.claim()`` births a tracked value in state
+  ``claimed``;
+- ``<ring>.write(slot, ...)`` moves to ``written``; ``view`` keeps the
+  state; ``release`` moves to ``released``;
+- passing the slot to any *non-ring* call (a command queue ``put``, a
+  helper), returning/yielding it, or storing it into a container or
+  attribute is an **escape** -- ownership moved, the function is no
+  longer responsible;
+- using (write/view/release) a slot in state ``released`` is flagged:
+  use-after-release or double release;
+- a path reaching function exit (or rebinding the name) while the slot
+  is still ``claimed``/``written`` is flagged as a leak.
+
+A receiver counts as a ring when its name contains ``ring`` *or* when
+the variable was constructed from the ``ShmRing`` class -- resolved
+through imports by the project index, so
+``r = ShmRing(...); s = r.claim()`` is tracked even though neither
+name says "ring" and the class lives in another module.
+
+The rule also checks ``close``/``unlink`` ordering on ring receivers
+within one function: ``unlink`` (which removes the shared-memory
+segment) must not precede ``close`` (which drops the local mapping).
+Test files are exempt -- protocol-violating sequences are exactly what
+ring tests construct on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.core import FileContext, Project, Rule, Violation, register
+from repro.lint.engine.cfg import build_cfg, scope_nodes
+from repro.lint.engine.typestate import StateMachine, TypestateChecker, TypestateIssue
+
+_MACHINE = StateMachine(
+    initial="claimed",
+    transitions={
+        ("claimed", "write"): "written",
+        ("written", "write"): "written",
+        ("claimed", "view"): "claimed",
+        ("written", "view"): "written",
+        ("claimed", "release"): "released",
+        ("written", "release"): "released",
+        ("claimed", "escape"): "escaped",
+        ("written", "escape"): "escaped",
+        ("released", "escape"): "escaped",
+        ("escaped", "escape"): "escaped",
+    },
+    accepting=frozenset({"released", "escaped"}),
+)
+
+_SLOT_EVENTS = {"write": "write", "view": "view", "release": "release"}
+
+
+def _receiver_text(node: ast.expr) -> Optional[str]:
+    """Dotted text of a call receiver (``self._ring`` -> "self._ring")."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _FunctionModel:
+    """Per-function birth/event extraction fed to the typestate checker."""
+
+    def __init__(self, fn: ast.AST, ring_vars: Set[str]) -> None:
+        self.fn = fn
+        self.ring_vars = ring_vars
+
+    def _is_ring(self, receiver: ast.expr) -> bool:
+        text = _receiver_text(receiver)
+        if text is None:
+            return False
+        root = text.split(".", 1)[0]
+        if root in self.ring_vars:
+            return True
+        return any("ring" in part.lower() for part in text.split("."))
+
+    def births(self, stmt: ast.stmt) -> List[str]:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return []
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            return []
+        value = stmt.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "claim"
+            and self._is_ring(value.func.value)
+        ):
+            return [target.id]
+        return []
+
+    def events(self, stmt: ast.stmt) -> List[Tuple[str, str, ast.AST]]:
+        out: List[Tuple[str, str, ast.AST]] = []
+        own_nodes = list(scope_nodes(stmt))
+        for node in own_nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and self._is_ring(func.value):
+                if func.attr == "claim":
+                    continue
+                event = _SLOT_EVENTS.get(func.attr)
+                if event is not None:
+                    for arg in node.args[:1]:
+                        if isinstance(arg, ast.Name):
+                            out.append((arg.id, event, node))
+                    continue
+                if func.attr in ("close", "unlink"):
+                    continue
+            # Any other call receiving the slot transfers ownership.
+            for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                for name in ast.walk(arg):
+                    if isinstance(name, ast.Name) and isinstance(name.ctx, ast.Load):
+                        out.append((name.id, "escape", node))
+        # Returning/yielding the slot is also an ownership transfer.
+        for node in own_nodes:
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)) and node.value is not None:
+                for name in ast.walk(node.value):
+                    if isinstance(name, ast.Name) and isinstance(name.ctx, ast.Load):
+                        out.append((name.id, "escape", node))
+        # Storing the slot into a container/attribute: pending table etc.
+        if isinstance(stmt, ast.Assign) and not isinstance(stmt.value, ast.Name):
+            for target in stmt.targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute, ast.Tuple, ast.List)):
+                    for name in ast.walk(stmt.value):
+                        if isinstance(name, ast.Name) and isinstance(name.ctx, ast.Load):
+                            out.append((name.id, "escape", stmt))
+                    break
+            else:
+                if isinstance(stmt.targets[0], ast.Name) and not isinstance(stmt.value, ast.Call):
+                    # slot folded into a tuple/expression bound to a name
+                    for name in ast.walk(stmt.value):
+                        if isinstance(name, ast.Name) and isinstance(name.ctx, ast.Load):
+                            out.append((name.id, "escape", stmt))
+        return out
+
+
+@register
+class ShmRingTypestateRule(Rule):
+    rule_id = "LNT008"
+    name = "shmring-typestate"
+    rationale = (
+        "a leaked ring slot shrinks capacity forever; touching a slot "
+        "after release races the next claimant"
+    )
+    check_tests = False
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        index = project.index
+        for ctx in project.files:
+            if ctx.is_test:
+                continue
+            summary = index.by_path.get(str(ctx.path))
+            if summary is None:
+                continue
+            if "claim" not in ctx.source and "unlink" not in ctx.source:
+                continue  # cheap pre-filter before any CFG work
+            ring_classes = self._ring_constructor_names(index, summary)
+            for fn in ast.walk(ctx.tree):
+                if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                ring_vars = self._ring_vars(fn, ring_classes)
+                model = _FunctionModel(fn, ring_vars)
+                yield from self._check_function(ctx, fn, model)
+                yield from self._check_unlink_order(ctx, fn, model)
+
+    @staticmethod
+    def _ring_constructor_names(index, summary) -> Set[str]:
+        """Local names that construct a ShmRing (direct or imported)."""
+        names: Set[str] = set()
+        for local, (_mod, sym) in summary.from_imports.items():
+            if sym == "ShmRing":
+                names.add(local)
+        if "ShmRing" in summary.classes:
+            names.add("ShmRing")
+        return names
+
+    @staticmethod
+    def _ring_vars(fn: ast.AST, ring_classes: Set[str]) -> Set[str]:
+        """Names bound (anywhere in *fn*) to a ShmRing construction."""
+        ring_vars: Set[str] = set()
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                callee = node.value.func
+                name = callee.id if isinstance(callee, ast.Name) else None
+                if name in ring_classes:
+                    ring_vars.add(node.targets[0].id)
+        return ring_vars
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.AST, model: _FunctionModel
+    ) -> Iterator[Violation]:
+        has_claim = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "claim"
+            and model._is_ring(node.func.value)
+            for node in ast.walk(fn)
+        )
+        if not has_claim:
+            return
+        checker = TypestateChecker(_MACHINE, model.births, model.events)
+        for issue in checker.check(build_cfg(fn), fn):
+            yield Violation(
+                path=str(ctx.path),
+                line=issue.line,
+                col=issue.col,
+                rule_id=self.rule_id,
+                message=self._message(fn, issue),
+            )
+
+    @staticmethod
+    def _message(fn: ast.AST, issue: TypestateIssue) -> str:
+        fname = getattr(fn, "name", "<function>")
+        if issue.kind == "leak":
+            return (
+                f"ring slot `{issue.name}` can leave `{fname}` in state "
+                f"'{issue.state}' on some path; every claim() must reach "
+                f"release() or hand the slot off"
+            )
+        if issue.event == "release" and issue.state == "released":
+            return (
+                f"ring slot `{issue.name}` may already be released here "
+                f"(double release races the next claimant)"
+            )
+        cause = "release" if issue.state == "released" else "ownership hand-off"
+        return (
+            f"ring slot `{issue.name}` is used ('{issue.event}') after "
+            f"{cause} on some path through `{fname}`"
+        )
+
+    def _check_unlink_order(
+        self, ctx: FileContext, fn: ast.AST, model: _FunctionModel
+    ) -> Iterator[Violation]:
+        closes: Dict[str, int] = {}
+        unlinks: Dict[str, Tuple[int, ast.Call]] = {}
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if not model._is_ring(node.func.value):
+                continue
+            recv = _receiver_text(node.func.value) or "?"
+            if node.func.attr == "close":
+                line = getattr(node, "lineno", 0)
+                closes[recv] = min(closes.get(recv, line), line)
+            elif node.func.attr == "unlink":
+                if recv not in unlinks:
+                    unlinks[recv] = (getattr(node, "lineno", 0), node)
+        for recv, (line, node) in unlinks.items():
+            close_line = closes.get(recv)
+            if close_line is not None and close_line > line:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`{recv}.unlink()` before `{recv}.close()`: unlink the "
+                    f"segment only after the local mapping is closed",
+                )

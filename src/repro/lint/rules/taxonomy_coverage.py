@@ -1,0 +1,135 @@
+"""LNT010: taxonomy coverage, the reverse direction of LNT002.
+
+LNT002 checks that every literal metric name *parses against* the
+taxonomy; this rule closes the loop project-wide:
+
+- **every fixed constant** declared on ``repro.obs.taxonomy.C``
+  (counters) and ``G`` (gauges) must be referenced by at least one
+  non-test module outside ``taxonomy.py`` itself -- an unreferenced
+  constant is a metric the docs promise but nothing emits, which is
+  how dashboards end up watching flat-lined ghosts;
+- **every emission site** (``.count(...)`` / ``.gauge(...)`` /
+  ``.span(...)`` and their private wrappers) that passes a string
+  literal *exactly equal* to a declared constant's value must use the
+  constant instead -- a pasted literal keeps working until the
+  constant is renamed, then silently opens a second bucket.
+
+Both directions need the whole project: the declaration lives in one
+module and the emissions in many others, so no single file shows the
+mismatch.  The check is purely syntactic over the project index (the
+taxonomy module is never imported), and runs only when
+``repro.obs.taxonomy`` is part of the linted tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.core import Project, Rule, Violation, register
+
+_TAXONOMY_MODULE = "repro.obs.taxonomy"
+_CONSTANT_CLASSES = ("C", "G")
+_EMITTERS = {"count", "gauge", "span", "_count", "_gauge", "_span"}
+
+
+def _declared_constants(tree: ast.Module) -> Dict[str, Tuple[str, str, ast.stmt]]:
+    """``value -> (class, name, stmt)`` for C.*/G.* string constants."""
+    out: Dict[str, Tuple[str, str, ast.stmt]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef) or node.name not in _CONSTANT_CLASSES:
+            continue
+        for stmt in node.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if not (isinstance(value, ast.Constant) and isinstance(value.value, str)):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    out[value.value] = (node.name, target.id, stmt)
+    return out
+
+
+def _referenced_constants(tree: ast.Module) -> Set[Tuple[str, str]]:
+    """``(class, name)`` pairs referenced as ``C.NAME``/``G.NAME``."""
+    out: Set[Tuple[str, str]] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id in _CONSTANT_CLASSES:
+                out.add((base.id, node.attr))
+            elif isinstance(base, ast.Attribute) and base.attr in _CONSTANT_CLASSES:
+                out.add((base.attr, node.attr))
+    return out
+
+
+@register
+class TaxonomyCoverageRule(Rule):
+    rule_id = "LNT010"
+    name = "taxonomy-coverage"
+    rationale = (
+        "an unreferenced taxonomy constant is a promised metric nothing "
+        "emits; a pasted literal detaches from renames and forks the bucket"
+    )
+    check_tests = False
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        index = project.index
+        taxonomy = index.by_module.get(_TAXONOMY_MODULE)
+        if taxonomy is None:
+            return
+        constants = _declared_constants(taxonomy.tree)
+        by_pair = {(cls, name): (value, stmt) for value, (cls, name, stmt) in constants.items()}
+        referenced: Set[Tuple[str, str]] = set()
+
+        for ctx in project.files:
+            if ctx.is_test or str(ctx.path) == taxonomy.path:
+                continue
+            referenced |= _referenced_constants(ctx.tree)
+            yield from self._literal_emissions(ctx, constants)
+
+        for (cls, name), (value, stmt) in sorted(by_pair.items()):
+            if (cls, name) in referenced:
+                continue
+            yield Violation(
+                path=taxonomy.path,
+                line=getattr(stmt, "lineno", 1),
+                col=getattr(stmt, "col_offset", 0) + 1,
+                rule_id=self.rule_id,
+                message=(
+                    f"taxonomy constant `{cls}.{name}` (\"{value}\") is never "
+                    f"emitted by any non-test module: delete it or instrument "
+                    f"the code path it promises"
+                ),
+            )
+
+    def _literal_emissions(
+        self, ctx, constants: Dict[str, Tuple[str, str, ast.stmt]]
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name not in _EMITTERS or not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            hit = constants.get(first.value)
+            if hit is None:
+                continue
+            cls, const_name, _stmt = hit
+            yield self.violation(
+                ctx,
+                first,
+                f"literal \"{first.value}\" duplicates taxonomy constant "
+                f"`{cls}.{const_name}`; emit through the constant so renames "
+                f"cannot fork the metric bucket",
+            )

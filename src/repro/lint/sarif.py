@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is what CI
+platforms ingest to annotate findings inline on changed files.  The
+document produced here is deliberately minimal -- one run, one tool,
+one result per finding with a physical location -- which is the subset
+code-scanning UIs actually render.
+
+Paths are emitted repo-relative with forward slashes when a root is
+given, since SARIF consumers resolve ``artifactLocation.uri`` against
+the repository checkout, not the lint invocation's working directory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.core import Rule, Violation
+
+__all__ = ["to_sarif"]
+
+_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+
+def _relative_uri(path: str, root: Optional[Path]) -> str:
+    p = Path(path)
+    if root is not None:
+        try:
+            p = p.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def to_sarif(
+    violations: Sequence[Violation],
+    rules: Iterable[Rule],
+    root: Optional[Path] = None,
+) -> Dict:
+    """A SARIF 2.1.0 document for *violations*.
+
+    *rules* populates the tool's rule metadata (id, name, rationale)
+    so viewers can show the why, not only the where.
+    """
+    rule_list = sorted(rules, key=lambda r: r.rule_id)
+    rule_index = {rule.rule_id: i for i, rule in enumerate(rule_list)}
+    results: List[Dict] = []
+    for v in violations:
+        result: Dict = {
+            "ruleId": v.rule_id,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _relative_uri(v.path, root)},
+                        "region": {"startLine": v.line, "startColumn": v.col},
+                    }
+                }
+            ],
+        }
+        if v.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[v.rule_id]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": [
+                            {
+                                "id": rule.rule_id,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.rationale},
+                            }
+                            for rule in rule_list
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

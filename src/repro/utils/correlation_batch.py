@@ -401,7 +401,10 @@ def template_bank(
     ]
     matrix = np.ascontiguousarray(np.stack(rows).astype(np.float64))
     bank = TemplateBank(user_ids, matrix, int(samples_per_chip))
+    # Fork-safe memo: banks are deterministic, immutable values keyed by
+    # content, so post-fork divergence costs only a rebuild, never a
+    # wrong answer or a shared handle.
     if len(_BANK_CACHE) >= _BANK_CACHE_MAX:
-        _BANK_CACHE.pop(next(iter(_BANK_CACHE)))
-    _BANK_CACHE[key] = bank
+        _BANK_CACHE.pop(next(iter(_BANK_CACHE)))  # repro-lint: disable=LNT007
+    _BANK_CACHE[key] = bank  # repro-lint: disable=LNT007
     return bank

@@ -1,0 +1,15 @@
+"""LNT009 fixture: the serializer half of a cross-module pair."""
+
+
+class BaseState:
+    def __init__(self):
+        self.position = 0
+        self.gain = 1.0
+
+    def to_dict(self):
+        return {
+            "format": "state-v1",  # envelope key: exempt
+            "position": self.position,
+            "gain": self.gain,
+            "debug_name": repr(self),  # nobody restores this
+        }

@@ -1,0 +1,55 @@
+"""LNT009 fixture: the restore half, in a different module.
+
+``StreamState`` inherits ``to_dict`` from ``BaseState``; only the
+cross-module MRO can pair it with this ``from_dict``.
+"""
+
+from repro.state.base import BaseState
+
+
+class StreamState(BaseState):
+    @classmethod
+    def from_dict(cls, record):
+        out = cls()
+        out.position = record["position"]
+        out.gain = record["gain"]
+        return out
+
+
+class RecState:
+    def __init__(self):
+        self.position = 0
+        self.rate = 0.0
+
+    def to_records(self):
+        return [{"position": self.position}]
+
+    @classmethod
+    def from_records(cls, records):
+        out = cls()
+        out.position = records[0]["position"]
+        out.rate = records[0]["rate"]  # never written by to_records
+        return out
+
+
+class OpenState:
+    def to_json(self):
+        return {"alpha": 1, "beta": 2}
+
+    @classmethod
+    def from_json(cls, record):
+        out = cls()
+        for key, value in record.items():  # dynamic reader: open side
+            setattr(out, key, value)
+        return out
+
+
+class NoisyState:
+    def to_dict(self):  # repro-lint: disable=LNT009
+        return {"a": 1, "zombie": 2}
+
+    @classmethod
+    def from_dict(cls, record):
+        out = cls()
+        out.a = record["a"]
+        return out

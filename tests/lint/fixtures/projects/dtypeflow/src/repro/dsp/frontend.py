@@ -1,0 +1,34 @@
+"""LNT012 fixture: contracted buffers flowing into another module.
+
+Each bad call is clean under the per-file rule (LNT004): the contract
+is here, the widening is in ``helpers`` -- only following the call
+edge exposes it.
+"""
+
+from repro.dsp.helpers import keep_narrow, narrow_contract, wide_contract, widen_helper
+from repro.utils.contracts import array_contract
+
+
+@array_contract(x="(n_samples) complex64")
+def bad_body(x):
+    return widen_helper(x)  # helper widens x in its body
+
+
+@array_contract(x="(n_samples) complex64")
+def bad_contract(x):
+    return wide_contract(x)  # callee re-declares the param wider
+
+
+@array_contract(x="(n_samples) complex64")
+def good_narrow(x):
+    return narrow_contract(x)
+
+
+@array_contract(x="(n_samples) complex64")
+def good_abs(x):
+    return keep_narrow(x)
+
+
+@array_contract(x="(n_samples) complex64")
+def tolerated(x):
+    return widen_helper(x)  # repro-lint: disable=LNT012

@@ -1,0 +1,23 @@
+"""LNT012 fixture: helpers that widen (or keep) a narrow buffer."""
+
+import numpy as np
+
+from repro.utils.contracts import array_contract
+
+
+def widen_helper(x):
+    return x.astype(np.complex128)
+
+
+@array_contract(q="(n_samples) complex128")
+def wide_contract(q):
+    return q
+
+
+@array_contract(q="(n_samples) complex64")
+def narrow_contract(q):
+    return q
+
+
+def keep_narrow(x):
+    return np.abs(x).astype(np.float32)

@@ -1,0 +1,28 @@
+"""LNT007 fixture: fork hazards in a module the worker imports.
+
+Nothing in this file is a violation *on its own* -- it only becomes
+one because ``repro.farm.worker`` imports it, which a per-file rule
+cannot see.
+"""
+
+from numpy.random import default_rng
+
+_LOG = open("decode.log", "a")  # live handle duplicated by fork
+_RNG = default_rng()  # cloned generator: workers replay one stream
+_MEMO = open("memo.bin", "rb")  # repro-lint: disable=LNT007
+_SEEN = {}
+_SLOT_BYTES = 4096  # plain constant: fine
+
+
+def remember(cmd):
+    _SEEN[cmd] = True  # post-fork divergence: parent never sees it
+
+
+def forget_local(cmd):
+    _SEEN = {}  # local shadow, not the module global
+    _SEEN[cmd] = False
+    return _SEEN
+
+
+def fresh_rng(seed):
+    return default_rng(seed)  # constructed per call: fork-safe

@@ -1,0 +1,12 @@
+"""LNT007 fixture: the fork boundary module of a mini farm."""
+
+from repro.farm.state import fresh_rng, remember
+
+
+def worker_main(cmd_queue):
+    while True:
+        cmd = cmd_queue.get(timeout=1.0)
+        if cmd is None:
+            break
+        remember(cmd)
+        fresh_rng(cmd)

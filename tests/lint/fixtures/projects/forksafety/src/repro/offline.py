@@ -1,0 +1,12 @@
+"""LNT007 fixture: same hazards, but no path from the fork boundary.
+
+``repro.farm.worker`` never imports this module, so its module-level
+handle and global mutation are parent-only and must not be flagged.
+"""
+
+_REPORT = open("report.txt", "w")
+_TOTALS = {}
+
+
+def tally(key):
+    _TOTALS[key] = _TOTALS.get(key, 0) + 1

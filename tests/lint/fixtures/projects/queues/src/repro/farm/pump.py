@@ -1,0 +1,17 @@
+"""LNT011 fixture: helpers the worker reaches only via the call graph."""
+
+
+def next_command(cmd_queue):
+    return cmd_queue.get()  # unbounded: a dead farm hangs the worker
+
+
+def next_command_polled(cmd_queue):
+    return cmd_queue.get(timeout=0.5)
+
+
+def peek_command(cmd_queue):
+    return cmd_queue.get_nowait()
+
+
+def stop_pump(cmd_queue):
+    return cmd_queue.get()  # shutdown path: blocking is the contract

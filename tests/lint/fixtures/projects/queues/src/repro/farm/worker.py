@@ -1,0 +1,11 @@
+"""LNT011 fixture: the worker entry whose helpers must stay polled."""
+
+from repro.farm.pump import next_command
+
+
+def worker_main(cmd_queue, result_queue):
+    while True:
+        cmd = next_command(cmd_queue)
+        if cmd is None:
+            break
+        result_queue.put(cmd)

@@ -1,0 +1,21 @@
+"""LNT011 fixture: a worker loop outside the farm's call graph."""
+
+
+def forward(events_queue, sink):
+    while True:
+        item = events_queue.get()  # while True: can never see shutdown
+        if item is None:
+            break
+        sink.append(item)
+
+
+def forward_tolerated(events_queue, sink):
+    while True:
+        item = events_queue.get()  # repro-lint: disable=LNT011
+        if item is None:
+            break
+        sink.append(item)
+
+
+def collect_once(events_queue):
+    return events_queue.get()  # not reachable, not in a worker loop

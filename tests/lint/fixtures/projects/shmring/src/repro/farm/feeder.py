@@ -1,0 +1,72 @@
+"""LNT008 fixture: slot lifecycle misuse across the class boundary.
+
+The ring variable is called ``buf`` on purpose: the rule can only tell
+it is a ring by resolving ``ShmRing`` through the import, which a
+single-file pass cannot do.
+"""
+
+from repro.farm.ring import ShmRing
+
+
+def leaky(chunk, flag):
+    buf = ShmRing(4)
+    s = buf.claim()
+    buf.write(s, chunk)
+    if flag:
+        buf.release(s)
+    # falls off with the slot still 'written' when flag is False
+
+
+def double_release(chunk):
+    buf = ShmRing(2)
+    s = buf.claim()
+    buf.write(s, chunk)
+    buf.release(s)
+    buf.release(s)
+
+
+def use_after_release(chunk):
+    buf = ShmRing(2)
+    s = buf.claim()
+    buf.release(s)
+    buf.write(s, chunk)
+
+
+def clean_release(chunk):
+    buf = ShmRing(2)
+    s = buf.claim()
+    buf.write(s, chunk)
+    buf.release(s)
+
+
+def clean_handoff(chunk, out_q):
+    buf = ShmRing(2)
+    s = buf.claim()
+    buf.write(s, chunk)
+    out_q.put(("feed", s))  # ownership moved to the consumer
+
+
+def clean_branches(chunk, flag):
+    buf = ShmRing(2)
+    s = buf.claim()
+    if flag:
+        buf.write(s, chunk)
+        buf.release(s)
+    else:
+        buf.release(s)
+
+
+def tolerated(chunk):  # repro-lint: disable=LNT008
+    buf = ShmRing(2)
+    s = buf.claim()
+    buf.write(s, chunk)
+
+
+def bad_order(ring):
+    ring.unlink()
+    ring.close()
+
+
+def good_order(ring):
+    ring.close()
+    ring.unlink()

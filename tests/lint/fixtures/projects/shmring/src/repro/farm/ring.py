@@ -1,0 +1,24 @@
+"""LNT008 fixture: the slot-protocol class, defined apart from its users."""
+
+
+class ShmRing:
+    def __init__(self, slots):
+        self.slots = slots
+
+    def claim(self):
+        return 0
+
+    def write(self, slot, chunk):
+        return len(chunk)
+
+    def view(self, slot, n):
+        return None
+
+    def release(self, slot):
+        pass
+
+    def close(self):
+        pass
+
+    def unlink(self):
+        pass

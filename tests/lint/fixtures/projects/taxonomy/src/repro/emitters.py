@@ -1,0 +1,11 @@
+"""LNT010 fixture: emissions in a module far from the taxonomy."""
+
+from repro.obs.taxonomy import C, G
+
+
+def report(tracer, n):
+    tracer.count(C.DECODED, n)
+    tracer.gauge(G.BACKLOG, n)
+    tracer.count("decode.frames", n)  # pasted literal of C.DECODED
+    tracer.count("decode.other", n)  # no constant matches: LNT002's job
+    tracer.gauge("farm.backlog", n)  # repro-lint: disable=LNT010

@@ -1,0 +1,10 @@
+"""LNT010 fixture: a miniature metric taxonomy."""
+
+
+class C:
+    DECODED = "decode.frames"
+    GHOST = "decode.ghost"  # declared, never emitted anywhere
+
+
+class G:
+    BACKLOG = "farm.backlog"

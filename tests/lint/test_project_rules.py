@@ -1,0 +1,185 @@
+"""Mini-project fixtures for the cross-module rules (LNT007-LNT012).
+
+Each project under ``tests/lint/fixtures/projects/`` is a tiny
+``src/repro/...`` tree whose violations span two modules (or a
+lifecycle path) -- none of them is detectable by a per-file pass, so
+these tests fail if the project index / typestate engine stops
+resolving across files.  The trees are copied to ``tmp_path`` before
+linting: under ``tests/`` they would be classified as test files,
+which every one of these rules exempts.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+PROJECTS = Path(__file__).parent / "fixtures" / "projects"
+
+
+def lint_project(name, tmp_path, select):
+    target = tmp_path / name
+    shutil.copytree(PROJECTS / name, target)
+    violations, errors = lint_paths([target], select=select)
+    assert errors == []
+    return violations
+
+
+def by_file_line(violations):
+    return sorted((Path(v.path).name, v.line, v.message) for v in violations)
+
+
+# ----------------------------------------------------------------------
+# LNT007 fork-safety
+# ----------------------------------------------------------------------
+
+
+def test_lnt007_flags_hazards_only_in_the_fork_closure(tmp_path):
+    violations = lint_project("forksafety", tmp_path, select=["LNT007"])
+    found = by_file_line(violations)
+    files = {f for f, _line, _msg in found}
+    # All findings are in the module the worker imports...
+    assert files == {"state.py"}
+    # ...never in the structurally identical module outside the closure.
+    assert all("offline.py" not in f for f, _line, _msg in found)
+    messages = [msg for _f, _line, msg in found]
+    assert any("_LOG" in m and "live handle" in m for m in messages)
+    assert any("_RNG" in m and "RNG" in m for m in messages)
+    assert any("_SEEN" in m and "remember" in m for m in messages)
+    assert len(found) == 3
+
+
+def test_lnt007_suppression_and_local_shadow_are_respected(tmp_path):
+    violations = lint_project("forksafety", tmp_path, select=["LNT007"])
+    messages = " ".join(v.message for v in violations)
+    assert "_MEMO" not in messages  # line-suppressed handle
+    assert "forget_local" not in messages  # local shadow, not the global
+    assert "fresh_rng" not in messages  # per-call construction is safe
+
+
+# ----------------------------------------------------------------------
+# LNT008 ShmRing slot typestate
+# ----------------------------------------------------------------------
+
+
+def test_lnt008_tracks_slots_through_the_imported_ring_class(tmp_path):
+    violations = lint_project("shmring", tmp_path, select=["LNT008"])
+    by_msg = {v.message: v for v in violations}
+    leaks = [m for m in by_msg if "can leave `leaky`" in m]
+    assert leaks and "'written'" in leaks[0]
+    assert any("already be released" in m for m in by_msg)
+    assert any("used ('write') after release" in m for m in by_msg)
+    assert any("unlink()` before" in m for m in by_msg)
+    assert len(violations) == 4
+
+
+def test_lnt008_accepts_release_handoff_and_suppression(tmp_path):
+    violations = lint_project("shmring", tmp_path, select=["LNT008"])
+    messages = " ".join(v.message for v in violations)
+    for clean_fn in ("clean_release", "clean_handoff", "clean_branches", "good_order"):
+        assert clean_fn not in messages
+    assert "tolerated" not in messages  # leak suppressed on the def line
+
+
+# ----------------------------------------------------------------------
+# LNT009 checkpoint symmetry
+# ----------------------------------------------------------------------
+
+
+def test_lnt009_pairs_writer_and_reader_across_modules(tmp_path):
+    violations = lint_project("checkpoint", tmp_path, select=["LNT009"])
+    found = by_file_line(violations)
+    # Written-but-unread: flagged at the base-class writer.
+    assert any(
+        f == "base.py" and "debug_name" in msg and "from_dict" in msg
+        for f, _line, msg in found
+    )
+    # Read-but-unwritten: flagged at the reader.
+    assert any(f == "child.py" and "'rate'" in msg for f, _line, msg in found)
+    assert len(found) == 2
+
+
+def test_lnt009_envelope_dynamic_and_suppressed_sides_are_quiet(tmp_path):
+    violations = lint_project("checkpoint", tmp_path, select=["LNT009"])
+    messages = " ".join(v.message for v in violations)
+    assert "format" not in messages  # envelope key is exempt
+    assert "alpha" not in messages and "beta" not in messages  # dynamic reader
+    assert "zombie" not in messages  # suppressed writer
+
+
+# ----------------------------------------------------------------------
+# LNT010 taxonomy coverage
+# ----------------------------------------------------------------------
+
+
+def test_lnt010_unreferenced_constant_and_pasted_literal(tmp_path):
+    violations = lint_project("taxonomy", tmp_path, select=["LNT010"])
+    found = by_file_line(violations)
+    assert any(
+        f == "taxonomy.py" and "C.GHOST" in msg and "never" in msg
+        for f, _line, msg in found
+    )
+    assert any(
+        f == "emitters.py" and "C.DECODED" in msg and "duplicates" in msg
+        for f, _line, msg in found
+    )
+    assert len(found) == 2
+
+
+def test_lnt010_referenced_constants_and_foreign_literals_are_quiet(tmp_path):
+    violations = lint_project("taxonomy", tmp_path, select=["LNT010"])
+    messages = " ".join(v.message for v in violations)
+    assert "G.BACKLOG" not in messages  # referenced + suppressed literal
+    assert "decode.other" not in messages  # matches no constant
+
+
+# ----------------------------------------------------------------------
+# LNT011 queue discipline
+# ----------------------------------------------------------------------
+
+
+def test_lnt011_reaches_the_helper_through_the_call_graph(tmp_path):
+    violations = lint_project("queues", tmp_path, select=["LNT011"])
+    found = by_file_line(violations)
+    assert any(
+        f == "pump.py" and "next_command" in msg and "reachable" in msg
+        for f, _line, msg in found
+    )
+    assert any(
+        f == "telemetry.py" and "forward" in msg and "while True" in msg
+        for f, _line, msg in found
+    )
+    assert len(found) == 2
+
+
+def test_lnt011_polled_nowait_shutdown_and_suppressed_are_quiet(tmp_path):
+    violations = lint_project("queues", tmp_path, select=["LNT011"])
+    messages = " ".join(v.message for v in violations)
+    assert "next_command_polled" not in messages
+    assert "peek_command" not in messages
+    assert "stop_pump" not in messages  # shutdown path: blocking is fine
+    assert "collect_once" not in messages  # neither reachable nor looping
+    assert "forward_tolerated" not in messages  # line suppression
+
+
+# ----------------------------------------------------------------------
+# LNT012 cross-module dtype flow
+# ----------------------------------------------------------------------
+
+
+def test_lnt012_follows_contracted_params_into_other_modules(tmp_path):
+    violations = lint_project("dtypeflow", tmp_path, select=["LNT012"])
+    found = by_file_line(violations)
+    assert all(f == "frontend.py" for f, _line, _msg in found)  # call sites
+    assert any("widens its `x`" in msg or "widens its `q`" in msg for _f, _l, msg in found)
+    assert any("contracted complex128" in msg for _f, _l, msg in found)
+    assert len(found) == 2
+
+
+def test_lnt012_narrow_callees_and_suppression_are_quiet(tmp_path):
+    violations = lint_project("dtypeflow", tmp_path, select=["LNT012"])
+    lines = {v.line for v in violations}
+    source = (PROJECTS / "dtypeflow" / "src" / "repro" / "dsp" / "frontend.py").read_text()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "narrow_contract(x)" in text or "keep_narrow(x)" in text or "disable" in text:
+            assert lineno not in lines

@@ -170,7 +170,7 @@ def test_suppression_line_file_and_all():
     assert ids_and_lines(violations) == [("LNT001", 16)]
 
 
-@pytest.mark.parametrize("rule_id", ["LNT001", "LNT002", "LNT003", "LNT004", "LNT005", "LNT006"])
+@pytest.mark.parametrize("rule_id", [f"LNT{n:03d}" for n in range(1, 13)])
 def test_every_rule_is_registered_with_metadata(rule_id):
     from repro.lint import REGISTRY
 
