@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint bench bench-quick bench-perf farm-bench examples report clean
+.PHONY: install test lint bench bench-quick bench-perf farm-bench macro-bench macro-validate examples report clean
 
 install:
 	pip install -e .
@@ -28,13 +28,23 @@ bench-quick:
 # Hot-path latency trajectory (all tiers), gated vs the committed
 # baseline (docs/performance.md).
 bench-perf:
-	$(PY) -m repro bench --quick --output BENCH_0006.json \
-		--baseline benchmarks/BENCH_0006.json
+	$(PY) -m repro bench --quick --output BENCH_0008.json \
+		--baseline benchmarks/BENCH_0008.json
 
 # Parallel decode farm only: sessions-per-core / real-time factor.
 farm-bench:
-	$(PY) -m repro bench --tier farm --quick --output BENCH_0006_farm.json \
-		--baseline benchmarks/BENCH_0006.json
+	$(PY) -m repro bench --tier farm --quick --output BENCH_0008_farm.json \
+		--baseline benchmarks/BENCH_0008.json
+
+# Fleet-scale macro tier only: engine events-per-second and surface
+# lookup latency.
+macro-bench:
+	$(PY) -m repro bench --tier macro --quick --output BENCH_0008_macro.json \
+		--baseline benchmarks/BENCH_0008.json
+
+# Macro <-> sample-domain agreement contract (exit 1 on breach).
+macro-validate:
+	$(PY) -m repro macro validate --surface benchmarks/FER_SURFACE_0001.json
 
 examples:
 	$(PY) examples/quickstart.py

@@ -171,7 +171,9 @@ def generate_report(
         f"Generated by `repro.analysis.report` (scale {scale}).",
         "",
     ]
-    t0 = time.time()
+    # perf_counter, not time.time(): a wall-clock (NTP) jump mid-report
+    # would make the elapsed footer negative or wildly wrong.
+    t0 = time.perf_counter()
     for section in sections:
         result = section.runner(section.rounds)
         parts.append(_section_markdown(section, result))
@@ -188,7 +190,7 @@ def generate_report(
         )
         parts.append("")
 
-    parts.append(f"_Total run time: {time.time() - t0:.0f} s._")
+    parts.append(f"_Total run time: {time.perf_counter() - t0:.0f} s._")
     text = "\n".join(parts)
     if path is not None:
         Path(path).write_text(text)

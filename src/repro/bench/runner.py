@@ -12,7 +12,7 @@ Schema (``repro.bench/1``)::
 
     {
       "schema":   "repro.bench/1",
-      "bench_id": "BENCH_0006",
+      "bench_id": "BENCH_0008",
       "quick":    true,
       "seed":     7,
       "env":      {"python": "...", "numpy": "...", "platform": "..."},
@@ -58,7 +58,7 @@ __all__ = [
 
 SCHEMA = "repro.bench/1"
 #: Identifier of the current trajectory file (bumped per tracked era).
-BENCH_ID = "BENCH_0006"
+BENCH_ID = "BENCH_0008"
 
 
 @dataclass(frozen=True)
@@ -231,6 +231,15 @@ def _derive(ops: List[OpResult]) -> Dict[str, float]:
             realtime = n_sessions * stream_seconds / op.p50_s
             derived[f"farm_realtime_factor_w{n_workers}"] = realtime
             derived[f"farm_sessions_per_core_w{n_workers}"] = realtime / n_workers
+    # Macro tier: the capacity figure is events simulated per wall
+    # second -- the event count is deterministic (recorded at workload
+    # build time), so the ratio is the only machine-dependent part.
+    for op in ops:
+        if op.group != "macro" or op.p50_s <= 0:
+            continue
+        events = float(op.params.get("events", 0.0))
+        if events > 0:
+            derived[f"{op.op}_events_per_sec"] = events / op.p50_s
     return derived
 
 
@@ -244,7 +253,7 @@ def run_bench(
     """Run the benchmark suite and summarise it as a :class:`BenchReport`.
 
     *tier* selects one workload tier (``micro`` | ``detect`` | ``e2e``
-    | ``farm``; default everything); *workloads* overrides the standard
+    | ``farm`` | ``macro``; default everything); *workloads* overrides the standard
     suite entirely (tests use tiny custom ones); *tracer* receives
     every per-rep sample for callers that want the raw event stream
     alongside the summary.

@@ -26,7 +26,7 @@ from repro.utils.correlation_batch import sliding_correlation_batch
 __all__ = ["TIERS", "Workload", "build_workloads"]
 
 #: Selectable workload tiers (``all`` = every tier).
-TIERS = ("micro", "detect", "e2e", "farm", "all")
+TIERS = ("micro", "detect", "e2e", "farm", "macro", "all")
 
 
 @dataclass(frozen=True)
@@ -39,7 +39,7 @@ class Workload:
     fn: Callable[[], object]
     reps: int
     group: str = "micro"
-    """Report grouping: ``micro`` | ``detect`` | ``e2e`` | ``farm``."""
+    """Report grouping: ``micro`` | ``detect`` | ``e2e`` | ``farm`` | ``macro``."""
 
 
 def _bipolar_templates(rng: np.random.Generator, n_templates: int, m: int) -> np.ndarray:
@@ -140,6 +140,73 @@ def _farm_workloads(quick: bool, seed: int) -> List[Workload]:
     return workloads
 
 
+def _macro_workloads(quick: bool, seed: int) -> List[Workload]:
+    """The fleet-scale tier: macro engine throughput and surface lookups.
+
+    The FER surface comes from a fresh tiny calibration (seconds, and a
+    pure function of the seed) rather than the committed artifact, so
+    the workload does not depend on the benchmark's working directory.
+    Each engine op records its deterministic ``events`` count so the
+    runner can derive ``<op>_events_per_sec`` -- the macro tier's
+    capacity figure, the analogue of the farm's real-time factor.
+    """
+    # Imported lazily: the sample-domain tiers must not pay for it.
+    from repro.macro import CalibrationSpec, MacroConfig, MacroSimulator, calibrate
+    from repro.sim.traffic import PoissonArrivals
+
+    surface = calibrate(CalibrationSpec.tiny())
+    n_tags = 2_000 if quick else 10_000
+    n_slots = 60 if quick else 200
+    slot_s = float(surface.provenance["frame_duration_s"])
+    rate_hz = 0.05 / slot_s  # 0.05 frames per tag per slot
+    reps = 3 if quick else 6
+    workloads: List[Workload] = []
+    for slotted in (True, False):
+        mode = "slotted" if slotted else "unslotted"
+        config = MacroConfig(
+            n_tags=n_tags,
+            traffic=PoissonArrivals(rate_hz=rate_hz),
+            slotted=slotted,
+            seed=seed,
+        )
+
+        def run(config: "MacroConfig" = config) -> object:
+            sim = MacroSimulator(config, surface)
+            return sim.run(n_slots)
+
+        # One probe run pins the deterministic event count into params.
+        events = int(MacroSimulator(config, surface).run(n_slots).events)
+        params = {
+            "n_tags": n_tags,
+            "n_slots": n_slots,
+            "rate_per_slot": 0.05,
+            "slotted": slotted,
+            "backoff": "beb",
+            "surface": "tiny",
+            "events": events,
+        }
+        workloads.append(Workload(f"macro_engine_{mode}", params, run, reps, "macro"))
+
+    lookup_n = 200_000 if quick else 1_000_000
+    rng = np.random.default_rng(seed)
+    snr = rng.uniform(surface.snr_db_axis[0] - 2, surface.snr_db_axis[-1] + 2, lookup_n)
+    k = rng.uniform(1.0, 12.0, lookup_n)
+
+    def run_lookup() -> object:
+        return surface.fer_at(snr, k)
+
+    workloads.append(
+        Workload(
+            "macro_surface_lookup",
+            {"n_points": lookup_n, "surface": "tiny"},
+            run_lookup,
+            reps,
+            "macro",
+        )
+    )
+    return workloads
+
+
 def build_workloads(
     quick: bool = False, seed: int = 7, tier: str = "all"
 ) -> List[Workload]:
@@ -156,7 +223,10 @@ def build_workloads(
       same class of buffer, at two payload sizes (two buffer lengths);
     - ``farm``: :class:`~repro.farm.DecodeFarm` over a multi-session
       soak capture at 1/2/4 workers (sessions-per-core and real-time
-      factor land in ``derived``).
+      factor land in ``derived``);
+    - ``macro``: the fleet-scale :class:`~repro.macro.MacroSimulator`
+      at 10^4 tags, slotted and unslotted, plus batched FER-surface
+      lookups (events-per-second lands in ``derived``).
 
     *tier* selects one tier (or ``"all"``); *quick* shrinks window
     sizes and repetition counts for CI smoke runs; op names stay
@@ -168,6 +238,8 @@ def build_workloads(
     workloads: List[Workload] = []
     if tier == "farm":
         return _farm_workloads(quick, seed)
+    if tier == "macro":
+        return _macro_workloads(quick, seed)
 
     # --- micro: sliding correlation, 10 templates --------------------------
     window_sizes = (4096, 16384) if quick else (8192, 32768, 131072)
@@ -257,6 +329,7 @@ def build_workloads(
         )
     if tier == "all":
         workloads.extend(_farm_workloads(quick, seed))
+        workloads.extend(_macro_workloads(quick, seed))
     else:
         workloads = [w for w in workloads if w.group == tier]
     return workloads

@@ -8,8 +8,11 @@ Usage (after ``pip install -e .``)::
     python -m repro field --resolution 41
     python -m repro profile --tags 10 --rounds 20
     python -m repro profile --tags 4 --rounds 5 --json
-    python -m repro bench --quick --output BENCH_0006.json
+    python -m repro bench --quick --output BENCH_0008.json
     python -m repro bench --tier farm --quick
+    python -m repro macro run --tags 100000 --slots 200
+    python -m repro macro calibrate --tiny --output /tmp/tiny_surface.json
+    python -m repro macro validate
     python -m repro soak --windows 500 --campaigns 3 --artifact shrunk.json
     python -m repro trace record out.json --tags 3 --rounds 50
     python -m repro trace replay out.json --seed 9
@@ -178,11 +181,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument(
         "--tier",
-        choices=["micro", "detect", "e2e", "farm", "all"],
+        choices=["micro", "detect", "e2e", "farm", "macro", "all"],
         default="all",
         help="workload tier to run (default: all)",
     )
-    bench.add_argument("--output", default="BENCH_0006.json", metavar="PATH", help="trajectory file to write")
+    bench.add_argument("--output", default="BENCH_0008.json", metavar="PATH", help="trajectory file to write")
     bench.add_argument(
         "--baseline",
         metavar="PATH",
@@ -196,6 +199,81 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fail when an op's p50 exceeds FACTOR x the baseline (default 2.0)",
     )
     bench.add_argument("--json", action="store_true", help="print the report JSON to stdout")
+
+    macro = sub.add_parser(
+        "macro", help="fleet-scale simulation on the PHY-calibrated link model"
+    )
+    macro_sub = macro.add_subparsers(dest="macro_command", required=True)
+
+    def _surface_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--surface",
+            default="benchmarks/FER_SURFACE_0001.json",
+            metavar="PATH",
+            help="FER surface artifact (calibrated+cached if provenance is stale)",
+        )
+        p.add_argument(
+            "--tiny",
+            action="store_true",
+            help="calibrate a seconds-scale smoke surface in memory instead",
+        )
+
+    mcal = macro_sub.add_parser(
+        "calibrate", help="sweep the sample-domain PHY into a cached FER surface"
+    )
+    mcal.add_argument(
+        "--output",
+        default="benchmarks/FER_SURFACE_0001.json",
+        metavar="PATH",
+        help="artifact to load-or-calibrate",
+    )
+    mcal.add_argument("--tiny", action="store_true", help="seconds-scale smoke grid")
+
+    mrun = macro_sub.add_parser("run", help="run one macro fleet and print its stats")
+    _surface_args(mrun)
+    mrun.add_argument("--tags", type=int, default=10000)
+    mrun.add_argument("--slots", type=int, default=200)
+    mrun.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        help="offered arrivals per tag per slot (0 = saturated)",
+    )
+    mrun.add_argument("--distance", type=float, default=1.0, help="tag-to-RX metres")
+    mrun.add_argument(
+        "--backoff", choices=["beb", "fibonacci", "eied", "adaptive"], default="beb"
+    )
+    mrun.add_argument("--unslotted", action="store_true", help="ALOHA-style access")
+    mrun.add_argument("--ack-loss", type=float, default=0.0)
+    mrun.add_argument("--seed", type=int, default=7)
+
+    mload = macro_sub.add_parser(
+        "load", help="offered-load sweep (delivery/goodput/latency vs rate)"
+    )
+    _surface_args(mload)
+    mload.add_argument("--tags", type=int, default=1000)
+    mload.add_argument("--slots", type=int, default=300)
+    mload.add_argument(
+        "--backoff", choices=["beb", "fibonacci", "eied", "adaptive"], default="beb"
+    )
+    mload.add_argument("--seed", type=int, default=17)
+
+    mfire = macro_sub.add_parser(
+        "fire-ring", help="expanding-event-front spatial stress scenario"
+    )
+    _surface_args(mfire)
+    mfire.add_argument("--tags", type=int, default=10000)
+    mfire.add_argument(
+        "--backoff", choices=["beb", "fibonacci", "eied", "adaptive"], default="beb"
+    )
+    mfire.add_argument("--seed", type=int, default=23)
+
+    mval = macro_sub.add_parser(
+        "validate",
+        help="cross-validate macro vs the sample-domain tier; exit 1 outside tolerance",
+    )
+    _surface_args(mval)
+    mval.add_argument("--seed", type=int, default=123)
 
     lint = sub.add_parser(
         "lint", help="run the domain-aware static analysis (LNT001..LNT012)"
@@ -380,6 +458,138 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"no regression vs {args.baseline} (gate: {args.max_regression:.1f}x p50)")
     return 0
+
+
+def _macro_surface(args: argparse.Namespace):
+    """Resolve the surface a ``repro macro`` subcommand runs against:
+    a throwaway tiny calibration (``--tiny``), the artifact at
+    ``--surface`` taken as-is, or -- when the artifact is missing -- a
+    fresh default-spec sweep cached there.  Provenance enforcement
+    belongs to ``repro macro calibrate``; the run subcommands trust
+    whatever surface they are pointed at."""
+    from pathlib import Path
+
+    from repro.macro import CalibrationSpec, FerSurface, calibrate, load_or_calibrate
+
+    if args.tiny:
+        print("calibrating tiny in-memory surface (smoke grid) ...")
+        return calibrate(CalibrationSpec.tiny())
+    if Path(args.surface).exists():
+        return FerSurface.load(args.surface)
+    return load_or_calibrate(args.surface, CalibrationSpec())
+
+
+def _cmd_macro(args: argparse.Namespace) -> int:
+    from repro.macro import (
+        CalibrationSpec,
+        MacroConfig,
+        MacroSimulator,
+        cross_validate,
+        fire_ring,
+        load_or_calibrate,
+        offered_load_sweep,
+    )
+
+    if args.macro_command == "calibrate":
+        spec = CalibrationSpec.tiny() if args.tiny else CalibrationSpec()
+        surface = load_or_calibrate(args.output, spec)
+        print(
+            f"surface: {surface.fer.shape[0]} tag counts x "
+            f"{surface.fer.shape[1]} SNR points "
+            f"({surface.snr_db_axis[0]:.1f}..{surface.snr_db_axis[-1]:.1f} dB)"
+        )
+        wall = surface.provenance.get("sweep_wall_s")
+        print(
+            f"artifact: {args.output}"
+            + (f" (swept in {wall:.1f} s)" if wall is not None else " (cache hit)")
+        )
+        return 0
+
+    if args.macro_command == "run":
+        from repro.sim.traffic import PoissonArrivals
+
+        surface = _macro_surface(args)
+        slot_s = float(surface.provenance.get("frame_duration_s", 1e-2))
+        traffic = (
+            PoissonArrivals(rate_hz=args.rate / slot_s) if args.rate > 0 else None
+        )
+        config = MacroConfig(
+            n_tags=args.tags,
+            traffic=traffic,
+            slotted=not args.unslotted,
+            distance_m=args.distance,
+            backoff=args.backoff,
+            ack_loss_prob=args.ack_loss,
+            seed=args.seed,
+        )
+        stats = MacroSimulator(config, surface).run(args.slots)
+        mode = "unslotted" if args.unslotted else "slotted"
+        load = "saturated" if traffic is None else f"{args.rate}/tag/slot"
+        print(
+            render_table(
+                ["metric", "value"],
+                [
+                    ["offered / delivered", f"{stats.offered} / {stats.delivered}"],
+                    ["delivery ratio", format_percent(stats.delivery_ratio)],
+                    ["dropped", str(stats.dropped)],
+                    ["link FER", format_percent(stats.link_fer)],
+                    ["p95 latency", f"{stats.p95_latency_s * 1e3:.1f} ms"],
+                    ["peak backlog", str(stats.peak_backlog)],
+                    ["goodput", f"{stats.goodput_bps(8 * config.payload_bytes) / 1e3:.1f} kbps"],
+                    ["engine rate", f"{stats.events_per_sec / 1e6:.2f} M events/s"],
+                ],
+                title=f"macro: {args.tags} tags x {args.slots} slots ({mode}, {load}, {args.backoff})",
+            )
+        )
+        return 0
+
+    if args.macro_command == "load":
+        result = offered_load_sweep(
+            _macro_surface(args),
+            n_tags=args.tags,
+            n_slots=args.slots,
+            backoff=args.backoff,
+            seed=args.seed,
+        )
+        print(render_series(result.x_label, result.x, result.series, title=result.experiment_id))
+        print()
+        print(line_plot(result.x, {"delivery_ratio": result.series["delivery_ratio"]}))
+        return 0
+
+    if args.macro_command == "fire-ring":
+        result = fire_ring(
+            _macro_surface(args), n_tags=args.tags, backoff=args.backoff, seed=args.seed
+        )
+        print(line_plot(result.x, {"backlog": result.series["backlog"]}))
+        print(
+            render_table(
+                ["metric", "value"],
+                [[k, f"{v:.4g}"] for k, v in sorted(result.metrics.items())],
+                title=f"fire ring: {args.tags} tags ({args.backoff})",
+            )
+        )
+        return 0
+
+    if args.macro_command == "validate":
+        result = cross_validate(_macro_surface(args), seed=args.seed)
+        m = result.metrics
+        print(
+            render_table(
+                ["check", "error", "tolerance"],
+                [
+                    ["saturated FER (max abs)", f"{m['max_abs_fer_err']:.4f}", f"{result.params['fer_tolerance']:.2f}"],
+                    ["ARQ delivery ratio (abs)", f"{m['delivery_err']:.4f}", f"{result.params['delivery_tolerance']:.2f}"],
+                    ["ARQ goodput (relative)", f"{m['goodput_rel_err']:.4f}", f"{result.params['goodput_rel_tolerance']:.2f}"],
+                ],
+                title="macro <-> sample-domain cross-validation",
+            )
+        )
+        if m["within_tolerance"] >= 1.0:
+            print("macro tier agrees with the sample domain (within tolerance)")
+            return 0
+        print("TOLERANCE BREACH: the surface no longer represents the PHY")
+        return 1
+    raise AssertionError(f"unhandled macro command {args.macro_command!r}")  # pragma: no cover
 
 
 def _cmd_adapt(args: argparse.Namespace) -> int:
@@ -604,6 +814,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "macro":
+        return _cmd_macro(args)
     if args.command == "lint":
         from repro.lint.cli import run_lint
 

@@ -134,6 +134,17 @@ class ArqSimulator:
         :class:`~repro.faults.AckLoss`).  The receiver's dedupe on the
         sequence number turns each lost ACK into a duplicate, never a
         double delivery.
+    backoff:
+        Optional contention-window strategy (duck-typed to the
+        :mod:`repro.macro.backoff` zoo: ``initial_cw()``,
+        ``on_failure(cw, attempts)``, ``on_success(cw)``,
+        ``delay_slots(cw, rng)``).  When given, it replaces the
+        built-in deterministic exponential timer: each tag carries a
+        contention window, failures widen it, acknowledged deliveries
+        shrink it, and the retransmission wait is drawn from it.  When
+        ``None`` (default) the legacy
+        ``backoff_base_rounds * 2^(attempts-1)`` behaviour is
+        unchanged.
     """
 
     def __init__(
@@ -145,6 +156,7 @@ class ArqSimulator:
         backoff_base_rounds: int = 1,
         backoff_cap_rounds: int = 16,
         ack_loss_prob: float = 0.0,
+        backoff=None,
     ):
         if network.config.payload_bytes < 2:
             raise ValueError("payload must fit a sequence byte plus data")
@@ -163,13 +175,21 @@ class ArqSimulator:
         self.backoff_base_rounds = int(backoff_base_rounds)
         self.backoff_cap_rounds = int(backoff_cap_rounds)
         self.ack_loss_prob = float(ack_loss_prob)
+        self.backoff = backoff
         self.queues: Dict[int, Deque[Message]] = {
             i: deque() for i in range(network.config.n_tags)
         }
         self._next_seq: Dict[int, int] = {i: 0 for i in self.queues}
         self._last_delivered_seq: Dict[int, int] = {i: -1 for i in self.queues}
+        self._cw: Dict[int, float] = (
+            {i: backoff.initial_cw() for i in self.queues} if backoff is not None else {}
+        )
         self._time_s = 0.0
         self._round = 0
+        # Stateful traffic models (periodic window clock, bursty ON/OFF
+        # occupancy) must not leak phase between simulator lifetimes.
+        if hasattr(traffic, "reset"):
+            traffic.reset()
 
     def _inject_arrivals(self, stats: ArqStats, duration_s: float, rng) -> None:
         tracer = self.network.tracer
@@ -285,6 +305,8 @@ class ArqSimulator:
                     self.ack_loss_prob > 0.0 and rng.random() < self.ack_loss_prob
                 )
                 if not ack_lost:
+                    if self.backoff is not None:
+                        self._cw[tid] = float(self.backoff.on_success(self._cw[tid]))
                     self.queues[tid].popleft()
                     continue
                 # The tag never heard the ACK: from its point of view
@@ -298,5 +320,12 @@ class ArqSimulator:
                     stats.dropped += 1
                     tracer.count(C.ARQ_DROPPED)
             else:
-                message.next_round = self._round + self._backoff_rounds(message.attempts)
+                if self.backoff is None:
+                    wait = self._backoff_rounds(message.attempts)
+                else:
+                    self._cw[tid] = float(
+                        self.backoff.on_failure(self._cw[tid], message.attempts)
+                    )
+                    wait = int(self.backoff.delay_slots(self._cw[tid], rng))
+                message.next_round = self._round + wait
         return report

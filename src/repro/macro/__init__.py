@@ -1,0 +1,63 @@
+"""The macro tier: fleet-scale simulation on a PHY-calibrated link model.
+
+The sample-domain tier (:mod:`repro.sim`) decodes IQ samples and tops
+out around ten concurrent tags; the deployments the ROADMAP targets
+(and NetScatter demonstrates) run to hundreds of thousands.  This
+package is the second simulation tier that bridges the gap:
+
+- :mod:`repro.macro.calibration` sweeps the real PHY **once** into a
+  FER(SNR, k) grid;
+- :mod:`repro.macro.linkmodel` caches that grid as a versioned,
+  provenance-stamped artifact and answers per-transmission lookups by
+  bilinear interpolation;
+- :mod:`repro.macro.engine` is the event-driven MAC simulator that
+  consults the surface instead of decoding -- 10^5-10^6 tags, numpy
+  per-tag state, ARQ-mirrored reliability semantics;
+- :mod:`repro.macro.backoff` grows the ARQ backoff into a strategy
+  zoo (BEB, Fibonacci, EIED, adaptive) shared by both tiers;
+- :mod:`repro.macro.scenarios` drives load sweeps, the fire-ring
+  spatial stress test, and the cross-validation contract that keeps
+  the macro tier honest against the sample domain.
+"""
+
+from repro.macro.backoff import (
+    AdaptiveBackoff,
+    BinaryExponentialBackoff,
+    EiedBackoff,
+    FibonacciBackoff,
+    make_backoff,
+)
+from repro.macro.calibration import (
+    CalibrationSpec,
+    calibrate,
+    geometry_snr_db,
+    load_or_calibrate,
+)
+from repro.macro.engine import MacroConfig, MacroSimulator, MacroStats
+from repro.macro.linkmodel import FerSurface
+from repro.macro.scenarios import (
+    FireRingTraffic,
+    cross_validate,
+    fire_ring,
+    offered_load_sweep,
+)
+
+__all__ = [
+    "FerSurface",
+    "CalibrationSpec",
+    "calibrate",
+    "load_or_calibrate",
+    "geometry_snr_db",
+    "MacroConfig",
+    "MacroStats",
+    "MacroSimulator",
+    "BinaryExponentialBackoff",
+    "FibonacciBackoff",
+    "EiedBackoff",
+    "AdaptiveBackoff",
+    "make_backoff",
+    "FireRingTraffic",
+    "offered_load_sweep",
+    "fire_ring",
+    "cross_validate",
+]

@@ -1,0 +1,189 @@
+"""Contention-window backoff strategies (the MAC's congestion knob).
+
+The ARQ layer's original retransmission timer was a single hard-coded
+binary-exponential rule.  Fleet-scale studies need to compare backoff
+*families* -- how fast the window opens under collisions and how fast
+it recovers -- so this module grows that rule into a zoo behind one
+stateless-per-call protocol:
+
+- ``initial_cw()``            -- the window a fresh tag starts with;
+- ``on_failure(cw, attempts)`` -- the widened window after a failed
+  (or unacknowledged) attempt number *attempts*;
+- ``on_success(cw)``          -- the window after an acknowledged
+  delivery;
+- ``delay_slots(cw, rng)``    -- the drawn wait, uniform in
+  ``[0, ceil(cw))`` slots.
+
+Strategies hold only their *parameters*; the per-tag window lives with
+the caller (a float per tag), which is what lets the macro engine keep
+10^5 windows in one numpy array and update them vectorised -- every
+method accepts scalars or arrays and broadcasts.  The same objects
+plug into :class:`repro.mac.arq.ArqSimulator` (scalar path) unchanged.
+
+The shapes follow the classic literature: binary exponential (BEB),
+Fibonacci, EIED (exponential increase, exponential decrease) and an
+AIMD-flavoured adaptive rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Type
+
+import numpy as np
+
+__all__ = [
+    "BinaryExponentialBackoff",
+    "FibonacciBackoff",
+    "EiedBackoff",
+    "AdaptiveBackoff",
+    "make_backoff",
+    "BACKOFF_REGISTRY",
+]
+
+#: Fibonacci numbers F(1)..F(32), enough for any sane retry limit.
+_FIB = np.array([1, 1], dtype=np.float64)
+while _FIB.size < 32:
+    _FIB = np.append(_FIB, _FIB[-1] + _FIB[-2])
+
+
+def _draw(cw, rng):
+    """Uniform integer wait in ``[0, ceil(cw))``; broadcasts over cw."""
+    high = np.maximum(np.ceil(np.asarray(cw)), 1.0).astype(np.int64)
+    if high.ndim == 0:
+        return int(rng.integers(0, int(high)))
+    return rng.integers(0, high)
+
+
+@dataclass(frozen=True)
+class BinaryExponentialBackoff:
+    """Classic BEB: double on failure, snap shut on success."""
+
+    cw_min: float = 2.0
+    cw_max: float = 1024.0
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.cw_min <= self.cw_max:
+            raise ValueError("need 1 <= cw_min <= cw_max")
+
+    def initial_cw(self) -> float:
+        return float(self.cw_min)
+
+    def on_failure(self, cw, attempts):
+        return np.minimum(np.asarray(cw, dtype=np.float64) * 2.0, self.cw_max)
+
+    def on_success(self, cw):
+        return np.full_like(np.asarray(cw, dtype=np.float64), self.cw_min)
+
+    def delay_slots(self, cw, rng):
+        return _draw(cw, rng)
+
+
+@dataclass(frozen=True)
+class FibonacciBackoff:
+    """Window follows ``cw_min * F(attempts)`` -- sub-exponential
+    growth that trades recovery speed for gentler idle waste."""
+
+    cw_min: float = 2.0
+    cw_max: float = 1024.0
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.cw_min <= self.cw_max:
+            raise ValueError("need 1 <= cw_min <= cw_max")
+
+    def initial_cw(self) -> float:
+        return float(self.cw_min)
+
+    def on_failure(self, cw, attempts):
+        idx = np.clip(np.asarray(attempts, dtype=np.int64) - 1, 0, _FIB.size - 1)
+        return np.minimum(self.cw_min * _FIB[idx], self.cw_max)
+
+    def on_success(self, cw):
+        return np.full_like(np.asarray(cw, dtype=np.float64), self.cw_min)
+
+    def delay_slots(self, cw, rng):
+        return _draw(cw, rng)
+
+
+@dataclass(frozen=True)
+class EiedBackoff:
+    """Exponential increase, exponential decrease: multiply by
+    ``r_increase`` on failure, divide by ``r_decrease`` on success --
+    the window remembers recent congestion instead of snapping shut."""
+
+    cw_min: float = 2.0
+    cw_max: float = 1024.0
+    r_increase: float = 2.0
+    r_decrease: float = 1.4142135623730951  # sqrt(2)
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.cw_min <= self.cw_max:
+            raise ValueError("need 1 <= cw_min <= cw_max")
+        if self.r_increase <= 1.0 or self.r_decrease <= 1.0:
+            raise ValueError("ratios must exceed 1")
+
+    def initial_cw(self) -> float:
+        return float(self.cw_min)
+
+    def on_failure(self, cw, attempts):
+        return np.minimum(np.asarray(cw, dtype=np.float64) * self.r_increase, self.cw_max)
+
+    def on_success(self, cw):
+        return np.maximum(np.asarray(cw, dtype=np.float64) / self.r_decrease, self.cw_min)
+
+    def delay_slots(self, cw, rng):
+        return _draw(cw, rng)
+
+
+@dataclass(frozen=True)
+class AdaptiveBackoff:
+    """AIMD-flavoured rule: multiplicative widen on failure, *additive*
+    close on success.  Converges on a window proportional to the local
+    contention level rather than oscillating between extremes."""
+
+    cw_min: float = 2.0
+    cw_max: float = 1024.0
+    increase_factor: float = 2.0
+    decrease_step: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.cw_min <= self.cw_max:
+            raise ValueError("need 1 <= cw_min <= cw_max")
+        if self.increase_factor <= 1.0 or self.decrease_step <= 0.0:
+            raise ValueError("increase_factor must exceed 1, decrease_step be positive")
+
+    def initial_cw(self) -> float:
+        return float(self.cw_min)
+
+    def on_failure(self, cw, attempts):
+        return np.minimum(
+            np.asarray(cw, dtype=np.float64) * self.increase_factor, self.cw_max
+        )
+
+    def on_success(self, cw):
+        return np.maximum(
+            np.asarray(cw, dtype=np.float64) - self.decrease_step, self.cw_min
+        )
+
+    def delay_slots(self, cw, rng):
+        return _draw(cw, rng)
+
+
+BACKOFF_REGISTRY: Dict[str, Type] = {
+    "beb": BinaryExponentialBackoff,
+    "fibonacci": FibonacciBackoff,
+    "eied": EiedBackoff,
+    "adaptive": AdaptiveBackoff,
+}
+
+
+def make_backoff(name: str, **params):
+    """Build a strategy by registry name (``beb``, ``fibonacci``,
+    ``eied``, ``adaptive``); extra keywords reach its constructor."""
+    try:
+        cls = BACKOFF_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backoff {name!r} (allowed: {', '.join(sorted(BACKOFF_REGISTRY))})"
+        ) from None
+    return cls(**params)

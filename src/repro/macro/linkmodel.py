@@ -1,0 +1,152 @@
+"""The macro tier's link layer: a cached FER(SNR, k) surface.
+
+The sample-domain simulator (:class:`repro.sim.network.CbmaNetwork`)
+decodes IQ samples and tops out around ten concurrent tags.  The macro
+tier replaces that per-transmission decode with a table lookup: a
+rectangular grid of frame error rates indexed by per-tag SNR and the
+number of concurrent transmitters *k*, swept **once** from the real
+PHY by :mod:`repro.macro.calibration` and cached as a versioned JSON
+artifact.  Per transmission the engine asks
+:meth:`FerSurface.fer_at` -- bilinear interpolation inside the grid,
+clamping at its edges -- which costs nanoseconds instead of
+milliseconds and is what lets the event engine reach 10^5-10^6 tags.
+
+The artifact is self-describing: a ``schema`` string
+(:data:`SURFACE_SCHEMA`) guards the layout and a ``provenance`` header
+records exactly which calibration produced the numbers (grid, rounds,
+seed, PHY config digest), so a cache can be verified against the spec
+that wants it instead of trusted blindly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+__all__ = ["FerSurface", "SURFACE_SCHEMA"]
+
+#: Artifact schema identifier; bump on any layout change.
+SURFACE_SCHEMA = "repro.macro.fersurface/1"
+
+
+@dataclass
+class FerSurface:
+    """FER over a rectangular (SNR, concurrency) grid.
+
+    Attributes
+    ----------
+    snr_db_axis:
+        Strictly ascending per-tag SNR grid points (dB).
+    k_axis:
+        Strictly ascending concurrent-transmitter counts.
+    fer:
+        Frame error rate, shape ``(len(k_axis), len(snr_db_axis))``,
+        every value in ``[0, 1]``.
+    provenance:
+        The calibration that produced the grid (see
+        :meth:`repro.macro.calibration.CalibrationSpec.provenance`).
+    """
+
+    snr_db_axis: np.ndarray
+    k_axis: np.ndarray
+    fer: np.ndarray
+    provenance: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.snr_db_axis = np.asarray(self.snr_db_axis, dtype=np.float64)
+        self.k_axis = np.asarray(self.k_axis, dtype=np.float64)
+        self.fer = np.asarray(self.fer, dtype=np.float64)
+        if self.snr_db_axis.ndim != 1 or self.snr_db_axis.size == 0:
+            raise ValueError("snr_db_axis must be a non-empty 1-D array")
+        if self.k_axis.ndim != 1 or self.k_axis.size == 0:
+            raise ValueError("k_axis must be a non-empty 1-D array")
+        if np.any(np.diff(self.snr_db_axis) <= 0):
+            raise ValueError("snr_db_axis must be strictly ascending")
+        if np.any(np.diff(self.k_axis) <= 0):
+            raise ValueError("k_axis must be strictly ascending")
+        if self.fer.shape != (self.k_axis.size, self.snr_db_axis.size):
+            raise ValueError(
+                f"fer shape {self.fer.shape} != "
+                f"(k={self.k_axis.size}, snr={self.snr_db_axis.size})"
+            )
+        if np.any(~np.isfinite(self.fer)) or np.any((self.fer < 0) | (self.fer > 1)):
+            raise ValueError("fer values must be finite and in [0, 1]")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _axis_weights(axis: np.ndarray, x: np.ndarray):
+        """Lower index and fractional weight of *x* along *axis*, with
+        queries outside the grid clamped to its edges."""
+        x = np.clip(x, axis[0], axis[-1])
+        if axis.size == 1:
+            i = np.zeros(x.shape, dtype=np.intp)
+            return i, np.zeros_like(x)
+        i = np.clip(np.searchsorted(axis, x, side="right") - 1, 0, axis.size - 2)
+        t = (x - axis[i]) / (axis[i + 1] - axis[i])
+        return i, t
+
+    def fer_at(self, snr_db, k):
+        """Bilinearly interpolated FER at ``(snr_db, k)``.
+
+        Both arguments broadcast; queries outside the calibrated grid
+        clamp to the nearest edge (a k above the calibrated maximum
+        behaves like the maximum -- the surface's honest answer, and
+        tests pin this so silent extrapolation can't creep in).
+        Scalars in, scalar out; arrays in, array out.
+        """
+        snr = np.asarray(snr_db, dtype=np.float64)
+        kk = np.asarray(k, dtype=np.float64)
+        scalar = snr.ndim == 0 and kk.ndim == 0
+        snr, kk = np.atleast_1d(snr), np.atleast_1d(kk)
+        snr, kk = np.broadcast_arrays(snr, kk)
+        si, st = self._axis_weights(self.snr_db_axis, snr)
+        ki, kt = self._axis_weights(self.k_axis, kk)
+        lo = (1.0 - st) * self.fer[ki, si] + st * self.fer[ki, np.minimum(si + 1, self.snr_db_axis.size - 1)]
+        hi_row = np.minimum(ki + 1, self.k_axis.size - 1)
+        hi = (1.0 - st) * self.fer[hi_row, si] + st * self.fer[hi_row, np.minimum(si + 1, self.snr_db_axis.size - 1)]
+        out = (1.0 - kt) * lo + kt * hi
+        return float(out[0]) if scalar else out
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SURFACE_SCHEMA,
+            "provenance": dict(self.provenance),
+            "snr_db_axis": self.snr_db_axis.tolist(),
+            "k_axis": self.k_axis.tolist(),
+            "fer": self.fer.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FerSurface":
+        schema = data.get("schema")
+        if schema != SURFACE_SCHEMA:
+            raise ValueError(
+                f"unsupported surface schema {schema!r} (expected {SURFACE_SCHEMA!r})"
+            )
+        return cls(
+            snr_db_axis=np.asarray(data["snr_db_axis"]),
+            k_axis=np.asarray(data["k_axis"]),
+            fer=np.asarray(data["fer"]),
+            provenance=dict(data.get("provenance", {})),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the artifact as indented JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FerSurface":
+        return cls.from_dict(json.loads(Path(path).read_text()))

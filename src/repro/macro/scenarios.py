@@ -1,0 +1,415 @@
+"""Macro-tier scenario drivers.
+
+Three studies the sample-domain tier cannot run (scale) or should not
+have to (speed), each returning the standard
+:class:`~repro.obs.result.ExperimentResult`:
+
+- :func:`offered_load_sweep` -- delivery ratio / goodput / tail
+  latency versus offered Poisson load, the macro analogue of the ARQ
+  layer's throughput study;
+- :func:`fire_ring` -- a spatial-event stress test: tags scattered in
+  an annulus, an event front expanding from the centre triggers each
+  tag the moment the ring crosses its radius, producing a travelling
+  collision storm the backoff strategy must drain;
+- :func:`cross_validate` -- the macro<->sample-domain contract: the
+  same 10-tag paper workloads run through both tiers must agree on
+  FER, delivery ratio and goodput within the documented tolerances
+  (:data:`FER_TOLERANCE`, :data:`DELIVERY_TOLERANCE`,
+  :data:`GOODPUT_REL_TOLERANCE`).  CI runs it in the macro smoke job;
+  a tolerance breach means the surface no longer represents the PHY
+  it claims to.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.macro.backoff import BinaryExponentialBackoff
+from repro.macro.calibration import CalibrationSpec, calibrate, geometry_snr_db
+from repro.macro.engine import MacroConfig, MacroSimulator, MacroStats
+from repro.macro.linkmodel import FerSurface
+from repro.obs.result import ExperimentResult
+from repro.sim.traffic import PoissonArrivals
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "FireRingTraffic",
+    "offered_load_sweep",
+    "fire_ring",
+    "cross_validate",
+    "FER_TOLERANCE",
+    "DELIVERY_TOLERANCE",
+    "GOODPUT_REL_TOLERANCE",
+]
+
+#: Cross-validation contract: absolute FER disagreement allowed between
+#: the macro tier and a fresh (independently seeded) sample-domain run
+#: of the same saturated 10-tag workload.  Dominated by Monte-Carlo
+#: noise of the PHY reference (~50-100 rounds per point).
+FER_TOLERANCE = 0.08
+
+#: Absolute delivery-ratio disagreement allowed between the macro tier
+#: and :class:`repro.mac.arq.ArqSimulator` under the same Poisson load.
+DELIVERY_TOLERANCE = 0.08
+
+#: Relative goodput disagreement allowed on the same comparison.
+GOODPUT_REL_TOLERANCE = 0.25
+
+
+@dataclass
+class FireRingTraffic:
+    """Spatial-event arrivals: one message per tag, triggered when an
+    expanding ring crosses the tag's radius.
+
+    ``crossing_s[i]`` is tag *i*'s trigger time (radius / front
+    speed).  Follows the standard traffic-model window contract, so it
+    plugs into the macro engine (or the ARQ layer) unchanged.
+    """
+
+    crossing_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.crossing_s = np.asarray(self.crossing_s, dtype=np.float64)
+        self._elapsed = 0.0
+
+    def reset(self) -> None:
+        self._elapsed = 0.0
+
+    def draw(self, n_tags: int, duration_s: float, rng=None) -> np.ndarray:
+        if n_tags != self.crossing_s.size:
+            raise ValueError(
+                f"fleet size {n_tags} != {self.crossing_s.size} crossing times"
+            )
+        start = self._elapsed
+        self._elapsed = end = start + duration_s
+        return ((self.crossing_s >= start) & (self.crossing_s < end)).astype(np.int64)
+
+
+@dataclass
+class _ReplayTraffic:
+    """A pre-drawn arrival schedule, replayed window by window.
+
+    Cross-validation feeds the *same* schedule to both tiers so the
+    comparison is paired: any disagreement is delivery dynamics, not
+    two independent Poisson draws of the offered load.
+    """
+
+    counts: np.ndarray  # shape (n_windows, n_tags)
+
+    def __post_init__(self) -> None:
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def draw(self, n_tags: int, duration_s: float, rng=None) -> np.ndarray:
+        if n_tags != self.counts.shape[1]:
+            raise ValueError("fleet size does not match the recorded schedule")
+        if self._cursor >= self.counts.shape[0]:
+            return np.zeros(n_tags, dtype=np.int64)
+        row = self.counts[self._cursor]
+        self._cursor += 1
+        return row
+
+
+def _accumulate(total: MacroStats, part: MacroStats) -> None:
+    """Fold one segment's stats into the running total."""
+    for name in (
+        "offered",
+        "delivered",
+        "dropped",
+        "duplicates",
+        "acks_lost",
+        "transmissions",
+        "link_failures",
+        "windows",
+        "latency_seen",
+    ):
+        setattr(total, name, getattr(total, name) + getattr(part, name))
+    total.elapsed_s += part.elapsed_s
+    total.wall_s += part.wall_s
+    total.peak_backlog = max(total.peak_backlog, part.peak_backlog)
+    total.final_backlog = part.final_backlog
+    total.latencies_s.extend(part.latencies_s)
+
+
+def _default_surface(surface: Optional[Union[FerSurface, str]]) -> FerSurface:
+    if surface is None:
+        return calibrate(CalibrationSpec.tiny())
+    if not isinstance(surface, FerSurface):
+        return FerSurface.load(surface)
+    return surface
+
+
+def offered_load_sweep(
+    surface: Optional[Union[FerSurface, str]] = None,
+    rates_per_slot: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.4, 0.8),
+    n_tags: int = 1000,
+    n_slots: int = 300,
+    slotted: bool = True,
+    backoff: str = "beb",
+    seed: int = 17,
+) -> ExperimentResult:
+    """Delivery ratio, goodput and tail latency versus offered load.
+
+    *rates_per_slot* is the per-tag arrival probability per window;
+    each sweep point runs a fresh fleet (fresh traffic model, fresh
+    engine) so no state leaks across points.
+    """
+    t0 = time.perf_counter()
+    surface = _default_surface(surface)
+    delivery, goodput, p95, fer = [], [], [], []
+    slot_s = float(surface.provenance.get("frame_duration_s", 1e-2))
+    for rate in rates_per_slot:
+        cfg = MacroConfig(
+            n_tags=n_tags,
+            traffic=PoissonArrivals(rate_hz=rate / slot_s),
+            slotted=slotted,
+            backoff=backoff,
+            seed=seed,
+        )
+        sim = MacroSimulator(cfg, surface)
+        stats = sim.run(n_slots)
+        delivery.append(stats.delivery_ratio)
+        goodput.append(stats.goodput_bps(8 * cfg.payload_bytes))
+        p95.append(stats.p95_latency_s)
+        fer.append(stats.link_fer)
+    result = ExperimentResult(
+        experiment_id="macro_load_sweep",
+        x_label="offered load (arrivals/tag/slot)",
+        x=list(rates_per_slot),
+        series={
+            "delivery_ratio": delivery,
+            "goodput_bps": goodput,
+            "p95_latency_s": p95,
+            "link_fer": fer,
+        },
+        params={
+            "n_tags": n_tags,
+            "n_slots": n_slots,
+            "slotted": slotted,
+            "backoff": backoff,
+        },
+        seed=seed,
+        notes="macro tier: FER-surface link model, per-point fresh fleet",
+    )
+    return result.summarize_series().finish(t0)
+
+
+def fire_ring(
+    surface: Optional[Union[FerSurface, str]] = None,
+    n_tags: int = 10000,
+    r_min_m: float = 0.5,
+    r_max_m: float = 4.0,
+    front_speed_m_s: float = 2.0,
+    n_slots: Optional[int] = None,
+    n_segments: int = 20,
+    backoff: str = "beb",
+    slotted: bool = True,
+    seed: int = 23,
+) -> ExperimentResult:
+    """The fire-ring stress scenario.
+
+    *n_tags* sensors sit at random radii in the annulus
+    ``[r_min_m, r_max_m]`` around the receiver; an event front expands
+    from the centre at *front_speed_m_s*, triggering each tag as it
+    passes.  Nearby tags fire first (with strong links); the storm
+    then travels outward into progressively weaker links.  The run is
+    segmented so the result carries deliveries/backlog over time --
+    the drain profile is the scenario's entire point.
+    """
+    t0 = time.perf_counter()
+    surface = _default_surface(surface)
+    rng = make_rng(seed)
+    radii = np.sort(rng.uniform(r_min_m, r_max_m, n_tags))
+    crossing_s = radii / front_speed_m_s
+    snr_db = np.array([geometry_snr_db(float(r)) for r in radii])
+    slot_s = float(surface.provenance.get("frame_duration_s", 1e-2))
+    if n_slots is None:
+        # Cover the full sweep of the front plus drain headroom.
+        n_slots = int(np.ceil(crossing_s[-1] / slot_s)) + 400
+    cfg = MacroConfig(
+        n_tags=n_tags,
+        traffic=FireRingTraffic(crossing_s),
+        slotted=slotted,
+        snr_db=snr_db,
+        backoff=backoff,
+        seed=seed,
+    )
+    sim = MacroSimulator(cfg, surface)
+    seg = max(n_slots // n_segments, 1)
+    times, delivered_t, backlog_t = [], [], []
+    total = MacroStats()
+    done = 0
+    while done < n_slots:
+        part = sim.run(min(seg, n_slots - done))
+        done += min(seg, n_slots - done)
+        _accumulate(total, part)
+        times.append(done * slot_s)
+        delivered_t.append(total.delivered)
+        backlog_t.append(part.final_backlog)
+    result = ExperimentResult(
+        experiment_id="macro_fire_ring",
+        x_label="time (s)",
+        x=times,
+        series={"delivered_cumulative": delivered_t, "backlog": backlog_t},
+        params={
+            "n_tags": n_tags,
+            "r_min_m": r_min_m,
+            "r_max_m": r_max_m,
+            "front_speed_m_s": front_speed_m_s,
+            "backoff": backoff,
+            "slotted": slotted,
+            "n_slots": n_slots,
+        },
+        metrics={
+            "delivery_ratio": total.delivery_ratio,
+            "p95_latency_s": total.p95_latency_s,
+            "peak_backlog": float(total.peak_backlog),
+            "final_backlog": float(total.final_backlog),
+            "link_fer": total.link_fer,
+            "events_per_sec": total.events_per_sec,
+        },
+        seed=seed,
+        notes="expanding event front; storm drains outward through weakening links",
+    )
+    return result.finish(t0)
+
+
+def cross_validate(
+    surface: Optional[Union[FerSurface, str]] = None,
+    distances_m: Sequence[float] = (1.0, 2.0, 3.0),
+    n_tags: int = 10,
+    phy_rounds: int = 50,
+    arq_rounds: int = 60,
+    macro_slots: int = 2000,
+    rate_per_slot: float = 0.1,
+    seed: int = 123,
+) -> ExperimentResult:
+    """The macro <-> sample-domain agreement contract.
+
+    Two comparisons on the paper's 10-tag workloads, both seeded and
+    deterministic:
+
+    1. **Saturated FER** (fig-8/9 operating points): a fresh,
+       independently seeded :class:`~repro.sim.network.CbmaNetwork`
+       runs *phy_rounds* saturated rounds at each distance; the macro
+       engine runs the same fleet saturated against the surface.
+       ``|fer_macro - fer_phy|`` must stay within
+       :data:`FER_TOLERANCE` at every point.
+    2. **ARQ under Poisson load**: the same traffic and backoff
+       strategy through :class:`~repro.mac.arq.ArqSimulator` (sample
+       domain) and the macro engine; delivery ratio within
+       :data:`DELIVERY_TOLERANCE`, goodput within
+       :data:`GOODPUT_REL_TOLERANCE` (relative).
+
+    The result's ``metrics["max_abs_fer_err"]`` /
+    ``metrics["delivery_err"]`` / ``metrics["goodput_rel_err"]`` and
+    the ``metrics["within_tolerance"]`` flag are what the macro-smoke
+    CI job asserts on.
+    """
+    from repro.channel.geometry import Deployment
+    from repro.mac.arq import ArqSimulator
+    from repro.sim.network import CbmaConfig, CbmaNetwork
+
+    t0 = time.perf_counter()
+    surface = _default_surface(surface)
+    root = make_rng(seed)
+    slot_s = float(surface.provenance.get("frame_duration_s", 1e-2))
+
+    # --- 1: saturated FER at the fig-8(a) operating points -------------
+    fer_phy, fer_macro = [], []
+    for d in distances_m:
+        phy_seed = int(root.integers(0, 2**31))
+        net = CbmaNetwork(
+            CbmaConfig(n_tags=n_tags, seed=phy_seed),
+            Deployment.linear(n_tags, tag_to_rx=float(d)),
+        )
+        fer_phy.append(net.run_rounds(phy_rounds).fer)
+        cfg = MacroConfig(
+            n_tags=n_tags,
+            traffic=None,  # saturated
+            snr_db=geometry_snr_db(float(d)),
+            # cw pinned to 1 => zero wait: every tag transmits every
+            # slot, exactly like the PHY reference's saturated rounds.
+            backoff=BinaryExponentialBackoff(cw_min=1.0, cw_max=1.0),
+            seed=phy_seed + 1,
+        )
+        stats = MacroSimulator(cfg, surface).run(macro_slots)
+        fer_macro.append(stats.link_fer)
+    fer_err = [abs(a - b) for a, b in zip(fer_macro, fer_phy)]
+
+    # --- 2: ARQ vs macro under one shared Poisson schedule --------------
+    arq_seed = int(root.integers(0, 2**31))
+    strategy = BinaryExponentialBackoff(cw_min=2.0, cw_max=16.0)
+    rate_hz = rate_per_slot / slot_s
+    schedule = PoissonArrivals(rate_hz=rate_hz).draw(
+        n_tags * arq_rounds, slot_s, make_rng(arq_seed + 1)
+    ).reshape(arq_rounds, n_tags)
+    net = CbmaNetwork(
+        CbmaConfig(n_tags=n_tags, seed=arq_seed),
+        Deployment.linear(n_tags, tag_to_rx=float(distances_m[0])),
+    )
+    arq = ArqSimulator(
+        net,
+        _ReplayTraffic(schedule),
+        backoff=strategy,
+    )
+    arq_stats = arq.run(arq_rounds, rng=make_rng(arq_seed + 1))
+    payload_bits = 8 * net.config.payload_bytes
+
+    cfg = MacroConfig(
+        n_tags=n_tags,
+        traffic=_ReplayTraffic(schedule),
+        snr_db=geometry_snr_db(float(distances_m[0])),
+        backoff=strategy,
+        seed=arq_seed + 2,
+    )
+    macro_stats = MacroSimulator(cfg, surface).run(arq_rounds)
+    delivery_err = abs(macro_stats.delivery_ratio - arq_stats.delivery_ratio)
+    g_arq = arq_stats.goodput_bps(payload_bits)
+    g_macro = macro_stats.goodput_bps(payload_bits)
+    goodput_rel_err = abs(g_macro - g_arq) / max(g_arq, g_macro, 1e-12)
+
+    within = (
+        max(fer_err) <= FER_TOLERANCE
+        and delivery_err <= DELIVERY_TOLERANCE
+        and goodput_rel_err <= GOODPUT_REL_TOLERANCE
+    )
+    result = ExperimentResult(
+        experiment_id="macro_cross_validation",
+        x_label="tag-to-RX distance (m)",
+        x=list(distances_m),
+        series={"fer_phy": fer_phy, "fer_macro": fer_macro},
+        params={
+            "n_tags": n_tags,
+            "phy_rounds": phy_rounds,
+            "arq_rounds": arq_rounds,
+            "macro_slots": macro_slots,
+            "rate_per_slot": rate_per_slot,
+            "fer_tolerance": FER_TOLERANCE,
+            "delivery_tolerance": DELIVERY_TOLERANCE,
+            "goodput_rel_tolerance": GOODPUT_REL_TOLERANCE,
+        },
+        metrics={
+            "max_abs_fer_err": float(max(fer_err)),
+            "delivery_arq": arq_stats.delivery_ratio,
+            "delivery_macro": macro_stats.delivery_ratio,
+            "delivery_err": float(delivery_err),
+            "goodput_arq_bps": g_arq,
+            "goodput_macro_bps": g_macro,
+            "goodput_rel_err": float(goodput_rel_err),
+            "within_tolerance": float(within),
+        },
+        seed=seed,
+        notes=(
+            "saturated FER at fig-8(a) points + ARQ-vs-macro Poisson load; "
+            "both tiers seeded and deterministic"
+        ),
+    )
+    return result.finish(t0)

@@ -111,6 +111,8 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "stream_decode",
         "session_window",
         "bench",
+        "macro_run",
+        "macro_calibration",
     }
 )
 
@@ -256,6 +258,17 @@ TAXONOMY: Tuple[MetricFamily, ...] = (
     _fixed("farm.migrations", MetricKind.COUNTER, "sessions drained and resumed on another worker"),
     _fixed("farm.batched_windows", MetricKind.COUNTER, "windows pre-gated through a cross-session batch"),
     _fixed("farm.slot_waits", MetricKind.COUNTER, "feeds that blocked for a free ring slot"),
+    # --- macro tier (repro.macro: event-driven fleet simulator) -----------
+    _fixed("macro.offered", MetricKind.COUNTER, "messages offered to the macro engine"),
+    _fixed("macro.delivered", MetricKind.COUNTER, "messages delivered (deduped) by the macro engine"),
+    _fixed("macro.dropped", MetricKind.COUNTER, "messages dropped at retry limit or queue tail"),
+    _fixed("macro.duplicates", MetricKind.COUNTER, "redeliveries after a lost ACK (deduped)"),
+    _fixed("macro.acks_lost", MetricKind.COUNTER, "downlink ACKs that never reached their tag"),
+    _fixed("macro.transmissions", MetricKind.COUNTER, "transmission attempts simulated"),
+    _fixed("macro.collisions", MetricKind.COUNTER, "attempts lost to concurrent-access FER"),
+    _fixed("macro.windows", MetricKind.COUNTER, "arrival windows advanced by the engine"),
+    _fixed("macro.calibration_rounds", MetricKind.COUNTER, "PHY rounds run by the calibration sweep"),
+    _fixed("macro.surface_cache_hits", MetricKind.COUNTER, "calibration artifacts reused from cache"),
     # --- microbenchmarks (repro bench) ------------------------------------
     MetricFamily(
         "bench.<op>.reps",
@@ -280,6 +293,9 @@ TAXONOMY: Tuple[MetricFamily, ...] = (
     _fixed("farm.queue_depth", MetricKind.GAUGE, "commands in flight to workers"),
     _fixed("farm.worker_utilization", MetricKind.GAUGE, "busy fraction per worker over its lifetime"),
     _fixed("farm.ring_occupancy", MetricKind.GAUGE, "occupied shared-memory ring slots after each feed"),
+    _fixed("macro.backlog", MetricKind.GAUGE, "queued messages across the fleet after each window"),
+    _fixed("macro.events_per_sec", MetricKind.GAUGE, "engine event throughput of one run"),
+    _fixed("macro.fer", MetricKind.GAUGE, "frame error rate the link surface returned"),
 ) + tuple(
     _fixed(name, MetricKind.SPAN, "pipeline/loop span") for name in sorted(SPAN_NAMES)
 )
@@ -436,6 +452,16 @@ class C:
     FARM_MIGRATIONS = "farm.migrations"
     FARM_BATCHED_WINDOWS = "farm.batched_windows"
     FARM_SLOT_WAITS = "farm.slot_waits"
+    MACRO_OFFERED = "macro.offered"
+    MACRO_DELIVERED = "macro.delivered"
+    MACRO_DROPPED = "macro.dropped"
+    MACRO_DUPLICATES = "macro.duplicates"
+    MACRO_ACKS_LOST = "macro.acks_lost"
+    MACRO_TRANSMISSIONS = "macro.transmissions"
+    MACRO_COLLISIONS = "macro.collisions"
+    MACRO_WINDOWS = "macro.windows"
+    MACRO_CALIBRATION_ROUNDS = "macro.calibration_rounds"
+    MACRO_SURFACE_CACHE_HITS = "macro.surface_cache_hits"
 
 
 class G:
@@ -453,3 +479,6 @@ class G:
     FARM_QUEUE_DEPTH = "farm.queue_depth"
     FARM_WORKER_UTILIZATION = "farm.worker_utilization"
     FARM_RING_OCCUPANCY = "farm.ring_occupancy"
+    MACRO_BACKLOG = "macro.backlog"
+    MACRO_EVENTS_PER_SEC = "macro.events_per_sec"
+    MACRO_FER = "macro.fer"

@@ -2,19 +2,35 @@
 
 The paper motivates CBMA with IoT devices that "transmit data at low
 rates or in a burst manner" (Sec. I).  These arrival processes feed the
-ARQ layer (:mod:`repro.mac.arq`) so throughput and latency can be
-studied under realistic offered load rather than full saturation:
+ARQ layer (:mod:`repro.mac.arq`) and the macro tier
+(:mod:`repro.macro`) so throughput and latency can be studied under
+realistic offered load rather than full saturation:
 
 - :class:`PoissonArrivals` -- memoryless sensor reports;
 - :class:`PeriodicArrivals` -- fixed-interval telemetry with per-tag
   phase offsets;
 - :class:`BurstyArrivals` -- ON/OFF bursts (events trigger a flurry of
   readings).
+
+Every model shares one window contract: ``draw(n_tags, duration_s,
+rng)`` returns the per-tag message counts of the *next* window.  Two
+of the models carry state between windows (the periodic model's window
+clock, the bursty model's ON/OFF occupancy), so an instance that is
+reused across independent runs must be returned to its initial state
+first -- that is :meth:`reset`, and every simulator that accepts a
+traffic model (:class:`repro.mac.arq.ArqSimulator`,
+:class:`repro.macro.engine.MacroSimulator`) calls it at construction
+so back-to-back runs from fresh simulators are identical.
+:class:`PeriodicArrivals` additionally accepts an explicit
+``start_s``, which makes a single window draw a pure function of its
+arguments (no hidden clock at all) -- the form the event-driven macro
+tier uses.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -28,6 +44,9 @@ class PoissonArrivals:
     """Independent Poisson arrivals at *rate_hz* messages/second/tag."""
 
     rate_hz: float
+
+    def reset(self) -> None:
+        """No-op: the Poisson model is memoryless (uniform API)."""
 
     def draw(self, n_tags: int, duration_s: float, rng=None) -> np.ndarray:
         """Messages arriving per tag during *duration_s*."""
@@ -43,6 +62,13 @@ class PeriodicArrivals:
 
     Tag *i* reports at phases ``i * period / n_tags`` -- the natural
     firmware choice to avoid synchronous bursts.
+
+    Successive :meth:`draw` calls advance an internal window clock so a
+    round-driven simulator can just ask for "the next *duration_s*
+    seconds".  Pass ``start_s`` to evaluate one explicit window
+    ``[start_s, start_s + duration_s)`` instead -- that form is
+    stateless and leaves the internal clock untouched.  :meth:`reset`
+    rewinds the internal clock to zero.
     """
 
     period_s: float
@@ -52,22 +78,40 @@ class PeriodicArrivals:
             raise ValueError("period must be positive")
         self._elapsed = 0.0
 
-    def draw(self, n_tags: int, duration_s: float, rng=None) -> np.ndarray:
-        """Messages per tag during the next *duration_s* window."""
-        start = self._elapsed
+    def reset(self) -> None:
+        """Rewind the internal window clock to time zero."""
+        self._elapsed = 0.0
+
+    def draw(
+        self,
+        n_tags: int,
+        duration_s: float,
+        rng=None,
+        start_s: Optional[float] = None,
+    ) -> np.ndarray:
+        """Messages per tag during one *duration_s* window.
+
+        With ``start_s=None`` (default) the window follows the last
+        drawn one and the internal clock advances; with an explicit
+        ``start_s`` the window is ``[start_s, start_s + duration_s)``
+        and no state is touched.
+        """
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        if start_s is None:
+            start = self._elapsed
+            self._elapsed = start + duration_s
+        else:
+            start = float(start_s)
         end = start + duration_s
-        self._elapsed = end
-        counts = np.zeros(n_tags, dtype=np.int64)
-        for i in range(n_tags):
-            phase = (i / max(n_tags, 1)) * self.period_s
-            # Arrivals at phase + k*period inside [start, end).
-            k_first = int(np.ceil((start - phase) / self.period_s))
-            t = phase + k_first * self.period_s
-            while t < end:
-                if t >= start:
-                    counts[i] += 1
-                t += self.period_s
-        return counts
+        if n_tags <= 0:
+            return np.zeros(0, dtype=np.int64)
+        # Tag i fires at phase_i + k*period; count the k with
+        # start <= phase_i + k*period < end, vectorised over tags.
+        phases = (np.arange(n_tags, dtype=np.float64) / n_tags) * self.period_s
+        k_first = np.ceil((start - phases) / self.period_s)
+        k_last = np.ceil((end - phases) / self.period_s)  # exclusive
+        return np.maximum(k_last - k_first, 0.0).astype(np.int64)
 
 
 @dataclass
@@ -76,7 +120,9 @@ class BurstyArrivals:
 
     Each window, a tag in OFF turns ON with probability *p_on*; while
     ON it emits ``burst_rate_hz`` Poisson traffic and returns to OFF
-    with probability *p_off* at the window end.
+    with probability *p_off* at the window end.  The ON/OFF occupancy
+    persists across :meth:`draw` calls (that is the point of the
+    model); :meth:`reset` returns every tag to OFF.
     """
 
     burst_rate_hz: float
@@ -86,18 +132,30 @@ class BurstyArrivals:
     def __post_init__(self) -> None:
         if not (0 <= self.p_on <= 1 and 0 <= self.p_off <= 1):
             raise ValueError("probabilities must lie in [0, 1]")
-        self._state: dict = {}
+        self._on: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        """Return every tag to the OFF state."""
+        self._on = None
+
+    def _state(self, n_tags: int) -> np.ndarray:
+        if self._on is None or self._on.size != n_tags:
+            self._on = np.zeros(n_tags, dtype=bool)
+        return self._on
 
     def draw(self, n_tags: int, duration_s: float, rng=None) -> np.ndarray:
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
         rng = make_rng(rng)
-        counts = np.zeros(n_tags, dtype=np.int64)
-        for i in range(n_tags):
-            on = self._state.get(i, False)
-            if not on and rng.random() < self.p_on:
-                on = True
-            if on:
-                counts[i] = rng.poisson(self.burst_rate_hz * duration_s)
-                if rng.random() < self.p_off:
-                    on = False
-            self._state[i] = on
-        return counts
+        on = self._state(n_tags)
+        # One vectorised pass replaces the old per-tag loop: the three
+        # RNG draws (turn-on, burst counts, turn-off) happen for every
+        # tag so the stream stays aligned regardless of state.
+        turn_on = rng.random(n_tags) < self.p_on
+        on = on | turn_on
+        counts = rng.poisson(self.burst_rate_hz * duration_s, size=n_tags)
+        counts[~on] = 0
+        turn_off = rng.random(n_tags) < self.p_off
+        on &= ~turn_off
+        self._on = on
+        return counts.astype(np.int64)

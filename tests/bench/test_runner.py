@@ -142,12 +142,14 @@ class TestReportPersistence:
 
     def test_committed_baseline_parses(self):
         """The checked-in trajectory file must always stay loadable."""
-        baseline = BenchReport.load("benchmarks/BENCH_0006.json")
+        baseline = BenchReport.load("benchmarks/BENCH_0008.json")
         assert baseline.bench_id == BENCH_ID
         assert baseline.op("detect_fft") is not None
         assert baseline.derived["detect_speedup_fft_over_direct"] >= 3.0
         assert baseline.op("farm_decode_w4") is not None
         assert "farm_sessions_per_core_w1" in baseline.derived
+        assert baseline.op("macro_engine_slotted") is not None
+        assert "macro_engine_slotted_events_per_sec" in baseline.derived
 
 
 class TestBaselineGate:

@@ -1,0 +1,95 @@
+"""Backoff strategy zoo: growth shapes, broadcasting, registry."""
+
+import numpy as np
+import pytest
+
+from repro.macro.backoff import (
+    BACKOFF_REGISTRY,
+    AdaptiveBackoff,
+    BinaryExponentialBackoff,
+    EiedBackoff,
+    FibonacciBackoff,
+    make_backoff,
+)
+from repro.utils.rng import make_rng
+
+
+class TestRegistry:
+    def test_every_name_builds(self):
+        for name in BACKOFF_REGISTRY:
+            strategy = make_backoff(name)
+            assert strategy.initial_cw() >= 1.0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backoff"):
+            make_backoff("exponential-ish")
+
+    def test_params_reach_the_constructor(self):
+        strategy = make_backoff("beb", cw_min=4.0, cw_max=64.0)
+        assert strategy.cw_min == 4.0 and strategy.cw_max == 64.0
+
+    def test_invalid_windows_rejected(self):
+        for cls in (BinaryExponentialBackoff, FibonacciBackoff, EiedBackoff, AdaptiveBackoff):
+            with pytest.raises(ValueError):
+                cls(cw_min=8.0, cw_max=2.0)
+            with pytest.raises(ValueError):
+                cls(cw_min=0.5, cw_max=2.0)
+
+
+class TestShapes:
+    def test_beb_doubles_and_caps(self):
+        b = BinaryExponentialBackoff(cw_min=2.0, cw_max=16.0)
+        cw = b.initial_cw()
+        seen = []
+        for attempt in range(1, 6):
+            cw = float(b.on_failure(cw, attempt))
+            seen.append(cw)
+        assert seen == [4.0, 8.0, 16.0, 16.0, 16.0]
+        assert float(b.on_success(seen[-1])) == 2.0
+
+    def test_fibonacci_grows_subexponentially(self):
+        f = FibonacciBackoff(cw_min=2.0, cw_max=1024.0)
+        windows = [float(f.on_failure(0.0, a)) for a in range(1, 7)]
+        # 2 * F(1..6) = 2, 2, 4, 6, 10, 16
+        assert windows == [2.0, 2.0, 4.0, 6.0, 10.0, 16.0]
+
+    def test_eied_decreases_gradually(self):
+        e = EiedBackoff(cw_min=2.0, cw_max=64.0, r_increase=2.0, r_decrease=2.0)
+        cw = float(e.on_failure(16.0, 1))
+        assert cw == 32.0
+        assert float(e.on_success(cw)) == 16.0  # halves, does not snap shut
+        assert float(e.on_success(2.5)) == 2.0  # floors at cw_min
+
+    def test_adaptive_closes_additively(self):
+        a = AdaptiveBackoff(cw_min=2.0, cw_max=64.0, increase_factor=2.0, decrease_step=1.0)
+        assert float(a.on_failure(8.0, 1)) == 16.0
+        assert float(a.on_success(16.0)) == 15.0
+        assert float(a.on_success(2.2)) == 2.0
+
+
+class TestBroadcasting:
+    @pytest.mark.parametrize("name", sorted(BACKOFF_REGISTRY))
+    def test_array_and_scalar_paths_agree(self, name):
+        strategy = make_backoff(name)
+        cw = np.array([2.0, 8.0, 32.0])
+        attempts = np.array([1, 2, 3])
+        widened = strategy.on_failure(cw, attempts)
+        assert widened.shape == cw.shape
+        for i in range(cw.size):
+            assert float(strategy.on_failure(cw[i], int(attempts[i]))) == pytest.approx(
+                widened[i]
+            )
+        closed = strategy.on_success(cw)
+        for i in range(cw.size):
+            assert float(strategy.on_success(cw[i])) == pytest.approx(closed[i])
+
+    def test_delay_slots_bounds(self):
+        strategy = BinaryExponentialBackoff(cw_min=2.0, cw_max=8.0)
+        rng = make_rng(5)
+        scalar = strategy.delay_slots(4.0, rng)
+        assert isinstance(scalar, int) and 0 <= scalar < 4
+        draws = strategy.delay_slots(np.full(1000, 4.0), rng)
+        assert draws.min() >= 0 and draws.max() < 4
+        # cw pinned to 1 => deterministic zero wait (cross-validation
+        # relies on this to mirror saturated PHY rounds).
+        assert strategy.delay_slots(1.0, rng) == 0

@@ -1,0 +1,108 @@
+"""FerSurface: interpolation, clamping, artifact round-trip, schema."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.macro.linkmodel import SURFACE_SCHEMA, FerSurface
+
+
+def make_surface():
+    """A small hand-built grid with easy-to-check values."""
+    return FerSurface(
+        snr_db_axis=np.array([0.0, 10.0, 20.0]),
+        k_axis=np.array([1.0, 5.0]),
+        fer=np.array([[0.8, 0.4, 0.0], [1.0, 0.6, 0.2]]),
+        provenance={"frame_duration_s": 0.01, "rounds": 1},
+    )
+
+
+class TestValidation:
+    def test_axes_must_ascend(self):
+        with pytest.raises(ValueError):
+            FerSurface(
+                snr_db_axis=np.array([10.0, 0.0]),
+                k_axis=np.array([1.0]),
+                fer=np.array([[0.5, 0.5]]),
+                provenance={},
+            )
+
+    def test_shape_must_match_axes(self):
+        with pytest.raises(ValueError):
+            FerSurface(
+                snr_db_axis=np.array([0.0, 10.0]),
+                k_axis=np.array([1.0, 2.0]),
+                fer=np.array([[0.5, 0.5]]),
+                provenance={},
+            )
+
+    def test_fer_must_be_probability(self):
+        with pytest.raises(ValueError):
+            FerSurface(
+                snr_db_axis=np.array([0.0, 10.0]),
+                k_axis=np.array([1.0]),
+                fer=np.array([[0.5, 1.5]]),
+                provenance={},
+            )
+
+
+class TestInterpolation:
+    def test_exact_at_grid_points(self):
+        s = make_surface()
+        for i, k in enumerate(s.k_axis):
+            for j, snr in enumerate(s.snr_db_axis):
+                assert s.fer_at(snr, k) == pytest.approx(s.fer[i, j])
+
+    def test_bilinear_midpoint(self):
+        s = make_surface()
+        # Centre of the (0..10 dB, k 1..5) cell: mean of the 4 corners.
+        expected = np.mean([0.8, 0.4, 1.0, 0.6])
+        assert s.fer_at(5.0, 3.0) == pytest.approx(expected)
+
+    def test_clamps_outside_the_grid(self):
+        s = make_surface()
+        assert s.fer_at(-100.0, 0.5) == pytest.approx(s.fer[0, 0])
+        assert s.fer_at(100.0, 50.0) == pytest.approx(s.fer[-1, -1])
+
+    def test_scalar_in_scalar_out(self):
+        s = make_surface()
+        out = s.fer_at(5.0, 1.0)
+        assert isinstance(out, float)
+
+    def test_vectorised_matches_scalar(self):
+        s = make_surface()
+        rng = np.random.default_rng(3)
+        snr = rng.uniform(-5, 25, 64)
+        k = rng.uniform(0.5, 8, 64)
+        batch = s.fer_at(snr, k)
+        singles = np.array([s.fer_at(float(a), float(b)) for a, b in zip(snr, k)])
+        np.testing.assert_allclose(batch, singles)
+
+
+class TestArtifact:
+    def test_round_trip(self, tmp_path):
+        s = make_surface()
+        path = tmp_path / "surface.json"
+        s.save(path)
+        loaded = FerSurface.load(path)
+        np.testing.assert_allclose(loaded.fer, s.fer)
+        np.testing.assert_allclose(loaded.snr_db_axis, s.snr_db_axis)
+        np.testing.assert_allclose(loaded.k_axis, s.k_axis)
+        assert loaded.provenance == s.provenance
+
+    def test_schema_is_stamped(self, tmp_path):
+        s = make_surface()
+        path = tmp_path / "surface.json"
+        s.save(path)
+        assert json.loads(path.read_text())["schema"] == SURFACE_SCHEMA
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        s = make_surface()
+        path = tmp_path / "surface.json"
+        s.save(path)
+        doc = json.loads(path.read_text())
+        doc["schema"] = "someone.elses/9"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="schema"):
+            FerSurface.load(path)

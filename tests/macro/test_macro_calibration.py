@@ -1,0 +1,116 @@
+"""Calibration sweep and the provenance-keyed artifact cache.
+
+The actual PHY sweep runs once per module (tiny grid, seconds) and is
+shared by every test here through a module-scoped fixture.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.macro.calibration import (
+    CalibrationSpec,
+    calibrate,
+    geometry_snr_db,
+    load_or_calibrate,
+)
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture(scope="module")
+def tiny_surface():
+    return calibrate(CalibrationSpec.tiny())
+
+
+class TestGeometrySnr:
+    def test_monotone_in_distance(self):
+        snrs = [geometry_snr_db(d) for d in (0.5, 1.0, 2.0, 4.0)]
+        assert snrs == sorted(snrs, reverse=True)
+
+    def test_deterministic(self):
+        assert geometry_snr_db(1.5) == geometry_snr_db(1.5)
+
+
+class TestSpec:
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationSpec(tag_counts=())
+        with pytest.raises(ValueError):
+            CalibrationSpec(tag_counts=(4, 2))
+        with pytest.raises(ValueError):
+            CalibrationSpec(distances_m=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            CalibrationSpec(rounds=0)
+
+    def test_provenance_names_the_phy(self):
+        prov = CalibrationSpec.tiny().provenance()
+        assert prov["calibrated_from"] == "repro.sim.network.CbmaNetwork"
+        assert prov["fading"] == "on"
+        assert prov["frame_duration_s"] > 0
+
+
+class TestCalibrate:
+    def test_surface_shape_and_axes(self, tiny_surface):
+        spec = CalibrationSpec.tiny()
+        assert tiny_surface.fer.shape == (len(spec.tag_counts), len(spec.distances_m))
+        assert np.all(np.diff(tiny_surface.snr_db_axis) > 0)
+        np.testing.assert_array_equal(tiny_surface.k_axis, spec.tag_counts)
+
+    def test_more_concurrency_is_worse(self, tiny_surface):
+        # On the tiny grid the distance effect drowns in Monte-Carlo
+        # noise (8 rounds/cell), but the concurrency effect is an order
+        # of magnitude and must survive: each k row averages at least
+        # as much FER as the one below it.
+        row_means = tiny_surface.fer.mean(axis=1)
+        assert np.all(np.diff(row_means) >= 0)
+
+    def test_counts_calibration_rounds(self):
+        tracer = Tracer()
+        spec = CalibrationSpec(tag_counts=(1,), distances_m=(1.0,), rounds=2)
+        calibrate(spec, tracer=tracer)
+        assert tracer.counters["macro.calibration_rounds"] == 2
+        assert "macro_calibration" in {r.name for r in tracer.records}
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path, tiny_surface):
+        path = tmp_path / "surface.json"
+        spec = CalibrationSpec.tiny()
+        tiny_surface.save(path)
+
+        tracer = Tracer()
+        loaded = load_or_calibrate(path, spec, tracer=tracer)
+        assert tracer.counters.get("macro.surface_cache_hits") == 1
+        np.testing.assert_allclose(loaded.fer, tiny_surface.fer)
+
+    def test_stale_provenance_recalibrates(self, tmp_path, tiny_surface):
+        path = tmp_path / "surface.json"
+        doc = tiny_surface.to_dict()
+        doc["provenance"]["rounds"] = 999  # claims a sweep that never ran
+        path.write_text(json.dumps(doc))
+
+        spec = CalibrationSpec(tag_counts=(1,), distances_m=(1.0,), rounds=1)
+        tracer = Tracer()
+        fresh = load_or_calibrate(path, spec, tracer=tracer)
+        assert "macro.surface_cache_hits" not in tracer.counters
+        assert fresh.provenance["rounds"] == 1
+        # The stale artifact was overwritten with the fresh sweep.
+        assert json.loads(path.read_text())["provenance"]["rounds"] == 1
+
+    def test_corrupt_artifact_recalibrates(self, tmp_path):
+        path = tmp_path / "surface.json"
+        path.write_text("{not json")
+        spec = CalibrationSpec(tag_counts=(1,), distances_m=(1.0,), rounds=1)
+        surface = load_or_calibrate(path, spec)
+        assert surface.fer.shape == (1, 1)
+
+    def test_extra_provenance_keys_still_hit(self, tmp_path, tiny_surface):
+        # sweep_wall_s (and future bookkeeping) must not bust the cache.
+        path = tmp_path / "surface.json"
+        doc = tiny_surface.to_dict()
+        doc["provenance"]["sweep_wall_s"] = 12.3
+        path.write_text(json.dumps(doc))
+        tracer = Tracer()
+        load_or_calibrate(path, CalibrationSpec.tiny(), tracer=tracer)
+        assert tracer.counters.get("macro.surface_cache_hits") == 1

@@ -1,0 +1,147 @@
+"""Scenario drivers and the macro <-> sample-domain contract."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.macro.engine import MacroConfig, MacroSimulator
+from repro.macro.linkmodel import FerSurface
+from repro.macro.scenarios import (
+    DELIVERY_TOLERANCE,
+    FER_TOLERANCE,
+    FireRingTraffic,
+    cross_validate,
+    fire_ring,
+    offered_load_sweep,
+)
+
+#: The artifact CI commits and the cross-validation contract runs on.
+COMMITTED_SURFACE = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "FER_SURFACE_0001.json"
+)
+
+SLOT_S = 0.01
+
+
+def flat_surface(fer_value: float) -> FerSurface:
+    return FerSurface(
+        snr_db_axis=np.array([0.0, 30.0]),
+        k_axis=np.array([1.0, 64.0]),
+        fer=np.full((2, 2), fer_value),
+        provenance={"frame_duration_s": SLOT_S},
+    )
+
+
+def contention_surface() -> FerSurface:
+    """FER grows with concurrency: 0 alone, 0.9 at k=64."""
+    return FerSurface(
+        snr_db_axis=np.array([0.0, 30.0]),
+        k_axis=np.array([1.0, 64.0]),
+        fer=np.array([[0.0, 0.0], [0.9, 0.9]]),
+        provenance={"frame_duration_s": SLOT_S},
+    )
+
+
+class TestFireRingTraffic:
+    def test_each_tag_fires_exactly_once(self):
+        crossing = np.array([0.005, 0.014, 0.014, 0.031])
+        traffic = FireRingTraffic(crossing)
+        totals = np.zeros(4, dtype=np.int64)
+        for _ in range(5):
+            totals += traffic.draw(4, SLOT_S)
+        np.testing.assert_array_equal(totals, [1, 1, 1, 1])
+
+    def test_reset_replays_the_event(self):
+        traffic = FireRingTraffic(np.array([0.0, 0.005]))
+        first = traffic.draw(2, SLOT_S)
+        traffic.reset()
+        np.testing.assert_array_equal(traffic.draw(2, SLOT_S), first)
+
+    def test_fleet_size_checked(self):
+        with pytest.raises(ValueError):
+            FireRingTraffic(np.array([0.1])).draw(3, SLOT_S)
+
+
+class TestOfferedLoadSweep:
+    def test_series_shapes_and_ranges(self):
+        result = offered_load_sweep(
+            flat_surface(0.1),
+            rates_per_slot=(0.05, 0.3),
+            n_tags=200,
+            n_slots=60,
+            seed=5,
+        )
+        assert result.experiment_id == "macro_load_sweep"
+        for name in ("delivery_ratio", "goodput_bps", "p95_latency_s", "link_fer"):
+            assert len(result.series[name]) == 2
+        assert all(0.0 <= v <= 1.0 for v in result.series["delivery_ratio"])
+
+    def test_contention_degrades_with_load(self):
+        result = offered_load_sweep(
+            contention_surface(),
+            rates_per_slot=(0.02, 0.8),
+            n_tags=400,
+            n_slots=80,
+            seed=5,
+        )
+        fer = result.series["link_fer"]
+        assert fer[-1] > fer[0]  # heavier load => more concurrency => worse links
+
+
+class TestFireRing:
+    def test_storm_drains_outward(self):
+        result = fire_ring(flat_surface(0.1), n_tags=2000, n_segments=10, seed=23)
+        delivered = result.series["delivered_cumulative"]
+        assert delivered == sorted(delivered)
+        assert result.metrics["delivery_ratio"] > 0.95
+        assert result.metrics["final_backlog"] == 0.0
+        assert result.metrics["peak_backlog"] > 0
+
+    def test_deterministic(self):
+        a = fire_ring(flat_surface(0.2), n_tags=500, n_segments=5, seed=7)
+        b = fire_ring(flat_surface(0.2), n_tags=500, n_segments=5, seed=7)
+        assert a.series["delivered_cumulative"] == b.series["delivered_cumulative"]
+        assert a.metrics["delivery_ratio"] == b.metrics["delivery_ratio"]
+
+
+class TestCrossValidation:
+    """The acceptance contract: the committed artifact must reproduce
+    the sample-domain 10-tag operating points within tolerance."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        assert COMMITTED_SURFACE.exists(), "committed FER surface missing"
+        return cross_validate(str(COMMITTED_SURFACE))
+
+    def test_within_tolerance(self, result):
+        m = result.metrics
+        assert m["max_abs_fer_err"] <= FER_TOLERANCE, m
+        assert m["delivery_err"] <= DELIVERY_TOLERANCE, m
+        assert m["within_tolerance"] == 1.0, m
+
+    def test_compares_real_operating_points(self, result):
+        # The PHY reference must actually exercise a spread of link
+        # qualities -- a degenerate all-zero FER row would pass the
+        # tolerance check while validating nothing.
+        assert max(result.series["fer_phy"]) > 0.05
+        assert len(result.x) >= 3
+
+
+class TestFleetScaleScenario:
+    def test_hundred_thousand_tags_on_committed_surface(self):
+        # The ISSUE acceptance floor, end to end on the real artifact:
+        # 10^5 tags advance through a calibrated surface with no
+        # sample-domain decoder in the loop.
+        surface = FerSurface.load(COMMITTED_SURFACE)
+        from repro.sim.traffic import PoissonArrivals
+
+        slot_s = float(surface.provenance["frame_duration_s"])
+        cfg = MacroConfig(
+            n_tags=100_000,
+            traffic=PoissonArrivals(rate_hz=0.02 / slot_s),
+            seed=31,
+        )
+        stats = MacroSimulator(cfg, surface).run(50)
+        assert stats.windows == 50
+        assert stats.delivered > 10_000

@@ -70,3 +70,111 @@ class TestBursty:
     def test_invalid_probs(self):
         with pytest.raises(ValueError):
             BurstyArrivals(1.0, p_on=1.5)
+
+
+class TestResetSemantics:
+    """PeriodicArrivals leaked `_elapsed` phase between runs; these
+    regression tests pin the explicit reset()/start_s contract."""
+
+    def test_periodic_back_to_back_runs_identical_after_reset(self):
+        model = PeriodicArrivals(period_s=1.0)
+        first = [model.draw(4, 0.3).tolist() for _ in range(7)]
+        model.reset()
+        second = [model.draw(4, 0.3).tolist() for _ in range(7)]
+        assert first == second
+
+    def test_periodic_without_reset_leaks_phase(self):
+        # The bug this guards against: a reused instance continues from
+        # the prior run's window clock instead of time zero.
+        model = PeriodicArrivals(period_s=1.0)
+        first = model.draw(4, 0.25)
+        second = model.draw(4, 0.25)
+        assert first.tolist() != second.tolist()
+        model.reset()
+        assert model.draw(4, 0.25).tolist() == first.tolist()
+
+    def test_periodic_explicit_window_is_stateless(self):
+        model = PeriodicArrivals(period_s=1.0)
+        model.draw(4, 0.6)  # advance the internal clock
+        a = model.draw(4, 0.25, start_s=2.0)
+        b = model.draw(4, 0.25, start_s=2.0)
+        assert a.tolist() == b.tolist()
+        # And the internal clock was not disturbed by explicit windows.
+        model.reset()
+        model.draw(4, 0.6)
+        c = model.draw(4, 0.4)
+        model.reset()
+        model.draw(4, 0.6)
+        model.draw(4, 0.25, start_s=5.0)
+        d = model.draw(4, 0.4)
+        assert c.tolist() == d.tolist()
+
+    def test_periodic_explicit_windows_tile_like_stateful(self):
+        # Window width exact in binary so the stateful accumulated
+        # clock and the multiplied explicit starts are bit-identical.
+        model = PeriodicArrivals(period_s=0.7)
+        stateful = [model.draw(5, 0.25).tolist() for _ in range(10)]
+        stateless = [
+            model.draw(5, 0.25, start_s=i * 0.25).tolist() for i in range(10)
+        ]
+        assert stateful == stateless
+
+    def test_bursty_back_to_back_runs_identical_after_reset(self):
+        model = BurstyArrivals(burst_rate_hz=40.0, p_on=0.3, p_off=0.2)
+        first = [model.draw(8, 0.2, np.random.default_rng(11)).tolist() for _ in range(5)]
+        model.reset()
+        second = [model.draw(8, 0.2, np.random.default_rng(11)).tolist() for _ in range(5)]
+        # Same seed each window + reset occupancy => identical runs.
+        assert first == second
+
+    def test_poisson_reset_is_noop(self):
+        model = PoissonArrivals(rate_hz=3.0)
+        model.reset()  # must exist for the uniform traffic API
+        counts = model.draw(4, 1.0, np.random.default_rng(0))
+        assert counts.shape == (4,)
+
+
+class TestDeterminism:
+    """Same seed => identical arrival counts for every model."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: PoissonArrivals(rate_hz=5.0),
+            lambda: PeriodicArrivals(period_s=0.9),
+            lambda: BurstyArrivals(burst_rate_hz=25.0, p_on=0.2, p_off=0.4),
+        ],
+        ids=["poisson", "periodic", "bursty"],
+    )
+    def test_same_seed_same_counts(self, factory):
+        def run(seed):
+            model = factory()
+            rng = np.random.default_rng(seed)
+            return [model.draw(16, 0.15, rng).tolist() for _ in range(12)]
+
+        assert run(42) == run(42)
+        # Sanity: total offered load is seed-sensitive for the random
+        # models (periodic is deterministic by construction).
+        if not isinstance(factory(), PeriodicArrivals):
+            flat = lambda runs: [c for w in runs for c in w]  # noqa: E731
+            assert flat(run(42)) != flat(run(43))
+
+    def test_periodic_vectorised_matches_scalar_counting(self):
+        # Cross-check the ceil-arithmetic against brute-force counting
+        # of firing instants on a fine grid of windows.
+        model = PeriodicArrivals(period_s=0.37)
+        n_tags, window = 6, 0.11
+        phases = [i * 0.37 / n_tags for i in range(n_tags)]
+        for w in range(25):
+            start, end = w * window, (w + 1) * window
+            expect = []
+            for ph in phases:
+                k = 0
+                count = 0
+                while ph + k * 0.37 < end:
+                    if ph + k * 0.37 >= start:
+                        count += 1
+                    k += 1
+                expect.append(count)
+            got = model.draw(n_tags, window, start_s=start).tolist()
+            assert got == expect, f"window {w}"
