@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint bench bench-quick bench-perf farm-bench macro-bench macro-validate examples report clean
+.PHONY: install test lint bench bench-quick bench-perf farm-bench gateway-bench gateway-soak macro-bench macro-validate examples report clean
 
 install:
 	pip install -e .
@@ -35,6 +35,18 @@ bench-perf:
 farm-bench:
 	$(PY) -m repro bench --tier farm --quick --output BENCH_0008_farm.json \
 		--baseline benchmarks/BENCH_0008.json
+
+# Ingestion gateway tier only: service real-time factor, admission
+# throughput, migration overhead.
+gateway-bench:
+	$(PY) -m repro bench --tier gateway --quick --output BENCH_0008_gateway.json \
+		--baseline benchmarks/BENCH_0008.json
+
+# The 50-stream acceptance chaos soak with a mid-soak worker drain
+# (exit 1 + shrunken plan artifact on an invariant breach).
+gateway-soak:
+	$(PY) -m repro gateway soak --streams 50 --rounds 12 --migrate-round 5 \
+		--artifact gateway-plan.json
 
 # Fleet-scale macro tier only: engine events-per-second and surface
 # lookup latency.

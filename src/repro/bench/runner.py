@@ -231,6 +231,23 @@ def _derive(ops: List[OpResult]) -> Dict[str, float]:
             realtime = n_sessions * stream_seconds / op.p50_s
             derived[f"farm_realtime_factor_w{n_workers}"] = realtime
             derived[f"farm_sessions_per_core_w{n_workers}"] = realtime / n_workers
+    # Gateway tier: the service-layer capacity figures -- decoded
+    # airtime per wall second through the whole admission/dispatch
+    # cycle, raw admission decisions per second, and the relative
+    # cost of a mid-soak live migration.
+    for op in ops:
+        if op.group != "gateway" or op.p50_s <= 0:
+            continue
+        decoded_seconds = float(op.params.get("decoded_seconds", 0.0))
+        if decoded_seconds > 0:
+            derived[f"{op.op}_realtime_factor"] = decoded_seconds / op.p50_s
+        n_decisions = float(op.params.get("n_decisions", 0.0))
+        if n_decisions > 0:
+            derived["gateway_admissions_per_sec"] = n_decisions / op.p50_s
+    plain = by_name.get("gateway_soak")
+    migrate = by_name.get("gateway_soak_migrate")
+    if plain is not None and migrate is not None and plain.p50_s > 0:
+        derived["gateway_migration_overhead"] = migrate.p50_s / plain.p50_s
     # Macro tier: the capacity figure is events simulated per wall
     # second -- the event count is deterministic (recorded at workload
     # build time), so the ratio is the only machine-dependent part.
@@ -253,7 +270,7 @@ def run_bench(
     """Run the benchmark suite and summarise it as a :class:`BenchReport`.
 
     *tier* selects one workload tier (``micro`` | ``detect`` | ``e2e``
-    | ``farm`` | ``macro``; default everything); *workloads* overrides the standard
+    | ``farm`` | ``gateway`` | ``macro``; default everything); *workloads* overrides the standard
     suite entirely (tests use tiny custom ones); *tracer* receives
     every per-rep sample for callers that want the raw event stream
     alongside the summary.

@@ -26,7 +26,7 @@ from repro.utils.correlation_batch import sliding_correlation_batch
 __all__ = ["TIERS", "Workload", "build_workloads"]
 
 #: Selectable workload tiers (``all`` = every tier).
-TIERS = ("micro", "detect", "e2e", "farm", "macro", "all")
+TIERS = ("micro", "detect", "e2e", "farm", "gateway", "macro", "all")
 
 
 @dataclass(frozen=True)
@@ -39,7 +39,8 @@ class Workload:
     fn: Callable[[], object]
     reps: int
     group: str = "micro"
-    """Report grouping: ``micro`` | ``detect`` | ``e2e`` | ``farm`` | ``macro``."""
+    """Report grouping: ``micro`` | ``detect`` | ``e2e`` | ``farm`` |
+    ``gateway`` | ``macro``."""
 
 
 def _bipolar_templates(rng: np.random.Generator, n_templates: int, m: int) -> np.ndarray:
@@ -140,6 +141,123 @@ def _farm_workloads(quick: bool, seed: int) -> List[Workload]:
     return workloads
 
 
+def _gateway_workloads(quick: bool, seed: int) -> List[Workload]:
+    """The service tier: full gateway soaks plus the admission hot path.
+
+    The soak workloads time a whole gateway life under a fixed
+    spike/brownout plan -- open streams, admit, dispatch, drain, close
+    -- on the inline backend so the measurement isolates the service
+    layer (admission, ladder, shedding, retention) from process-pool
+    startup, which the farm tier already prices.  The ``_migrate``
+    variant adds a mid-soak worker drain so ``derived`` can report the
+    relative cost of a live checkpoint/migrate/resume.  The admission
+    workload times the token-bucket + ladder decision loop alone --
+    the per-chunk overhead every admitted byte pays.
+    """
+    # Imported lazily: the other tiers must not pay for the gateway stack.
+    from repro.gateway import DegradationLadder, TokenBucket
+    from repro.gateway.soak import (
+        CapacityBrownout,
+        GatewayFaultPlan,
+        GatewaySoakConfig,
+        TrafficSpike,
+        run_gateway_soak,
+    )
+    from repro.sim.experiments.soak import SoakConfig, build_soak_stack
+    from repro.sim.network import CbmaConfig
+
+    n_streams = 8 if quick else 24
+    n_rounds = 6 if quick else 12
+    reps = 2 if quick else 4
+    cap = SoakConfig(
+        n_windows=8 if quick else 16, n_tags=2, seed=seed, traffic_rate=0.3
+    )
+    plan = GatewayFaultPlan(
+        [
+            TrafficSpike(
+                factor=3.0, start_round=n_rounds // 3, end_round=2 * n_rounds // 3
+            ),
+            CapacityBrownout(
+                factor=0.25,
+                start_round=n_rounds // 3 + 1,
+                end_round=2 * n_rounds // 3 + 1,
+            ),
+        ],
+        seed=seed,
+    )
+    net = CbmaConfig(
+        n_tags=cap.n_tags,
+        seed=cap.seed,
+        payload_bytes=cap.payload_bytes,
+        code_length=cap.code_length,
+        samples_per_chip=cap.samples_per_chip,
+        user_threshold=cap.user_threshold,
+    )
+    _tags, stream = build_soak_stack(cap)
+    chunk = cap.chunk_hops * stream.hop_samples
+    chunk_seconds = chunk / (net.samples_per_chip * net.chip_rate_hz)
+    workloads: List[Workload] = []
+    for op, migrate_round in (
+        ("gateway_soak", None),
+        ("gateway_soak_migrate", n_rounds // 2),
+    ):
+        cfg = GatewaySoakConfig(
+            n_streams=n_streams,
+            n_rounds=n_rounds,
+            seed=seed,
+            migrate_round=migrate_round,
+            backend="inline",
+            capture=cap,
+        )
+        # One probe run pins the deterministic decoded-airtime figure
+        # (admission decides how many chunks are actually fed).
+        probe = run_gateway_soak(cfg, plan)
+        decoded_seconds = (
+            sum(r.fed for r in probe.reports.values()) * chunk_seconds
+        )
+        params = {
+            "n_streams": n_streams,
+            "n_rounds": n_rounds,
+            "n_faults": len(plan.faults),
+            "migrate_round": migrate_round,
+            "backend": "inline",
+            "decoded_seconds": decoded_seconds,
+        }
+
+        def run(cfg: "GatewaySoakConfig" = cfg) -> object:
+            return run_gateway_soak(cfg, plan)
+
+        workloads.append(Workload(op, params, run, reps, "gateway"))
+
+    n_decisions = 50_000 if quick else 200_000
+    admission_reps = 5 if quick else 8
+
+    def run_admission() -> object:
+        now = [0.0]
+        bucket = TokenBucket(rate=1000.0, burst=64.0, clock=lambda: now[0])
+        ladder = DegradationLadder(
+            queue_high=64, queue_low=16, rtf_high=1.0, rtf_low=0.5
+        )
+        admitted = 0
+        for i in range(n_decisions):
+            now[0] += 1e-3
+            if bucket.try_acquire():
+                admitted += 1
+            ladder.observe(i % 96, 0.0)
+        return admitted
+
+    workloads.append(
+        Workload(
+            "gateway_admission",
+            {"n_decisions": n_decisions},
+            run_admission,
+            admission_reps,
+            "gateway",
+        )
+    )
+    return workloads
+
+
 def _macro_workloads(quick: bool, seed: int) -> List[Workload]:
     """The fleet-scale tier: macro engine throughput and surface lookups.
 
@@ -224,6 +342,11 @@ def build_workloads(
     - ``farm``: :class:`~repro.farm.DecodeFarm` over a multi-session
       soak capture at 1/2/4 workers (sessions-per-core and real-time
       factor land in ``derived``);
+    - ``gateway``: full :class:`~repro.gateway.Gateway` soaks under a
+      spike/brownout plan, with and without a mid-soak live migration,
+      plus the raw admission decision loop (service real-time factor,
+      migration overhead and admissions-per-second land in
+      ``derived``);
     - ``macro``: the fleet-scale :class:`~repro.macro.MacroSimulator`
       at 10^4 tags, slotted and unslotted, plus batched FER-surface
       lookups (events-per-second lands in ``derived``).
@@ -238,6 +361,8 @@ def build_workloads(
     workloads: List[Workload] = []
     if tier == "farm":
         return _farm_workloads(quick, seed)
+    if tier == "gateway":
+        return _gateway_workloads(quick, seed)
     if tier == "macro":
         return _macro_workloads(quick, seed)
 
@@ -329,6 +454,7 @@ def build_workloads(
         )
     if tier == "all":
         workloads.extend(_farm_workloads(quick, seed))
+        workloads.extend(_gateway_workloads(quick, seed))
         workloads.extend(_macro_workloads(quick, seed))
     else:
         workloads = [w for w in workloads if w.group == tier]

@@ -14,6 +14,7 @@ Usage (after ``pip install -e .``)::
     python -m repro macro calibrate --tiny --output /tmp/tiny_surface.json
     python -m repro macro validate
     python -m repro soak --windows 500 --campaigns 3 --artifact shrunk.json
+    python -m repro gateway soak --streams 50 --rounds 12 --migrate-round 5
     python -m repro trace record out.json --tags 3 --rounds 50
     python -m repro trace replay out.json --seed 9
 
@@ -181,7 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument(
         "--tier",
-        choices=["micro", "detect", "e2e", "farm", "macro", "all"],
+        choices=["micro", "detect", "e2e", "farm", "gateway", "macro", "all"],
         default="all",
         help="workload tier to run (default: all)",
     )
@@ -274,6 +275,52 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _surface_args(mval)
     mval.add_argument("--seed", type=int, default=123)
+
+    gateway = sub.add_parser(
+        "gateway", help="async ingestion gateway over the decode farm"
+    )
+    gateway_sub = gateway.add_subparsers(dest="gateway_command", required=True)
+    gsoak = gateway_sub.add_parser(
+        "soak",
+        help="chaos-soak the gateway under spikes/brownouts; exit 1 on violation",
+    )
+    gsoak.add_argument("--streams", type=int, default=50)
+    gsoak.add_argument("--rounds", type=int, default=12)
+    gsoak.add_argument("--seed", type=int, default=7)
+    gsoak.add_argument("--workers", type=int, default=2)
+    gsoak.add_argument(
+        "--backend",
+        choices=["inline", "process"],
+        default="inline",
+        help="farm backend (inline = deterministic CI-cheap oracle)",
+    )
+    gsoak.add_argument(
+        "--migrate-round",
+        type=int,
+        default=None,
+        metavar="R",
+        help="drain worker 0 live after round R (checkpoint/migrate/resume)",
+    )
+    gsoak.add_argument(
+        "--plan",
+        metavar="PATH",
+        help="gateway fault plan JSON (default: one spike overlapping one brownout)",
+    )
+    gsoak.add_argument(
+        "--random-plan",
+        action="store_true",
+        help="use a randomized seed-determined spike/brownout schedule instead",
+    )
+    gsoak.add_argument(
+        "--artifact",
+        metavar="PATH",
+        help="where to write the shrunken reproducing fault plan on violation",
+    )
+    gsoak.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report violations without shrinking the fault plan",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the domain-aware static analysis (LNT001..LNT012)"
@@ -505,10 +552,15 @@ def _cmd_macro(args: argparse.Namespace) -> int:
         )
         return 0
 
+    try:
+        surface = _macro_surface(args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: unusable FER surface {args.surface}: {exc}", file=sys.stderr)
+        return 2
+
     if args.macro_command == "run":
         from repro.sim.traffic import PoissonArrivals
 
-        surface = _macro_surface(args)
         slot_s = float(surface.provenance.get("frame_duration_s", 1e-2))
         traffic = (
             PoissonArrivals(rate_hz=args.rate / slot_s) if args.rate > 0 else None
@@ -545,7 +597,7 @@ def _cmd_macro(args: argparse.Namespace) -> int:
 
     if args.macro_command == "load":
         result = offered_load_sweep(
-            _macro_surface(args),
+            surface,
             n_tags=args.tags,
             n_slots=args.slots,
             backoff=args.backoff,
@@ -558,7 +610,7 @@ def _cmd_macro(args: argparse.Namespace) -> int:
 
     if args.macro_command == "fire-ring":
         result = fire_ring(
-            _macro_surface(args), n_tags=args.tags, backoff=args.backoff, seed=args.seed
+            surface, n_tags=args.tags, backoff=args.backoff, seed=args.seed
         )
         print(line_plot(result.x, {"backlog": result.series["backlog"]}))
         print(
@@ -571,7 +623,7 @@ def _cmd_macro(args: argparse.Namespace) -> int:
         return 0
 
     if args.macro_command == "validate":
-        result = cross_validate(_macro_surface(args), seed=args.seed)
+        result = cross_validate(surface, seed=args.seed)
         m = result.metrics
         print(
             render_table(
@@ -756,6 +808,110 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.gateway.soak import (
+        CapacityBrownout,
+        GatewayFaultPlan,
+        GatewaySoakConfig,
+        TrafficSpike,
+        random_gateway_fault_plan,
+        run_gateway_soak,
+    )
+    from repro.sim.experiments import shrink_fault_plan
+
+    if args.plan is not None:
+        try:
+            with open(args.plan) as fh:
+                plan = GatewayFaultPlan.from_dict(json.load(fh))
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            print(f"error: unusable fault plan {args.plan}: {exc}", file=sys.stderr)
+            return 2
+    elif args.random_plan:
+        plan = random_gateway_fault_plan(args.seed, args.rounds)
+    else:
+        third = max(1, args.rounds // 3)
+        plan = GatewayFaultPlan(
+            [
+                TrafficSpike(factor=3.0, start_round=third, end_round=2 * third + 1),
+                CapacityBrownout(
+                    factor=0.2, start_round=third + 1, end_round=2 * third + 2
+                ),
+            ],
+            seed=args.seed,
+        )
+
+    try:
+        cfg = GatewaySoakConfig(
+            n_streams=args.streams,
+            n_rounds=args.rounds,
+            seed=args.seed,
+            n_workers=args.workers,
+            backend=args.backend,
+            migrate_round=args.migrate_round,
+        )
+    except ValueError as exc:
+        print(f"error: bad soak config: {exc}", file=sys.stderr)
+        return 2
+    result = run_gateway_soak(cfg, plan)
+
+    ladder_path = [result.round_states[0]] if result.round_states else []
+    for state in result.round_states[1:]:
+        if state != ladder_path[-1]:
+            ladder_path.append(state)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["streams x rounds", f"{args.streams} x {args.rounds}"],
+                ["fault plan", f"{len(plan.faults)} faults, seed {plan.seed}"],
+                ["offered", str(sum(result.offered.values()))],
+                ["admitted / rejected", f"{result.admitted} / {result.rejected}"],
+                ["shed", str(result.shed)],
+                ["frames delivered", str(result.delivered_frames)],
+                ["ladder path", " > ".join(ladder_path)],
+                ["peak intake depth", str(result.peak_queue_depth)],
+                ["sessions migrated", str(len(result.moved_sessions))],
+            ],
+            title=f"repro gateway soak (backend {args.backend}, seed {args.seed})",
+        )
+    )
+    if result.ok:
+        print("all gateway invariants held")
+        return 0
+    print("\ngateway soak VIOLATED invariants:")
+    for v in result.violations:
+        print(f"  [{v.name}] {v.detail}")
+    shrunken = plan
+    if not args.no_shrink and not plan.empty:
+        shrunken = shrink_fault_plan(
+            plan,
+            lambda p: bool(run_gateway_soak(cfg, p).violations),
+            horizon=args.rounds,
+        )
+        print(f"minimal reproducing plan: {shrunken!r}")
+    if args.artifact:
+        payload = {
+            "config": {
+                "n_streams": args.streams,
+                "n_rounds": args.rounds,
+                "seed": args.seed,
+                "n_workers": args.workers,
+                "backend": args.backend,
+                "migrate_round": args.migrate_round,
+            },
+            "violations": [
+                {"name": v.name, "detail": v.detail} for v in result.violations
+            ],
+            "plan": shrunken.to_dict(),
+        }
+        with open(args.artifact, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"reproducing plan written to {args.artifact}")
+    return 1
+
+
 def _cmd_system(args: argparse.Namespace) -> int:
     from repro.channel.geometry import Room
     from repro.channel.mobility import RandomWalk
@@ -822,6 +978,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_lint(args)
     if args.command == "soak":
         return _cmd_soak(args)
+    if args.command == "gateway":
+        return _cmd_gateway(args)
     if args.command == "adapt":
         return _cmd_adapt(args)
     if args.command == "system":

@@ -13,7 +13,7 @@ Public surface:
 """
 
 from repro.farm.config import FarmConfig, SessionSpec
-from repro.farm.farm import DecodeFarm
+from repro.farm.farm import DecodeFarm, WorkerCrash
 from repro.farm.ring import ShmRing
 from repro.farm.worker import WorkerCore
 
@@ -22,5 +22,6 @@ __all__ = [
     "FarmConfig",
     "SessionSpec",
     "ShmRing",
+    "WorkerCrash",
     "WorkerCore",
 ]

@@ -33,6 +33,7 @@ run over the same chunks.
 from __future__ import annotations
 
 import multiprocessing
+import queue
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -44,13 +45,58 @@ from repro.obs.taxonomy import C, G
 from repro.obs.tracer import as_tracer
 from repro.receiver.streaming import StreamFrame
 
-__all__ = ["DecodeFarm"]
+__all__ = ["DecodeFarm", "WorkerCrash"]
 
 _BACKENDS = ("process", "inline")
 
 #: An idle farm whose worker takes longer than this to answer is
 #: declared dead rather than hanging the parent forever.
 _HARVEST_TIMEOUT_S = 120.0
+
+#: Poll granularity while blocked on the result queue: between polls
+#: the parent checks worker liveness so a dead worker surfaces as
+#: :class:`WorkerCrash` instead of a silent wait.
+_DEATH_POLL_S = 1.0
+
+
+class WorkerCrash(RuntimeError):
+    """A farm worker process died without reporting ``stopped``.
+
+    Raised from the parent's harvest loop.  By the time it propagates
+    the farm has already reclaimed the dead worker's in-flight ring
+    slots (they would otherwise stay claimed forever and strangle
+    ingest) and evicted its sessions from the placement map.
+
+    Attributes
+    ----------
+    worker:
+        Index of the dead worker.
+    sessions:
+        Session ids that were resident on it (now unplaced; their
+        frames so far remain in :attr:`DecodeFarm.frames`).
+    released_slots:
+        Ring slots that were in flight to the worker and have been
+        returned to the free list.
+    exitcode:
+        The process exit code (negative = killed by that signal).
+    """
+
+    def __init__(
+        self,
+        worker: int,
+        sessions: Sequence[int],
+        released_slots: Sequence[int],
+        exitcode: Optional[int],
+    ) -> None:
+        self.worker = worker
+        self.sessions = list(sessions)
+        self.released_slots = list(released_slots)
+        self.exitcode = exitcode
+        super().__init__(
+            f"farm worker {worker} died (exitcode={exitcode}); "
+            f"released {len(self.released_slots)} in-flight ring slot(s), "
+            f"lost sessions {self.sessions}"
+        )
 
 
 class DecodeFarm:
@@ -111,8 +157,17 @@ class DecodeFarm:
         self.worker_utilization: Dict[int, float] = {}
         #: Windows gated through a cross-session batch (lifetime).
         self.batched_windows = 0
+        #: Feeds that blocked on a full ring (the backpressure signal
+        #: consumers such as the gateway watch; mirrors
+        #: ``farm.slot_waits``).
+        self.slot_waits = 0
         self._fresh: Dict[int, List[StreamFrame]] = {}
         self._drained: Dict[int, List[Record]] = {}
+        self._inflight_slots: Dict[int, Set[int]] = {
+            w: set() for w in range(self.config.n_workers)
+        }
+        self._stopped_workers: Set[int] = set()
+        self._dead_workers: Set[int] = set()
 
         if backend == "inline":
             self._cores = [
@@ -207,6 +262,80 @@ class DecodeFarm:
     def worker_of(self, session_id: int) -> int:
         return self._placement[session_id]
 
+    def _pick_worker(self) -> int:
+        """Least-loaded live worker (lowest index on ties)."""
+        live = [
+            w for w in range(self.config.n_workers) if w not in self._dead_workers
+        ]
+        if not live:
+            raise RuntimeError("no live workers left in the farm")
+        loads = {w: 0 for w in live}
+        for placed in self._placement.values():
+            if placed in loads:
+                loads[placed] += 1
+        return min(live, key=lambda w: (loads[w], w))
+
+    # ------------------------------------------------------------------
+    # Dynamic membership (the gateway's attach/detach surface)
+    # ------------------------------------------------------------------
+
+    def add_session(self, spec: SessionSpec, worker: Optional[int] = None) -> int:
+        """Place a new session on a live farm; returns its worker.
+
+        Unlike construction-time placement this is incremental:
+        *worker* defaults to the least-loaded live worker, so streams
+        arriving one at a time still spread evenly.
+        """
+        self._check_open()
+        sid = spec.session_id
+        if sid in self._placement:
+            raise ValueError(f"session {sid} is already live")
+        if worker is None:
+            worker = self._pick_worker()
+        if not 0 <= worker < self.config.n_workers:
+            raise ValueError(f"worker {worker} out of range")
+        if worker in self._dead_workers:
+            raise ValueError(f"worker {worker} is dead")
+        self._specs[sid] = spec
+        if self.backend == "inline":
+            self._cores[worker].add(spec)
+        else:
+            self._cmd_queues[worker].put(("add", spec))
+        self._placement[sid] = worker
+        self.frames.setdefault(sid, [])
+        self._count(C.FARM_SESSIONS_OPENED)
+        self._gauge(G.FARM_SESSIONS_LIVE, len(self._placement))
+        return worker
+
+    def finish_session(self, session_id: int) -> List[StreamFrame]:
+        """Finish one session without stopping the farm.
+
+        Flushes outstanding cycles first (so the tail sees every fed
+        chunk), ends the session on its worker, records its stats and
+        health history, and returns the frames finalised since the
+        last harvest -- the per-session analogue of :meth:`finish`.
+        """
+        self._check_open()
+        if session_id not in self._placement:
+            raise KeyError(f"session {session_id} is not live")
+        if self._dirty_workers:
+            for sid, frames in self.pump(wait=True).items():
+                self._fresh.setdefault(sid, []).extend(frames)
+        worker = self._placement[session_id]
+        if self.backend == "inline":
+            frames, stats, history = self._cores[worker].finish(session_id)
+            self._collect(session_id, frames)
+            self.session_stats[session_id] = stats
+            self.session_health[session_id] = history
+        else:
+            self._cmd_queues[worker].put(("finish", session_id))
+            while not self._finished.get(session_id):
+                self._harvest(block=True)
+        del self._placement[session_id]
+        self._count(C.FARM_SESSIONS_CLOSED)
+        self._gauge(G.FARM_SESSIONS_LIVE, len(self._placement))
+        return self._fresh.pop(session_id, [])
+
     # ------------------------------------------------------------------
     # The data path
     # ------------------------------------------------------------------
@@ -233,10 +362,12 @@ class DecodeFarm:
             for lo in range(0, x.size, ring.slot_samples) or [0]:
                 piece = x[lo : lo + ring.slot_samples]
                 while ring.free_slots == 0:
+                    self.slot_waits += 1
                     self._count(C.FARM_SLOT_WAITS)
                     self._harvest(block=True)
                 slot = ring.claim()
                 n = ring.write(slot, piece)
+                self._inflight_slots[worker].add(slot)
                 self._cmd_queues[worker].put(("feed", session_id, slot, n))
             self._gauge(G.FARM_RING_OCCUPANCY, ring.occupancy)
         self._dirty_workers.add(worker)
@@ -252,7 +383,7 @@ class DecodeFarm:
         :meth:`finish`.
         """
         self._check_open()
-        dirty = sorted(self._dirty_workers)
+        dirty = sorted(self._dirty_workers - self._dead_workers)
         self._dirty_workers.clear()
         if self.backend == "inline":
             for worker in dirty:
@@ -361,9 +492,11 @@ class DecodeFarm:
             raise ValueError(f"session {session_id} is already live")
         spec = self._specs[session_id]
         if worker is None:
-            worker = len(self._placement) % self.config.n_workers
+            worker = self._pick_worker()
         if not 0 <= worker < self.config.n_workers:
             raise ValueError(f"worker {worker} out of range")
+        if worker in self._dead_workers:
+            raise ValueError(f"worker {worker} is dead")
         if self.backend == "inline":
             self._cores[worker].restore(spec, records)
         else:
@@ -445,12 +578,66 @@ class DecodeFarm:
             self._dispatch(msg)
 
     def _harvest(self, block: bool) -> None:
-        msg = self._result_queue.get(timeout=_HARVEST_TIMEOUT_S if block else 0.0)
-        self._dispatch(msg)
+        if not block:
+            self._dispatch(self._result_queue.get(timeout=0.0))
+            return
+        waited = 0.0
+        while True:
+            try:
+                msg = self._result_queue.get(timeout=_DEATH_POLL_S)
+            except queue.Empty:
+                self._check_worker_liveness()
+                waited += _DEATH_POLL_S
+                if waited >= _HARVEST_TIMEOUT_S:
+                    raise RuntimeError(
+                        f"farm workers produced no result for {_HARVEST_TIMEOUT_S}s"
+                    )
+                continue
+            self._dispatch(msg)
+            return
+
+    def _check_worker_liveness(self) -> None:
+        """Surface dead workers as :class:`WorkerCrash` (slots reclaimed).
+
+        Only consulted once the result queue has drained empty, so a
+        worker that exited normally has had its ``stopped`` reply
+        dispatched (the queue feeder flushes before process exit) and
+        is skipped here.
+        """
+        for w, proc in enumerate(self._procs):
+            if w in self._stopped_workers or w in self._dead_workers:
+                continue
+            if proc.is_alive():
+                continue
+            # A final drain in case the exit raced the Empty poll.
+            self._harvest_available()
+            if w in self._stopped_workers:
+                continue
+            self._recover_worker(w, proc.exitcode)
+
+    def _recover_worker(self, worker: int, exitcode: Optional[int]) -> None:
+        ring = self._rings[worker]
+        leaked = sorted(self._inflight_slots[worker])
+        for slot in leaked:
+            ring.release(slot)
+        self._inflight_slots[worker].clear()
+        lost = sorted(
+            sid for sid, placed in self._placement.items() if placed == worker
+        )
+        for sid in lost:
+            del self._placement[sid]
+        self._outstanding_pumps[worker] = 0
+        self._dirty_workers.discard(worker)
+        self._dead_workers.add(worker)
+        self._count(C.FARM_SESSIONS_CLOSED, len(lost))
+        self._gauge(G.FARM_SESSIONS_LIVE, len(self._placement))
+        self._gauge(G.FARM_RING_OCCUPANCY, ring.occupancy)
+        raise WorkerCrash(worker, lost, leaked, exitcode)
 
     def _dispatch(self, msg: Tuple[object, ...]) -> None:
         worker, tag = msg[0], msg[1]
         if tag == "free":
+            self._inflight_slots[worker].discard(msg[2])
             self._rings[worker].release(msg[2])
         elif tag == "pumped":
             _seq, results, batched = msg[2], msg[3], msg[4]
@@ -470,6 +657,7 @@ class DecodeFarm:
             busy, wall = msg[2], msg[3]
             util = busy / wall if wall > 0 else 0.0
             self.worker_utilization[worker] = util
+            self._stopped_workers.add(worker)
             self._gauge(G.FARM_WORKER_UTILIZATION, util)
         elif tag == "error":
             raise RuntimeError(f"farm worker {worker} failed: {msg[2]}")
@@ -477,13 +665,12 @@ class DecodeFarm:
             raise RuntimeError(f"unknown farm worker reply {tag!r}")
 
     def _shutdown_workers(self) -> None:
-        for cmd_q in self._cmd_queues:
-            cmd_q.put(("stop",))
-        stopped = 0
-        while stopped < len(self._procs):
-            before = len(self.worker_utilization)
+        for w, cmd_q in enumerate(self._cmd_queues):
+            if w not in self._dead_workers:
+                cmd_q.put(("stop",))
+        expected = len(self._procs) - len(self._dead_workers)
+        while len(self._stopped_workers) < expected:
             self._harvest(block=True)
-            stopped += len(self.worker_utilization) - before
         for proc in self._procs:
             proc.join(timeout=5.0)
         for ring in self._rings:

@@ -37,6 +37,7 @@ __all__ = [
     "FAULT_KINDS",
     "SPAN_NAMES",
     "SESSION_STATES",
+    "GATEWAY_STATES",
     "validate",
     "is_known",
     "family_for",
@@ -45,6 +46,7 @@ __all__ = [
     "fault_loss",
     "decode_outcome",
     "session_transition",
+    "gateway_transition",
     "C",
     "G",
 ]
@@ -96,6 +98,11 @@ FAULT_KINDS: Tuple[str, ...] = (
 #: ``session.transition.<state>`` counter family).
 SESSION_STATES: FrozenSet[str] = frozenset({"healthy", "degraded", "resync", "failed"})
 
+#: Degradation-ladder rungs of the async ingestion gateway
+#: (:class:`repro.gateway.ladder.GatewayState` values; the
+#: ``gateway.transition.<state>`` counter family).
+GATEWAY_STATES: FrozenSet[str] = frozenset({"full", "throttled", "shed", "draining"})
+
 #: Every legal span name (the pipeline stages of
 #: :data:`repro.obs.tracer.PIPELINE_STAGES` plus the loop/synthesis spans).
 SPAN_NAMES: FrozenSet[str] = frozenset(
@@ -113,6 +120,7 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "bench",
         "macro_run",
         "macro_calibration",
+        "gateway_step",
     }
 )
 
@@ -258,6 +266,23 @@ TAXONOMY: Tuple[MetricFamily, ...] = (
     _fixed("farm.migrations", MetricKind.COUNTER, "sessions drained and resumed on another worker"),
     _fixed("farm.batched_windows", MetricKind.COUNTER, "windows pre-gated through a cross-session batch"),
     _fixed("farm.slot_waits", MetricKind.COUNTER, "feeds that blocked for a free ring slot"),
+    # --- async ingestion gateway (repro.gateway) ---------------------------
+    _fixed("gateway.streams_opened", MetricKind.COUNTER, "capture streams admitted by the gateway"),
+    _fixed("gateway.streams_closed", MetricKind.COUNTER, "capture streams finished or evicted"),
+    _fixed("gateway.admitted", MetricKind.COUNTER, "chunks accepted into a stream intake queue"),
+    _fixed("gateway.rejected", MetricKind.COUNTER, "chunks (or streams) refused at admission"),
+    _fixed("gateway.shed", MetricKind.COUNTER, "admitted chunks dropped by load shedding"),
+    _fixed("gateway.retries", MetricKind.COUNTER, "admission retries after jittered backoff"),
+    _fixed("gateway.deadline_misses", MetricKind.COUNTER, "requests abandoned at their deadline"),
+    _fixed("gateway.chunks", MetricKind.COUNTER, "chunks fed through to the decode farm"),
+    _fixed("gateway.frames", MetricKind.COUNTER, "stream frames delivered to gateway clients"),
+    _fixed("gateway.migrations", MetricKind.COUNTER, "sessions drained/resumed for elasticity"),
+    MetricFamily(
+        "gateway.transition.<state>",
+        MetricKind.COUNTER,
+        "degradation-ladder transitions by destination rung",
+        values={"state": GATEWAY_STATES},
+    ),
     # --- macro tier (repro.macro: event-driven fleet simulator) -----------
     _fixed("macro.offered", MetricKind.COUNTER, "messages offered to the macro engine"),
     _fixed("macro.delivered", MetricKind.COUNTER, "messages delivered (deduped) by the macro engine"),
@@ -293,6 +318,11 @@ TAXONOMY: Tuple[MetricFamily, ...] = (
     _fixed("farm.queue_depth", MetricKind.GAUGE, "commands in flight to workers"),
     _fixed("farm.worker_utilization", MetricKind.GAUGE, "busy fraction per worker over its lifetime"),
     _fixed("farm.ring_occupancy", MetricKind.GAUGE, "occupied shared-memory ring slots after each feed"),
+    _fixed("gateway.queue_depth", MetricKind.GAUGE, "aggregate intake chunks queued across streams"),
+    _fixed("gateway.tokens", MetricKind.GAUGE, "admission tokens left in the bucket"),
+    _fixed("gateway.rtf", MetricKind.GAUGE, "decode wall seconds per stream second (smoothed)"),
+    _fixed("gateway.streams_live", MetricKind.GAUGE, "capture streams currently open"),
+    _fixed("gateway.retained_samples", MetricKind.GAUGE, "samples retained for migration re-feed"),
     _fixed("macro.backlog", MetricKind.GAUGE, "queued messages across the fleet after each window"),
     _fixed("macro.events_per_sec", MetricKind.GAUGE, "engine event throughput of one run"),
     _fixed("macro.fer", MetricKind.GAUGE, "frame error rate the link surface returned"),
@@ -395,6 +425,15 @@ def session_transition(state: str) -> str:
     return f"session.transition.{state}"
 
 
+def gateway_transition(state: str) -> str:
+    """``gateway.transition.<state>`` with the state checked."""
+    if state not in GATEWAY_STATES:
+        raise ValueError(
+            f"unknown gateway state {state!r} (allowed: {', '.join(sorted(GATEWAY_STATES))})"
+        )
+    return f"gateway.transition.{state}"
+
+
 def decode_outcome(reason: str) -> str:
     """``decode.<reason>`` with the reason checked."""
     if reason not in DECODE_REASONS:
@@ -452,6 +491,16 @@ class C:
     FARM_MIGRATIONS = "farm.migrations"
     FARM_BATCHED_WINDOWS = "farm.batched_windows"
     FARM_SLOT_WAITS = "farm.slot_waits"
+    GATEWAY_STREAMS_OPENED = "gateway.streams_opened"
+    GATEWAY_STREAMS_CLOSED = "gateway.streams_closed"
+    GATEWAY_ADMITTED = "gateway.admitted"
+    GATEWAY_REJECTED = "gateway.rejected"
+    GATEWAY_SHED = "gateway.shed"
+    GATEWAY_RETRIES = "gateway.retries"
+    GATEWAY_DEADLINE_MISSES = "gateway.deadline_misses"
+    GATEWAY_CHUNKS = "gateway.chunks"
+    GATEWAY_FRAMES = "gateway.frames"
+    GATEWAY_MIGRATIONS = "gateway.migrations"
     MACRO_OFFERED = "macro.offered"
     MACRO_DELIVERED = "macro.delivered"
     MACRO_DROPPED = "macro.dropped"
@@ -479,6 +528,11 @@ class G:
     FARM_QUEUE_DEPTH = "farm.queue_depth"
     FARM_WORKER_UTILIZATION = "farm.worker_utilization"
     FARM_RING_OCCUPANCY = "farm.ring_occupancy"
+    GATEWAY_QUEUE_DEPTH = "gateway.queue_depth"
+    GATEWAY_TOKENS = "gateway.tokens"
+    GATEWAY_RTF = "gateway.rtf"
+    GATEWAY_STREAMS_LIVE = "gateway.streams_live"
+    GATEWAY_RETAINED_SAMPLES = "gateway.retained_samples"
     MACRO_BACKLOG = "macro.backlog"
     MACRO_EVENTS_PER_SEC = "macro.events_per_sec"
     MACRO_FER = "macro.fer"

@@ -460,18 +460,26 @@ def shrink_fault_plan(
     purely from their seed, so a soak-backed predicate is); *horizon*
     bounds open-ended windows during narrowing.
 
+    Works on any plan class with the :class:`FaultPlan` shape --
+    ``plan.faults``, ``plan.seed``, ``cls(faults, seed=...)`` and
+    dataclass fault models carrying ``start_round``/``end_round`` --
+    which is how gateway-level plans
+    (:class:`repro.gateway.soak.GatewayFaultPlan`) shrink through the
+    same machinery.
+
     Raises ``ValueError`` when the input plan does not reproduce --
     shrinking a non-failure would "converge" on the empty plan.
     """
     if not reproduces(plan):
         raise ValueError("plan does not reproduce the violation; nothing to shrink")
 
+    cls = type(plan)
     current = plan
     changed = True
     while changed and len(current.faults) > 1:
         changed = False
         for i in range(len(current.faults)):
-            candidate = FaultPlan(
+            candidate = cls(
                 current.faults[:i] + current.faults[i + 1 :], seed=current.seed
             )
             if reproduces(candidate):
@@ -493,7 +501,7 @@ def shrink_fault_plan(
                 trial[i] = dataclasses.replace(
                     f, start_round=new_lo, end_round=new_hi
                 )
-                if reproduces(FaultPlan(trial, seed=current.seed)):
+                if reproduces(cls(trial, seed=current.seed)):
                     narrowed = (new_lo, new_hi)
                     break
             if narrowed is None:
@@ -502,7 +510,7 @@ def shrink_fault_plan(
             f = dataclasses.replace(f, start_round=lo, end_round=hi)
             faults[i] = f
         faults[i] = f
-    return FaultPlan(faults, seed=current.seed)
+    return cls(faults, seed=current.seed)
 
 
 @dataclass

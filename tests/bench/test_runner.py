@@ -82,8 +82,9 @@ class TestRunBench:
         assert any(op.startswith("corr_fft_w") for op in ops)
         assert any(op.startswith("e2e_decode_10tag_p") for op in ops)
         assert {"farm_decode_w1", "farm_decode_w2", "farm_decode_w4"} <= ops
+        assert {"gateway_soak", "gateway_soak_migrate", "gateway_admission"} <= ops
 
-    @pytest.mark.parametrize("tier", ["micro", "detect", "e2e", "farm"])
+    @pytest.mark.parametrize("tier", ["micro", "detect", "e2e", "farm", "gateway"])
     def test_tier_selection(self, tier):
         workloads = build_workloads(quick=True, seed=7, tier=tier)
         assert workloads
@@ -112,6 +113,42 @@ class TestRunBench:
         assert d["farm_realtime_factor_w1"] > 0
         assert d["farm_sessions_per_core_w2"] == pytest.approx(
             d["farm_realtime_factor_w2"] / 2
+        )
+
+    def test_gateway_derived_metrics(self):
+        """Service real-time factor, admission throughput and the
+        migration-overhead ratio come from params, not a real soak."""
+        workloads = [
+            Workload(
+                "gateway_soak",
+                {"n_streams": 8, "decoded_seconds": 0.25},
+                lambda: None,
+                reps=2,
+                group="gateway",
+            ),
+            Workload(
+                "gateway_soak_migrate",
+                {"n_streams": 8, "decoded_seconds": 0.25, "migrate_round": 3},
+                lambda: None,
+                reps=2,
+                group="gateway",
+            ),
+            Workload(
+                "gateway_admission",
+                {"n_decisions": 1000},
+                lambda: None,
+                reps=2,
+                group="gateway",
+            ),
+        ]
+        report = run_bench(workloads=workloads)
+        d = report.derived
+        assert d["gateway_soak_realtime_factor"] > 0
+        assert d["gateway_soak_migrate_realtime_factor"] > 0
+        assert d["gateway_admissions_per_sec"] > 0
+        assert d["gateway_migration_overhead"] == pytest.approx(
+            report.op("gateway_soak_migrate").p50_s
+            / report.op("gateway_soak").p50_s
         )
 
 

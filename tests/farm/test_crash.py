@@ -1,0 +1,154 @@
+"""Worker-death recovery: claimed ring slots must not leak.
+
+A worker that dies mid-stream leaves its in-flight slots claimed; the
+parent must notice on its next blocking harvest, return those slots
+to the free list, evict the dead worker's sessions, and raise
+:class:`WorkerCrash` instead of hanging until the harvest timeout.
+"""
+
+import pytest
+
+import repro.farm.farm as farm_mod
+from repro.farm import DecodeFarm, FarmConfig, SessionSpec, WorkerCrash
+from tests.farm.conftest import run_sequential
+
+
+@pytest.fixture(autouse=True)
+def fast_death_poll(monkeypatch):
+    """Poll liveness every 50 ms so the tests stay quick."""
+    monkeypatch.setattr(farm_mod, "_DEATH_POLL_S", 0.05)
+
+
+def _specs(net_config, n):
+    return [SessionSpec(session_id=i, config=net_config) for i in range(n)]
+
+
+class TestWorkerCrashRecovery:
+    def test_dead_worker_releases_claimed_slots(self, net_config, soak_capture):
+        _, chunks, chunk_samples = soak_capture
+        cfg = FarmConfig(n_workers=2, ring_slots=2, ring_slot_samples=chunk_samples)
+        farm = DecodeFarm(_specs(net_config, 4), farm=cfg)
+        try:
+            farm.feed(0, chunks[0])
+            farm.pump()
+            victim = farm.worker_of(0)
+            farm._procs[victim].kill()
+            farm._procs[victim].join(timeout=5.0)
+            # Saturate the victim's ring: with the worker dead nothing
+            # frees slots, so the third feed blocks and must surface
+            # the crash rather than wait out the harvest timeout.
+            with pytest.raises(WorkerCrash) as exc:
+                for piece in chunks[1:4]:
+                    farm.feed(0, piece)
+            crash = exc.value
+            assert crash.worker == victim
+            assert crash.released_slots, "in-flight slots were not reclaimed"
+            assert farm._rings[victim].free_slots == cfg.ring_slots
+            # The dead worker's sessions are gone; the others survive.
+            assert all(farm.worker_of(sid) != victim for sid in farm.session_ids)
+            assert crash.sessions == sorted(
+                sid for sid in range(4) if sid % 2 == victim
+            )
+        finally:
+            farm.close()
+
+    def test_surviving_sessions_still_decode(self, net_config, soak_capture):
+        _, chunks, chunk_samples = soak_capture
+        cfg = FarmConfig(n_workers=2, ring_slots=2, ring_slot_samples=chunk_samples)
+        farm = DecodeFarm(_specs(net_config, 2), farm=cfg)
+        try:
+            victim = farm.worker_of(0)
+            survivor_sid = 1
+            farm._procs[victim].kill()
+            farm._procs[victim].join(timeout=5.0)
+            with pytest.raises(WorkerCrash):
+                for piece in chunks[:4]:
+                    farm.feed(0, piece)
+            for piece in chunks:
+                farm.feed(survivor_sid, piece)
+                farm.pump()
+            tail = farm.finish_session(survivor_sid)
+            assert farm.frames[survivor_sid], "survivor produced no frames"
+            assert tail is not None
+        finally:
+            farm.close()
+
+    def test_crash_is_not_raised_for_clean_stop(self, net_config, soak_capture):
+        _, chunks, chunk_samples = soak_capture
+        cfg = FarmConfig(n_workers=2, ring_slots=4, ring_slot_samples=chunk_samples)
+        farm = DecodeFarm(_specs(net_config, 2), farm=cfg)
+        try:
+            for piece in chunks[:3]:
+                for sid in farm.session_ids:
+                    farm.feed(sid, piece)
+                farm.pump()
+            tails = farm.finish()
+            assert set(tails) == {0, 1}
+        finally:
+            farm.close()
+
+
+class TestDynamicMembership:
+    def test_add_session_spreads_least_loaded(self, net_config, soak_capture):
+        _, chunks, chunk_samples = soak_capture
+        cfg = FarmConfig(n_workers=2, ring_slots=4, ring_slot_samples=chunk_samples)
+        farm = DecodeFarm(_specs(net_config, 1), farm=cfg, backend="inline")
+        try:
+            assert farm.worker_of(0) == 0
+            w1 = farm.add_session(SessionSpec(session_id=1, config=net_config))
+            w2 = farm.add_session(SessionSpec(session_id=2, config=net_config))
+            assert w1 == 1  # least-loaded
+            assert w2 in (0, 1)
+            with pytest.raises(ValueError, match="already live"):
+                farm.add_session(SessionSpec(session_id=2, config=net_config))
+        finally:
+            farm.close()
+
+    def test_finish_session_matches_sequential(self, net_config, soak_capture):
+        _, chunks, chunk_samples = soak_capture
+        cfg = FarmConfig(n_workers=2, ring_slots=4, ring_slot_samples=chunk_samples)
+        farm = DecodeFarm(_specs(net_config, 2), farm=cfg, backend="inline")
+        try:
+            for piece in chunks:
+                for sid in (0, 1):
+                    farm.feed(sid, piece)
+                farm.pump()
+            farm.finish_session(0)
+            assert 0 not in farm.session_ids
+            assert farm.session_ids == [1]
+            farm.finish_session(1)
+            expected = run_sequential(net_config, chunks, 2)
+            for sid in (0, 1):
+                assert farm.frames[sid] == expected[sid][0]
+                assert farm.session_stats[sid] == expected[sid][1]
+            with pytest.raises(KeyError):
+                farm.finish_session(0)
+        finally:
+            farm.close()
+
+    def test_finish_session_process_backend(self, net_config, soak_capture):
+        _, chunks, chunk_samples = soak_capture
+        cfg = FarmConfig(n_workers=2, ring_slots=4, ring_slot_samples=chunk_samples)
+        farm = DecodeFarm(_specs(net_config, 2), farm=cfg)
+        try:
+            for piece in chunks:
+                for sid in (0, 1):
+                    farm.feed(sid, piece)
+                farm.pump()
+            farm.finish_session(0)
+            farm.finish_session(1)
+            expected = run_sequential(net_config, chunks, 2)
+            for sid in (0, 1):
+                assert farm.frames[sid] == expected[sid][0]
+                assert farm.session_stats[sid] == expected[sid][1]
+        finally:
+            farm.close()
+
+    def test_slot_waits_counter_is_public(self, net_config, soak_capture):
+        _, chunks, chunk_samples = soak_capture
+        cfg = FarmConfig(n_workers=1, ring_slots=4, ring_slot_samples=chunk_samples)
+        farm = DecodeFarm(_specs(net_config, 1), farm=cfg, backend="inline")
+        try:
+            assert farm.slot_waits == 0
+        finally:
+            farm.close()

@@ -1,0 +1,238 @@
+"""Behavioural tests for the Gateway: admission, shedding, accounting.
+
+These tests drive the service layer with silent chunks (no encoded
+frames) on the inline backend: what is under test is the admission
+ledger -- every offered chunk admitted or rejected, every admitted
+chunk fed or shed -- not the decode path, which the soak and farm
+suites own.
+"""
+
+import numpy as np
+import pytest
+
+from repro.farm.config import FarmConfig
+from repro.gateway import AdmissionRefused, Gateway, GatewayConfig, GatewayState
+
+from tests.gateway.conftest import VirtualClock, drive
+
+CHUNK = 64
+
+
+def make_gateway(phy_config, vclock, **overrides):
+    defaults = dict(
+        token_rate=1000.0,
+        token_burst=100.0,
+        max_intake_chunks=8,
+        max_streams=4,
+        queue_high=64,
+        queue_low=2,
+        patience=3,
+        max_retries=0,
+        slot_s=0.01,
+        deadline_s=10.0,
+    )
+    defaults.update(overrides)
+    return Gateway(
+        phy_config,
+        gateway=GatewayConfig(**defaults),
+        farm=FarmConfig(n_workers=2, ring_slots=4, ring_slot_samples=CHUNK),
+        backend="inline",
+        clock=vclock,
+        sleep=vclock.sleep,
+    )
+
+
+def chunk():
+    return np.zeros(CHUNK, dtype=np.complex128)
+
+
+class TestLifecycle:
+    def test_submit_step_close_accounting(self, phy_config, vclock):
+        async def body():
+            with make_gateway(phy_config, vclock) as gw:
+                sid = await gw.open_stream()
+                for _ in range(3):
+                    assert await gw.submit(sid, chunk())
+                assert gw.queue_depth == 3
+                dispatched = await gw.step()
+                assert dispatched == 3
+                report = await gw.close_stream(sid)
+            return report
+
+        report = drive(body())
+        assert report.admitted == 3
+        assert report.fed == 3
+        assert report.shed == 0
+        assert report.rejected == 0
+
+    def test_max_streams_refused(self, phy_config, vclock):
+        async def body():
+            with make_gateway(phy_config, vclock, max_streams=1) as gw:
+                await gw.open_stream()
+                with pytest.raises(AdmissionRefused):
+                    await gw.open_stream()
+                assert gw.rejected == 1
+
+        drive(body())
+
+    def test_draining_refuses_everything(self, phy_config, vclock):
+        async def body():
+            with make_gateway(phy_config, vclock) as gw:
+                sid = await gw.open_stream()
+                gw.ladder.force(GatewayState.DRAINING)
+                with pytest.raises(AdmissionRefused):
+                    await gw.open_stream()
+                assert not await gw.submit(sid, chunk())
+
+        drive(body())
+
+    def test_closed_gateway_raises(self, phy_config, vclock):
+        async def body():
+            gw = make_gateway(phy_config, vclock)
+            gw.close()
+            with pytest.raises(RuntimeError):
+                await gw.open_stream()
+
+        drive(body())
+
+    def test_poll_frames_drains(self, phy_config, vclock):
+        async def body():
+            with make_gateway(phy_config, vclock) as gw:
+                sid = await gw.open_stream()
+                await gw.submit(sid, chunk())
+                await gw.step()
+                first = gw.poll_frames(sid)
+                assert gw.poll_frames(sid) == []
+                assert isinstance(first, list)
+                await gw.close_stream(sid)
+
+        drive(body())
+
+
+class TestAdmission:
+    def test_intake_bound_rejects(self, phy_config, vclock):
+        async def body():
+            with make_gateway(phy_config, vclock, max_intake_chunks=2) as gw:
+                sid = await gw.open_stream()
+                assert await gw.submit(sid, chunk())
+                assert await gw.submit(sid, chunk())
+                assert not await gw.submit(sid, chunk())
+                report = await gw.close_stream(sid)
+            return report
+
+        report = drive(body())
+        assert report.admitted == 2
+        assert report.rejected == 1
+
+    def test_empty_bucket_retries_then_admits(self, phy_config, vclock):
+        async def body():
+            gw = make_gateway(
+                phy_config,
+                vclock,
+                token_rate=100.0,
+                token_burst=1.0,
+                max_retries=5,
+            )
+            with gw:
+                sid = await gw.open_stream()
+                assert await gw.submit(sid, chunk())  # takes the only token
+                # The next submit finds the bucket empty, backs off on
+                # the virtual clock (refilling it), and succeeds.
+                assert await gw.submit(sid, chunk())
+                assert gw.retries > 0
+                assert gw.rejected == 0
+
+        drive(body())
+
+    def test_deadline_miss_is_counted(self, phy_config, vclock):
+        async def body():
+            gw = make_gateway(
+                phy_config,
+                vclock,
+                token_rate=0.001,
+                token_burst=1.0,
+                max_retries=8,
+                slot_s=1.0,
+                deadline_s=0.5,
+            )
+            with gw:
+                sid = await gw.open_stream()
+                assert await gw.submit(sid, chunk())
+                assert not await gw.submit(sid, chunk())
+                assert gw.deadline_misses == 1
+                assert gw.rejected == 1
+
+        drive(body())
+
+
+class TestShedding:
+    def test_shed_drops_lowest_priority_first(self, phy_config, vclock):
+        async def body():
+            gw = make_gateway(
+                phy_config, vclock, queue_high=4, queue_low=1, patience=1
+            )
+            with gw:
+                low = await gw.open_stream(priority=0)
+                high = await gw.open_stream(priority=1)
+                for _ in range(3):
+                    assert await gw.submit(low, chunk())
+                    assert await gw.submit(high, chunk())
+                # Two zero-budget cycles climb FULL -> THROTTLED -> SHED
+                # without dispatching; the SHED cycle drops intake down
+                # to the low watermark, lowest priority first.
+                await gw.step(budget=0)
+                assert gw.state is GatewayState.THROTTLED
+                await gw.step(budget=0)
+                assert gw.queue_depth == 1
+                assert gw.shed == 5
+                await gw.step()
+                rep_low = await gw.close_stream(low)
+                rep_high = await gw.close_stream(high)
+            return rep_low, rep_high
+
+        rep_low, rep_high = drive(body())
+        assert (rep_low.admitted, rep_low.fed, rep_low.shed) == (3, 0, 3)
+        assert (rep_high.admitted, rep_high.fed, rep_high.shed) == (3, 1, 2)
+
+    def test_throttled_ladder_slows_bucket(self, phy_config, vclock):
+        async def body():
+            gw = make_gateway(
+                phy_config,
+                vclock,
+                queue_high=2,
+                queue_low=1,
+                patience=1,
+                throttle_factor=0.25,
+            )
+            with gw:
+                sid = await gw.open_stream()
+                await gw.submit(sid, chunk())
+                await gw.submit(sid, chunk())
+                await gw.step(budget=0)
+                assert gw.state is GatewayState.THROTTLED
+                assert gw.bucket.throttle == pytest.approx(0.25)
+                # The queue is still hot when the next cycle observes,
+                # so the ladder passes through SHED while draining;
+                # two cool cycles later it is FULL and the refill
+                # multiplier is restored.
+                await gw.step()
+                await gw.step()
+                await gw.step()
+                assert gw.state is GatewayState.FULL
+                assert gw.bucket.throttle == pytest.approx(1.0)
+                await gw.close_stream(sid)
+
+        drive(body())
+
+    def test_close_without_flush_counts_shed(self, phy_config, vclock):
+        async def body():
+            with make_gateway(phy_config, vclock) as gw:
+                sid = await gw.open_stream()
+                for _ in range(4):
+                    await gw.submit(sid, chunk())
+                return await gw.close_stream(sid, flush=False)
+
+        report = drive(body())
+        assert report.admitted == 4
+        assert report.fed == 0
+        assert report.shed == 4

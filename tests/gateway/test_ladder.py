@@ -1,0 +1,128 @@
+"""State-machine tests for the degradation ladder."""
+
+import pytest
+
+from repro.gateway import DegradationLadder, GatewayState
+
+
+def make_ladder(patience=2):
+    return DegradationLadder(
+        queue_high=10, queue_low=2, rtf_high=1.0, rtf_low=0.5, patience=patience
+    )
+
+
+HOT = dict(queue_depth=10, rtf=0.0)
+COOL = dict(queue_depth=0, rtf=0.0)
+MIXED = dict(queue_depth=5, rtf=0.7)
+
+
+class TestObserve:
+    def test_starts_full(self):
+        assert make_ladder().state is GatewayState.FULL
+
+    def test_patience_hot_steps_one_rung(self):
+        ladder = make_ladder(patience=3)
+        ladder.observe(**HOT)
+        ladder.observe(**HOT)
+        assert ladder.state is GatewayState.FULL
+        ladder.observe(**HOT)
+        assert ladder.state is GatewayState.THROTTLED
+
+    def test_either_signal_is_hot(self):
+        ladder = make_ladder(patience=1)
+        ladder.observe(queue_depth=0, rtf=1.5)
+        assert ladder.state is GatewayState.THROTTLED
+
+    def test_mixed_resets_counters(self):
+        ladder = make_ladder(patience=2)
+        ladder.observe(**HOT)
+        ladder.observe(**MIXED)
+        ladder.observe(**HOT)
+        assert ladder.state is GatewayState.FULL
+        ladder.observe(**HOT)
+        assert ladder.state is GatewayState.THROTTLED
+
+    def test_cool_needs_both_signals_low(self):
+        ladder = make_ladder(patience=1)
+        ladder.observe(**HOT)
+        assert ladder.state is GatewayState.THROTTLED
+        ladder.observe(queue_depth=0, rtf=0.7)  # rtf still above low
+        assert ladder.state is GatewayState.THROTTLED
+        ladder.observe(**COOL)
+        assert ladder.state is GatewayState.FULL
+
+    def test_observe_never_reaches_draining(self):
+        ladder = make_ladder(patience=1)
+        for _ in range(10):
+            ladder.observe(**HOT)
+        assert ladder.state is GatewayState.SHED
+
+    def test_full_recovery_path(self):
+        ladder = make_ladder(patience=1)
+        ladder.observe(**HOT)
+        ladder.observe(**HOT)
+        assert ladder.state is GatewayState.SHED
+        ladder.observe(**COOL)
+        ladder.observe(**COOL)
+        assert ladder.state is GatewayState.FULL
+        path = [(f.value, t.value) for f, t, _forced in ladder.transitions]
+        assert path == [
+            ("full", "throttled"),
+            ("throttled", "shed"),
+            ("shed", "throttled"),
+            ("throttled", "full"),
+        ]
+
+    def test_observed_transitions_are_adjacent(self):
+        ladder = make_ladder(patience=1)
+        order = ["full", "throttled", "shed", "draining"]
+        for _ in range(5):
+            ladder.observe(**HOT)
+        for _ in range(5):
+            ladder.observe(**COOL)
+        for frm, to, forced in ladder.transitions:
+            assert not forced
+            assert abs(order.index(to.value) - order.index(frm.value)) == 1
+
+
+class TestForce:
+    def test_force_jumps_and_is_flagged(self):
+        ladder = make_ladder()
+        ladder.force(GatewayState.DRAINING)
+        assert ladder.state is GatewayState.DRAINING
+        assert ladder.transitions == [
+            (GatewayState.FULL, GatewayState.DRAINING, True)
+        ]
+
+    def test_forced_ladder_ignores_observations(self):
+        ladder = make_ladder(patience=1)
+        ladder.force(GatewayState.DRAINING)
+        for _ in range(5):
+            ladder.observe(**COOL)
+        assert ladder.state is GatewayState.DRAINING
+
+    def test_release_restores_and_reenables(self):
+        ladder = make_ladder(patience=1)
+        ladder.force(GatewayState.DRAINING)
+        ladder.release(GatewayState.THROTTLED)
+        assert ladder.state is GatewayState.THROTTLED
+        ladder.observe(**COOL)
+        assert ladder.state is GatewayState.FULL
+
+    def test_rung_property(self):
+        ladder = make_ladder()
+        assert ladder.rung == 0
+        ladder.force(GatewayState.SHED)
+        assert ladder.rung == 2
+
+
+class TestValidation:
+    def test_bad_watermarks(self):
+        with pytest.raises(ValueError):
+            DegradationLadder(queue_high=2, queue_low=2, rtf_high=1.0, rtf_low=0.5)
+        with pytest.raises(ValueError):
+            DegradationLadder(queue_high=10, queue_low=2, rtf_high=0.5, rtf_low=0.5)
+        with pytest.raises(ValueError):
+            DegradationLadder(
+                queue_high=10, queue_low=2, rtf_high=1.0, rtf_low=0.5, patience=0
+            )

@@ -146,3 +146,76 @@ class TestSystemCommand:
             "--epochs", "2", "--rounds", "3", "--mobility",
         ]) == 0
         assert "Deployment summary" in capsys.readouterr().out
+
+
+class TestGatewayCommand:
+    """Exit-code contract: 0 = invariants held, 1 = violations,
+    2 = unusable input -- the same convention the lint CLI keeps."""
+
+    def test_soak_exit_0_when_invariants_hold(self, capsys):
+        assert main([
+            "gateway", "soak", "--streams", "4", "--rounds", "3", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "all gateway invariants held" in out
+        assert "ladder path" in out
+
+    def test_soak_exit_1_on_violation(self, monkeypatch, tmp_path, capsys):
+        from repro.gateway import soak as gwsoak
+        from repro.sim.experiments.soak import InvariantViolation
+
+        def fake(cfg, plan=None, tracer=None):
+            return gwsoak.GatewaySoakResult(
+                config=cfg, plan=plan, reports={}, offered={},
+                round_states=["full"], transitions=[],
+                admitted=0, rejected=0, shed=0, deadline_misses=0,
+                migrations=0, moved_sessions=[], peak_queue_depth=0,
+                peak_retained_samples=0,
+                violations=[InvariantViolation("silent_drop", "synthetic")],
+            )
+
+        monkeypatch.setattr(gwsoak, "run_gateway_soak", fake)
+        artifact = tmp_path / "plan.json"
+        rc = main([
+            "gateway", "soak", "--streams", "4", "--rounds", "3",
+            "--no-shrink", "--artifact", str(artifact),
+        ])
+        assert rc == 1
+        assert "VIOLATED" in capsys.readouterr().out
+        payload = json.loads(artifact.read_text())
+        assert payload["violations"][0]["name"] == "silent_drop"
+        assert payload["plan"]["faults"]
+
+    def test_soak_exit_2_on_unreadable_plan(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["gateway", "soak", "--plan", str(missing)]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"faults": [{"kind": "meteor_strike"}]}')
+        assert main(["gateway", "soak", "--plan", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "unusable fault plan" in err
+
+    def test_soak_exit_2_on_bad_config(self, capsys):
+        assert main(["gateway", "soak", "--streams", "0"]) == 2
+        assert "bad soak config" in capsys.readouterr().err
+
+    def test_missing_subcommand_exits_2(self):
+        with pytest.raises(SystemExit) as err:
+            main(["gateway"])
+        assert err.value.code == 2
+
+
+class TestMacroExitCodes:
+    def test_validate_exit_2_on_corrupt_surface(self, tmp_path, capsys):
+        corrupt = tmp_path / "surface.json"
+        corrupt.write_text('{"not even')
+        assert main(["macro", "validate", "--surface", str(corrupt)]) == 2
+        assert "unusable FER surface" in capsys.readouterr().err
+
+    def test_run_exit_2_on_wrong_schema(self, tmp_path, capsys):
+        wrong = tmp_path / "surface.json"
+        wrong.write_text(json.dumps({"schema": "something/else"}))
+        assert main([
+            "macro", "run", "--surface", str(wrong), "--tags", "10",
+        ]) == 2
+        assert "unusable FER surface" in capsys.readouterr().err
